@@ -1,0 +1,81 @@
+// A13 -- ablations of the construction's design choices (not a paper
+// table; referenced from DESIGN.md).
+//
+// (a) decoy streams: Lemma 3.6's part-(2) single-edge packets are what
+//     slows the old packets to the R_i rates.  Removing them should kill
+//     the amplification (gain collapses towards ~1 minus drain losses).
+// (b) gadget size n: the proof picks n(eps) so that 2(1 - R_n) >= 1 + eps;
+//     sweeping n shows the gain saturating towards 2r and why small n
+//     fails.
+#include <iostream>
+#include <vector>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/util/csv.hpp"
+#include "aqt/util/table.hpp"
+
+namespace {
+
+using namespace aqt;
+
+double measured_gain(const LpsConfig& cfg, std::int64_t S) {
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_gadget_invariant(eng, net, 0, S);
+  LpsHandoff phase(net, cfg, 0);
+  while (!phase.finished(eng.now() + 1)) eng.step(&phase);
+  return static_cast<double>(inspect_gadget(eng, net, 1).S()) /
+         static_cast<double>(S);
+}
+
+}  // namespace
+
+int main() {
+  using namespace aqt;
+  const Rat r(7, 10);
+  const std::int64_t S = 1200;
+
+  std::cout << "A13: ablations at r = " << r << ", S = " << S << "\n\n";
+
+  // --- (a) decoy streams on/off. ------------------------------------------
+  LpsConfig base = make_lps_config(r);
+  base.enforce_s0 = false;
+  LpsConfig no_decoys = base;
+  no_decoys.disable_decoys = true;
+
+  Table ta({"variant", "gain S'/S", "note"});
+  ta.rowv("full construction", Table::cell(measured_gain(base, S), 4),
+          "decoys slow old packets to the R_i cascade");
+  ta.rowv("no decoy streams", Table::cell(measured_gain(no_decoys, S), 4),
+          "old packets drain freely; amplification gone");
+  std::cout << "(a) part-(2) decoy streams:\n\n" << ta << "\n";
+
+  // --- (b) gadget size n. --------------------------------------------------
+  Table tb({"n", "exact gain 2(1-R_n)", "measured gain", ">= 1+eps"});
+  CsvWriter csv("bench_a13_ablation.csv",
+                {"n", "gain_exact", "gain_measured", "sufficient"});
+  const double eps = base.eps();
+  const std::vector<std::int64_t> n_values = {2, 3, 5, 7, base.n,
+                                              base.n + 4};
+  for (const std::int64_t n : n_values) {
+    LpsConfig cfg = base;
+    cfg.n = n;
+    const double exact = lps_gadget_gain(r.to_double(), n);
+    const double measured = measured_gain(cfg, S);
+    tb.rowv(static_cast<long long>(n), Table::cell(exact, 4),
+            Table::cell(measured, 4), exact >= 1.0 + eps);
+    csv.rowv(static_cast<long long>(n), exact, measured,
+             exact >= 1.0 + eps ? 1 : 0);
+  }
+  std::cout << "(b) gadget size n (paper's choice: n = " << base.n
+            << " for eps = " << eps << "):\n\n"
+            << tb
+            << "\nShape check: the gain grows with n, saturating at 2r = "
+            << 2.0 * r.to_double()
+            << "; the paper's n is the first value clearing 1 + eps with "
+               "the proof's slack.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E5 -- Theorem 4.1: every greedy protocol is stable at r <= 1/(d+1).
+//
+// Protocols x topologies x seeds under maximal-ish random (w, r) traffic at
+// the threshold rate; the measured per-buffer residence must never exceed
+// ceil(w*r).  Feasibility of the traffic itself is machine-checked.
+#include <iostream>
+
+#include "aqt/analysis/bounds.hpp"
+#include "aqt/experiments/sweep.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/csv.hpp"
+#include "aqt/util/table.hpp"
+
+int main() {
+  using namespace aqt;
+  const std::int64_t d = 3;
+  const std::int64_t w = 4 * (d + 1);
+  const Rat r(1, d + 1);
+  const std::int64_t bound = residence_bound(w, r);
+
+  SweepConfig cfg;
+  cfg.protocols = protocol_names();
+  cfg.topologies = {
+      {"grid5x5", [] { return make_grid(5, 5); }},
+      {"ring16", [] { return make_ring(16); }},
+      {"bidiring10", [] { return make_bidirectional_ring(10); }},
+      {"intree5", [] { return make_in_tree(5); }},
+      {"torus4x4", [] { return make_torus(4, 4); }},
+      {"hypercube4", [] { return make_hypercube(4); }},
+      {"dag30",
+       [] {
+         Rng rng(7);
+         return make_random_dag(30, 0.12, rng);
+       }},
+  };
+  cfg.seeds = {1, 2, 3};
+  cfg.steps = 4000;
+  cfg.traffic.w = w;
+  cfg.traffic.r = r;
+  cfg.traffic.max_route_len = d;
+  cfg.traffic.attempts_per_step = 6;
+
+  std::cout << "E5: greedy stability (Theorem 4.1) -- d = " << d << ", w = "
+            << w << ", r = " << r << ", bound ceil(w*r) = " << bound
+            << ", " << cfg.steps << " steps x " << cfg.seeds.size()
+            << " seeds per cell\n\n";
+
+  const auto cells = run_sweep(cfg, /*threads=*/0);
+  const auto aggregates = aggregate_sweep(cells);
+
+  Table t({"protocol", "network", "injected", "worst queue",
+           "residence mean", "residence worst", "bound", "ok"});
+  CsvWriter csv("bench_e05_greedy_stability.csv",
+                {"protocol", "network", "seed", "injected", "max_queue",
+                 "max_residence", "bound", "ok"});
+  for (const auto& c : cells)
+    csv.rowv(c.protocol, c.topology, static_cast<long long>(c.seed),
+             static_cast<long long>(c.injected),
+             static_cast<long long>(c.max_queue),
+             static_cast<long long>(c.max_residence),
+             static_cast<long long>(bound),
+             c.max_residence <= bound ? 1 : 0);
+
+  int violations = 0;
+  for (const auto& a : aggregates) {
+    if (!a.all_feasible) {
+      std::cout << "TRAFFIC GENERATOR BUG: window violated\n";
+      return 2;
+    }
+    const bool ok = a.worst_residence <= bound;
+    if (!ok) ++violations;
+    t.rowv(a.protocol, a.topology, static_cast<long long>(a.injected),
+           static_cast<long long>(a.worst_queue),
+           Table::cell(a.residence.mean(), 2),
+           static_cast<long long>(a.worst_residence),
+           static_cast<long long>(bound), ok);
+  }
+  std::cout << t << "\n"
+            << (violations == 0
+                    ? "RESULT: zero violations across all protocols, "
+                      "topologies and seeds -- matching Theorem 4.1.\n"
+                    : "RESULT: VIOLATIONS FOUND (would falsify the "
+                      "theorem).\n");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// E8 -- Appendix: asymptotics of the construction parameters.
+//
+// Tabulates n(eps) against the appendix bracket
+// log2(1/eps) + 2 < n < 2 log2(1/eps) + 4 and S0(eps) against the
+// Theta(eps^-1 log(1/eps)) estimate 4n/eps (equation 5.10).
+#include <iostream>
+
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/util/csv.hpp"
+#include "aqt/util/table.hpp"
+
+int main() {
+  using namespace aqt;
+  std::cout << "E8: appendix asymptotics -- n = Theta(log 1/eps), "
+               "S0 = Theta(eps^-1 log 1/eps)\n\n";
+
+  Table t({"eps", "n", "lower log2(1/eps)+2", "upper 2log2(1/eps)+4", "S0",
+           "estimate 4n/eps", "S0 / estimate"});
+  CsvWriter csv("bench_e08_asymptotics.csv",
+                {"eps", "n", "n_lower", "n_upper", "s0", "s0_estimate",
+                 "ratio"});
+  for (const double eps :
+       {0.25, 0.2, 0.15, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001}) {
+    const LpsParams p = lps_params(eps);
+    const LpsAsymptotics a = lps_asymptotics(eps);
+    const double ratio = static_cast<double>(p.s0) / a.s0_estimate;
+    t.rowv(Table::cell(eps, 4), static_cast<long long>(p.n),
+           Table::cell(a.n_lower, 2), Table::cell(a.n_upper, 2),
+           static_cast<long long>(p.s0), Table::cell(a.s0_estimate, 1),
+           Table::cell(ratio, 3));
+    csv.rowv(eps, static_cast<long long>(p.n), a.n_lower, a.n_upper,
+             static_cast<long long>(p.s0), a.s0_estimate, ratio);
+  }
+  std::cout << t
+            << "\nShape check: n sits inside the appendix bracket for small "
+               "eps, and S0/(4n/eps) converges to a constant -- the "
+               "Theta(eps^-1 log 1/eps) behaviour of equation (5.10).\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E10 -- universal-stability contrast: the LPS schedule wrecks FIFO but
+// not the universally stable policies.
+//
+// Two sub-experiments:
+//  (a) verbatim replay: record the complete Theorem 3.17 injection/reroute
+//      schedule from a FIFO run, then replay the *identical* trace against
+//      every historic protocol (rerouting is only sound for historic
+//      policies, Lemma 3.3).  Under FIFO the queues grow geometrically;
+//      under LIS -- universally stable (Andrews et al.) -- and the others,
+//      the amplification cascade never forms and queues stay near S*.
+//  (b) adaptive: let the phase-machine adversary adapt to each protocol's
+//      queue state; it aborts once the cascade collapses.
+#include <iostream>
+#include <memory>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/stability.hpp"
+#include "aqt/trace/trace.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/csv.hpp"
+#include "aqt/util/table.hpp"
+
+int main() {
+  using namespace aqt;
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const std::int64_t M = 8;
+  const std::int64_t s_star = 800;
+  const ChainedGadgets net = build_closed_chain(cfg.n, M);
+
+  std::cout << "E10: protocol contrast under the Theorem 3.17 schedule "
+               "(r = " << r << ", M = " << M << ", S* = " << s_star
+            << ")\n\n";
+
+  // --- (a) Record the FIFO run, then replay verbatim. ---------------------
+  Trace trace;
+  Time duration = 0;
+  {
+    FifoProtocol fifo;
+    Engine eng(net.graph, fifo);
+    setup_flat_queue(eng, net, 0, s_star);
+    LpsAdversary adv(net, cfg, /*max_iterations=*/2);
+    RecordingAdversary rec(adv, trace);
+    while (!adv.finished(eng.now() + 1)) eng.step(&rec);
+    duration = eng.now();
+  }
+  std::cout << "recorded FIFO schedule: " << trace.injection_count()
+            << " injections, " << trace.size() - trace.injection_count()
+            << " reroutes, " << duration << " steps\n\n";
+
+  Table replay_t({"protocol", "max queue", "final in flight",
+                  "skipped reroutes", "growth verdict"});
+  CsvWriter csv("bench_e10_protocol_contrast.csv",
+                {"mode", "protocol", "max_queue", "in_flight",
+                 "skipped_reroutes", "verdict"});
+  for (const char* name : {"FIFO", "LIS", "NIS", "LIFO", "FFS", "NTS"}) {
+    auto protocol = make_protocol(name);
+    Engine eng(net.graph, *protocol);
+    setup_flat_queue(eng, net, 0, s_star);
+    ReplayAdversary replay(trace);
+    eng.run(&replay, duration);
+    // A queue peak well beyond the initial S* means the cascade formed.
+    const bool grew = eng.metrics().max_queue_global() >
+                      2 * static_cast<std::uint64_t>(s_star);
+    const char* verdict = grew ? "GROWS (unstable)" : "stays near S*";
+    replay_t.rowv(name,
+                  static_cast<long long>(eng.metrics().max_queue_global()),
+                  static_cast<long long>(eng.packets_in_flight()),
+                  static_cast<long long>(replay.skipped_reroutes()),
+                  verdict);
+    csv.rowv("replay", name,
+             static_cast<long long>(eng.metrics().max_queue_global()),
+             static_cast<long long>(eng.packets_in_flight()),
+             static_cast<long long>(replay.skipped_reroutes()), verdict);
+  }
+  std::cout << "(a) verbatim replay of the recorded schedule:\n\n"
+            << replay_t << "\n";
+
+  // --- (b) Adaptive adversary per protocol. -------------------------------
+  Table adapt_t({"protocol", "iterations", "final flat queue", "max queue",
+                 "verdict"});
+  for (const char* name : {"FIFO", "LIS", "NIS", "LIFO", "FFS", "NTS"}) {
+    auto protocol = make_protocol(name);
+    Engine eng(net.graph, *protocol);
+    setup_flat_queue(eng, net, 0, s_star);
+    LpsAdversary adv(net, cfg, /*max_iterations=*/2);
+    try {
+      while (!adv.finished(eng.now() + 1) && eng.now() < 2000000)
+        eng.step(&adv);
+    } catch (const PreconditionError&) {
+      // The adversary lost its queue mid-phase: the cascade collapsed.
+    }
+    std::int64_t final_s = 0;
+    bool grew = false;
+    if (!adv.history().empty()) {
+      final_s = adv.history().back().s_end;
+      grew = adv.history().back().s_end > adv.history().front().s_start;
+    }
+    const char* verdict = grew ? "GROWS (unstable)" : "collapses (stable)";
+    adapt_t.rowv(name, static_cast<long long>(adv.history().size()),
+                 static_cast<long long>(final_s),
+                 static_cast<long long>(eng.metrics().max_queue_global()),
+                 verdict);
+    csv.rowv("adaptive", name,
+             static_cast<long long>(eng.metrics().max_queue_global()),
+             static_cast<long long>(eng.packets_in_flight()), 0ll, verdict);
+  }
+  std::cout << "(b) adaptive phase machine per protocol:\n\n"
+            << adapt_t
+            << "\nShape check: only FIFO amplifies.  Its rate-proportional "
+               "mixing is what Claims 3.8-3.12 exploit; LIS serves the old "
+               "packets first, so the decoy streams never delay them and "
+               "the R_i cascade cannot form -- consistent with LIS's "
+               "universal stability.\n";
+  return 0;
+}

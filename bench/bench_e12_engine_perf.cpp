@@ -1,0 +1,145 @@
+// E12 -- simulator throughput (google-benchmark).
+//
+// Not a paper experiment: characterizes the engine itself so that the
+// scale of the instability runs (millions of steps, hundreds of thousands
+// of live packets) is known to be in budget.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include <sstream>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/checkpoint.hpp"
+#include "aqt/core/rate_check.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/gadget.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace {
+
+using namespace aqt;
+
+void BM_GridStochasticSteps(benchmark::State& state) {
+  const auto side = state.range(0);
+  const Graph g = make_grid(side, side);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  StochasticConfig cfg;
+  cfg.w = 12;
+  cfg.r = Rat(1, 4);
+  cfg.max_route_len = 4;
+  cfg.seed = 1;
+  StochasticAdversary adv(g, cfg);
+  for (auto _ : state) {
+    eng.step(&adv);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["edges"] = static_cast<double>(g.edge_count());
+}
+BENCHMARK(BM_GridStochasticSteps)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ProtocolStep(benchmark::State& state,
+                     const std::string& protocol_name) {
+  const Graph g = make_grid(6, 6);
+  auto protocol = make_protocol(protocol_name, 1);
+  Engine eng(g, *protocol);
+  StochasticConfig cfg;
+  cfg.w = 12;
+  cfg.r = Rat(1, 3);
+  cfg.max_route_len = 5;
+  cfg.seed = 2;
+  StochasticAdversary adv(g, cfg);
+  for (auto _ : state) eng.step(&adv);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ProtocolStep, fifo, std::string("FIFO"));
+BENCHMARK_CAPTURE(BM_ProtocolStep, lis, std::string("LIS"));
+BENCHMARK_CAPTURE(BM_ProtocolStep, ntg, std::string("NTG"));
+
+void BM_DeepQueueStep(benchmark::State& state) {
+  // One very deep buffer: stresses the ordered-set buffer implementation.
+  const auto depth = state.range(0);
+  const Graph g = make_line(2);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  for (std::int64_t i = 0; i < depth; ++i)
+    eng.add_initial_packet({0, 1});
+  // One injection per step balances the one departure per step, keeping
+  // the buffer at its initial depth for the whole measurement.
+  struct Refill final : Adversary {
+    void step(Time, const Engine&, AdversaryStep& out) override {
+      out.injections.push_back(Injection{{0, 1}, 0});
+    }
+  } refill;
+  for (auto _ : state) eng.step(&refill);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeepQueueStep)->Arg(10000)->Arg(100000);
+
+void BM_LpsHandoffWholePhase(benchmark::State& state) {
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const std::int64_t S = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const ChainedGadgets net = build_chain(cfg.n, 2);
+    FifoProtocol fifo;
+    Engine eng(net.graph, fifo);
+    setup_gadget_invariant(eng, net, 0, S);
+    LpsHandoff phase(net, cfg, 0);
+    state.ResumeTiming();
+    while (!phase.finished(eng.now() + 1)) eng.step(&phase);
+    benchmark::DoNotOptimize(eng.packets_in_flight());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * S);
+}
+BENCHMARK(BM_LpsHandoffWholePhase)->Arg(500)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_RateCheckExact(benchmark::State& state) {
+  // The exact post-hoc rate-r checker on a large single-edge audit.
+  const auto entries = state.range(0);
+  const Rat r(7, 10);
+  RateAudit audit(1);
+  std::int64_t emitted = 0;
+  for (Time t = 1; emitted < entries; ++t) {
+    const std::int64_t quota = r.floor_mul(t);
+    for (; emitted < quota && emitted < entries; ++emitted)
+      audit.add_edge(0, t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_rate_r(audit, r).ok);
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_RateCheckExact)->Arg(10000)->Arg(100000);
+
+void BM_CheckpointRoundtrip(benchmark::State& state) {
+  const Graph g = make_grid(6, 6);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  StochasticConfig cfg;
+  cfg.w = 12;
+  cfg.r = Rat(1, 3);
+  cfg.max_route_len = 5;
+  cfg.seed = 4;
+  StochasticAdversary adv(g, cfg);
+  eng.run(&adv, 2000);
+  for (auto _ : state) {
+    std::stringstream buf;
+    save_checkpoint(eng, buf);
+    Engine restored(g, fifo);
+    load_checkpoint(restored, buf);
+    benchmark::DoNotOptimize(restored.packets_in_flight());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckpointRoundtrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Threshold explorer: a calculator for every derived quantity of the
+// paper, for a rate you pick.
+//
+//   ./threshold_explorer --r 3/5
+//
+// Prints the instability-side construction parameters (n, S0, gadget gain,
+// chain lengths, network size, longest route d) and the stability-side
+// thresholds for the resulting network — showing both halves of the paper
+// side by side for your chosen rate.
+#include <cstdio>
+#include <iostream>
+
+#include "aqt/analysis/bounds.hpp"
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/topology/gadget.hpp"
+#include "aqt/topology/routing.hpp"
+#include "aqt/util/cli.hpp"
+#include "aqt/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aqt;
+  Cli cli("threshold_explorer", "paper quantities for a chosen rate");
+  cli.flag("r", "3/5", "instability rate to explore (1/2 < r < 1)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Rat r = cli.get_rat("r");
+  const double rd = r.to_double();
+  const double eps = rd - 0.5;
+  const LpsParams p = lps_params(eps);
+  const std::int64_t m_exact = lps_empirical_min_M(rd, p.n);
+  const std::int64_t m_paper = lps_min_M(eps);
+
+  std::cout << "\n== Instability side (Section 3) at r = " << r
+            << " (eps = " << eps << ") ==\n\n";
+  Table inst({"quantity", "value", "source"});
+  inst.rowv("gadget size n", static_cast<long long>(p.n),
+            "proof of Lemma 3.6");
+  inst.rowv("minimum queue S0", static_cast<long long>(p.s0),
+            "proof of Lemma 3.6");
+  inst.rowv("per-gadget gain 2(1-R_n)",
+            Table::cell(lps_gadget_gain(rd, p.n), 4), "Lemma 3.6 (exact)");
+  inst.rowv("guaranteed gain 1+eps", Table::cell(1.0 + eps, 4),
+            "Lemma 3.6 (bound)");
+  inst.rowv("stitch retention r^3", Table::cell(rd * rd * rd, 4),
+            "Lemma 3.16");
+  inst.rowv("chain length M (paper bound)", static_cast<long long>(m_paper),
+            "Theorem 3.17, r^3(1+eps)^M/4 > 1");
+  inst.rowv("chain length M (exact)", static_cast<long long>(m_exact),
+            "measured gain formula");
+  const LpsAsymptotics a = lps_asymptotics(eps);
+  inst.rowv("n bracket (appendix)",
+            "(" + Table::cell(a.n_lower, 2) + ", " +
+                Table::cell(a.n_upper, 2) + ")",
+            "eq. (5.5)");
+  inst.rowv("S0 estimate 4n/eps", Table::cell(a.s0_estimate, 1),
+            "eq. (5.10)");
+  std::cout << inst;
+
+  // The network that construction runs on, and its stability thresholds.
+  const std::int64_t M = m_exact > 0 ? m_exact : m_paper;
+  const ChainedGadgets net = build_closed_chain(p.n, M);
+  const NetworkParams np = network_params(net.graph);
+  const std::int64_t d = lps_longest_route(net);
+
+  std::cout << "\n== The resulting network (closed chain, Fig. 3.2) ==\n\n";
+  Table netw({"quantity", "value"});
+  netw.rowv("gadgets M", static_cast<long long>(M));
+  netw.rowv("nodes", static_cast<long long>(net.graph.node_count()));
+  netw.rowv("edges m", static_cast<long long>(np.m));
+  netw.rowv("max in-degree alpha", static_cast<long long>(np.alpha));
+  netw.rowv("hop diameter", static_cast<long long>(hop_diameter(net.graph)));
+  netw.rowv("longest route d (construction)", static_cast<long long>(d));
+  std::cout << netw;
+
+  std::cout << "\n== Stability side (Section 4) on that network ==\n\n";
+  Table stab({"guarantee", "threshold", "source"});
+  stab.rowv("any greedy protocol stable below",
+            greedy_threshold(d).str(), "Theorem 4.1: 1/(d+1)");
+  stab.rowv("FIFO / time-priority stable below",
+            time_priority_threshold(d).str(), "Theorem 4.3: 1/d");
+  stab.rowv("prior FIFO bound (Diaz et al.)",
+            diaz_fifo_threshold(d, np.m, np.alpha).str(), "<= 1/(2dm*alpha)");
+  stab.rowv("prior greedy bound (Borodin)",
+            borodin_greedy_threshold(np.m).str(), "1/m");
+  std::cout << stab;
+
+  std::printf(
+      "\nThe same network is provably stable below %s and provably FIFO-"
+      "unstable at %s:\nthe gap between the two sides is where d-long "
+      "routes live (Section 5's optimality remark).\n",
+      time_priority_threshold(d).str().c_str(), r.str().c_str());
+  return 0;
+}

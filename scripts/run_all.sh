@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every experiment bench, the
+# differential fuzzer, and all examples.  Outputs land in ./out.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p out
+ctest --test-dir build --output-on-failure 2>&1 | tee out/test_output.txt
+
+for b in build/bench/bench_*; do
+  echo "=== $(basename "$b") ==="
+  "$b"
+done 2>&1 | tee out/bench_output.txt
+
+./build/tools/aqt-fuzz --trials 200 --steps 80 | tee out/fuzz_output.txt
+
+for e in build/examples/*; do
+  [ -x "$e" ] || continue
+  echo "=== $(basename "$e") ==="
+  "$e"
+done 2>&1 | tee out/examples_output.txt
+
+echo "All outputs in ./out"

@@ -1,0 +1,401 @@
+#include "aqt/adversaries/lps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+/// Tags for forensic inspection of runs (visible in packet dumps).
+enum LpsTag : std::uint64_t {
+  kTagShort = 1,   ///< Single-edge decoys on the e'-path.
+  kTagLong = 2,    ///< Part (3)/(4) long packets.
+  kTagSingle = 3,  ///< Bootstrap's n single-edge packets on a.
+  kTagStitch = 4,  ///< Lemma 3.16 packets.
+};
+
+/// floor(x) as int64 with a defensive clamp for tiny negatives from
+/// floating-point slack.
+std::int64_t ifloor(double x) {
+  return static_cast<std::int64_t>(std::floor(std::max(x, 0.0)));
+}
+
+}  // namespace
+
+LpsConfig make_lps_config(const Rat& r) {
+  AQT_REQUIRE(r > Rat(1, 2) && r < Rat(1),
+              "LPS construction needs 1/2 < r < 1, got " << r);
+  const double eps = r.to_double() - 0.5;
+  const LpsParams p = lps_params(eps);
+  LpsConfig cfg;
+  cfg.r = r;
+  cfg.n = p.n;
+  cfg.s0 = p.s0;
+  return cfg;
+}
+
+void setup_flat_queue(Engine& engine, const ChainedGadgets& net,
+                      std::size_t k, std::int64_t count) {
+  AQT_REQUIRE(k < net.gadgets.size(), "gadget index out of range");
+  const Route route = {net.gadgets[k].ingress};
+  for (std::int64_t i = 0; i < count; ++i)
+    engine.add_initial_packet(route, kTagLong);
+}
+
+void setup_gadget_invariant(Engine& engine, const ChainedGadgets& net,
+                            std::size_t k, std::int64_t S) {
+  AQT_REQUIRE(k < net.gadgets.size(), "gadget index out of range");
+  AQT_REQUIRE(S >= net.n, "C(S, F) needs S >= n so every e-buffer is "
+                          "nonempty; S=" << S << " n=" << net.n);
+  // One packet in each of e_2..e_n, the remaining S-(n-1) in e_1; this is
+  // the pipeline shape under which the e-chain feeds the egress one packet
+  // per step for S consecutive steps (Claim 3.8).
+  const auto n = static_cast<std::size_t>(net.n);
+  for (std::size_t i = 2; i <= n; ++i)
+    engine.add_initial_packet(net.e_route(k, i), kTagLong);
+  const std::int64_t bulk = S - (net.n - 1);
+  for (std::int64_t j = 0; j < bulk; ++j)
+    engine.add_initial_packet(net.e_route(k, 1), kTagLong);
+  for (std::int64_t j = 0; j < S; ++j)
+    engine.add_initial_packet(net.f_route(k), kTagLong);
+}
+
+GadgetInvariantReport inspect_gadget(const Engine& engine,
+                                     const ChainedGadgets& net,
+                                     std::size_t k) {
+  AQT_REQUIRE(k < net.gadgets.size(), "gadget index out of range");
+  const GadgetEdges& ge = net.gadgets[k];
+  GadgetInvariantReport rep;
+
+  const auto remaining_of = [&](PacketId id) {
+    const Packet& p = engine.packet(id);
+    return Route(p.route.begin() + static_cast<std::ptrdiff_t>(p.hop),
+                 p.route.end());
+  };
+
+  for (std::size_t i = 1; i <= ge.e_path.size(); ++i) {
+    const Buffer& buf = engine.buffer(ge.e_path[i - 1]);
+    if (buf.empty()) ++rep.empty_e_buffers;
+    rep.e_total += static_cast<std::int64_t>(buf.size());
+    const Route want = net.e_route(k, i);
+    for (const BufferEntry& be : buf)
+      if (remaining_of(be.packet) != want) ++rep.mismatched_routes;
+  }
+
+  const Buffer& ing = engine.buffer(ge.ingress);
+  rep.ingress_count = static_cast<std::int64_t>(ing.size());
+  const Route want_f = net.f_route(k);
+  for (const BufferEntry& be : ing)
+    if (remaining_of(be.packet) != want_f) ++rep.mismatched_routes;
+
+  for (EdgeId e : ge.f_path)
+    rep.stray_packets += static_cast<std::int64_t>(engine.queue_size(e));
+  rep.egress_count = static_cast<std::int64_t>(engine.queue_size(ge.egress));
+  return rep;
+}
+
+// --- LpsPhase ----------------------------------------------------------------
+
+LpsPhase::LpsPhase(const ChainedGadgets& net, LpsConfig cfg)
+    : net_(net), cfg_(cfg) {
+  AQT_REQUIRE(cfg_.n == net_.n,
+              "LpsConfig::n (" << cfg_.n << ") must match the network's F_n "
+                               "parameter (" << net_.n << ")");
+}
+
+void LpsPhase::step(Time now, const Engine& engine, AdversaryStep& out) {
+  if (!initialized_) {
+    end_time_ = initialize(now - 1, engine, out);
+    initialized_ = true;
+  }
+  for (Stream& s : streams_) {
+    const std::int64_t k = s.pacer.due(now);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const std::uint64_t tag = s.route.size() == 1 ? kTagShort : kTagLong;
+      out.injections.push_back(Injection{s.route, tag});
+    }
+  }
+}
+
+void LpsPhase::add_stream(Route route, Time start, std::int64_t total) {
+  if (total <= 0) return;
+  streams_.push_back(Stream{std::move(route), RatePacer(cfg_.r, start, total)});
+}
+
+void LpsPhase::extend_buffer(const Engine& engine, EdgeId edge,
+                             const Route& extension, AdversaryStep& out) {
+  for (const BufferEntry& be : engine.buffer(edge)) {
+    const Packet& p = engine.packet(be.packet);
+    Route suffix(p.route.begin() + static_cast<std::ptrdiff_t>(p.hop) + 1,
+                 p.route.end());
+    suffix.insert(suffix.end(), extension.begin(), extension.end());
+    out.reroutes.push_back(Reroute{be.packet, std::move(suffix)});
+  }
+}
+
+// --- LpsBootstrap (Lemma 3.15) ------------------------------------------------
+
+LpsBootstrap::LpsBootstrap(const ChainedGadgets& net, LpsConfig cfg,
+                           std::size_t k)
+    : LpsPhase(net, cfg), k_(k) {
+  AQT_REQUIRE(k < net.gadgets.size(), "gadget index out of range");
+}
+
+Time LpsBootstrap::initialize(Time tau, const Engine& engine,
+                              AdversaryStep& out) {
+  const GadgetEdges& ge = net_.gadgets[k_];
+  // Phases initialize during substep 2 of their first step, after buffers
+  // already sent once: the ingress popped exactly one flat packet (it was
+  // absorbed), so the queue held c0 + 1 packets at the phase boundary tau.
+  const auto c0 = static_cast<std::int64_t>(engine.queue_size(ge.ingress));
+  const std::int64_t S = (c0 + 1) / 2;
+  AQT_REQUIRE(S >= 1, "bootstrap needs at least 2 packets at the ingress");
+  if (cfg_.enforce_s0)
+    AQT_REQUIRE(S >= cfg_.s0, "bootstrap S=" << S << " below S0=" << cfg_.s0);
+  s_ = S;
+
+  // Part (1): extend the flat packets' routes to a, e1..en, a'.
+  Route ext(ge.e_path.begin(), ge.e_path.end());
+  ext.push_back(ge.egress);
+  extend_buffer(engine, ge.ingress, ext, out);
+
+  const double r = cfg_.r.to_double();
+  const double Rn = lps_R(r, cfg_.n);
+  const std::int64_t s_prime = ifloor(2.0 * static_cast<double>(S) *
+                                      (1.0 - Rn));
+
+  // Part (2): single-edge decoy streams on e_1..e_n.
+  if (!cfg_.disable_decoys) {
+    for (std::int64_t i = 1; i <= cfg_.n; ++i) {
+      const double ti = lps_t(static_cast<double>(S), r, i);
+      add_stream({ge.e_path[static_cast<std::size_t>(i - 1)]}, tau + i,
+                 ifloor(r * ti));
+    }
+  }
+
+  // Part (3): S' + n packets at rate r from step tau+1 -- the first n with
+  // the single-edge route {a}, the rest with route a, f1..fn, a'.  Realized
+  // as two back-to-back floor-paced streams on edge a.
+  RatePacer singles_pacer(cfg_.r, tau + 1, cfg_.n);
+  add_stream({ge.ingress}, tau + 1, cfg_.n);
+  add_stream(net_.f_route(k_), singles_pacer.completion_time() + 1, s_prime);
+
+  return tau + 2 * S + cfg_.n;
+}
+
+// --- LpsHandoff (Lemma 3.6) ----------------------------------------------------
+
+LpsHandoff::LpsHandoff(const ChainedGadgets& net, LpsConfig cfg, std::size_t k)
+    : LpsPhase(net, cfg), k_(k) {
+  AQT_REQUIRE(k + 1 < net.gadgets.size(),
+              "handoff needs a successor gadget (k=" << k << ", M="
+                                                     << net.gadgets.size()
+                                                     << ")");
+}
+
+Time LpsHandoff::initialize(Time tau, const Engine& engine,
+                            AdversaryStep& out) {
+  const GadgetEdges& cur = net_.gadgets[k_];
+  const GadgetEdges& nxt = net_.gadgets[k_ + 1];
+
+  // By the time initialize runs (substep 2 of the first step) each C(S, F)
+  // buffer already sent once: one e-chain packet moved into the egress
+  // buffer and one ingress packet moved onto f_1, so both totals read one
+  // short of their value at the phase boundary.
+  std::int64_t s_e = 0;
+  for (EdgeId e : cur.e_path)
+    s_e += static_cast<std::int64_t>(engine.queue_size(e));
+  const auto s_a = static_cast<std::int64_t>(engine.queue_size(cur.ingress));
+  const std::int64_t S = std::min(s_e, s_a) + 1;
+  AQT_REQUIRE(S >= 1, "handoff needs C(S, F) with S >= 1; e-buffers hold "
+                          << s_e << ", ingress holds " << s_a);
+  if (cfg_.enforce_s0)
+    AQT_REQUIRE(S >= cfg_.s0, "handoff S=" << S << " below S0=" << cfg_.s0);
+  s_ = S;
+
+  // Part (1): extend every old packet in F(k) by e'_1..e'_n, a''.  This
+  // covers the two packets that already advanced this step (the one in the
+  // egress buffer and the one on f_1) along with everything still queued.
+  Route ext(nxt.e_path.begin(), nxt.e_path.end());
+  ext.push_back(nxt.egress);
+  for (EdgeId e : cur.e_path) extend_buffer(engine, e, ext, out);
+  for (EdgeId e : cur.f_path) extend_buffer(engine, e, ext, out);
+  extend_buffer(engine, cur.ingress, ext, out);
+  extend_buffer(engine, cur.egress, ext, out);
+
+  const double r = cfg_.r.to_double();
+  const double Rn = lps_R(r, cfg_.n);
+  const std::int64_t s_prime = ifloor(2.0 * static_cast<double>(S) *
+                                      (1.0 - Rn));
+
+  // Part (2): decoy streams on e'_1..e'_n.
+  if (!cfg_.disable_decoys) {
+    for (std::int64_t i = 1; i <= cfg_.n; ++i) {
+      const double ti = lps_t(static_cast<double>(S), r, i);
+      add_stream({nxt.e_path[static_cast<std::size_t>(i - 1)]}, tau + i,
+                 ifloor(r * ti));
+    }
+  }
+
+  // Part (3): rS packets with route a, f1..fn, a', f'1..f'n, a''.
+  const std::int64_t part3 = cfg_.r.floor_mul(S);
+  Route long_route = net_.f_route(k_);  // a, f1..fn, a'
+  const Route next_f = net_.f_route(k_ + 1);  // a', f'1..f'n, a''
+  long_route.insert(long_route.end(), next_f.begin() + 1, next_f.end());
+  add_stream(std::move(long_route), tau + 1, part3);
+
+  // Part (4): X = S' - rS + n packets with route a', f'1..f'n, a'' starting
+  // after step S + n (Claim 3.7 guarantees 0 < X <= rS for S >= S0).
+  const std::int64_t X = s_prime - part3 + cfg_.n;
+  AQT_REQUIRE(X >= 0, "part-4 count X=" << X << " negative; S=" << S
+                                        << " is too small for n=" << cfg_.n);
+  add_stream(next_f, tau + S + cfg_.n + 1, X);
+
+  return tau + 2 * S + cfg_.n;
+}
+
+// --- LpsDrain -----------------------------------------------------------------
+
+LpsDrain::LpsDrain(const ChainedGadgets& net, LpsConfig cfg, std::size_t k)
+    : LpsPhase(net, cfg), k_(k) {
+  AQT_REQUIRE(k < net.gadgets.size(), "gadget index out of range");
+}
+
+Time LpsDrain::initialize(Time tau, const Engine& engine, AdversaryStep&) {
+  const GadgetEdges& ge = net_.gadgets[k_];
+  std::int64_t s_e = 0;
+  for (EdgeId e : ge.e_path)
+    s_e += static_cast<std::int64_t>(engine.queue_size(e));
+  const auto s_a = static_cast<std::int64_t>(engine.queue_size(ge.ingress));
+  s_ = std::min(s_e, s_a) + 1;  // Both buffers popped once this step.
+  // 2S packets arrive at the egress over S + n steps while it sends one per
+  // step; afterwards >= S - n remain queued there (proof of Lemma 3.13).
+  return tau + s_ + cfg_.n;
+}
+
+// --- LpsStitch (Lemma 3.16) -----------------------------------------------------
+
+LpsStitch::LpsStitch(const ChainedGadgets& net, LpsConfig cfg)
+    : LpsPhase(net, cfg) {
+  AQT_REQUIRE(net.back_edge != kNoEdge,
+              "stitch needs the closed chain (build_closed_chain)");
+}
+
+Time LpsStitch::initialize(Time tau, const Engine& engine, AdversaryStep&) {
+  const EdgeId a0 = net_.gadgets.back().egress;
+  const EdgeId a1 = net_.back_edge;
+  const EdgeId a2 = net_.gadgets.front().ingress;
+
+  // One old packet crossed a0 (and was absorbed) during this step's first
+  // substep, so the queue held one more at the phase boundary.
+  const auto S = static_cast<std::int64_t>(engine.queue_size(a0)) + 1;
+  AQT_REQUIRE(S >= 1, "stitch needs packets queued at the egress");
+  s_ = S;
+
+  const std::int64_t c1 = cfg_.r.floor_mul(S);
+  const std::int64_t c2 = cfg_.r.floor_mul(c1);
+  const std::int64_t c3 = cfg_.r.floor_mul(c2);
+
+  // Step (1): rS packets along the whole 3-edge path, queued behind the old
+  // packets at a0.
+  add_stream({a0, a1, a2}, tau + 1, c1);
+  // Step (2): r^2 S packets at the tail of a2; they mix with step (1)'s.
+  add_stream({a2}, tau + S + 1, c2);
+  // Step (3): r^3 S fresh packets at the tail of a2, queued last.
+  add_stream({a2}, tau + S + c1 + 1, c3);
+
+  // The paper ends at tau + S + rS + r^2 S; step-(1) packets reach a2 two
+  // hops (plus one pacing step) later than the idealized accounting, so a
+  // few extra steps let the last stale packets drain before hand-over.
+  return tau + S + c1 + c2 + 4;
+}
+
+// --- LpsAdversary (Theorem 3.17) -------------------------------------------------
+
+LpsAdversary::LpsAdversary(const ChainedGadgets& net, LpsConfig cfg,
+                           std::int64_t max_iterations)
+    : net_(net), cfg_(cfg), max_iterations_(max_iterations) {
+  AQT_REQUIRE(net.back_edge != kNoEdge,
+              "Theorem 3.17 needs the closed chain (build_closed_chain)");
+  AQT_REQUIRE(max_iterations >= 1, "need at least one iteration");
+}
+
+void LpsAdversary::step(Time now, const Engine& engine, AdversaryStep& out) {
+  if (done_) return;
+  if (current_ == nullptr || current_->finished(now)) advance(now, engine);
+  if (done_ || current_ == nullptr) return;
+  current_->step(now, engine, out);
+}
+
+void LpsAdversary::advance(Time now, const Engine& engine) {
+  const EdgeId ingress0 = net_.gadgets.front().ingress;
+  const std::size_t M = net_.gadgets.size();
+
+  if (current_ == nullptr) {
+    // Very first call: begin iteration 1 with a bootstrap.
+    record_ = LpsIterationRecord{};
+    record_.iteration = 1;
+    record_.t_start = now;
+    record_.s_start = static_cast<std::int64_t>(engine.queue_size(ingress0));
+    stage_ = Stage::kBootstrap;
+    current_ = std::make_unique<LpsBootstrap>(net_, cfg_, 0);
+    return;
+  }
+
+  // The finished phase tells us what it measured.
+  switch (stage_) {
+    case Stage::kBootstrap:
+      record_.s_cascade.push_back(inspect_gadget(engine, net_, 0).S());
+      if (M >= 2) {
+        stage_ = Stage::kHandoff;
+        handoff_k_ = 0;
+        current_ = std::make_unique<LpsHandoff>(net_, cfg_, handoff_k_);
+      } else {
+        stage_ = Stage::kDrain;
+        current_ = std::make_unique<LpsDrain>(net_, cfg_, M - 1);
+      }
+      return;
+    case Stage::kHandoff:
+      record_.s_cascade.push_back(
+          inspect_gadget(engine, net_, handoff_k_ + 1).S());
+      if (handoff_k_ + 2 < M) {
+        ++handoff_k_;
+        current_ = std::make_unique<LpsHandoff>(net_, cfg_, handoff_k_);
+      } else {
+        stage_ = Stage::kDrain;
+        current_ = std::make_unique<LpsDrain>(net_, cfg_, M - 1);
+      }
+      return;
+    case Stage::kDrain:
+      stage_ = Stage::kStitch;
+      current_ = std::make_unique<LpsStitch>(net_, cfg_);
+      return;
+    case Stage::kStitch: {
+      // Iteration complete: record and either loop or stop.
+      record_.t_end = now - 1;
+      record_.s_end = static_cast<std::int64_t>(engine.queue_size(ingress0));
+      history_.push_back(record_);
+      const std::int64_t next_s = record_.s_end;
+      if (record_.iteration >= max_iterations_ ||
+          next_s < std::max<std::int64_t>(2, cfg_.enforce_s0 ? 2 * cfg_.s0
+                                                             : 2)) {
+        done_ = true;
+        current_.reset();
+        return;
+      }
+      const std::int64_t iter = record_.iteration + 1;
+      record_ = LpsIterationRecord{};
+      record_.iteration = iter;
+      record_.t_start = now;
+      record_.s_start = next_s;
+      stage_ = Stage::kBootstrap;
+      current_ = std::make_unique<LpsBootstrap>(net_, cfg_, 0);
+      return;
+    }
+  }
+}
+
+}  // namespace aqt

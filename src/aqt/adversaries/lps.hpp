@@ -1,0 +1,240 @@
+// The Lotker–Patt-Shamir–Rosén FIFO instability construction (paper §3).
+//
+// Four phase adversaries implement the paper's lemmas, each usable
+// standalone (the unit tests exercise them against the lemma statements)
+// and composed by LpsAdversary into the Theorem 3.17 outer loop:
+//
+//  * LpsBootstrap  (Lemma 3.15): 2S flat packets at the ingress of F(k)
+//                  -> C(S', F(k)) with S' ~ 2S(1 - R_n) >= S(1 + eps).
+//  * LpsHandoff    (Lemma 3.6):  C(S, F(k)) -> C(S', F(k+1)), F(k) empty.
+//  * LpsDrain      (Lemma 3.13 closing step): no injections for S + n
+//                  steps; the queue collects at the egress of F(k).
+//  * LpsStitch     (Lemma 3.16): S old packets at the egress -> r^3 S
+//                  *fresh* packets at the ingress of F(1), via the 3-edge
+//                  path egress(M), e0, ingress(1).
+//
+// Every phase sizes itself lazily from the *measured* queue state at its
+// first step — the operational version of the paper's "floors and ceilings
+// ... can be compensated for by using a larger S0".  All streams are
+// floor-paced (see pacer.hpp), which keeps the composed adversary exactly
+// rate-r feasible; tests assert this with check_rate_r() over whole runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "aqt/adversaries/pacer.hpp"
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/topology/gadget.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+/// Parameters of the construction.
+struct LpsConfig {
+  Rat r;              ///< Injection rate, 1/2 < r < 1 (r = 1/2 + eps).
+  std::int64_t n = 0;   ///< F_n path length (from lps_params).
+  std::int64_t s0 = 0;  ///< Minimum S for the guarantees (from lps_params).
+  /// Enforce S >= s0 at phase starts (disable only in small unit tests).
+  bool enforce_s0 = true;
+  /// Ablation switch: drop the part-(2) single-edge decoy streams.  The
+  /// construction then loses its amplification (see bench_a13_ablation);
+  /// never set outside ablation studies.
+  bool disable_decoys = false;
+
+  [[nodiscard]] double eps() const { return r.to_double() - 0.5; }
+};
+
+/// Derives n and S0 from the rate via the proof of Lemma 3.6.
+LpsConfig make_lps_config(const Rat& r);
+
+// --- Initial-configuration helpers -----------------------------------------
+
+/// Places `count` packets with the single-edge route {ingress of F(k)} —
+/// the flat queue Lemma 3.15 starts from and Theorem 3.17's initial state.
+void setup_flat_queue(Engine& engine, const ChainedGadgets& net,
+                      std::size_t k, std::int64_t count);
+
+/// Establishes C(S, F(k)) (Definition 3.5) as an initial configuration:
+/// S packets across the e-buffers (every buffer nonempty, remaining routes
+/// e_i..e_n, a') and S packets at the ingress with route a, f1..fn, a'.
+/// Requires S >= n.
+void setup_gadget_invariant(Engine& engine, const ChainedGadgets& net,
+                            std::size_t k, std::int64_t S);
+
+// --- Invariant inspection ---------------------------------------------------
+
+/// Measured state of C(S, F(k)) (Definition 3.5).  The discrete
+/// construction satisfies the invariant up to O(n) transients (short decoy
+/// packets not yet absorbed, long packets mid-f-path), so the report counts
+/// deviations instead of failing outright.
+struct GadgetInvariantReport {
+  std::int64_t e_total = 0;        ///< Packets across e-buffers (part 1).
+  std::int64_t empty_e_buffers = 0;  ///< Part 2 wants 0.
+  std::int64_t ingress_count = 0;  ///< Packets at the ingress (part 3).
+  /// Buffered packets whose remaining route differs from what parts (2)/(3)
+  /// prescribe (typically still-draining single-edge decoys); 0 in the
+  /// idealized invariant.
+  std::int64_t mismatched_routes = 0;
+  /// Packets on the f-path (the paper's part 4 wants none; transiting
+  /// long packets linger here for O(n) steps).
+  std::int64_t stray_packets = 0;
+  /// Packets in the egress buffer.  Note the egress edge is shared with the
+  /// next gadget's ingress, so this is reported separately from strays.
+  std::int64_t egress_count = 0;
+
+  [[nodiscard]] bool routes_ok() const { return mismatched_routes == 0; }
+
+  /// The S value the next phase would use.
+  [[nodiscard]] std::int64_t S() const {
+    return std::min(e_total, ingress_count);
+  }
+};
+
+GadgetInvariantReport inspect_gadget(const Engine& engine,
+                                     const ChainedGadgets& net,
+                                     std::size_t k);
+
+// --- Phase adversaries ------------------------------------------------------
+
+/// Common machinery: phases initialize from the engine at their first
+/// step() call, then replay paced streams until their end time.
+class LpsPhase : public Adversary {
+ public:
+  void step(Time now, const Engine& engine, AdversaryStep& out) final;
+  [[nodiscard]] bool finished(Time now) const final {
+    return initialized_ && now > end_time_;
+  }
+
+  /// Valid after the first step.
+  [[nodiscard]] Time end_time() const { return end_time_; }
+  /// The measured S this phase sized itself with (after the first step).
+  [[nodiscard]] std::int64_t measured_s() const { return s_; }
+
+ protected:
+  LpsPhase(const ChainedGadgets& net, LpsConfig cfg);
+
+  /// Phase-specific setup at reference time tau = now - 1: measure S, emit
+  /// reroutes, add streams, and return the end time.
+  virtual Time initialize(Time tau, const Engine& engine,
+                          AdversaryStep& out) = 0;
+
+  /// Adds a paced stream (`total` packets with `route` at cfg.r from
+  /// `start`); used by initialize().
+  void add_stream(Route route, Time start, std::int64_t total);
+
+  /// Extends every packet waiting in the buffer of `edge`: its remaining
+  /// route is suffixed with `extension` (Lemma 3.3 rerouting).
+  static void extend_buffer(const Engine& engine, EdgeId edge,
+                            const Route& extension, AdversaryStep& out);
+
+  const ChainedGadgets& net_;
+  LpsConfig cfg_;
+  std::int64_t s_ = 0;  ///< Set by initialize().
+
+ private:
+  struct Stream {
+    Route route;
+    RatePacer pacer;
+  };
+  std::vector<Stream> streams_;
+  bool initialized_ = false;
+  Time end_time_ = 0;
+};
+
+/// Lemma 3.15: flat queue at ingress of F(k) -> C(S', F(k)).
+class LpsBootstrap final : public LpsPhase {
+ public:
+  LpsBootstrap(const ChainedGadgets& net, LpsConfig cfg, std::size_t k);
+
+ protected:
+  Time initialize(Time tau, const Engine& engine, AdversaryStep& out) override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Lemma 3.6: C(S, F(k)) -> C(S', F(k+1)); requires k + 1 < M.
+class LpsHandoff final : public LpsPhase {
+ public:
+  LpsHandoff(const ChainedGadgets& net, LpsConfig cfg, std::size_t k);
+
+ protected:
+  Time initialize(Time tau, const Engine& engine, AdversaryStep& out) override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Lemma 3.13's closing step: S + n silent steps; the 2S packets of
+/// C(S, F(k)) pile up at the egress of F(k) (>= S - n of them remain).
+class LpsDrain final : public LpsPhase {
+ public:
+  LpsDrain(const ChainedGadgets& net, LpsConfig cfg, std::size_t k);
+
+ protected:
+  Time initialize(Time tau, const Engine& engine, AdversaryStep& out) override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Lemma 3.16 on the 3-edge path egress(F(M)), e0, ingress(F(1)); leaves
+/// ~ r^3 S fresh flat packets at the ingress.  Requires a closed chain.
+class LpsStitch final : public LpsPhase {
+ public:
+  LpsStitch(const ChainedGadgets& net, LpsConfig cfg);
+
+ protected:
+  Time initialize(Time tau, const Engine& engine, AdversaryStep& out) override;
+};
+
+// --- The Theorem 3.17 loop --------------------------------------------------
+
+/// Outcome of one outer iteration.
+struct LpsIterationRecord {
+  std::int64_t iteration = 0;
+  Time t_start = 0;
+  Time t_end = 0;
+  std::int64_t s_start = 0;  ///< Flat packets at ingress(1) at loop start.
+  std::int64_t s_end = 0;    ///< Flat packets at ingress(1) after stitch.
+  /// S measured after the bootstrap and after each handoff (the (1+eps)
+  /// cascade of Lemma 3.13).
+  std::vector<std::int64_t> s_cascade;
+};
+
+/// The full instability adversary: bootstrap, M-1 handoffs, drain, stitch,
+/// repeat.  Stops after `max_iterations` or if the queue collapses.
+class LpsAdversary final : public Adversary {
+ public:
+  LpsAdversary(const ChainedGadgets& net, LpsConfig cfg,
+               std::int64_t max_iterations);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time /*now*/) const override { return done_; }
+
+  [[nodiscard]] const std::vector<LpsIterationRecord>& history() const {
+    return history_;
+  }
+
+ private:
+  enum class Stage { kBootstrap, kHandoff, kDrain, kStitch };
+
+  void advance(Time now, const Engine& engine);
+
+  const ChainedGadgets& net_;
+  LpsConfig cfg_;
+  std::int64_t max_iterations_;
+
+  Stage stage_ = Stage::kBootstrap;
+  std::size_t handoff_k_ = 0;
+  std::unique_ptr<LpsPhase> current_;
+  bool done_ = false;
+
+  LpsIterationRecord record_;
+  std::vector<LpsIterationRecord> history_;
+};
+
+}  // namespace aqt

@@ -1,0 +1,34 @@
+#include "aqt/adversaries/pacer.hpp"
+
+#include <algorithm>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+RatePacer::RatePacer(Rat rate, Time start, std::int64_t total)
+    : rate_(rate), start_(start), total_(total) {
+  AQT_REQUIRE(rate.num() >= 0, "negative pacing rate");
+}
+
+std::int64_t RatePacer::due(Time t) {
+  if (t < start_) return 0;
+  if (exhausted()) return 0;
+  std::int64_t quota = rate_.floor_mul(t - start_ + 1);
+  if (total_ >= 0) quota = std::min(quota, total_);
+  const std::int64_t out = quota - emitted_;
+  AQT_CHECK(out >= 0, "pacer queried with decreasing time");
+  emitted_ = quota;
+  return out;
+}
+
+Time RatePacer::completion_time() const {
+  AQT_REQUIRE(total_ >= 0, "completion_time of unbounded stream");
+  AQT_REQUIRE(rate_.num() > 0, "completion_time needs rate > 0");
+  if (total_ == 0) return start_;
+  // Smallest k with floor(r*k) >= total  <=>  k >= total/r.
+  const Rat k = Rat(total_) / rate_;
+  return start_ + k.ceil() - 1;
+}
+
+}  // namespace aqt

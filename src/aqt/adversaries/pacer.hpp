@@ -1,0 +1,60 @@
+// Exact rate pacing for adversary injection schedules.
+//
+// The paper specifies schedules as "inject packets at rate r during
+// [t1, t2]" and explicitly ignores floors and ceilings.  We make this exact
+// with *cumulative floor pacing*: a stream that starts at step `start` has
+// emitted floor(r * k) packets after its k-th step.  Floor pacing has two
+// properties the constructions rely on:
+//
+//  1. Interval feasibility inside a stream: any sub-interval of length L
+//     receives at most ceil(r*L) packets.
+//  2. Composition: the union of *disjoint* floor-paced streams on the same
+//     edge never exceeds the rate-r budget on any interval, because
+//     floor(a) + floor(b) <= floor(a + b) (superadditivity) and the budget
+//     ceil(r*L) only grows with the enclosing interval.
+//
+// Property 2 is what lets the multi-phase LPS adversary stay machine-checked
+// rate-feasible without global coordination between phases.
+#pragma once
+
+#include <cstdint>
+
+#include "aqt/core/types.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+/// A floor-paced packet stream: `total` packets at rate `rate` from step
+/// `start` (inclusive).  Stateless in time — `due(t)` may be queried for any
+/// non-decreasing sequence of steps.
+class RatePacer {
+ public:
+  /// total < 0 means unbounded.
+  RatePacer(Rat rate, Time start, std::int64_t total);
+
+  /// Packets to emit at step t (0 for t < start; otherwise the cumulative
+  /// floor quota minus what was already emitted).  Advances internal state;
+  /// call exactly once per step with non-decreasing t.
+  std::int64_t due(Time t);
+
+  /// All packets emitted?
+  [[nodiscard]] bool exhausted() const {
+    return total_ >= 0 && emitted_ >= total_;
+  }
+
+  [[nodiscard]] std::int64_t emitted() const { return emitted_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] Time start() const { return start_; }
+
+  /// First step by which all `total` packets have been emitted:
+  /// start + ceil(total/r) - 1.  Requires a bounded stream and rate > 0.
+  [[nodiscard]] Time completion_time() const;
+
+ private:
+  Rat rate_;
+  Time start_;
+  std::int64_t total_;
+  std::int64_t emitted_ = 0;
+};
+
+}  // namespace aqt

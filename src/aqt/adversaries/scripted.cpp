@@ -1,0 +1,105 @@
+#include "aqt/adversaries/scripted.hpp"
+
+#include <algorithm>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+void ScriptedAdversary::inject_at(Time t, Route route, std::uint64_t tag) {
+  AQT_REQUIRE(t >= 1, "injections start at step 1");
+  script_[t].injections.push_back(Injection{std::move(route), tag});
+  last_event_ = std::max(last_event_, t);
+}
+
+void ScriptedAdversary::reroute_at(Time t, PacketId packet,
+                                   Route new_suffix) {
+  AQT_REQUIRE(t >= 1, "reroutes start at step 1");
+  script_[t].reroutes.push_back(Reroute{packet, std::move(new_suffix)});
+  last_event_ = std::max(last_event_, t);
+}
+
+void ScriptedAdversary::step(Time now, const Engine&, AdversaryStep& out) {
+  auto it = script_.find(now);
+  if (it == script_.end()) return;
+  out.injections.insert(out.injections.end(), it->second.injections.begin(),
+                        it->second.injections.end());
+  out.reroutes.insert(out.reroutes.end(), it->second.reroutes.begin(),
+                      it->second.reroutes.end());
+}
+
+bool ScriptedAdversary::finished(Time now) const { return now > last_event_; }
+
+void StreamAdversary::add_stream(Route route, Rat rate, Time start,
+                                 std::int64_t total, std::uint64_t tag) {
+  AQT_REQUIRE(total >= 0, "stream total must be >= 0");
+  streams_.push_back(Entry{std::move(route), RatePacer(rate, start, total),
+                           tag});
+}
+
+void StreamAdversary::step(Time now, const Engine&, AdversaryStep& out) {
+  for (Entry& s : streams_) {
+    const std::int64_t k = s.pacer.due(now);
+    for (std::int64_t i = 0; i < k; ++i)
+      out.injections.push_back(Injection{s.route, s.tag});
+  }
+}
+
+bool StreamAdversary::finished(Time) const {
+  return std::all_of(streams_.begin(), streams_.end(),
+                     [](const Entry& s) { return s.pacer.exhausted(); });
+}
+
+DelayAdversary::DelayAdversary(std::unique_ptr<Adversary> inner, Time delay)
+    : inner_(std::move(inner)), delay_(delay) {
+  AQT_REQUIRE(inner_ != nullptr, "null inner adversary");
+  AQT_REQUIRE(delay_ >= 0, "negative delay");
+}
+
+void DelayAdversary::step(Time now, const Engine& engine,
+                          AdversaryStep& out) {
+  if (now <= delay_) return;
+  inner_->step(now - delay_, engine, out);
+}
+
+bool DelayAdversary::finished(Time now) const {
+  return now > delay_ && inner_->finished(now - delay_);
+}
+
+void MergeAdversary::add(std::unique_ptr<Adversary> adversary) {
+  AQT_REQUIRE(adversary != nullptr, "null member");
+  members_.push_back(std::move(adversary));
+}
+
+void MergeAdversary::step(Time now, const Engine& engine,
+                          AdversaryStep& out) {
+  for (auto& m : members_) m->step(now, engine, out);
+}
+
+bool MergeAdversary::finished(Time now) const {
+  return std::all_of(members_.begin(), members_.end(),
+                     [&](const auto& m) { return m->finished(now); });
+}
+
+void SequenceAdversary::append(std::unique_ptr<Adversary> adversary) {
+  AQT_REQUIRE(adversary != nullptr, "null stage");
+  stages_.push_back(std::move(adversary));
+}
+
+void SequenceAdversary::step(Time now, const Engine& engine,
+                             AdversaryStep& out) {
+  // Advance past finished stages *before* acting, so a stage that finishes
+  // at step t hands over at step t+1, never sharing a step with its
+  // successor (phases assume exclusive intervals).
+  while (current_ < stages_.size() && stages_[current_]->finished(now))
+    ++current_;
+  if (current_ < stages_.size()) stages_[current_]->step(now, engine, out);
+}
+
+bool SequenceAdversary::finished(Time now) const {
+  for (std::size_t i = current_; i < stages_.size(); ++i)
+    if (!stages_[i]->finished(now)) return false;
+  return true;
+}
+
+}  // namespace aqt

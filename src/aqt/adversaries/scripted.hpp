@@ -1,0 +1,105 @@
+// Scripted and composite adversaries.
+//
+// ScriptedAdversary replays a fixed list of timed injections/reroutes —
+// handy in tests where the exact trace matters.  StreamAdversary runs a set
+// of floor-paced streams (see pacer.hpp).  SequenceAdversary chains
+// adversaries back-to-back: when the current one reports finished(), the
+// next takes over on the following step — the composition operation used
+// throughout §3.3 ("the adversary that results from concatenating the
+// adversaries A_i and A").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/adversaries/pacer.hpp"
+
+namespace aqt {
+
+/// Replays timed injections and reroutes verbatim.
+class ScriptedAdversary final : public Adversary {
+ public:
+  /// Registers an injection at step `t` (t >= 1).
+  void inject_at(Time t, Route route, std::uint64_t tag = 0);
+
+  /// Registers a reroute at step `t`.
+  void reroute_at(Time t, PacketId packet, Route new_suffix);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+ private:
+  std::map<Time, AdversaryStep> script_;
+  Time last_event_ = 0;
+};
+
+/// Runs a static set of paced streams; finished when all are exhausted.
+class StreamAdversary final : public Adversary {
+ public:
+  /// Adds `total` packets with `route` at `rate` from step `start`.
+  void add_stream(Route route, Rat rate, Time start, std::int64_t total,
+                  std::uint64_t tag = 0);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+ private:
+  struct Entry {
+    Route route;
+    RatePacer pacer;
+    std::uint64_t tag;
+  };
+  std::vector<Entry> streams_;
+};
+
+/// Shifts an adversary's clock: the inner adversary sees step 1 when the
+/// outer step reaches `delay` + 1 (nothing is emitted before that).
+class DelayAdversary final : public Adversary {
+ public:
+  DelayAdversary(std::unique_ptr<Adversary> inner, Time delay);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  Time delay_;
+};
+
+/// Runs several adversaries simultaneously, concatenating their work each
+/// step (injections in member order).  finished() when all members are.
+class MergeAdversary final : public Adversary {
+ public:
+  void add(std::unique_ptr<Adversary> adversary);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+ private:
+  std::vector<std::unique_ptr<Adversary>> members_;
+};
+
+/// Chains adversaries: each runs until it reports finished(), then the next
+/// starts.  finished() once the last one finishes.
+class SequenceAdversary final : public Adversary {
+ public:
+  void append(std::unique_ptr<Adversary> adversary);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+  /// Index of the currently-active stage (== size() when all done).
+  [[nodiscard]] std::size_t stage() const { return current_; }
+  [[nodiscard]] std::size_t size() const { return stages_.size(); }
+  [[nodiscard]] Adversary* stage_at(std::size_t i) {
+    return stages_.at(i).get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Adversary>> stages_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace aqt

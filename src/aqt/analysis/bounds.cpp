@@ -1,0 +1,77 @@
+#include "aqt/analysis/bounds.hpp"
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+NetworkParams network_params(const Graph& g) {
+  NetworkParams p;
+  p.m = static_cast<std::int64_t>(g.edge_count());
+  p.alpha = static_cast<std::int64_t>(g.max_in_degree());
+  return p;
+}
+
+Rat greedy_threshold(std::int64_t d) {
+  AQT_REQUIRE(d >= 1, "d must be >= 1");
+  return Rat(1, d + 1);
+}
+
+Rat time_priority_threshold(std::int64_t d) {
+  AQT_REQUIRE(d >= 1, "d must be >= 1");
+  return Rat(1, d);
+}
+
+Rat diaz_fifo_threshold(std::int64_t d, std::int64_t m, std::int64_t alpha) {
+  AQT_REQUIRE(d >= 1 && m >= 1 && alpha >= 1, "parameters must be >= 1");
+  return Rat(1, 2 * d * m * alpha);
+}
+
+Rat borodin_greedy_threshold(std::int64_t m) {
+  AQT_REQUIRE(m >= 1, "m must be >= 1");
+  return Rat(1, m);
+}
+
+std::int64_t residence_bound(std::int64_t w, const Rat& r) {
+  AQT_REQUIRE(w >= 1, "window must be >= 1");
+  return r.ceil_mul(w);
+}
+
+std::int64_t observation44_w_star(std::int64_t S, std::int64_t w,
+                                  const Rat& r, const Rat& r_star) {
+  AQT_REQUIRE(S >= 0 && w >= 1, "bad S or w");
+  AQT_REQUIRE(r_star > r, "Observation 4.4 needs r* > r");
+  const Rat num(S + w + 1);
+  const Rat frac = num / (r_star - r);
+  return frac.ceil();
+}
+
+namespace {
+
+std::int64_t corollary_bound(std::int64_t S, std::int64_t w, const Rat& r,
+                             const Rat& threshold) {
+  AQT_REQUIRE(r < threshold,
+              "corollary requires r strictly below the threshold");
+  // w* = ceil((S + w + 1)/(threshold - r)); bound = ceil(w* * threshold).
+  const std::int64_t w_star = (Rat(S + w + 1) / (threshold - r)).ceil();
+  return threshold.ceil_mul(w_star);
+}
+
+}  // namespace
+
+std::int64_t corollary45_residence_bound(std::int64_t S, std::int64_t w,
+                                         const Rat& r, std::int64_t d) {
+  return corollary_bound(S, w, r, greedy_threshold(d));
+}
+
+std::int64_t corollary46_residence_bound(std::int64_t S, std::int64_t w,
+                                         const Rat& r, std::int64_t d) {
+  return corollary_bound(S, w, r, time_priority_threshold(d));
+}
+
+std::int64_t queue_bound_from_residence(std::int64_t w, const Rat& r,
+                                        std::int64_t d) {
+  const std::int64_t B = residence_bound(w, r);
+  return r.ceil_mul(d * B + w);
+}
+
+}  // namespace aqt

@@ -1,0 +1,66 @@
+// Stability thresholds and waiting-time bounds (paper §4 plus the prior
+// bounds the paper improves on).
+//
+// d is the length, in edges, of the longest route used by any packet; m the
+// number of edges; alpha the maximum in-degree.  All thresholds are exact
+// rationals so comparisons against adversary rates never suffer float
+// round-off.
+#pragma once
+
+#include <cstdint>
+
+#include "aqt/core/graph.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+/// Structural parameters relevant to the stability bounds.
+struct NetworkParams {
+  std::int64_t m = 0;      ///< Number of edges.
+  std::int64_t alpha = 0;  ///< Maximum in-degree.
+};
+
+NetworkParams network_params(const Graph& g);
+
+/// Theorem 4.1: every greedy protocol is stable for r <= 1/(d+1).
+Rat greedy_threshold(std::int64_t d);
+
+/// Theorem 4.3: every time-priority protocol (e.g. FIFO, LIS) is stable for
+/// r <= 1/d.
+Rat time_priority_threshold(std::int64_t d);
+
+/// Diaz et al. (SPAA 2001): FIFO is stable below a network-dependent bound
+/// that is at most 1/(2 d m alpha); we use that cap as the comparator.
+Rat diaz_fifo_threshold(std::int64_t d, std::int64_t m, std::int64_t alpha);
+
+/// Borodin (private communication, cited as [6]): any greedy protocol is
+/// stable for r < 1/m.
+Rat borodin_greedy_threshold(std::int64_t m);
+
+/// Theorems 4.1/4.3: at or below threshold, no packet waits more than
+/// ceil(w*r) steps in any one buffer.
+std::int64_t residence_bound(std::int64_t w, const Rat& r);
+
+/// Observation 4.4: a (w, r) adversary with an S-initial-configuration can
+/// be replayed by a (w*, r*) adversary from empty buffers, for any r* > r
+/// with w* = ceil((S + w + 1)/(r* - r)).
+std::int64_t observation44_w_star(std::int64_t S, std::int64_t w,
+                                  const Rat& r, const Rat& r_star);
+
+/// Corollary 4.5: greedy schedule, S-initial-configuration, r < 1/(d+1):
+/// residence <= ceil( ceil((S+w+1)/(1/(d+1) - r)) * 1/(d+1) ).
+std::int64_t corollary45_residence_bound(std::int64_t S, std::int64_t w,
+                                         const Rat& r, std::int64_t d);
+
+/// Corollary 4.6: time-priority protocol, r < 1/d: same with 1/d.
+std::int64_t corollary46_residence_bound(std::int64_t S, std::int64_t w,
+                                         const Rat& r, std::int64_t d);
+
+/// A crude but sound consequence of bounded residence: with per-buffer
+/// waiting bounded by B = ceil(w*r), any packet spends at most d*B steps in
+/// the network, so at most ceil(r*(d*B + w)) packets per edge coexist;
+/// returns that occupancy bound (used to sanity-check "bounded" claims).
+std::int64_t queue_bound_from_residence(std::int64_t w, const Rat& r,
+                                        std::int64_t d);
+
+}  // namespace aqt

@@ -1,0 +1,99 @@
+#include "aqt/analysis/lps_math.hpp"
+
+#include <cmath>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+double lps_R(double r, std::int64_t i) {
+  AQT_REQUIRE(i >= 1, "R_i needs i >= 1");
+  AQT_REQUIRE(r > 0.0 && r < 1.0, "R_i needs 0 < r < 1");
+  return (1.0 - r) / (1.0 - std::pow(r, static_cast<double>(i)));
+}
+
+LpsParams lps_params(double eps) {
+  AQT_REQUIRE(eps > 0.0 && eps < 0.5, "lps_params needs 0 < eps < 1/2");
+  LpsParams p;
+  p.eps = eps;
+  p.r = 0.5 + eps;
+
+  const double log_r = std::log2(p.r);  // negative
+  const double bound1 = (std::log2(eps) - 2.0) / log_r;
+  const double bound2 = 1.0 - 1.0 / log_r;
+  const double n_min = std::max(bound1, bound2);
+  p.n = static_cast<std::int64_t>(std::floor(n_min)) + 1;
+
+  const double gap = lps_R(p.r, p.n) - lps_R(p.r, p.n + 1);
+  AQT_CHECK(gap > 0.0, "R_n - R_{n+1} must be positive");
+  const double s0_min =
+      std::max(2.0 * static_cast<double>(p.n),
+               static_cast<double>(p.n) / (2.0 * gap));
+  p.s0 = static_cast<std::int64_t>(std::floor(s0_min)) + 1;
+  return p;
+}
+
+double lps_t(double S, double r, std::int64_t i) {
+  return 2.0 * S / (r + lps_R(r, i));
+}
+
+double lps_s_prime(double S, double r, std::int64_t n) {
+  return 2.0 * S * (1.0 - lps_R(r, n));
+}
+
+double lps_X(double S, double r, std::int64_t n) {
+  return lps_s_prime(S, r, n) - r * S + static_cast<double>(n);
+}
+
+double lps_Q(double S, double r, std::int64_t i) {
+  return (2.0 * S - lps_t(S, r, i)) * lps_R(r, i);
+}
+
+double lps_iteration_growth(double eps, std::int64_t M) {
+  const double r = 0.5 + eps;
+  return r * r * r * std::pow(1.0 + eps, static_cast<double>(M)) / 4.0;
+}
+
+std::int64_t lps_min_M(double eps) {
+  AQT_REQUIRE(eps > 0.0, "lps_min_M needs eps > 0");
+  const double r = 0.5 + eps;
+  // Smallest M with (1+eps)^M > 4 / r^3.
+  const double target = std::log(4.0 / (r * r * r)) / std::log1p(eps);
+  auto M = static_cast<std::int64_t>(std::floor(target)) + 1;
+  while (lps_iteration_growth(eps, M) <= 1.0) ++M;  // Float-safety nudge.
+  return M;
+}
+
+double lps_gadget_gain(double r, std::int64_t n) {
+  return 2.0 * (1.0 - lps_R(r, n));
+}
+
+double lps_measured_iteration_growth(double r, std::int64_t n,
+                                     std::int64_t M) {
+  AQT_REQUIRE(M >= 1, "need M >= 1");
+  const double gain = lps_gadget_gain(r, n);
+  return (gain / 2.0) * std::pow(gain, static_cast<double>(M - 1)) * r * r *
+         r;
+}
+
+std::int64_t lps_empirical_min_M(double r, std::int64_t n) {
+  if (lps_gadget_gain(r, n) <= 1.0) return -1;
+  std::int64_t M = 1;
+  while (lps_measured_iteration_growth(r, n, M) <= 1.0) {
+    ++M;
+    AQT_CHECK(M < 100000, "empirical min M runaway");
+  }
+  return M;
+}
+
+LpsAsymptotics lps_asymptotics(double eps) {
+  AQT_REQUIRE(eps > 0.0 && eps < 0.5, "asymptotics need 0 < eps < 1/2");
+  LpsAsymptotics a;
+  a.n_lower = std::log2(1.0 / eps) + 2.0;
+  a.n_upper = 2.0 * std::log2(1.0 / eps) + 4.0;
+  const LpsParams p = lps_params(eps);
+  a.s0_estimate = 4.0 * static_cast<double>(p.n) / eps;
+  return a;
+}
+
+}  // namespace aqt

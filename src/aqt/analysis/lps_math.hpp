@@ -1,0 +1,84 @@
+// Closed-form quantities from the instability construction (paper §3 and
+// the appendix).
+//
+// Everything the Lemma 3.6 / Theorem 3.17 adversary needs is computed here
+// so that the simulation side and the analysis side share one definition:
+//   R_i   = (1-r)/(1-r^i)                      (rate of old packets at e'_i)
+//   (3.1) : R_i/(r+R_i) = R_{i+1}
+//   n(eps), S0(eps): parameter choices from the proof of Lemma 3.6
+//   t_i   = 2S/(r+R_i)                         (short-stream lengths)
+//   S'    = 2S(1-R_n)                          (amplified queue size)
+//   X     = S' - rS + n                        (part-4 injection count)
+//   Q_i   = (2S-t_i) R_i                       (buffer floor at e'_i)
+//   per-iteration growth r^3 (1+eps)^M / 4 and the minimal M making it > 1
+//   appendix asymptotics: n = Theta(log 1/eps), S0 = Theta(eps^-1 log 1/eps)
+//
+// Logs are base 2, as in the appendix (log r in (-1, -1/2) for
+// r in (1/2, 1/sqrt 2)).
+#pragma once
+
+#include <cstdint>
+
+namespace aqt {
+
+/// R_i = (1 - r) / (1 - r^i); R_1 = 1.  Requires i >= 1 and 0 < r < 1.
+double lps_R(double r, std::int64_t i);
+
+/// The paper's parameter choices for a given eps (r = 1/2 + eps).
+struct LpsParams {
+  double eps = 0.0;
+  double r = 0.0;          ///< 1/2 + eps.
+  std::int64_t n = 0;      ///< Smallest integer satisfying the proof's bound.
+  std::int64_t s0 = 0;     ///< Smallest integer satisfying the proof's bound.
+};
+
+/// Computes n and S0 per the constraints in the proof of Lemma 3.6:
+///   n  > max( (log eps - 2)/log r,  1 - 1/log r )
+///   S0 > max( 2n,  n / (2 (R_n - R_{n+1})) ).
+/// Requires 0 < eps < 1/2.
+LpsParams lps_params(double eps);
+
+/// t_i = 2S/(r + R_i) — the length of the short-packet stream for e'_i.
+double lps_t(double S, double r, std::int64_t i);
+
+/// S' = 2S(1 - R_n) — the amplified queue size after one gadget hand-off.
+double lps_s_prime(double S, double r, std::int64_t n);
+
+/// X = S' - rS + n — part (4) injection count; Claim 3.7: 0 < X <= rS.
+double lps_X(double S, double r, std::int64_t n);
+
+/// Q_i = (2S - t_i) R_i — the packets stored in e'_i at time 2S + i.
+double lps_Q(double S, double r, std::int64_t i);
+
+/// Per-outer-iteration growth factor of Theorem 3.17: r^3 (1+eps)^M / 4.
+double lps_iteration_growth(double eps, std::int64_t M);
+
+/// Minimal M with r^3 (1+eps)^M / 4 > 1.
+std::int64_t lps_min_M(double eps);
+
+/// The *exact* per-gadget amplification of one hand-off, S'/S = 2(1 - R_n).
+/// Tends to 2r as n grows: > 1 for every r > 1/2 (and <= 1 for r <= 1/2 no
+/// matter how large n is) — the structural origin of the paper's 1/2
+/// threshold.  The (1 + eps) of Lemma 3.6 is a lower bound on this.
+double lps_gadget_gain(double r, std::int64_t n);
+
+/// Predicted measured growth of one full outer iteration with M gadgets:
+/// bootstrap (1 - R_n), M-1 hand-offs of 2(1 - R_n) each, stitch r^3.
+/// (The drain's loss is additive O(n) and ignored here.)
+double lps_measured_iteration_growth(double r, std::int64_t n,
+                                     std::int64_t M);
+
+/// Minimal M for which the *exact* growth exceeds 1; returns -1 when the
+/// per-gadget gain is <= 1 (r <= 1/2) and no M works.
+std::int64_t lps_empirical_min_M(double r, std::int64_t n);
+
+/// Appendix bounds: for eps < 1/sqrt(2) - 1/2,
+///   log2(1/eps) + 2 < n < 2 log2(1/eps) + 4,   and   S0 = n r^{-n} etc.
+struct LpsAsymptotics {
+  double n_lower = 0.0;
+  double n_upper = 0.0;
+  double s0_estimate = 0.0;  ///< 4 n / eps (equation (5.10)).
+};
+LpsAsymptotics lps_asymptotics(double eps);
+
+}  // namespace aqt

@@ -1,0 +1,46 @@
+#include "aqt/analysis/observation44.hpp"
+
+#include <algorithm>
+
+#include "aqt/analysis/bounds.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+Observation44Result observation44_transform(
+    const std::vector<Route>& initial_configuration, const Trace& schedule,
+    std::int64_t w, const Rat& r, const Rat& r_star,
+    std::size_t edge_count) {
+  AQT_REQUIRE(r_star > r, "Observation 4.4 needs r* > r");
+  AQT_REQUIRE(w >= 1, "window must be >= 1");
+
+  // S = max per-edge multiplicity of the initial configuration.
+  std::vector<std::int64_t> per_edge(edge_count, 0);
+  for (const Route& route : initial_configuration) {
+    for (EdgeId e : route) {
+      AQT_REQUIRE(e < edge_count, "edge id out of range");
+      ++per_edge[e];
+    }
+  }
+  const std::int64_t S =
+      per_edge.empty() ? 0
+                       : *std::max_element(per_edge.begin(), per_edge.end());
+
+  Observation44Result result;
+  result.r_star = r_star;
+  result.w_star = observation44_w_star(S, w, r, r_star);
+
+  // A* step 1: the whole initial configuration becomes injections.
+  for (const Route& route : initial_configuration)
+    result.schedule.record_injection(1, Injection{route, /*tag=*/0});
+
+  // Then A's schedule, one step later.
+  for (const TraceEvent& ev : schedule.events()) {
+    AQT_REQUIRE(ev.kind == TraceEvent::Kind::kInjection,
+                "observation44_transform handles injection-only schedules");
+    result.schedule.record_injection(ev.t + 1, Injection{ev.edges, ev.tag});
+  }
+  return result;
+}
+
+}  // namespace aqt

@@ -1,0 +1,42 @@
+// A constructive implementation of Observation 4.4.
+//
+// The paper reduces S-initial-configuration stability to empty-start
+// stability: any (w, r) adversary A that begins with an
+// S-initial-configuration can be replayed by a (w*, r*) adversary A* that
+// starts with empty buffers, for any r* > r and
+// w* = ceil((S + w + 1)/(r* - r)).  A* injects the initial configuration at
+// step 1 and then replays A shifted one step later.
+//
+// This module builds A* as a Trace and lets tests verify, with the exact
+// window checker, that the transformed schedule really is (w*, r*)
+// feasible — turning the observation's proof into an executable check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/types.hpp"
+#include "aqt/trace/trace.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+/// Result of the transform: the empty-start schedule plus the (w*, r*)
+/// parameters it is feasible under.
+struct Observation44Result {
+  Trace schedule;          ///< A*: initial config at step 1, A shifted +1.
+  std::int64_t w_star = 0;
+  Rat r_star;
+};
+
+/// Builds A* from the initial configuration's routes and A's schedule
+/// (injections only; the observation predates rerouting, and reroutes
+/// shift with their packets).  `S` is computed from the initial routes as
+/// the max per-edge multiplicity, matching the paper's definition.
+Observation44Result observation44_transform(
+    const std::vector<Route>& initial_configuration, const Trace& schedule,
+    std::int64_t w, const Rat& r, const Rat& r_star,
+    std::size_t edge_count);
+
+}  // namespace aqt

@@ -1,0 +1,67 @@
+// Adversary interface (paper §2, Definition 2.1 and the rate-r adversary).
+//
+// The adversary is invoked once per time step, during the second substep,
+// *after* in-transit packets have been delivered.  It may read the whole
+// simulation state (the paper's adversaries are adaptive in presentation —
+// ours re-parameterize phases from measured queue sizes) and returns two
+// kinds of work:
+//   * injections — new packets with full routes (placed in the buffer of the
+//     first route edge this same step), and
+//   * reroutes  — suffix replacements for in-flight packets, the Lemma 3.3
+//     technique.  The engine validates contiguity and (for safety) that the
+//     active protocol is historic.
+//
+// Whether the adversary respects its rate constraint is *checked*, not
+// assumed: see rate_check.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+class Engine;
+
+/// A packet to inject this step.
+struct Injection {
+  Route route;
+  std::uint64_t tag = 0;
+};
+
+/// Replace everything after packet's current (next) edge with `new_suffix`.
+/// An empty suffix truncates the route at the current edge.
+struct Reroute {
+  PacketId packet;
+  Route new_suffix;
+};
+
+/// Per-step work emitted by an adversary.
+struct AdversaryStep {
+  std::vector<Injection> injections;
+  std::vector<Reroute> reroutes;
+};
+
+/// Base class for all adversaries.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Produce this step's work.  `now` is the current step (first call: 1).
+  /// `engine` exposes read-only state.
+  virtual void step(Time now, const Engine& engine, AdversaryStep& out) = 0;
+
+  /// True once the adversary has finished its script (used by drivers to
+  /// stop runs early).  Unbounded adversaries never finish.
+  [[nodiscard]] virtual bool finished(Time /*now*/) const { return false; }
+};
+
+/// The trivial adversary: injects nothing, ever.
+class NullAdversary final : public Adversary {
+ public:
+  void step(Time, const Engine&, AdversaryStep&) override {}
+  [[nodiscard]] bool finished(Time) const override { return true; }
+};
+
+}  // namespace aqt

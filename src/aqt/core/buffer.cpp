@@ -1,0 +1,30 @@
+#include "aqt/core/buffer.hpp"
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+BufferEntry Buffer::pop_min() {
+  AQT_CHECK(!entries_.empty(), "pop_min on empty buffer");
+  auto it = entries_.begin();
+  BufferEntry e = *it;
+  entries_.erase(it);
+  return e;
+}
+
+bool Buffer::erase_packet(PacketId packet) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->packet == packet) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const BufferEntry& Buffer::front() const {
+  AQT_CHECK(!entries_.empty(), "front on empty buffer");
+  return *entries_.begin();
+}
+
+}  // namespace aqt

@@ -1,0 +1,57 @@
+// Per-edge packet buffer ordered by protocol priority.
+//
+// The buffer is an ordered set of (k1, k2, arrival_seq, packet) entries;
+// the minimum entry is the packet the protocol forwards next.  All protocols
+// in this library assign keys at arrival only, so set semantics suffice and
+// every operation is O(log n) with deterministic total order.
+#pragma once
+
+#include <set>
+
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// One buffered packet with its scheduling key.
+struct BufferEntry {
+  std::int64_t k1;
+  std::int64_t k2;
+  std::uint64_t seq;
+  PacketId packet;
+
+  friend bool operator<(const BufferEntry& a, const BufferEntry& b) {
+    if (a.k1 != b.k1) return a.k1 < b.k1;
+    if (a.k2 != b.k2) return a.k2 < b.k2;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.packet < b.packet;
+  }
+};
+
+/// The queue at the tail of one edge.
+class Buffer {
+ public:
+  using const_iterator = std::set<BufferEntry>::const_iterator;
+
+  void push(const BufferEntry& e) { entries_.insert(e); }
+
+  /// Removes and returns the highest-priority (minimum-key) entry.
+  BufferEntry pop_min();
+
+  /// Removes the entry for `packet`; O(n) scan, used only by rare
+  /// operations (never on the hot path).
+  bool erase_packet(PacketId packet);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  [[nodiscard]] const BufferEntry& front() const;
+
+ private:
+  std::set<BufferEntry> entries_;
+};
+
+}  // namespace aqt

@@ -1,0 +1,132 @@
+#include "aqt/core/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+constexpr const char* kMagic = "AQT-CHECKPOINT";
+constexpr int kVersion = 1;
+
+/// FNV-1a over edge names: ties a checkpoint to an identically-built graph.
+std::uint64_t graph_checksum(const Graph& g) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (const char c : g.edge(e).name) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1fULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void save_checkpoint(const Engine& engine, std::ostream& os) {
+  AQT_REQUIRE(!engine.config_.audit_rates,
+              "checkpointing does not carry the rate audit; disable "
+              "EngineConfig::audit_rates for checkpointed runs");
+  const Graph& g = engine.graph_;
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "graph " << g.edge_count() << ' ' << graph_checksum(g) << '\n';
+  os << "clock " << engine.now_ << ' ' << engine.seq_ << ' '
+     << engine.absorbed_ << ' ' << (engine.stepping_started_ ? 1 : 0)
+     << '\n';
+  os << "created " << engine.arena_.total_created() << '\n';
+  os << "packets " << engine.arena_.live_count() << '\n';
+  engine.arena_.for_each_live([&](PacketId, const Packet& p) {
+    os << "p " << p.ordinal << ' ' << p.tag << ' ' << p.inject_time << ' '
+       << p.arrival_time << ' ' << p.arrival_seq << ' ' << p.hop << ' '
+       << p.route.size();
+    for (EdgeId e : p.route) os << ' ' << e;
+    os << '\n';
+  });
+  engine.metrics_.save(os);
+  os << "end\n";
+}
+
+void save_checkpoint_file(const Engine& engine, const std::string& path) {
+  std::ofstream out(path);
+  AQT_REQUIRE(static_cast<bool>(out), "cannot open " << path);
+  save_checkpoint(engine, out);
+}
+
+void load_checkpoint(Engine& engine, std::istream& is) {
+  AQT_REQUIRE(!engine.config_.audit_rates,
+              "checkpoint restore requires auditing disabled");
+  AQT_REQUIRE(engine.now_ == 0 && !engine.stepping_started_ &&
+                  engine.arena_.live_count() == 0 &&
+                  engine.arena_.total_created() == 0,
+              "checkpoints restore only into a fresh engine");
+  const Graph& g = engine.graph_;
+
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  AQT_REQUIRE(is && magic == kMagic, "not a checkpoint stream");
+  AQT_REQUIRE(version == kVersion, "unsupported checkpoint version "
+                                       << version);
+
+  std::string word;
+  std::size_t edge_count = 0;
+  std::uint64_t checksum = 0;
+  is >> word >> edge_count >> checksum;
+  AQT_REQUIRE(is && word == "graph", "malformed graph header");
+  AQT_REQUIRE(edge_count == g.edge_count() && checksum == graph_checksum(g),
+              "checkpoint was taken on a different network");
+
+  int started = 0;
+  is >> word >> engine.now_ >> engine.seq_ >> engine.absorbed_ >> started;
+  AQT_REQUIRE(is && word == "clock", "malformed clock line");
+  engine.stepping_started_ = started != 0;
+
+  std::uint64_t created = 0;
+  is >> word >> created;
+  AQT_REQUIRE(is && word == "created", "malformed created line");
+
+  std::uint64_t live = 0;
+  is >> word >> live;
+  AQT_REQUIRE(is && word == "packets", "malformed packets header");
+  for (std::uint64_t i = 0; i < live; ++i) {
+    Packet p;
+    std::size_t route_len = 0;
+    is >> word >> p.ordinal >> p.tag >> p.inject_time >> p.arrival_time >>
+        p.arrival_seq >> p.hop >> route_len;
+    AQT_REQUIRE(is && word == "p", "malformed packet record " << i);
+    p.route.resize(route_len);
+    for (EdgeId& e : p.route) {
+      is >> e;
+      AQT_REQUIRE(is && e < g.edge_count(), "bad edge id in packet route");
+    }
+    AQT_REQUIRE(p.hop < p.route.size(), "packet beyond end of route");
+    p.alive = true;
+    const PacketId id = engine.arena_.restore(std::move(p));
+    // Rebuild the buffer entry: the key is a pure function of the packet's
+    // stored arrival data, so deterministic protocols reproduce it exactly.
+    const Packet& stored = engine.arena_[id];
+    const EdgeId edge = stored.route[stored.hop];
+    const PriorityKey k = engine.protocol_.key(stored, stored.arrival_time,
+                                               stored.arrival_seq);
+    engine.buffers_[edge].push(
+        BufferEntry{k.k1, k.k2, stored.arrival_seq, id});
+    engine.active_.insert(edge);
+  }
+  engine.arena_.set_total_created(created);
+  engine.metrics_.load(is);
+  is >> word;
+  AQT_REQUIRE(is && word == "end", "truncated checkpoint");
+}
+
+void load_checkpoint_file(Engine& engine, const std::string& path) {
+  std::ifstream in(path);
+  AQT_REQUIRE(static_cast<bool>(in), "cannot open " << path);
+  load_checkpoint(engine, in);
+}
+
+}  // namespace aqt

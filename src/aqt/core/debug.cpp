@@ -1,0 +1,45 @@
+#include "aqt/core/debug.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace aqt {
+
+void dump_state(const Engine& engine, std::ostream& os,
+                const DumpOptions& options) {
+  const Graph& g = engine.graph();
+  os << "t=" << engine.now() << "  in-flight=" << engine.packets_in_flight()
+     << "  absorbed=" << engine.total_absorbed() << '\n';
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Buffer& buf = engine.buffer(e);
+    if (buf.empty() && options.skip_empty) continue;
+    os << "[" << g.edge(e).name << "] " << buf.size() << ":";
+    std::size_t shown = 0;
+    for (const BufferEntry& be : buf) {
+      if (shown == options.max_per_buffer) {
+        os << " ...";
+        break;
+      }
+      const Packet& p = engine.packet(be.packet);
+      os << (shown ? " | " : " ") << '#' << p.ordinal << "(tag " << p.tag
+         << ')';
+      if (options.show_routes) {
+        os << ' ';
+        for (std::size_t h = p.hop; h < p.route.size(); ++h) {
+          if (h > p.hop) os << '>';
+          os << g.edge(p.route[h]).name;
+        }
+      }
+      ++shown;
+    }
+    os << '\n';
+  }
+}
+
+std::string dump_state(const Engine& engine, const DumpOptions& options) {
+  std::ostringstream os;
+  dump_state(engine, os, options);
+  return os.str();
+}
+
+}  // namespace aqt

@@ -1,0 +1,26 @@
+// Human-readable state dumps for debugging small simulations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aqt/core/engine.hpp"
+
+namespace aqt {
+
+struct DumpOptions {
+  bool show_routes = true;       ///< Full remaining route per packet.
+  std::size_t max_per_buffer = 8;  ///< Truncate long queues.
+  bool skip_empty = true;        ///< Omit empty buffers.
+};
+
+/// Writes the engine's queues in forwarding order, e.g.:
+///   t=12  in-flight=5  absorbed=3
+///   [l1] 2: #4(tag 7) l1>l2>l3 | #9(tag 0) l1
+void dump_state(const Engine& engine, std::ostream& os,
+                const DumpOptions& options = {});
+
+/// Same, as a string.
+std::string dump_state(const Engine& engine, const DumpOptions& options = {});
+
+}  // namespace aqt

@@ -1,0 +1,178 @@
+#include "aqt/core/engine.hpp"
+
+#include <algorithm>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+Engine::Engine(const Graph& graph, const Protocol& protocol,
+               EngineConfig config)
+    : graph_(graph),
+      protocol_(protocol),
+      config_(config),
+      buffers_(graph.edge_count()),
+      metrics_(graph.edge_count()) {
+  if (config_.audit_rates) audit_.emplace(graph.edge_count());
+}
+
+PacketId Engine::add_initial_packet(Route route, std::uint64_t tag) {
+  AQT_REQUIRE(!stepping_started_,
+              "initial packets must be added before the first step");
+  if (config_.validate_routes) {
+    AQT_REQUIRE(graph_.is_simple_path(route),
+                "initial packet route is not a simple path");
+  }
+  const PacketId id = arena_.create(std::move(route), /*inject_time=*/0, tag);
+  enqueue(id, /*t=*/0);
+  // The initial configuration is part of the observable state at time 0.
+  const EdgeId e = arena_[id].route[0];
+  metrics_.observe_queue(e, buffers_[e].size());
+  return id;
+}
+
+const Buffer& Engine::buffer(EdgeId e) const {
+  AQT_REQUIRE(e < buffers_.size(), "edge id out of range: " << e);
+  return buffers_[e];
+}
+
+std::size_t Engine::queue_size(EdgeId e) const { return buffer(e).size(); }
+
+std::uint64_t Engine::max_queue_now() const {
+  std::uint64_t best = 0;
+  for (EdgeId e : active_)
+    best = std::max(best, static_cast<std::uint64_t>(buffers_[e].size()));
+  return best;
+}
+
+void Engine::enqueue(PacketId id, Time t) {
+  Packet& p = arena_[id];
+  AQT_CHECK(p.hop < p.route.size(), "enqueue of finished packet");
+  const EdgeId e = p.route[p.hop];
+  p.arrival_time = t;
+  p.arrival_seq = seq_++;
+  const PriorityKey k = protocol_.key(p, t, p.arrival_seq);
+  buffers_[e].push(BufferEntry{k.k1, k.k2, p.arrival_seq, id});
+  active_.insert(e);
+}
+
+void Engine::absorb(PacketId id, Time t) {
+  const Packet& p = arena_[id];
+  metrics_.observe_absorb(t - p.inject_time);
+  // Initial-configuration packets (inject_time 0) are not adversary
+  // injections; rate constraints (and Observation 4.4) treat them
+  // separately, so the audit records only packets injected at steps >= 1.
+  if (audit_ && p.inject_time > 0) audit_->add(p.route, p.inject_time);
+  arena_.destroy(id);
+  ++absorbed_;
+}
+
+void Engine::apply_reroute(const Reroute& rr) {
+  AQT_REQUIRE(arena_.is_live(rr.packet),
+              "reroute of dead packet " << rr.packet);
+  AQT_REQUIRE(protocol_.is_historic(),
+              "rerouting requires a historic protocol (Lemma 3.3); "
+                  << protocol_.name() << " is not");
+  Packet& p = arena_[rr.packet];
+  AQT_CHECK(p.hop < p.route.size(), "reroute of finished packet");
+  Route updated(p.route.begin(),
+                p.route.begin() + static_cast<std::ptrdiff_t>(p.hop) + 1);
+  updated.insert(updated.end(), rr.new_suffix.begin(), rr.new_suffix.end());
+  if (config_.validate_routes) {
+    AQT_REQUIRE(graph_.is_simple_path(updated),
+                "rerouted route is not a simple path (packet " << rr.packet
+                                                               << ")");
+  }
+  // The packet's buffer position is untouched: historic protocols' keys do
+  // not depend on the route beyond the next edge, so no re-keying is needed.
+  p.route = std::move(updated);
+}
+
+void Engine::apply_injection(const Injection& inj, Time t) {
+  if (config_.validate_routes) {
+    AQT_REQUIRE(graph_.is_simple_path(inj.route),
+                "injected route is not a simple path");
+  }
+  const PacketId id = arena_.create(inj.route, t, inj.tag);
+  enqueue(id, t);
+}
+
+void Engine::step(Adversary* adversary) {
+  AQT_REQUIRE(!audit_finalized_, "stepping after finalize_audit()");
+  stepping_started_ = true;
+  const Time t = ++now_;
+
+  // Substep 1: every nonempty buffer sends its highest-priority packet.
+  sent_.clear();
+  for (auto it = active_.begin(); it != active_.end();) {
+    const EdgeId e = *it;
+    Buffer& buf = buffers_[e];
+    const BufferEntry entry = buf.pop_min();
+    sent_.push_back(entry.packet);
+    metrics_.observe_send(e, t - arena_[entry.packet].arrival_time);
+    if (buf.empty()) {
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Substep 2a: deliveries, in sending-edge order (sent_ is already ordered
+  // by edge id because active_ iterates in increasing order).
+  for (const PacketId id : sent_) {
+    Packet& p = arena_[id];
+    ++p.hop;
+    if (p.hop == p.route.size()) {
+      absorb(id, t);
+    } else {
+      enqueue(id, t);
+    }
+  }
+
+  // Substep 2b: the adversary observes the post-delivery state and issues
+  // reroutes (applied first) and injections.
+  if (adversary != nullptr) {
+    adv_step_.injections.clear();
+    adv_step_.reroutes.clear();
+    adversary->step(t, *this, adv_step_);
+    for (const Reroute& rr : adv_step_.reroutes) apply_reroute(rr);
+    for (const Injection& inj : adv_step_.injections)
+      apply_injection(inj, t);
+  }
+
+  // End-of-step metrics.
+  for (const EdgeId e : active_) metrics_.observe_queue(e, buffers_[e].size());
+  if (config_.series_stride > 0 && t % config_.series_stride == 0)
+    metrics_.push_series(t, arena_.live_count(), max_queue_now());
+}
+
+void Engine::run(Adversary* adversary, Time count) {
+  for (Time i = 0; i < count; ++i) step(adversary);
+}
+
+Time Engine::drain(Time cap) {
+  Time taken = 0;
+  while (taken < cap && !active_.empty()) {
+    step(nullptr);
+    ++taken;
+  }
+  return taken;
+}
+
+const RateAudit& Engine::audit() const {
+  AQT_REQUIRE(audit_.has_value(),
+              "rate auditing disabled; set EngineConfig::audit_rates");
+  return *audit_;
+}
+
+void Engine::finalize_audit() {
+  AQT_REQUIRE(audit_.has_value(),
+              "rate auditing disabled; set EngineConfig::audit_rates");
+  AQT_REQUIRE(!audit_finalized_, "finalize_audit() called twice");
+  audit_finalized_ = true;
+  arena_.for_each_live([&](PacketId, const Packet& p) {
+    if (p.inject_time > 0) audit_->add(p.route, p.inject_time);
+  });
+}
+
+}  // namespace aqt

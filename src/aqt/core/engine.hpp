@@ -1,0 +1,155 @@
+// The synchronous store-and-forward engine (paper §2).
+//
+// Time advances in integer steps; step 0 is the initial configuration and
+// the first simulated step is step 1.  Each step has two substeps:
+//
+//  substep 1 (send): every nonempty buffer forwards exactly one packet over
+//    its edge — the packet with the smallest protocol priority key.  Greedy
+//    (work-conserving) behaviour is thus structural: a nonempty buffer can
+//    never idle.
+//
+//  substep 2 (receive/inject): forwarded packets arrive at the head node of
+//    their edge; a packet that completed its route is absorbed, any other is
+//    placed in the buffer of the next edge of its route.  Then the adversary
+//    runs: it may reroute in-flight packets (Lemma 3.3; historic protocols
+//    only) and inject new packets, which join the buffer of the first edge
+//    of their route.
+//
+// Ordering within a step is fixed and documented so every run is
+// deterministic and replayable:
+//   * buffers send in increasing edge-id order;
+//   * same-step buffer arrivals receive sequence numbers in that same edge
+//     order, before any same-step injection (so FIFO's time-priority
+//     property of Definition 4.2 holds structurally);
+//   * injections are sequenced in the order the adversary issued them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/buffer.hpp"
+#include "aqt/core/graph.hpp"
+#include "aqt/core/metrics.hpp"
+#include "aqt/core/packet.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/rate_check.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+struct EngineConfig {
+  /// Validate that every injected route is a simple directed path and that
+  /// every reroute splices into one.  Cheap; keep on except in the very
+  /// largest benches.
+  bool validate_routes = true;
+
+  /// Record (injection time, final effective route) pairs for post-hoc
+  /// rate-feasibility checks.  Memory is one entry per (packet, route
+  /// edge); enable in tests and medium benches.
+  bool audit_rates = false;
+
+  /// Subsample the occupancy time series every `series_stride` steps
+  /// (0 disables the series).
+  Time series_stride = 0;
+};
+
+/// The simulator.  Owns packets, buffers and metrics; borrows graph and
+/// protocol (both must outlive the engine).
+class Engine {
+ public:
+  Engine(const Graph& graph, const Protocol& protocol,
+         EngineConfig config = {});
+
+  /// Places a packet in the buffer of the first edge of `route` as part of
+  /// the initial configuration (before step 1); its injection time is 0.
+  /// Must not be called once stepping has begun.
+  PacketId add_initial_packet(Route route, std::uint64_t tag = 0);
+
+  /// Executes one time step; `adversary` may be null (no injections).
+  void step(Adversary* adversary);
+
+  /// Runs `count` steps.
+  void run(Adversary* adversary, Time count);
+
+  /// Runs with no injections until every buffer is empty (or `cap` steps
+  /// elapse); returns the number of steps taken.  With finite routes and
+  /// no adversary the network always drains, so hitting the cap indicates
+  /// a caller bug — it is reported via the return value, not an error.
+  Time drain(Time cap);
+
+  // --- State access -------------------------------------------------------
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const Protocol& protocol() const { return protocol_; }
+
+  [[nodiscard]] const Buffer& buffer(EdgeId e) const;
+  [[nodiscard]] std::size_t queue_size(EdgeId e) const;
+
+  /// Total live packets (buffers only; between steps nothing is in transit).
+  [[nodiscard]] std::uint64_t packets_in_flight() const {
+    return arena_.live_count();
+  }
+  /// Largest buffer right now.
+  [[nodiscard]] std::uint64_t max_queue_now() const;
+
+  [[nodiscard]] const Packet& packet(PacketId id) const { return arena_[id]; }
+  [[nodiscard]] bool is_live(PacketId id) const { return arena_.is_live(id); }
+  [[nodiscard]] const PacketArena& arena() const { return arena_; }
+
+  [[nodiscard]] std::uint64_t total_injected() const {
+    return arena_.total_created();
+  }
+  [[nodiscard]] std::uint64_t total_absorbed() const { return absorbed_; }
+
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+  // --- Rate auditing ------------------------------------------------------
+
+  /// The audit of all *finalized* packets (absorbed so far).  Call
+  /// finalize_audit() to fold in still-live packets before checking.
+  [[nodiscard]] const RateAudit& audit() const;
+
+  /// Adds every live packet's current effective route to the audit (their
+  /// routes can no longer change from the caller's perspective).  Call once,
+  /// at the end of a run, before check_rate_r / check_window.
+  void finalize_audit();
+
+ private:
+  friend void save_checkpoint(const Engine& engine, std::ostream& os);
+  friend void load_checkpoint(Engine& engine, std::istream& is);
+
+  void enqueue(PacketId id, Time t);
+  void absorb(PacketId id, Time t);
+  void apply_reroute(const Reroute& rr);
+  void apply_injection(const Injection& inj, Time t);
+
+  const Graph& graph_;
+  const Protocol& protocol_;
+  EngineConfig config_;
+
+  PacketArena arena_;
+  std::vector<Buffer> buffers_;
+  std::set<EdgeId> active_;  ///< Edges with nonempty buffers.
+  Metrics metrics_;
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t absorbed_ = 0;
+  bool stepping_started_ = false;
+  bool audit_finalized_ = false;
+
+  std::optional<RateAudit> audit_;
+
+  // Scratch reused across steps.
+  std::vector<PacketId> sent_;
+  AdversaryStep adv_step_;
+};
+
+}  // namespace aqt

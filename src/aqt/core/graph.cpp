@@ -1,0 +1,123 @@
+#include "aqt/core/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+NodeId Graph::add_node(std::string name) {
+  AQT_REQUIRE(!name.empty(), "node name must be non-empty");
+  AQT_REQUIRE(!node_by_name_.count(name), "duplicate node name: " << name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node_by_name_.emplace(name, id);
+  nodes_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::add_edge(NodeId tail, NodeId head, std::string name) {
+  AQT_REQUIRE(tail < nodes_.size() && head < nodes_.size(),
+              "edge endpoints out of range");
+  AQT_REQUIRE(tail != head, "self-loop edges are not allowed: " << name);
+  AQT_REQUIRE(!name.empty(), "edge name must be non-empty");
+  AQT_REQUIRE(!edge_by_name_.count(name), "duplicate edge name: " << name);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edge_by_name_.emplace(name, id);
+  edges_.push_back(Edge{tail, head, std::move(name)});
+  out_[tail].push_back(id);
+  in_[head].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_edge(const std::string& tail_name,
+                       const std::string& head_name, std::string edge_name) {
+  const auto get_or_add = [&](const std::string& n) {
+    if (auto v = find_node(n)) return *v;
+    return add_node(n);
+  };
+  const NodeId t = get_or_add(tail_name);
+  const NodeId h = get_or_add(head_name);
+  return add_edge(t, h, std::move(edge_name));
+}
+
+const Graph::Edge& Graph::edge(EdgeId e) const {
+  AQT_REQUIRE(e < edges_.size(), "edge id out of range: " << e);
+  return edges_[e];
+}
+
+const std::string& Graph::node_name(NodeId v) const {
+  AQT_REQUIRE(v < nodes_.size(), "node id out of range: " << v);
+  return nodes_[v];
+}
+
+const std::vector<EdgeId>& Graph::out_edges(NodeId v) const {
+  AQT_REQUIRE(v < nodes_.size(), "node id out of range: " << v);
+  return out_[v];
+}
+
+const std::vector<EdgeId>& Graph::in_edges(NodeId v) const {
+  AQT_REQUIRE(v < nodes_.size(), "node id out of range: " << v);
+  return in_[v];
+}
+
+std::optional<NodeId> Graph::find_node(std::string_view name) const {
+  auto it = node_by_name_.find(std::string(name));
+  if (it == node_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> Graph::find_edge(std::string_view name) const {
+  auto it = edge_by_name_.find(std::string(name));
+  if (it == edge_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+EdgeId Graph::edge_by_name(std::string_view name) const {
+  const auto e = find_edge(name);
+  AQT_REQUIRE(e.has_value(), "no edge named " << name);
+  return *e;
+}
+
+bool Graph::is_path(const Route& route) const {
+  if (route.empty()) return false;
+  for (EdgeId e : route)
+    if (e >= edges_.size()) return false;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i)
+    if (edges_[route[i]].head != edges_[route[i + 1]].tail) return false;
+  return true;
+}
+
+bool Graph::is_simple_path(const Route& route) const {
+  if (!is_path(route)) return false;
+  std::unordered_set<NodeId> seen;
+  seen.insert(edges_[route.front()].tail);
+  for (EdgeId e : route) {
+    if (!seen.insert(edges_[e].head).second) return false;
+  }
+  return true;
+}
+
+std::size_t Graph::max_in_degree() const {
+  std::size_t best = 0;
+  for (const auto& v : in_) best = std::max(best, v.size());
+  return best;
+}
+
+std::string Graph::to_dot(const std::string& graph_name) const {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=LR;\n";
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    os << "  n" << v << " [label=\"" << nodes_[v] << "\"];\n";
+  for (const auto& e : edges_)
+    os << "  n" << e.tail << " -> n" << e.head << " [label=\"" << e.name
+       << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aqt

@@ -1,0 +1,85 @@
+#include "aqt/core/metrics.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+Metrics::Metrics(std::size_t edge_count)
+    : max_queue_(edge_count, 0),
+      max_res_(edge_count, 0),
+      sends_per_edge_(edge_count, 0) {}
+
+void Metrics::observe_queue(EdgeId e, std::size_t count) {
+  const auto c = static_cast<std::uint64_t>(count);
+  if (c > max_queue_[e]) max_queue_[e] = c;
+  if (c > max_queue_g_) max_queue_g_ = c;
+}
+
+void Metrics::observe_send(EdgeId e, Time residence) {
+  ++sends_;
+  ++sends_per_edge_[e];
+  if (residence > max_res_[e]) max_res_[e] = residence;
+  if (residence > max_res_g_) max_res_g_ = residence;
+}
+
+void Metrics::observe_absorb(Time latency) {
+  ++absorbed_;
+  latency_sum_ += static_cast<std::uint64_t>(latency);
+  max_latency_ = std::max(max_latency_, latency);
+  latency_hist_.add(latency);
+}
+
+void Metrics::push_series(Time t, std::uint64_t in_flight,
+                          std::uint64_t max_queue) {
+  series_.push_back(SeriesPoint{t, in_flight, max_queue});
+}
+
+void Metrics::save(std::ostream& os) const {
+  os << "metrics " << max_queue_.size() << ' ' << max_queue_g_ << ' '
+     << max_res_g_ << ' ' << sends_ << ' ' << absorbed_ << ' '
+     << max_latency_ << ' ' << latency_sum_ << '\n';
+  for (std::size_t e = 0; e < max_queue_.size(); ++e) {
+    if (max_queue_[e] == 0 && max_res_[e] == 0 && sends_per_edge_[e] == 0)
+      continue;
+    os << "mq " << e << ' ' << max_queue_[e] << ' ' << max_res_[e] << ' '
+       << sends_per_edge_[e] << '\n';
+  }
+  latency_hist_.save(os);
+  os << "series " << series_.size() << '\n';
+  for (const SeriesPoint& p : series_)
+    os << p.t << ' ' << p.in_flight << ' ' << p.max_queue << '\n';
+}
+
+void Metrics::load(std::istream& is) {
+  std::string word;
+  std::size_t edges = 0;
+  is >> word >> edges >> max_queue_g_ >> max_res_g_ >> sends_ >> absorbed_ >>
+      max_latency_ >> latency_sum_;
+  AQT_REQUIRE(is && word == "metrics", "malformed metrics section");
+  AQT_REQUIRE(edges == max_queue_.size(),
+              "metrics edge count mismatch: checkpoint has "
+                  << edges << ", graph has " << max_queue_.size());
+  while (is >> word && word == "mq") {
+    std::size_t e = 0;
+    is >> e;
+    AQT_REQUIRE(is && e < edges, "bad metrics edge index");
+    is >> max_queue_[e] >> max_res_[e] >> sends_per_edge_[e];
+  }
+  // The mq loop stops on the first non-"mq" word, which is the histogram
+  // tag; its body follows.
+  AQT_REQUIRE(is && word == "hist", "missing histogram section");
+  latency_hist_.load_body(is);
+  is >> word;
+  AQT_REQUIRE(is && word == "series", "missing series section");
+  std::size_t count = 0;
+  is >> count;
+  series_.resize(count);
+  for (SeriesPoint& p : series_) is >> p.t >> p.in_flight >> p.max_queue;
+  AQT_REQUIRE(static_cast<bool>(is), "truncated metrics series");
+}
+
+}  // namespace aqt

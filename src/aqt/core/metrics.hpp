@@ -1,0 +1,86 @@
+// Run metrics: queue growth, residence times, latency, time series.
+//
+// The stability question (paper §1) is "is there a bound on the size of the
+// link buffers?", and the stability theorems of §4 bound the time a packet
+// spends in any single buffer by ceil(w*r).  Metrics therefore track, per
+// edge and globally: maximum queue size, maximum buffer residence, plus
+// totals and an optionally subsampled time series of system occupancy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "aqt/core/types.hpp"
+#include "aqt/util/histogram.hpp"
+
+namespace aqt {
+
+/// One subsampled time-series point.
+struct SeriesPoint {
+  Time t;
+  std::uint64_t in_flight;   ///< Live packets anywhere in the network.
+  std::uint64_t max_queue;   ///< Largest single buffer at time t.
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t edge_count);
+
+  /// Record that `count` packets sit in the buffer of `e` (end of step).
+  void observe_queue(EdgeId e, std::size_t count);
+
+  /// Record a send: the packet waited `residence` steps in e's buffer.
+  void observe_send(EdgeId e, Time residence);
+
+  /// Record an absorption with end-to-end latency.
+  void observe_absorb(Time latency);
+
+  /// Append a time series point (caller controls sampling cadence).
+  void push_series(Time t, std::uint64_t in_flight, std::uint64_t max_queue);
+
+  [[nodiscard]] std::uint64_t max_queue(EdgeId e) const {
+    return max_queue_[e];
+  }
+  [[nodiscard]] std::uint64_t max_queue_global() const { return max_queue_g_; }
+  [[nodiscard]] Time max_residence(EdgeId e) const { return max_res_[e]; }
+  [[nodiscard]] Time max_residence_global() const { return max_res_g_; }
+  [[nodiscard]] std::uint64_t sends() const { return sends_; }
+  /// Packets that crossed edge e so far.
+  [[nodiscard]] std::uint64_t sends(EdgeId e) const {
+    return sends_per_edge_[e];
+  }
+  [[nodiscard]] std::uint64_t absorbed() const { return absorbed_; }
+  [[nodiscard]] Time max_latency() const { return max_latency_; }
+  [[nodiscard]] double mean_latency() const {
+    return absorbed_ == 0
+               ? 0.0
+               : static_cast<double>(latency_sum_) / static_cast<double>(absorbed_);
+  }
+  /// End-to-end latency distribution (log buckets).
+  [[nodiscard]] const Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
+  [[nodiscard]] const std::vector<SeriesPoint>& series() const {
+    return series_;
+  }
+
+  /// Checkpoint plumbing: serialize / restore all counters and the series.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<std::uint64_t> max_queue_;
+  std::vector<Time> max_res_;
+  std::vector<std::uint64_t> sends_per_edge_;
+  std::uint64_t max_queue_g_ = 0;
+  Time max_res_g_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t absorbed_ = 0;
+  Time max_latency_ = 0;
+  std::uint64_t latency_sum_ = 0;
+  Histogram latency_hist_;
+  std::vector<SeriesPoint> series_;
+};
+
+}  // namespace aqt

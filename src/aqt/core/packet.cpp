@@ -1,0 +1,66 @@
+#include "aqt/core/packet.hpp"
+
+namespace aqt {
+
+PacketId PacketArena::create(Route route, Time inject_time,
+                             std::uint64_t tag) {
+  PacketId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<PacketId>(slots_.size());
+    slots_.emplace_back();
+  }
+  Packet& p = slots_[id];
+  const std::uint32_t gen = p.generation + 1;
+  p = Packet{};
+  p.route = std::move(route);
+  p.inject_time = inject_time;
+  p.arrival_time = inject_time;
+  p.tag = tag;
+  p.ordinal = created_;
+  p.generation = gen;
+  p.alive = true;
+  by_ordinal_.emplace(p.ordinal, id);
+  ++live_;
+  ++created_;
+  return id;
+}
+
+void PacketArena::destroy(PacketId id) {
+  AQT_CHECK(is_live(id), "destroying dead packet " << id);
+  Packet& p = slots_[id];
+  p.alive = false;
+  p.route.clear();
+  p.route.shrink_to_fit();
+  by_ordinal_.erase(p.ordinal);
+  free_.push_back(id);
+  --live_;
+}
+
+PacketId PacketArena::find_by_ordinal(std::uint64_t ordinal) const {
+  auto it = by_ordinal_.find(ordinal);
+  return it == by_ordinal_.end() ? kNoPacket : it->second;
+}
+
+PacketId PacketArena::restore(Packet p) {
+  AQT_REQUIRE(p.alive, "restore of dead packet");
+  AQT_REQUIRE(!by_ordinal_.count(p.ordinal),
+              "duplicate ordinal in restore: " << p.ordinal);
+  PacketId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<PacketId>(slots_.size());
+    slots_.emplace_back();
+  }
+  p.generation = slots_[id].generation + 1;
+  by_ordinal_.emplace(p.ordinal, id);
+  slots_[id] = std::move(p);
+  ++live_;
+  return id;
+}
+
+}  // namespace aqt

@@ -1,0 +1,104 @@
+// Packet records and the recycling packet arena.
+//
+// A packet stores its *full effective route* (the traversed prefix plus the
+// remaining suffix) and an index `hop` identifying the edge it is currently
+// waiting for or crossing.  Keeping the traversed prefix is deliberate: the
+// paper's rerouting technique (Lemma 3.3) replaces route *suffixes* on the
+// fly, and rate-feasibility of the composed adversary is defined over the
+// final effective route at the original injection time — exactly what this
+// representation preserves.
+//
+// Long instability runs inject millions of packets but only O(max queue)
+// are alive at once, so the arena recycles slots of absorbed packets and
+// reclaims their route storage.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "aqt/core/types.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+/// One packet.  Plain data; owned by the PacketArena.
+struct Packet {
+  Route route;            ///< Full effective route (prefix + remainder).
+  std::uint32_t hop = 0;  ///< Index of the current edge in `route`.
+  Time inject_time = 0;   ///< Step at which the adversary issued the packet.
+  Time arrival_time = 0;  ///< Step of arrival at the current buffer.
+  std::uint64_t arrival_seq = 0;  ///< Global arrival sequence (tie-break).
+  std::uint64_t tag = 0;  ///< Free-form label assigned by the adversary.
+  /// Creation ordinal (0-based, in injection order).  Unlike PacketId,
+  /// which reuses slots, the ordinal identifies the "n-th packet ever
+  /// injected" — a protocol-independent identity used by trace replay.
+  std::uint64_t ordinal = 0;
+  std::uint32_t generation = 0;  ///< Slot reuse counter (dangling-id guard).
+  bool alive = false;
+
+  /// Edge the packet waits for / crosses next.
+  [[nodiscard]] EdgeId current_edge() const {
+    AQT_CHECK(hop < route.size(), "current_edge() on finished packet");
+    return route[hop];
+  }
+
+  /// Number of edges still to traverse, including the current one.
+  [[nodiscard]] std::size_t remaining() const { return route.size() - hop; }
+
+  /// Number of edges already fully traversed.
+  [[nodiscard]] std::size_t traversed() const { return hop; }
+};
+
+/// Slot-recycling arena.  Ids are stable for the lifetime of the packet.
+class PacketArena {
+ public:
+  /// Creates a live packet; the id may reuse an absorbed packet's slot.
+  PacketId create(Route route, Time inject_time, std::uint64_t tag);
+
+  /// Destroys (recycles) a live packet.
+  void destroy(PacketId id);
+
+  [[nodiscard]] Packet& operator[](PacketId id) {
+    AQT_CHECK(id < slots_.size() && slots_[id].alive, "dead packet id " << id);
+    return slots_[id];
+  }
+  [[nodiscard]] const Packet& operator[](PacketId id) const {
+    AQT_CHECK(id < slots_.size() && slots_[id].alive, "dead packet id " << id);
+    return slots_[id];
+  }
+
+  [[nodiscard]] bool is_live(PacketId id) const {
+    return id < slots_.size() && slots_[id].alive;
+  }
+
+  /// Id of the live packet with creation ordinal `ordinal`, or kNoPacket if
+  /// it was never created or has been absorbed.
+  [[nodiscard]] PacketId find_by_ordinal(std::uint64_t ordinal) const;
+
+  /// Checkpoint plumbing: re-creates a packet verbatim (ordinal included)
+  /// without consuming a fresh ordinal.  `p.alive` must be true.
+  PacketId restore(Packet p);
+
+  /// Checkpoint plumbing: restores the creation counter.
+  void set_total_created(std::uint64_t n) { created_ = n; }
+
+  [[nodiscard]] std::uint64_t live_count() const { return live_; }
+  [[nodiscard]] std::uint64_t total_created() const { return created_; }
+
+  /// Calls fn(PacketId, const Packet&) for every live packet, in id order.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (slots_[i].alive) fn(static_cast<PacketId>(i), slots_[i]);
+  }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketId> free_;
+  std::unordered_map<std::uint64_t, PacketId> by_ordinal_;  ///< Live only.
+  std::uint64_t live_ = 0;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace aqt

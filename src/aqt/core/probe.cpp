@@ -1,0 +1,50 @@
+#include "aqt/core/probe.hpp"
+
+#include <algorithm>
+
+#include "aqt/util/check.hpp"
+#include "aqt/util/csv.hpp"
+
+namespace aqt {
+
+QueueProbe::QueueProbe(const Engine& engine, std::vector<EdgeId> edges)
+    : engine_(engine), edges_(std::move(edges)), series_(edges_.size()) {
+  AQT_REQUIRE(!edges_.empty(), "probe needs at least one edge");
+  for (EdgeId e : edges_)
+    AQT_REQUIRE(e < engine.graph().edge_count(),
+                "probe edge out of range: " << e);
+}
+
+void QueueProbe::sample() {
+  times_.push_back(engine_.now());
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    series_[i].push_back(engine_.queue_size(edges_[i]));
+}
+
+const std::vector<std::uint64_t>& QueueProbe::series(std::size_t i) const {
+  AQT_REQUIRE(i < series_.size(), "probe index out of range");
+  return series_[i];
+}
+
+std::uint64_t QueueProbe::at(std::size_t i, Time t) const {
+  AQT_REQUIRE(i < series_.size(), "probe index out of range");
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  AQT_REQUIRE(it != times_.end() && *it == t,
+              "step " << t << " was not sampled");
+  const auto idx = static_cast<std::size_t>(it - times_.begin());
+  return series_[i][idx];
+}
+
+void QueueProbe::save_csv(const std::string& path, const Graph& graph) const {
+  std::vector<std::string> header = {"t"};
+  for (EdgeId e : edges_) header.push_back(graph.edge(e).name);
+  CsvWriter csv(path, header);
+  for (std::size_t s = 0; s < times_.size(); ++s) {
+    std::vector<std::string> row = {std::to_string(times_[s])};
+    for (std::size_t i = 0; i < edges_.size(); ++i)
+      row.push_back(std::to_string(series_[i][s]));
+    csv.row(row);
+  }
+}
+
+}  // namespace aqt

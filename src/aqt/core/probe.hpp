@@ -1,0 +1,50 @@
+// Per-edge queue probing: sample selected buffers every step to observe
+// fine-grained dynamics (e.g. the R_i cascade of Claim 3.9, the buffer
+// floors Q_i of Claim 3.11).
+//
+// The engine's Metrics track only maxima; a QueueProbe records the full
+// time series for a chosen edge set, which the gadget-anatomy experiments
+// compare against the paper's closed forms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+class QueueProbe {
+ public:
+  /// Probes the given edges of `engine` (borrowed; must outlive the probe).
+  QueueProbe(const Engine& engine, std::vector<EdgeId> edges);
+
+  /// Records the current queue size of every probed edge; call once per
+  /// step (after Engine::step).
+  void sample();
+
+  [[nodiscard]] const std::vector<EdgeId>& edges() const { return edges_; }
+  [[nodiscard]] std::size_t samples() const { return times_.size(); }
+  [[nodiscard]] const std::vector<Time>& times() const { return times_; }
+
+  /// Series for the i-th probed edge.
+  [[nodiscard]] const std::vector<std::uint64_t>& series(
+      std::size_t i) const;
+
+  /// Queue size of probed edge i at the sample taken at step t (the series
+  /// value whose time is t); throws if t was never sampled.
+  [[nodiscard]] std::uint64_t at(std::size_t i, Time t) const;
+
+  /// Writes a CSV: t, <edge name>, <edge name>, ...
+  void save_csv(const std::string& path, const Graph& graph) const;
+
+ private:
+  const Engine& engine_;
+  std::vector<EdgeId> edges_;
+  std::vector<Time> times_;
+  std::vector<std::vector<std::uint64_t>> series_;
+};
+
+}  // namespace aqt

@@ -1,0 +1,37 @@
+#include "aqt/core/protocol.hpp"
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+LambdaProtocol::LambdaProtocol(std::string name, bool historic,
+                               bool time_priority, KeyFn key)
+    : name_(std::move(name)),
+      historic_(historic),
+      time_priority_(time_priority),
+      key_(std::move(key)) {
+  AQT_REQUIRE(!name_.empty(), "protocol name must be non-empty");
+  AQT_REQUIRE(key_ != nullptr, "protocol needs a key function");
+}
+
+std::unique_ptr<Protocol> make_protocol(std::string_view name,
+                                        std::uint64_t seed) {
+  if (name == "FIFO") return std::make_unique<FifoProtocol>();
+  if (name == "LIFO") return std::make_unique<LifoProtocol>();
+  if (name == "LIS") return std::make_unique<LisProtocol>();
+  if (name == "NIS" || name == "SIS") return std::make_unique<NisProtocol>();
+  if (name == "FTG") return std::make_unique<FtgProtocol>();
+  if (name == "NTG") return std::make_unique<NtgProtocol>();
+  if (name == "FFS") return std::make_unique<FfsProtocol>();
+  if (name == "NTS") return std::make_unique<NtsProtocol>();
+  if (name == "RANDOM") return std::make_unique<RandomProtocol>(seed);
+  AQT_REQUIRE(false, "unknown protocol: " << name);
+}
+
+const std::vector<std::string>& protocol_names() {
+  static const std::vector<std::string> names = {
+      "FIFO", "LIFO", "LIS", "NIS", "FTG", "NTG", "FFS", "NTS", "RANDOM"};
+  return names;
+}
+
+}  // namespace aqt

@@ -1,0 +1,167 @@
+#include "aqt/core/reference.hpp"
+
+#include <algorithm>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+ReferenceSimulator::ReferenceSimulator(const Graph& graph,
+                                       std::string protocol_name)
+    : graph_(graph),
+      protocol_(std::move(protocol_name)),
+      queues_(graph.edge_count()) {
+  const bool known =
+      protocol_ == "FIFO" || protocol_ == "LIFO" || protocol_ == "LIS" ||
+      protocol_ == "NIS" || protocol_ == "FTG" || protocol_ == "NTG" ||
+      protocol_ == "FFS" || protocol_ == "NTS";
+  AQT_REQUIRE(known, "reference simulator does not model " << protocol_);
+}
+
+void ReferenceSimulator::add_initial_packet(Route route, std::uint64_t tag) {
+  AQT_REQUIRE(now_ == 0, "initial packets only before stepping");
+  AQT_REQUIRE(graph_.is_simple_path(route), "invalid initial route");
+  RefPacket p;
+  p.route = std::move(route);
+  p.inject_time = 0;
+  p.arrival_time = 0;
+  p.arrival_order = arrivals_++;
+  p.ordinal = injected_++;
+  p.tag = tag;
+  const EdgeId e = p.route[0];
+  queues_[e].push_back(std::move(p));
+}
+
+std::size_t ReferenceSimulator::pick(
+    const std::vector<RefPacket>& queue) const {
+  AQT_CHECK(!queue.empty(), "pick on empty queue");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    const RefPacket& a = queue[i];
+    const RefPacket& b = queue[best];
+    bool better = false;
+    if (protocol_ == "FIFO") {
+      better = a.arrival_order < b.arrival_order;
+    } else if (protocol_ == "LIFO") {
+      better = a.arrival_order > b.arrival_order;
+    } else if (protocol_ == "LIS") {
+      better = a.inject_time < b.inject_time ||
+               (a.inject_time == b.inject_time &&
+                a.arrival_order < b.arrival_order);
+    } else if (protocol_ == "NIS") {
+      better = a.inject_time > b.inject_time ||
+               (a.inject_time == b.inject_time &&
+                a.arrival_order > b.arrival_order);
+    } else if (protocol_ == "FTG") {
+      const auto ra = a.route.size() - a.hop;
+      const auto rb = b.route.size() - b.hop;
+      better = ra > rb || (ra == rb && a.arrival_order < b.arrival_order);
+    } else if (protocol_ == "NTG") {
+      const auto ra = a.route.size() - a.hop;
+      const auto rb = b.route.size() - b.hop;
+      better = ra < rb || (ra == rb && a.arrival_order < b.arrival_order);
+    } else if (protocol_ == "FFS") {
+      better = a.hop > b.hop ||
+               (a.hop == b.hop && a.arrival_order < b.arrival_order);
+    } else if (protocol_ == "NTS") {
+      better = a.hop < b.hop ||
+               (a.hop == b.hop && a.arrival_order < b.arrival_order);
+    }
+    if (better) best = i;
+  }
+  return best;
+}
+
+std::vector<std::size_t> ReferenceSimulator::order(
+    const std::vector<RefPacket>& queue) const {
+  std::vector<RefPacket> copy = queue;
+  std::vector<std::size_t> result;
+  // Map copies back to original indices by arrival_order (unique).
+  while (!copy.empty()) {
+    const std::size_t i = pick(copy);
+    for (std::size_t j = 0; j < queue.size(); ++j)
+      if (queue[j].arrival_order == copy[i].arrival_order) {
+        result.push_back(j);
+        break;
+      }
+    copy.erase(copy.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return result;
+}
+
+void ReferenceSimulator::step(const std::vector<Injection>& injections,
+                              const std::vector<RefReroute>& reroutes) {
+  ++now_;
+
+  // Substep 1: every nonempty buffer forwards the protocol's choice.
+  std::vector<RefPacket> in_transit;
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    auto& q = queues_[e];
+    if (q.empty()) continue;
+    const std::size_t i = pick(q);
+    in_transit.push_back(std::move(q[i]));
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  // Substep 2a: deliveries (absorb or advance), in sending-edge order.
+  for (RefPacket& p : in_transit) {
+    ++p.hop;
+    if (p.hop == p.route.size()) {
+      ++absorbed_;
+      continue;
+    }
+    p.arrival_time = now_;
+    p.arrival_order = arrivals_++;
+    const EdgeId next = p.route[p.hop];
+    queues_[next].push_back(std::move(p));
+  }
+
+  // Substep 2b: reroutes (suffix replacement), then injections.
+  for (const RefReroute& rr : reroutes) {
+    bool found = false;
+    for (auto& q : queues_) {
+      for (RefPacket& p : q) {
+        if (p.ordinal != rr.ordinal) continue;
+        Route updated(p.route.begin(),
+                      p.route.begin() +
+                          static_cast<std::ptrdiff_t>(p.hop) + 1);
+        updated.insert(updated.end(), rr.new_suffix.begin(),
+                       rr.new_suffix.end());
+        AQT_REQUIRE(graph_.is_simple_path(updated),
+                    "reference reroute produces invalid route");
+        p.route = std::move(updated);
+        found = true;
+        break;
+      }
+      if (found) break;
+    }
+    AQT_REQUIRE(found, "reference reroute of unknown/absorbed packet "
+                           << rr.ordinal);
+  }
+  for (const Injection& inj : injections) {
+    AQT_REQUIRE(graph_.is_simple_path(inj.route), "invalid injected route");
+    RefPacket p;
+    p.route = inj.route;
+    p.inject_time = now_;
+    p.arrival_time = now_;
+    p.arrival_order = arrivals_++;
+    p.ordinal = injected_++;
+    p.tag = inj.tag;
+    queues_[p.route[0]].push_back(std::move(p));
+  }
+}
+
+ReferenceSnapshot ReferenceSimulator::snapshot() const {
+  ReferenceSnapshot snap;
+  snap.now = now_;
+  snap.injected = injected_;
+  snap.absorbed = absorbed_;
+  snap.queue_tags.resize(queues_.size());
+  for (std::size_t e = 0; e < queues_.size(); ++e) {
+    for (const std::size_t i : order(queues_[e]))
+      snap.queue_tags[e].push_back(queues_[e][i].tag);
+  }
+  return snap;
+}
+
+}  // namespace aqt

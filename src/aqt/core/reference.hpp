@@ -1,0 +1,89 @@
+// An independent, deliberately-naive reference implementation of the
+// adversarial queuing model, used as a differential-testing oracle for the
+// production Engine.
+//
+// This simulator is written directly from the paper's prose (§2) with
+// different data structures and different control flow than Engine: each
+// buffer is a plain vector in arrival order, and the protocol's choice is
+// re-derived per step by a linear scan with longhand tie-breaking rules.
+// If Engine and ReferenceSimulator ever disagree on observable state
+// (queue contents per edge, absorption counts, packet positions), one of
+// them has a bug.  Keep this file free of any Engine machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/graph.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// Observable per-step state snapshot used for comparisons.
+struct ReferenceSnapshot {
+  Time now = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t absorbed = 0;
+  /// queue_tags[e] = the tags of packets waiting at edge e, in the order
+  /// the protocol would forward them (front first).
+  std::vector<std::vector<std::uint64_t>> queue_tags;
+};
+
+/// The oracle.  Supports every deterministic protocol in the zoo
+/// (RANDOM is excluded: its coin flips are implementation-defined).
+class ReferenceSimulator {
+ public:
+  ReferenceSimulator(const Graph& graph, std::string protocol_name);
+
+  /// Adds an initial-configuration packet (time 0).
+  void add_initial_packet(Route route, std::uint64_t tag = 0);
+
+  /// Executes one step with explicit adversary work (already resolved;
+  /// reroutes identify packets by creation ordinal).
+  struct RefReroute {
+    std::uint64_t ordinal;
+    Route new_suffix;
+  };
+  void step(const std::vector<Injection>& injections,
+            const std::vector<RefReroute>& reroutes);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t absorbed() const { return absorbed_; }
+  [[nodiscard]] std::size_t queue_size(EdgeId e) const {
+    return queues_[e].size();
+  }
+
+  /// Snapshot of the observable state (queues listed in forwarding order).
+  [[nodiscard]] ReferenceSnapshot snapshot() const;
+
+ private:
+  struct RefPacket {
+    Route route;
+    std::size_t hop = 0;
+    Time inject_time = 0;
+    Time arrival_time = 0;
+    std::uint64_t arrival_order = 0;  ///< Global arrival counter.
+    std::uint64_t ordinal = 0;
+    std::uint64_t tag = 0;
+  };
+
+  /// Index (within the buffer vector) of the packet the protocol forwards.
+  [[nodiscard]] std::size_t pick(const std::vector<RefPacket>& queue) const;
+
+  /// Forwarding order of a whole buffer (for snapshots): repeated pick().
+  [[nodiscard]] std::vector<std::size_t> order(
+      const std::vector<RefPacket>& queue) const;
+
+  const Graph& graph_;
+  std::string protocol_;
+  std::vector<std::vector<RefPacket>> queues_;  ///< Arrival order.
+  Time now_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t absorbed_ = 0;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace aqt

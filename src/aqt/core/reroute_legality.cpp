@@ -1,0 +1,121 @@
+#include "aqt/core/reroute_legality.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+RerouteLegalityChecker::RerouteLegalityChecker(const Graph& graph, Rat rate)
+    : graph_(graph), rate_(rate), last_use_(graph.edge_count(), kNever) {
+  AQT_REQUIRE(rate.num() > 0, "legality checker needs a positive rate");
+}
+
+void RerouteLegalityChecker::on_injection(Time t, const Route& route) {
+  for (EdgeId e : route) last_use_[e] = std::max(last_use_[e], t);
+}
+
+RerouteLegalityReport RerouteLegalityChecker::check_and_apply(
+    Time now, const Engine& engine, const std::vector<Reroute>& batch) {
+  RerouteLegalityReport rep;
+  if (batch.empty()) return rep;
+
+  // (b) All packets in the batch share a common edge on their current
+  // effective routes.
+  std::unordered_map<EdgeId, std::size_t> edge_count;
+  for (const Reroute& rr : batch) {
+    const Packet& p = engine.packet(rr.packet);
+    std::unordered_set<EdgeId> dedup(p.route.begin(), p.route.end());
+    for (EdgeId e : dedup) ++edge_count[e];
+  }
+  const bool common =
+      std::any_of(edge_count.begin(), edge_count.end(),
+                  [&](const auto& kv) { return kv.second == batch.size(); });
+  if (!common) {
+    rep.ok = false;
+    std::ostringstream os;
+    os << "reroute batch at t=" << now << " has no common edge across its "
+       << batch.size() << " packets (Lemma 3.3 hypothesis)";
+    rep.reason = os.str();
+    return rep;
+  }
+
+  // t* = earliest injection time among all packets in the network.
+  Time t_star = std::numeric_limits<Time>::max();
+  engine.arena().for_each_live([&](PacketId, const Packet& p) {
+    t_star = std::min(t_star, p.inject_time);
+  });
+  AQT_CHECK(t_star != std::numeric_limits<Time>::max(),
+            "reroute with no live packets");
+  const Time cutoff = t_star - (Rat(1) / rate_).ceil();
+
+  // (c) Every *added* suffix edge is new to P(t): no injection at time >=
+  // cutoff placed it on a route.  Edges the packet's current route already
+  // contains are exempt — the paper's part-(1) extensions keep the old
+  // remainder (e_{i+1}..e_n, a') and only the appended edges must satisfy
+  // Definition 3.2, since retained edges add no load the original adversary
+  // had not already declared.
+  for (const Reroute& rr : batch) {
+    const Packet& pk = engine.packet(rr.packet);
+    const std::unordered_set<EdgeId> retained(pk.route.begin(),
+                                              pk.route.end());
+    for (EdgeId e : rr.new_suffix) {
+      if (retained.count(e)) continue;
+      if (last_use_[e] != kNever && last_use_[e] >= cutoff) {
+        rep.ok = false;
+        std::ostringstream os;
+        os << "edge " << graph_.edge(e).name << " is not new at t=" << now
+           << ": last used by an injection at t=" << last_use_[e]
+           << " >= cutoff t* - ceil(1/r) = " << cutoff
+           << " (Definition 3.2)";
+        rep.reason = os.str();
+        return rep;
+      }
+    }
+  }
+
+  // Account: the rerouted packets' effective routes now include the added
+  // suffix edges, charged at their original injection times.
+  for (const Reroute& rr : batch) {
+    const Packet& pk = engine.packet(rr.packet);
+    const std::unordered_set<EdgeId> retained(pk.route.begin(),
+                                              pk.route.end());
+    for (EdgeId e : rr.new_suffix) {
+      if (retained.count(e)) continue;
+      last_use_[e] = std::max(last_use_[e], pk.inject_time);
+    }
+  }
+  return rep;
+}
+
+LegalityCheckedAdversary::LegalityCheckedAdversary(
+    Adversary& inner, RerouteLegalityChecker& checker)
+    : inner_(inner), checker_(checker) {}
+
+void LegalityCheckedAdversary::step(Time now, const Engine& engine,
+                                    AdversaryStep& out) {
+  const std::size_t inj_before = out.injections.size();
+  const std::size_t rr_before = out.reroutes.size();
+  inner_.step(now, engine, out);
+  const std::vector<Reroute> batch(
+      out.reroutes.begin() + static_cast<std::ptrdiff_t>(rr_before),
+      out.reroutes.end());
+  const auto rep = checker_.check_and_apply(now, engine, batch);
+  if (!rep.ok && all_legal_) {
+    all_legal_ = false;
+    first_violation_ = rep.reason;
+  }
+  for (std::size_t i = inj_before; i < out.injections.size(); ++i)
+    checker_.on_injection(now, out.injections[i].route);
+}
+
+bool LegalityCheckedAdversary::finished(Time now) const {
+  return inner_.finished(now);
+}
+
+}  // namespace aqt

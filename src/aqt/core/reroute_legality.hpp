@@ -1,0 +1,90 @@
+// Machine-checking the hypotheses of the rerouting lemma (Lemma 3.3).
+//
+// The lemma licenses rewriting the route suffixes of a packet set P0 at
+// time t provided:
+//   (a) the policy is historic (Definition 3.1) — enforced by the engine;
+//   (b) the current routes of all packets in P0 share at least one common
+//       edge;
+//   (c) every edge *added* by the new suffixes is *new* to P(t)
+//       (Definition 3.2): not on the route of any packet injected at or
+//       after t* - ceil(1/r), where t* is the earliest injection time among
+//       packets currently in the network.  Edges the packet's route already
+//       contained (the paper's extensions retain the old remainder
+//       e_{i+1}..e_n, a') are exempt: they add no load beyond what the
+//       original adversary declared.
+//
+// The engine checks only structural validity (contiguity, simplicity);
+// this validator checks (b) and (c), so tests can assert that the LPS
+// construction's reroutes are exactly the moves the lemma licenses.  It
+// tracks, per edge, the latest injection time of any packet whose
+// *effective route at injection* used the edge — which requires feeding it
+// every injection and every reroute as they happen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/graph.hpp"
+#include "aqt/core/types.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+class Engine;
+
+/// Verdict for one batch of reroutes.
+struct RerouteLegalityReport {
+  bool ok = true;
+  std::string reason;  ///< Human-readable failure description.
+};
+
+/// Tracks edge usage by injection time and validates reroute batches
+/// against Lemma 3.3's hypotheses.
+class RerouteLegalityChecker {
+ public:
+  RerouteLegalityChecker(const Graph& graph, Rat rate);
+
+  /// Record an injection issued at step t with route `route`.
+  void on_injection(Time t, const Route& route);
+
+  /// Validate one batch of reroutes issued at step `now` against the
+  /// current engine state, then account the new suffix edges as used (the
+  /// rerouted packets' effective routes now include them, charged at the
+  /// packets' injection times).
+  RerouteLegalityReport check_and_apply(Time now, const Engine& engine,
+                                        const std::vector<Reroute>& batch);
+
+  /// Latest injection time recorded for edge e (kNoTime if never used).
+  static constexpr Time kNever = -1;
+  [[nodiscard]] Time last_use(EdgeId e) const { return last_use_[e]; }
+
+ private:
+  const Graph& graph_;
+  Rat rate_;
+  std::vector<Time> last_use_;
+};
+
+/// Convenience adversary decorator: forwards to an inner adversary, feeds
+/// the checker, and records the first violation (if any).
+class LegalityCheckedAdversary final : public Adversary {
+ public:
+  LegalityCheckedAdversary(Adversary& inner, RerouteLegalityChecker& checker);
+
+  void step(Time now, const Engine& engine, AdversaryStep& out) override;
+  [[nodiscard]] bool finished(Time now) const override;
+
+  [[nodiscard]] bool all_legal() const { return all_legal_; }
+  [[nodiscard]] const std::string& first_violation() const {
+    return first_violation_;
+  }
+
+ private:
+  Adversary& inner_;
+  RerouteLegalityChecker& checker_;
+  bool all_legal_ = true;
+  std::string first_violation_;
+};
+
+}  // namespace aqt

@@ -1,0 +1,56 @@
+#include "aqt/core/simulation.hpp"
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+Simulation::Simulation(Graph graph, std::unique_ptr<Protocol> protocol,
+                       EngineConfig config)
+    : graph_(std::move(graph)), protocol_(std::move(protocol)) {
+  AQT_REQUIRE(protocol_ != nullptr, "null protocol");
+  engine_ = std::make_unique<Engine>(graph_, *protocol_, config);
+}
+
+Simulation::Simulation(Graph graph, const std::string& protocol_name,
+                       EngineConfig config)
+    : Simulation(std::move(graph), make_protocol(protocol_name), config) {}
+
+void Simulation::add_initial_queue(const Route& route, std::size_t count,
+                                   std::uint64_t tag) {
+  for (std::size_t i = 0; i < count; ++i)
+    engine_->add_initial_packet(route, tag);
+}
+
+void Simulation::set_adversary(std::unique_ptr<Adversary> adversary) {
+  adversary_ = std::move(adversary);
+}
+
+void Simulation::run_for(Time steps) {
+  for (Time i = 0; i < steps; ++i) engine_->step(adversary_.get());
+}
+
+void Simulation::run_until(const std::function<bool(const Engine&)>& stop,
+                           Time cap) {
+  for (Time i = 0; i < cap; ++i) {
+    if (adversary_ && adversary_->finished(engine_->now())) break;
+    if (stop && stop(*engine_)) break;
+    engine_->step(adversary_.get());
+  }
+}
+
+RunSummary Simulation::summary() const {
+  RunSummary s;
+  s.steps = engine_->now();
+  s.injected = engine_->total_injected();
+  s.absorbed = engine_->total_absorbed();
+  s.in_flight = engine_->packets_in_flight();
+  s.max_queue = engine_->metrics().max_queue_global();
+  s.max_residence = engine_->metrics().max_residence_global();
+  s.max_latency = engine_->metrics().max_latency();
+  s.mean_latency = engine_->metrics().mean_latency();
+  if (engine_->metrics().latency_histogram().count() > 0)
+    s.p99_latency = engine_->metrics().latency_histogram().quantile(0.99);
+  return s;
+}
+
+}  // namespace aqt

@@ -1,0 +1,74 @@
+// High-level simulation driver.
+//
+// Owns the graph, protocol, engine and adversary, and adds the conveniences
+// examples and benches want: S-initial-configurations (paper §4), stop
+// conditions, and a one-struct summary of a run.  Library code that needs
+// tight control (the LPS adversary tests, for instance) uses Engine
+// directly; this wrapper is sugar, not policy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/graph.hpp"
+#include "aqt/core/protocol.hpp"
+
+namespace aqt {
+
+/// Summary of a finished (or paused) run.
+struct RunSummary {
+  Time steps = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t max_queue = 0;     ///< Largest buffer ever observed.
+  Time max_residence = 0;          ///< Longest single-buffer wait observed.
+  Time max_latency = 0;
+  double mean_latency = 0.0;
+  std::int64_t p99_latency = 0;  ///< 99th percentile (log-bucket bound).
+};
+
+class Simulation {
+ public:
+  /// Takes ownership of the graph and protocol.
+  Simulation(Graph graph, std::unique_ptr<Protocol> protocol,
+             EngineConfig config = {});
+
+  /// Convenience: protocol by name (see make_protocol).
+  Simulation(Graph graph, const std::string& protocol_name,
+             EngineConfig config = {});
+
+  /// Places `count` packets with route `route` in the initial
+  /// configuration.  Typically used with single-edge routes, matching the
+  /// paper's S-initial-configuration and the Theorem 3.17 start state.
+  void add_initial_queue(const Route& route, std::size_t count,
+                         std::uint64_t tag = 0);
+
+  /// Sets the adversary (owned).  May be reset between runs.
+  void set_adversary(std::unique_ptr<Adversary> adversary);
+
+  /// Runs exactly `steps` steps.
+  void run_for(Time steps);
+
+  /// Runs until the adversary reports finished(), a predicate fires, or the
+  /// step cap is hit, whichever is first.  The predicate may be empty.
+  void run_until(const std::function<bool(const Engine&)>& stop, Time cap);
+
+  [[nodiscard]] RunSummary summary() const;
+
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] const Engine& engine() const { return *engine_; }
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const Protocol& protocol() const { return *protocol_; }
+  [[nodiscard]] Adversary* adversary() { return adversary_.get(); }
+
+ private:
+  Graph graph_;
+  std::unique_ptr<Protocol> protocol_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Adversary> adversary_;
+};
+
+}  // namespace aqt

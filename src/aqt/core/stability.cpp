@@ -1,0 +1,66 @@
+#include "aqt/core/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqt {
+
+const char* to_string(GrowthVerdict v) {
+  switch (v) {
+    case GrowthVerdict::kBounded:
+      return "bounded";
+    case GrowthVerdict::kGrowing:
+      return "growing";
+    case GrowthVerdict::kUndecided:
+      return "undecided";
+  }
+  return "?";
+}
+
+GrowthReport classify_growth(const std::vector<std::uint64_t>& samples,
+                             double slack) {
+  GrowthReport rep;
+  if (samples.size() < 6) return rep;
+  const std::size_t third = samples.size() / 3;
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < third; ++i)
+    early += static_cast<double>(samples[i]);
+  for (std::size_t i = samples.size() - third; i < samples.size(); ++i)
+    late += static_cast<double>(samples[i]);
+  early /= static_cast<double>(third);
+  late /= static_cast<double>(third);
+  rep.early_mean = early;
+  rep.late_mean = late;
+  rep.ratio = late / std::max(early, 1.0);
+  if (rep.ratio >= slack) {
+    rep.verdict = GrowthVerdict::kGrowing;
+  } else if (rep.ratio <= 1.0 + (slack - 1.0) * 0.25) {
+    rep.verdict = GrowthVerdict::kBounded;
+  }
+  return rep;
+}
+
+GrowthReport classify_growth(const std::vector<SeriesPoint>& series,
+                             double slack) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(series.size());
+  for (const auto& p : series) samples.push_back(p.in_flight);
+  return classify_growth(samples, slack);
+}
+
+double geometric_growth_factor(const std::vector<std::uint64_t>& peaks) {
+  if (peaks.size() < 2 || peaks.front() == 0) return 0.0;
+  double log_sum = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i + 1 < peaks.size(); ++i) {
+    if (peaks[i] == 0 || peaks[i + 1] == 0) continue;
+    log_sum += std::log(static_cast<double>(peaks[i + 1]) /
+                        static_cast<double>(peaks[i]));
+    ++terms;
+  }
+  if (terms == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(terms));
+}
+
+}  // namespace aqt

@@ -1,0 +1,47 @@
+// Growth classification of queue-size series.
+//
+// "Stable" in adversarial queuing theory means buffer sizes stay bounded for
+// all time.  A finite simulation can only estimate: we classify a series of
+// occupancy samples (or of per-iteration peaks) by comparing late-window
+// statistics against early-window statistics and by fitting a growth factor
+// to successive peaks.  The instability experiments additionally have the
+// paper's *predicted* per-iteration factor to compare against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/core/metrics.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+enum class GrowthVerdict {
+  kBounded,   ///< Late samples no larger than early samples (within slack).
+  kGrowing,   ///< Clear monotone increase across windows.
+  kUndecided  ///< Too little data or mixed signal.
+};
+
+const char* to_string(GrowthVerdict v);
+
+struct GrowthReport {
+  GrowthVerdict verdict = GrowthVerdict::kUndecided;
+  double early_mean = 0.0;   ///< Mean of the first third of samples.
+  double late_mean = 0.0;    ///< Mean of the last third of samples.
+  double ratio = 0.0;        ///< late_mean / max(early_mean, 1).
+};
+
+/// Classifies a series of occupancy samples.  `slack` is the multiplicative
+/// ratio above which the series counts as growing (default 2x).
+GrowthReport classify_growth(const std::vector<std::uint64_t>& samples,
+                             double slack = 2.0);
+
+/// Convenience overload on the engine's subsampled series (uses in_flight).
+GrowthReport classify_growth(const std::vector<SeriesPoint>& series,
+                             double slack = 2.0);
+
+/// Geometric-mean growth factor of successive peaks p_{k+1}/p_k; the
+/// instability construction predicts a factor > 1 per outer iteration.
+double geometric_growth_factor(const std::vector<std::uint64_t>& peaks);
+
+}  // namespace aqt

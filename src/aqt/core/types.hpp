@@ -1,0 +1,29 @@
+// Fundamental identifier and time types shared by the whole library.
+//
+// Conventions:
+//  * Node/edge ids are dense indices into the owning Graph's tables.
+//  * Time is a signed 64-bit step counter.  Step 0 is the initial
+//    configuration; the first simulated step is step 1 (matching the paper's
+//    "at time 0 condition C(S, F) holds; in the time interval [1, S] ...").
+//  * A Route is the full simple directed path of a packet, as edge ids.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace aqt {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using PacketId = std::uint64_t;
+using Time = std::int64_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr PacketId kNoPacket = std::numeric_limits<PacketId>::max();
+
+/// A packet route: a sequence of edge ids forming a simple directed path.
+using Route = std::vector<EdgeId>;
+
+}  // namespace aqt

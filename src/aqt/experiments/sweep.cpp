@@ -1,0 +1,123 @@
+#include "aqt/experiments/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/rate_check.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+struct CellSpec {
+  const std::string* protocol;
+  const TopologyRecipe* topology;
+  std::uint64_t seed;
+};
+
+SweepCell run_cell(const SweepConfig& config, const CellSpec& spec) {
+  const Graph graph = spec.topology->build();
+  auto protocol = make_protocol(*spec.protocol, spec.seed);
+  EngineConfig ec;
+  ec.audit_rates = config.audit;
+  Engine eng(graph, *protocol, ec);
+  if (config.setup) config.setup(eng, graph);
+
+  StochasticConfig traffic = config.traffic;
+  traffic.seed = spec.seed;
+  StochasticAdversary adv(graph, traffic);
+  eng.run(&adv, config.steps);
+
+  SweepCell cell;
+  cell.protocol = *spec.protocol;
+  cell.topology = spec.topology->name;
+  cell.seed = spec.seed;
+  cell.injected = eng.total_injected();
+  cell.max_queue = eng.metrics().max_queue_global();
+  cell.max_residence = eng.metrics().max_residence_global();
+  cell.longest_route = adv.longest_route();
+  if (config.audit) {
+    eng.finalize_audit();
+    cell.traffic_feasible =
+        check_window(eng.audit(), traffic.w, traffic.r).ok;
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::vector<SweepCell> run_sweep(const SweepConfig& config,
+                                 unsigned threads) {
+  AQT_REQUIRE(!config.protocols.empty(), "sweep needs protocols");
+  AQT_REQUIRE(!config.topologies.empty(), "sweep needs topologies");
+  AQT_REQUIRE(!config.seeds.empty(), "sweep needs seeds");
+  AQT_REQUIRE(config.steps >= 1, "sweep needs steps >= 1");
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+  // Enumerate cells up front so results land in deterministic order.
+  std::vector<CellSpec> specs;
+  for (const auto& protocol_name : config.protocols)
+    for (const auto& recipe : config.topologies)
+      for (const std::uint64_t seed : config.seeds)
+        specs.push_back(CellSpec{&protocol_name, &recipe, seed});
+
+  std::vector<SweepCell> cells(specs.size());
+  if (threads <= 1 || specs.size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      cells[i] = run_cell(config, specs[i]);
+    return cells;
+  }
+
+  // Work-stealing over a shared atomic index: cells are fully independent
+  // (own graph, engine, adversary), so no further synchronization is
+  // needed; each worker writes only its own result slots.
+  std::atomic<std::size_t> next{0};
+  const unsigned workers =
+      std::min<unsigned>(threads, static_cast<unsigned>(specs.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) return;
+        cells[i] = run_cell(config, specs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return cells;
+}
+
+std::vector<SweepAggregate> aggregate_sweep(
+    const std::vector<SweepCell>& cells) {
+  std::vector<SweepAggregate> out;
+  const auto find = [&](const SweepCell& c) -> SweepAggregate& {
+    for (auto& a : out)
+      if (a.protocol == c.protocol && a.topology == c.topology) return a;
+    out.emplace_back();
+    out.back().protocol = c.protocol;
+    out.back().topology = c.topology;
+    return out.back();
+  };
+  for (const SweepCell& c : cells) {
+    SweepAggregate& a = find(c);
+    a.worst_residence = std::max(a.worst_residence, c.max_residence);
+    a.worst_queue = std::max(a.worst_queue, c.max_queue);
+    a.injected += c.injected;
+    a.residence.add(static_cast<double>(c.max_residence));
+    a.all_feasible = a.all_feasible && c.traffic_feasible;
+  }
+  return out;
+}
+
+Time worst_residence(const std::vector<SweepCell>& cells) {
+  Time worst = 0;
+  for (const SweepCell& c : cells)
+    worst = std::max(worst, c.max_residence);
+  return worst;
+}
+
+}  // namespace aqt

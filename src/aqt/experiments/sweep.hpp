@@ -1,0 +1,85 @@
+// Stability-sweep harness: protocols x topologies x seeds under (w, r)
+// traffic, with machine-checked feasibility and aggregated residence
+// statistics.
+//
+// The §4 experiments (E5, E6, E7) all share this shape; the harness owns
+// the loop so the benches state only *what* they sweep and *which bound*
+// the result must respect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/types.hpp"
+#include "aqt/util/rational.hpp"
+#include "aqt/util/stats.hpp"
+
+namespace aqt {
+
+/// A named topology recipe (rebuilt per run so cells are independent).
+struct TopologyRecipe {
+  std::string name;
+  std::function<Graph()> build;
+};
+
+struct SweepConfig {
+  std::vector<std::string> protocols;
+  std::vector<TopologyRecipe> topologies;
+  std::vector<std::uint64_t> seeds;
+  Time steps = 1000;
+
+  /// Traffic shape; the per-cell seed overrides traffic.seed.
+  StochasticConfig traffic;
+
+  /// Optional initial configuration applied to every engine before the run
+  /// (e.g. the S-initial-configuration of Corollaries 4.5/4.6).
+  std::function<void(Engine&, const Graph&)> setup;
+
+  /// Verify (w, r) feasibility of the generated traffic post-run.
+  bool audit = true;
+};
+
+/// One cell's outcome.
+struct SweepCell {
+  std::string protocol;
+  std::string topology;
+  std::uint64_t seed = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t max_queue = 0;
+  Time max_residence = 0;
+  std::int64_t longest_route = 0;
+  bool traffic_feasible = true;
+};
+
+/// Aggregate over seeds for one (protocol, topology) pair.
+struct SweepAggregate {
+  std::string protocol;
+  std::string topology;
+  Time worst_residence = 0;
+  std::uint64_t worst_queue = 0;
+  std::uint64_t injected = 0;
+  StatAccumulator residence;  ///< Across seeds.
+  bool all_feasible = true;
+};
+
+/// Runs every (protocol, topology, seed) cell.  Throws only on
+/// configuration errors; traffic infeasibility is reported per cell.
+/// `threads` > 1 runs cells concurrently (they are fully independent:
+/// each builds its own graph, engine, and adversary); results are returned
+/// in deterministic (protocol, topology, seed) order regardless of the
+/// thread count.  threads == 0 uses the hardware concurrency.
+std::vector<SweepCell> run_sweep(const SweepConfig& config,
+                                 unsigned threads = 1);
+
+/// Groups cells by (protocol, topology), preserving first-seen order.
+std::vector<SweepAggregate> aggregate_sweep(
+    const std::vector<SweepCell>& cells);
+
+/// Worst residence across all cells (the number the theorems bound).
+Time worst_residence(const std::vector<SweepCell>& cells);
+
+}  // namespace aqt

@@ -1,0 +1,114 @@
+#include "aqt/topology/gadget.hpp"
+
+#include <string>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+std::string gadget_edge_name(std::int64_t k, char path, std::int64_t i) {
+  return "g" + std::to_string(k) + "." + path + std::to_string(i);
+}
+
+/// Builds one parallel path of `n` edges from `from` to `to`, naming edges
+/// g<k>.<path>1..n and interior nodes g<k>.<path>n1..
+std::vector<EdgeId> add_parallel_path(Graph& g, std::int64_t k, char path,
+                                      std::int64_t n, NodeId from, NodeId to) {
+  std::vector<EdgeId> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  NodeId prev = from;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    const NodeId next =
+        (i == n) ? to
+                 : g.add_node("g" + std::to_string(k) + "." + path + "n" +
+                              std::to_string(i));
+    edges.push_back(g.add_edge(prev, next, gadget_edge_name(k, path, i)));
+    prev = next;
+  }
+  return edges;
+}
+
+ChainedGadgets build_impl(std::int64_t n, std::int64_t gadget_count,
+                          bool closed) {
+  AQT_REQUIRE(n >= 1, "gadget path length n must be >= 1");
+  AQT_REQUIRE(gadget_count >= 1, "gadget count M must be >= 1");
+
+  ChainedGadgets net;
+  net.n = n;
+  net.gadget_count = gadget_count;
+  Graph& g = net.graph;
+
+  // Node chain: s -a1-> U1 =paths=> V1 -a2-> U2 =paths=> ... VM -a(M+1)-> z.
+  // The egress of F(k) *is* the ingress of F(k+1) (Definition 3.4), so each
+  // iteration creates the e/f paths of gadget k and the shared edge
+  // a_{k+1}; a1 is created up front.
+  const NodeId s = g.add_node("s");
+  NodeId u = g.add_node("u1");
+  EdgeId ingress = g.add_edge(s, u, "a1");
+  for (std::int64_t k = 1; k <= gadget_count; ++k) {
+    const NodeId v = g.add_node("v" + std::to_string(k));
+
+    GadgetEdges ge;
+    ge.ingress = ingress;
+    ge.e_path = add_parallel_path(g, k, 'e', n, u, v);
+    ge.f_path = add_parallel_path(g, k, 'f', n, u, v);
+
+    const NodeId egress_head = (k == gadget_count)
+                                   ? g.add_node("z")
+                                   : g.add_node("u" + std::to_string(k + 1));
+    ge.egress = g.add_edge(v, egress_head, "a" + std::to_string(k + 1));
+
+    ingress = ge.egress;
+    u = egress_head;
+    net.gadgets.push_back(std::move(ge));
+  }
+
+  if (closed) {
+    const NodeId z = *g.find_node("z");
+    net.back_edge = g.add_edge(z, s, "e0");
+  }
+  return net;
+}
+
+}  // namespace
+
+Route ChainedGadgets::e_route(std::size_t k, std::size_t from_i) const {
+  AQT_REQUIRE(k < gadgets.size(), "gadget index out of range");
+  AQT_REQUIRE(from_i >= 1 && from_i <= static_cast<std::size_t>(n),
+              "e-path position out of range");
+  Route r;
+  const auto& ge = gadgets[k];
+  for (std::size_t i = from_i - 1; i < ge.e_path.size(); ++i)
+    r.push_back(ge.e_path[i]);
+  r.push_back(ge.egress);
+  return r;
+}
+
+Route ChainedGadgets::f_route(std::size_t k) const {
+  AQT_REQUIRE(k < gadgets.size(), "gadget index out of range");
+  Route r;
+  const auto& ge = gadgets[k];
+  r.push_back(ge.ingress);
+  r.insert(r.end(), ge.f_path.begin(), ge.f_path.end());
+  r.push_back(ge.egress);
+  return r;
+}
+
+ChainedGadgets build_chain(std::int64_t n, std::int64_t gadget_count) {
+  return build_impl(n, gadget_count, /*closed=*/false);
+}
+
+ChainedGadgets build_closed_chain(std::int64_t n, std::int64_t gadget_count) {
+  return build_impl(n, gadget_count, /*closed=*/true);
+}
+
+std::int64_t lps_longest_route(const ChainedGadgets& net) {
+  // Bootstrap packets on F(1) have route a, e1..en, a' (n+2 edges) and are
+  // extended by n+1 edges (e'-path + next egress) in each of the M-1
+  // subsequent gadgets; long packets injected in gadget k have 2n+3 edges
+  // and are extended M-k-1 times.  Both maximize at (n+1)M + 1.
+  return (net.n + 1) * net.gadget_count + 1;
+}
+
+}  // namespace aqt

@@ -1,0 +1,66 @@
+// The paper's parametric gadget F_n and its compositions (§3.2, §3.3).
+//
+// A gadget (Definition 3.4) is a DAG with an ingress edge from a degree-1
+// source and an egress edge to a degree-1 sink.  F_n has ingress a, egress
+// a', and two parallel directed paths of length n between them: the e-path
+// e1..en and the f-path f1..fn (Fig. 3.1).
+//
+// Daisy-chaining (the "o" operation) identifies the egress of one gadget
+// with the ingress of the next; F_n^M is M chained copies.  Theorem 3.17's
+// network closes the chain with one extra edge e0 from the head of the last
+// egress back to the tail of the first ingress (Fig. 3.2).
+//
+// Edge naming convention (k = 1-based gadget index):
+//   ingress of F(k)        : "a1" for k=1, otherwise the egress of F(k-1)
+//   e-path of F(k)         : "g<k>.e1" .. "g<k>.en"
+//   f-path of F(k)         : "g<k>.f1" .. "g<k>.fn"
+//   egress of F(k)         : "a<k+1>"
+//   cycle-closing edge     : "e0"
+// so "a<k>" is simultaneously egress of F(k-1) and ingress of F(k), exactly
+// the identification Definition 3.4 makes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/core/graph.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// Resolved edge ids of one F_n gadget inside a larger graph.
+struct GadgetEdges {
+  EdgeId ingress = kNoEdge;            ///< a
+  EdgeId egress = kNoEdge;             ///< a'
+  std::vector<EdgeId> e_path;          ///< e1..en
+  std::vector<EdgeId> f_path;          ///< f1..fn
+};
+
+/// A daisy chain F_n^M, optionally closed into Theorem 3.17's cycle.
+struct ChainedGadgets {
+  Graph graph;
+  std::int64_t n = 0;                  ///< Path length parameter of F_n.
+  std::int64_t gadget_count = 0;       ///< M.
+  std::vector<GadgetEdges> gadgets;    ///< gadgets[k] = F(k+1).
+  EdgeId back_edge = kNoEdge;          ///< e0 (closed chains only).
+
+  /// The route e_i, e_{i+1}, ..., e_n, a' inside gadget k (0-based), from
+  /// `from_i` (1-based position on the e-path).
+  [[nodiscard]] Route e_route(std::size_t k, std::size_t from_i) const;
+
+  /// The route a, f1, ..., fn, a' of gadget k (0-based).
+  [[nodiscard]] Route f_route(std::size_t k) const;
+};
+
+/// Builds the open daisy chain F_n^M (M >= 1, n >= 1).
+ChainedGadgets build_chain(std::int64_t n, std::int64_t gadget_count);
+
+/// Builds Theorem 3.17's network: F_n^M plus the back edge e0 from the head
+/// of the last egress to the tail of the first ingress (Fig. 3.2).
+ChainedGadgets build_closed_chain(std::int64_t n, std::int64_t gadget_count);
+
+/// Longest route the LPS construction ever uses on this network, in edges
+/// (the d parameter of the stability theorems, for this topology).
+std::int64_t lps_longest_route(const ChainedGadgets& net);
+
+}  // namespace aqt

@@ -1,0 +1,47 @@
+// Standard network topologies for the stability experiments.
+//
+// The stability theorems of §4 are universal — any network, any greedy
+// protocol — so the experiment suite sweeps a family of structurally
+// different graphs.  All generators name nodes/edges deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "aqt/core/graph.hpp"
+#include "aqt/util/rng.hpp"
+
+namespace aqt {
+
+/// Directed line v0 -> v1 -> ... -> v(len); `len` edges.
+Graph make_line(std::int64_t len);
+
+/// Directed cycle of `len` >= 2 edges.
+Graph make_ring(std::int64_t len);
+
+/// Bidirectional ring: both orientations of each of `len` links.
+Graph make_bidirectional_ring(std::int64_t len);
+
+/// rows x cols grid with edges pointing right and down (a DAG).
+Graph make_grid(std::int64_t rows, std::int64_t cols);
+
+/// Complete binary in-tree of `depth` levels: every edge points toward the
+/// root (packets fan in, making contention grow with depth).
+Graph make_in_tree(std::int64_t depth);
+
+/// Random DAG on `nodes` vertices; each forward pair (i < j) gets an edge
+/// with probability `p`.  A spine i -> i+1 is always present so the graph
+/// is connected and has long paths.
+Graph make_random_dag(std::int64_t nodes, double p, Rng& rng);
+
+/// Two nodes joined by `count` parallel edges (multigraph stress).
+Graph make_parallel_edges(std::int64_t count);
+
+/// Directed hypercube of dimension `dim`: 2^dim nodes; for every node and
+/// every bit, one edge to the node with that bit flipped (so each
+/// undirected hypercube link appears in both orientations).
+Graph make_hypercube(std::int64_t dim);
+
+/// rows x cols torus: grid with wraparound, edges pointing right and down.
+Graph make_torus(std::int64_t rows, std::int64_t cols);
+
+}  // namespace aqt

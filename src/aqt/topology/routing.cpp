@@ -1,0 +1,106 @@
+#include "aqt/topology/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+std::optional<Route> shortest_route(const Graph& g, NodeId from, NodeId to) {
+  AQT_REQUIRE(from < g.node_count() && to < g.node_count(),
+              "node id out of range");
+  if (from == to) return std::nullopt;  // Routes have >= 1 edge; no loops.
+  std::vector<EdgeId> via(g.node_count(), kNoEdge);
+  std::vector<bool> seen(g.node_count(), false);
+  std::deque<NodeId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const NodeId at = frontier.front();
+    frontier.pop_front();
+    for (const EdgeId e : g.out_edges(at)) {
+      const NodeId next = g.head(e);
+      if (seen[next]) continue;
+      seen[next] = true;
+      via[next] = e;
+      if (next == to) {
+        Route route;
+        for (NodeId v = to; v != from; v = g.tail(via[v]))
+          route.push_back(via[v]);
+        std::reverse(route.begin(), route.end());
+        return route;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Route> shortest_route(const Graph& g, std::string_view from,
+                                    std::string_view to) {
+  const auto f = g.find_node(from);
+  const auto t = g.find_node(to);
+  AQT_REQUIRE(f && t, "unknown node name");
+  return shortest_route(g, *f, *t);
+}
+
+std::int64_t hop_diameter(const Graph& g) {
+  std::int64_t best = 0;
+  for (NodeId from = 0; from < g.node_count(); ++from) {
+    // BFS distances from `from`.
+    std::vector<std::int64_t> dist(g.node_count(), -1);
+    std::deque<NodeId> frontier{from};
+    dist[from] = 0;
+    while (!frontier.empty()) {
+      const NodeId at = frontier.front();
+      frontier.pop_front();
+      for (const EdgeId e : g.out_edges(at)) {
+        const NodeId next = g.head(e);
+        if (dist[next] >= 0) continue;
+        dist[next] = dist[at] + 1;
+        best = std::max(best, dist[next]);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void enumerate(const Graph& g, NodeId at, NodeId to, std::size_t max_len,
+               std::size_t limit, Route& current, std::vector<bool>& visited,
+               std::vector<Route>& out) {
+  if (out.size() >= limit) return;
+  if (at == to && !current.empty()) {
+    out.push_back(current);
+    return;
+  }
+  if (current.size() >= max_len) return;
+  for (const EdgeId e : g.out_edges(at)) {
+    const NodeId next = g.head(e);
+    if (visited[next]) continue;
+    visited[next] = true;
+    current.push_back(e);
+    enumerate(g, next, to, max_len, limit, current, visited, out);
+    current.pop_back();
+    visited[next] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<Route> all_simple_routes(const Graph& g, NodeId from, NodeId to,
+                                     std::size_t max_len,
+                                     std::size_t limit) {
+  AQT_REQUIRE(from < g.node_count() && to < g.node_count(),
+              "node id out of range");
+  std::vector<Route> out;
+  Route current;
+  std::vector<bool> visited(g.node_count(), false);
+  visited[from] = true;
+  enumerate(g, from, to, max_len, limit, current, visited, out);
+  return out;
+}
+
+}  // namespace aqt

@@ -1,0 +1,35 @@
+// Route-finding helpers for building adversaries and examples: shortest
+// paths (BFS over edges) and simple-path enumeration on small graphs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "aqt/core/graph.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// Shortest (fewest-edges) simple route from `from` to `to`; nullopt if
+/// unreachable.  Deterministic: ties break toward lower edge ids.
+std::optional<Route> shortest_route(const Graph& g, NodeId from, NodeId to);
+
+/// Convenience overload on node names.
+std::optional<Route> shortest_route(const Graph& g, std::string_view from,
+                                    std::string_view to);
+
+/// Number of edges on the longest shortest-path between any node pair that
+/// can reach one another (the graph's directed hop-diameter); 0 when no
+/// node reaches any other.
+std::int64_t hop_diameter(const Graph& g);
+
+/// All simple routes from `from` to `to` of at most `max_len` edges, in
+/// lexicographic edge-id order.  Exponential in general — intended for
+/// small graphs and tests; `limit` caps the result count.
+std::vector<Route> all_simple_routes(const Graph& g, NodeId from, NodeId to,
+                                     std::size_t max_len,
+                                     std::size_t limit = 1000);
+
+}  // namespace aqt

@@ -1,0 +1,88 @@
+#include "aqt/topology/spec.hpp"
+
+#include <stdexcept>
+
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/rng.hpp"
+
+namespace aqt {
+namespace {
+
+std::int64_t parse_int(const std::string& text, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(text, &pos);
+    AQT_REQUIRE(pos == text.size(), "trailing junk in topology spec: "
+                                        << spec);
+    return v;
+  } catch (const std::invalid_argument&) {
+    AQT_REQUIRE(false, "malformed number in topology spec: " << spec);
+    return 0;  // Unreachable; AQT_REQUIRE(false) always throws.
+  } catch (const std::out_of_range&) {
+    AQT_REQUIRE(false, "number out of range in topology spec: " << spec);
+    return 0;  // Unreachable.
+  }
+}
+
+}  // namespace
+
+TopologySpec parse_topology_spec(const std::string& spec,
+                                 std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  AQT_REQUIRE(colon != std::string::npos && colon + 1 < spec.size(),
+              "topology spec needs the form kind:arg, got: " << spec);
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = spec.substr(colon + 1);
+  const auto x = arg.find('x');
+  const auto one = [&] { return parse_int(arg, spec); };
+  const auto two = [&] {
+    AQT_REQUIRE(x != std::string::npos && x > 0 && x + 1 < arg.size(),
+                "spec " << spec << " needs the form " << kind << ":AxB");
+    return std::pair{parse_int(arg.substr(0, x), spec),
+                     parse_int(arg.substr(x + 1), spec)};
+  };
+
+  TopologySpec out;
+  if (kind == "line") {
+    out.graph = make_line(one());
+  } else if (kind == "ring") {
+    out.graph = make_ring(one());
+  } else if (kind == "bidiring") {
+    out.graph = make_bidirectional_ring(one());
+  } else if (kind == "grid") {
+    const auto [a, b] = two();
+    out.graph = make_grid(a, b);
+  } else if (kind == "torus") {
+    const auto [a, b] = two();
+    out.graph = make_torus(a, b);
+  } else if (kind == "tree") {
+    out.graph = make_in_tree(one());
+  } else if (kind == "hypercube") {
+    out.graph = make_hypercube(one());
+  } else if (kind == "dag") {
+    Rng rng(seed);
+    out.graph = make_random_dag(one(), 0.15, rng);
+  } else if (kind == "parallel") {
+    out.graph = make_parallel_edges(one());
+  } else if (kind == "lps") {
+    const auto [n, m] = two();
+    out.lps_net = build_closed_chain(n, m);
+    out.graph = out.lps_net.graph;
+    out.is_lps = true;
+  } else {
+    AQT_REQUIRE(false,
+                "unknown topology kind '" << kind << "' in spec " << spec
+                                          << "; " << topology_spec_grammar());
+  }
+  return out;
+}
+
+const std::string& topology_spec_grammar() {
+  static const std::string grammar =
+      "line:N ring:N bidiring:N grid:RxC torus:RxC tree:D hypercube:D "
+      "dag:N parallel:N lps:NxM";
+  return grammar;
+}
+
+}  // namespace aqt

@@ -1,0 +1,32 @@
+// Textual topology specs, e.g. "grid:4x4", "ring:16", "lps:9x8".
+//
+// One grammar shared by tools, benches, and tests:
+//   line:N | ring:N | bidiring:N | grid:RxC | torus:RxC | tree:D |
+//   hypercube:D | dag:N | parallel:N | lps:NxM
+// `dag` uses the supplied seed; `lps` builds the closed gadget chain of
+// Fig. 3.2 and also exposes the ChainedGadgets handle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aqt/core/graph.hpp"
+#include "aqt/topology/gadget.hpp"
+
+namespace aqt {
+
+struct TopologySpec {
+  Graph graph;
+  /// Populated (and is_lps set) only for "lps:NxM" specs.
+  ChainedGadgets lps_net;
+  bool is_lps = false;
+};
+
+/// Parses and builds.  Throws PreconditionError on malformed specs.
+TopologySpec parse_topology_spec(const std::string& spec,
+                                 std::uint64_t seed = 1);
+
+/// The spec kinds accepted, for help strings.
+const std::string& topology_spec_grammar();
+
+}  // namespace aqt

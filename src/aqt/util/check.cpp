@@ -1,0 +1,31 @@
+#include "aqt/util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aqt::detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::fprintf(stderr, "AQT_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& msg) {
+  std::string what = "precondition violated: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " -- ";
+    what += msg;
+  }
+  throw PreconditionError(what);
+}
+
+}  // namespace aqt::detail

@@ -1,0 +1,74 @@
+#include "aqt/util/cli.hpp"
+
+#include <cstdio>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+Cli::Cli(std::string program, std::string about)
+    : program_(std::move(program)), about_(std::move(about)) {}
+
+Cli& Cli::flag(const std::string& name, const std::string& def,
+               const std::string& help) {
+  AQT_REQUIRE(!flags_.count(name), "duplicate flag --" << name);
+  order_.push_back(name);
+  flags_[name] = Flag{def, def, help};
+  return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s - %s\n\nflags:\n", program_.c_str(), about_.c_str());
+      for (const auto& name : order_) {
+        const auto& f = flags_.at(name);
+        std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
+                    f.help.c_str(), f.def.empty() ? "\"\"" : f.def.c_str());
+      }
+      return false;
+    }
+    AQT_REQUIRE(arg.size() > 2 && arg[0] == '-' && arg[1] == '-',
+                "unexpected argument: " << arg);
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      AQT_REQUIRE(i + 1 < argc, "flag --" << arg << " needs a value");
+      value = argv[++i];
+    }
+    auto it = flags_.find(arg);
+    AQT_REQUIRE(it != flags_.end(), "unknown flag --" << arg);
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  AQT_REQUIRE(it != flags_.end(), "undeclared flag --" << name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+Rat Cli::get_rat(const std::string& name) const {
+  return Rat::parse(get(name));
+}
+
+}  // namespace aqt

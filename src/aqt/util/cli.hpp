@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for the examples and benches.
+//
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// typos are caught.  Each binary declares its flags with defaults and a help
+// string; `--help` prints them and exits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+/// Declarative flag set.
+class Cli {
+ public:
+  /// `program` and `about` feed the --help banner.
+  Cli(std::string program, std::string about);
+
+  Cli& flag(const std::string& name, const std::string& def,
+            const std::string& help);
+
+  /// Parses argv; on --help prints usage and returns false (caller exits 0).
+  /// Throws PreconditionError on unknown flags or missing values.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] Rat get_rat(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string def;
+    std::string help;
+  };
+
+  std::string program_;
+  std::string about_;
+  std::vector<std::string> order_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace aqt

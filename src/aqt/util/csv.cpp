@@ -1,0 +1,42 @@
+#include "aqt/util/csv.hpp"
+
+#include <cstdio>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), width_(header.size()) {
+  if (out_) row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (!out_) return;
+  AQT_REQUIRE(fields.size() == width_,
+              "CSV row width " << fields.size() << " != header " << width_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace aqt

@@ -1,0 +1,49 @@
+// Minimal CSV writer for experiment traces.
+//
+// Benches and examples dump their measured series as CSV next to the
+// human-readable table so results can be re-plotted without re-running.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace aqt {
+
+/// Streams rows to a CSV file.  Fields are quoted only when needed.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// True if the file opened successfully.
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one row; the field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void rowv(const Ts&... fields) {
+    row(std::vector<std::string>{format(fields)...});
+  }
+
+  static std::string format(const std::string& s) { return s; }
+  static std::string format(const char* s) { return s; }
+  static std::string format(double v);
+  static std::string format(long long v) { return std::to_string(v); }
+  static std::string format(unsigned long long v) { return std::to_string(v); }
+  static std::string format(long v) { return std::to_string(v); }
+  static std::string format(unsigned long v) { return std::to_string(v); }
+  static std::string format(int v) { return std::to_string(v); }
+  static std::string format(unsigned v) { return std::to_string(v); }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace aqt

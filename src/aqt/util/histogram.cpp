@@ -1,0 +1,102 @@
+#include "aqt/util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+std::size_t Histogram::bucket_of(std::int64_t value) {
+  if (value <= 1) return 0;
+  std::size_t b = 0;
+  auto v = static_cast<std::uint64_t>(value);
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return std::min(b, kBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t bucket) {
+  if (bucket == 0) return 1;
+  if (bucket >= 62) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << (bucket + 1)) - 1;
+}
+
+void Histogram::add(std::int64_t value) {
+  AQT_REQUIRE(value >= 0, "histogram values must be non-negative");
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++buckets_[bucket_of(value)];
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  AQT_REQUIRE(q > 0.0 && q <= 1.0, "quantile out of (0, 1]");
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::min(bucket_upper(b), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1f p50<=%lld p90<=%lld p99<=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(quantile(0.5)),
+                static_cast<long long>(quantile(0.9)),
+                static_cast<long long>(quantile(0.99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+void Histogram::save(std::ostream& os) const {
+  os << "hist " << count_ << ' ' << sum_ << ' ' << min_ << ' ' << max_;
+  for (const std::uint64_t b : buckets_) os << ' ' << b;
+  os << '\n';
+}
+
+void Histogram::load(std::istream& is) {
+  std::string word;
+  is >> word;
+  AQT_REQUIRE(is && word == "hist", "malformed histogram section");
+  load_body(is);
+}
+
+void Histogram::load_body(std::istream& is) {
+  is >> count_ >> sum_ >> min_ >> max_;
+  for (std::uint64_t& b : buckets_) is >> b;
+  AQT_REQUIRE(static_cast<bool>(is), "truncated histogram");
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace aqt

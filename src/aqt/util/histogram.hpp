@@ -1,0 +1,57 @@
+// Logarithmic-bucket histogram for latency and queue-size distributions.
+//
+// Buckets are powers of two: bucket k holds values in [2^k, 2^(k+1)), with
+// bucket 0 holding {0, 1}.  Constant memory, O(1) insert, and quantile
+// estimates good to a factor of two — the right fidelity for tail-latency
+// reporting in benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace aqt {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void add(std::int64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 < q <= 1);
+  /// exact to within the bucket's factor-of-two width.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  /// One-line summary, e.g. "n=1000 mean=12.3 p50<=16 p99<=128 max=97".
+  [[nodiscard]] std::string summary() const;
+
+  /// Merges another histogram.
+  void merge(const Histogram& other);
+
+  /// Checkpoint plumbing: single-line serialization ("hist <fields...>").
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  /// Reads the fields after the "hist" tag (for callers that already
+  /// consumed it while scanning sections).
+  void load_body(std::istream& is);
+
+ private:
+  static std::size_t bucket_of(std::int64_t value);
+  static std::int64_t bucket_upper(std::size_t bucket);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace aqt

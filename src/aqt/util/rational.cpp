@@ -1,0 +1,144 @@
+#include "aqt/util/rational.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+namespace aqt {
+namespace {
+
+detail::i128 gcd128(detail::i128 a, detail::i128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    detail::i128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t narrow(detail::i128 v) {
+  AQT_CHECK(v >= std::numeric_limits<std::int64_t>::min() &&
+                v <= std::numeric_limits<std::int64_t>::max(),
+            "rational overflow");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Rat::Rat(std::int64_t p, std::int64_t q) : num_(p), den_(q) {
+  AQT_REQUIRE(q != 0, "rational with zero denominator");
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rat Rat::from_i128(detail::i128 p, detail::i128 q) {
+  AQT_CHECK(q != 0, "rational with zero denominator");
+  if (q < 0) {
+    p = -p;
+    q = -q;
+  }
+  const detail::i128 g = gcd128(p, q);
+  if (g > 1) {
+    p /= g;
+    q /= g;
+  }
+  return Rat(narrow(p), narrow(q));
+}
+
+Rat Rat::parse(const std::string& text) {
+  AQT_REQUIRE(!text.empty(), "empty rational literal");
+  const auto slash = text.find('/');
+  if (slash != std::string::npos) {
+    const std::int64_t p = std::stoll(text.substr(0, slash));
+    const std::int64_t q = std::stoll(text.substr(slash + 1));
+    return Rat(p, q);
+  }
+  const auto dot = text.find('.');
+  if (dot != std::string::npos) {
+    const std::string whole = text.substr(0, dot);
+    const std::string frac = text.substr(dot + 1);
+    AQT_REQUIRE(frac.size() <= 15, "decimal literal too precise: " << text);
+    std::int64_t den = 1;
+    for (std::size_t i = 0; i < frac.size(); ++i) den *= 10;
+    const bool neg = !whole.empty() && whole[0] == '-';
+    const std::int64_t w =
+        whole.empty() || whole == "-" ? 0 : std::stoll(whole);
+    const std::int64_t f = frac.empty() ? 0 : std::stoll(frac);
+    const std::int64_t p = w * den + (neg ? -f : (w < 0 ? -f : f));
+    return Rat(p, den);
+  }
+  return Rat(std::stoll(text), 1);
+}
+
+std::int64_t Rat::floor() const {
+  if (num_ >= 0) return num_ / den_;
+  return -((-num_ + den_ - 1) / den_);
+}
+
+std::int64_t Rat::ceil() const {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+std::int64_t Rat::floor_mul(std::int64_t k) const {
+  const detail::i128 p = static_cast<detail::i128>(num_) * k;
+  const detail::i128 q = den_;
+  if (p >= 0) return narrow(p / q);
+  return narrow(-((-p + q - 1) / q));
+}
+
+std::int64_t Rat::ceil_mul(std::int64_t k) const {
+  const detail::i128 p = static_cast<detail::i128>(num_) * k;
+  const detail::i128 q = den_;
+  if (p >= 0) return narrow((p + q - 1) / q);
+  return narrow(-((-p) / q));
+}
+
+Rat Rat::operator-() const { return Rat(-num_, den_); }
+
+Rat Rat::operator+(const Rat& o) const {
+  return from_i128(static_cast<detail::i128>(num_) * o.den_ +
+                       static_cast<detail::i128>(o.num_) * den_,
+                   static_cast<detail::i128>(den_) * o.den_);
+}
+
+Rat Rat::operator-(const Rat& o) const { return *this + (-o); }
+
+Rat Rat::operator*(const Rat& o) const {
+  return from_i128(static_cast<detail::i128>(num_) * o.num_,
+                   static_cast<detail::i128>(den_) * o.den_);
+}
+
+Rat Rat::operator/(const Rat& o) const {
+  AQT_REQUIRE(o.num_ != 0, "division by zero rational");
+  return from_i128(static_cast<detail::i128>(num_) * o.den_,
+                   static_cast<detail::i128>(den_) * o.num_);
+}
+
+std::strong_ordering Rat::operator<=>(const Rat& o) const {
+  const detail::i128 lhs = static_cast<detail::i128>(num_) * o.den_;
+  const detail::i128 rhs = static_cast<detail::i128>(o.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rat::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rat& r) {
+  return os << r.str();
+}
+
+}  // namespace aqt

@@ -1,0 +1,88 @@
+// Exact rational arithmetic for injection rates.
+//
+// Adversarial queuing theory constrains the adversary with expressions such
+// as "at most ceil(r * (t2 - t1 + 1)) packets requiring edge e in any
+// interval [t1, t2]".  Evaluating these with floating point invites
+// off-by-one errors exactly at the boundary cases the theory cares about, so
+// every rate in this library is an exact rational.  Numerators and
+// denominators stay tiny (rates are human-supplied, e.g. 3/5), so a plain
+// int64 representation with normalization is ample; all multiplications that
+// could overflow go through __int128.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace detail {
+// __extension__ silences -Wpedantic: __int128 is a GCC/Clang extension we
+// rely on for overflow-free cross multiplication of int64 rationals.
+__extension__ typedef __int128 i128;
+__extension__ typedef unsigned __int128 u128;
+}  // namespace detail
+
+/// An exact rational number p/q with q > 0, always stored in lowest terms.
+class Rat {
+ public:
+  /// Zero.
+  constexpr Rat() : num_(0), den_(1) {}
+
+  /// The integer n.
+  constexpr Rat(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(implicit)
+
+  /// p/q.  Requires q != 0; the sign is normalized onto the numerator.
+  Rat(std::int64_t p, std::int64_t q);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  /// Parses "p/q", "p" or a decimal such as "0.6" (exactly, base 10).
+  [[nodiscard]] static Rat parse(const std::string& text);
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// floor(p/q) for any sign.
+  [[nodiscard]] std::int64_t floor() const;
+  /// ceil(p/q) for any sign.
+  [[nodiscard]] std::int64_t ceil() const;
+
+  /// floor(this * k), computed exactly.
+  [[nodiscard]] std::int64_t floor_mul(std::int64_t k) const;
+  /// ceil(this * k), computed exactly.
+  [[nodiscard]] std::int64_t ceil_mul(std::int64_t k) const;
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  Rat operator-() const;
+  Rat operator+(const Rat& o) const;
+  Rat operator-(const Rat& o) const;
+  Rat operator*(const Rat& o) const;
+  Rat operator/(const Rat& o) const;
+
+  Rat& operator+=(const Rat& o) { return *this = *this + o; }
+  Rat& operator-=(const Rat& o) { return *this = *this - o; }
+  Rat& operator*=(const Rat& o) { return *this = *this * o; }
+  Rat& operator/=(const Rat& o) { return *this = *this / o; }
+
+  bool operator==(const Rat& o) const = default;
+  std::strong_ordering operator<=>(const Rat& o) const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static Rat from_i128(detail::i128 p, detail::i128 q);
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rat& r);
+
+}  // namespace aqt

@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (random traffic generators, the
+// RANDOM protocol, topology generators) draw from an explicitly-seeded
+// xoshiro256** generator.  Nothing in the library ever touches global or
+// time-seeded randomness, so every experiment is replayable bit-for-bit from
+// its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aqt {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli(p).
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A fresh generator derived from this one (for independent substreams).
+  Rng split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace aqt

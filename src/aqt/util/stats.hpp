@@ -1,0 +1,34 @@
+// Streaming summary statistics (Welford's algorithm) for multi-seed
+// experiment sweeps.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aqt {
+
+/// Accumulates count / mean / variance / min / max in one pass.
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const StatAccumulator& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace aqt

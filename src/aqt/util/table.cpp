@@ -1,0 +1,78 @@
+#include "aqt/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != 'e' &&
+        c != 'E' && c != '-' && c != '+' && c != '/' && c != 'x' && c != '%')
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> fields) {
+  AQT_REQUIRE(fields.size() == header_.size(),
+              "table row width " << fields.size() << " != header "
+                                 << header_.size());
+  rows_.push_back(std::move(fields));
+}
+
+std::string Table::cell(double v, int prec) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& r, bool align_numeric) {
+    os << "  ";
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      const auto pad = width[c] - r[c].size();
+      const bool right = align_numeric && looks_numeric(r[c]);
+      if (right) os << std::string(pad, ' ');
+      os << r[c];
+      if (!right) os << std::string(pad, ' ');
+      if (c + 1 < r.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit(header_, false);
+  os << "  ";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < width.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit(r, true);
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace aqt

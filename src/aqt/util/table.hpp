@@ -1,0 +1,49 @@
+// Fixed-width console table printer.
+//
+// Every bench binary prints one or more paper-style tables; this class keeps
+// the formatting consistent: column sizing from content, a rule under the
+// header, numbers right-aligned, text left-aligned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aqt {
+
+/// Collects rows, then renders with per-column auto width.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row (width must match the header).
+  void row(std::vector<std::string> fields);
+
+  template <typename... Ts>
+  void rowv(const Ts&... fields) {
+    row(std::vector<std::string>{cell(fields)...});
+  }
+
+  /// Renders to `os`.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v, int prec = 4);
+  static std::string cell(bool v) { return v ? "yes" : "no"; }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace aqt

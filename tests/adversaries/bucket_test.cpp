@@ -1,0 +1,181 @@
+#include "aqt/adversaries/bucket.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/rng.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket b(3, Rat(1, 2));
+  EXPECT_EQ(b.tokens(0), 3);
+  EXPECT_TRUE(b.can_spend(0));
+}
+
+TEST(TokenBucket, SpendAndRefill) {
+  TokenBucket b(2, Rat(1, 2));
+  b.spend(0);
+  b.spend(0);
+  EXPECT_FALSE(b.can_spend(0));
+  EXPECT_FALSE(b.can_spend(1));  // 0.5 tokens.
+  EXPECT_TRUE(b.can_spend(2));   // 1 token.
+  b.spend(2);
+  EXPECT_EQ(b.tokens(2), 0);
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket b(2, Rat(1));
+  EXPECT_EQ(b.tokens(100), 2);
+}
+
+TEST(TokenBucket, ExactRationalNoDrift) {
+  // Rate 1/3: after exactly 3k steps, exactly k tokens accrue.
+  TokenBucket b(1000, Rat(1, 3));
+  for (int i = 0; i < 999; ++i) b.spend(0);
+  EXPECT_EQ(b.tokens(0), 1);
+  EXPECT_EQ(b.tokens(299), 100);   // 1 + 299/3 = 100.666 -> floor 100.
+  EXPECT_EQ(b.tokens(300), 101);
+}
+
+TEST(TokenBucket, RejectsBackwardsTime) {
+  TokenBucket b(1, Rat(1, 2));
+  (void)b.can_spend(10);
+  EXPECT_THROW((void)b.can_spend(9), PreconditionError);
+}
+
+TEST(TokenBucket, RejectsBadParameters) {
+  EXPECT_THROW(TokenBucket(0, Rat(1, 2)), PreconditionError);
+  EXPECT_THROW(TokenBucket(1, Rat(0)), PreconditionError);
+}
+
+TEST(BucketCheck, WithinBudgetFeasible) {
+  // b=2, r=1/2: interval [1, 3] admits floor(2 + 1.5) = 3.
+  RateAudit a(1);
+  for (Time t : {1, 2, 3}) a.add_edge(0, t);
+  EXPECT_TRUE(check_bucket(a, 2, Rat(1, 2)).ok);
+}
+
+TEST(BucketCheck, BurstBeyondBudgetInfeasible) {
+  // 4 packets at one step vs floor(2 + 0.5) = 2; the checker reports the
+  // earliest witness — the third packet already breaks the budget.
+  RateAudit a(1);
+  for (int i = 0; i < 4; ++i) a.add_edge(0, 5);
+  const auto res = check_bucket(a, 2, Rat(1, 2));
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.count, 3);
+  EXPECT_EQ(res.budget, 2);
+  EXPECT_EQ(res.t1, 5);
+  EXPECT_EQ(res.t2, 5);
+}
+
+TEST(BucketCheck, LargerBurstForgivesWindowViolations) {
+  // Times {1,2,3} violate (w=6, r=1/3) windows (budget 2) but satisfy
+  // (b=2, r=1/3) buckets (budget floor(2+1)=3).
+  RateAudit a(1);
+  for (Time t : {1, 2, 3}) a.add_edge(0, t);
+  EXPECT_FALSE(check_window(a, 6, Rat(1, 3)).ok);
+  EXPECT_TRUE(check_bucket(a, 2, Rat(1, 3)).ok);
+}
+
+TEST(BucketCheck, AgreesWithBruteForce) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    RateAudit a(1);
+    std::vector<Time> times;
+    const int count = static_cast<int>(rng.range(1, 10));
+    for (int i = 0; i < count; ++i) times.push_back(rng.range(1, 15));
+    std::sort(times.begin(), times.end());
+    for (Time t : times) a.add_edge(0, t);
+    const std::int64_t burst = rng.range(1, 3);
+    const Rat r(static_cast<std::int64_t>(rng.range(1, 9)), 10);
+
+    bool brute_ok = true;
+    for (std::size_t i = 0; i < times.size(); ++i)
+      for (std::size_t j = i; j < times.size(); ++j) {
+        const std::int64_t budget =
+            (Rat(burst) + r * Rat(times[j] - times[i] + 1)).floor();
+        if (static_cast<std::int64_t>(j - i + 1) > budget) brute_ok = false;
+      }
+    EXPECT_EQ(check_bucket(a, burst, r).ok, brute_ok) << "trial " << trial;
+  }
+}
+
+TEST(BucketAdversary, TrafficIsBucketFeasibleByConstruction) {
+  const Graph g = make_grid(4, 4);
+  BucketAdversary::Config cfg;
+  cfg.burst = 3;
+  cfg.rate = Rat(1, 5);
+  cfg.max_route_len = 3;
+  cfg.seed = 9;
+  BucketAdversary adv(g, cfg);
+  FifoProtocol fifo;
+  EngineConfig ec;
+  ec.audit_rates = true;
+  Engine eng(g, fifo, ec);
+  eng.run(&adv, 2000);
+  eng.finalize_audit();
+  const auto res = check_bucket(eng.audit(), cfg.burst, cfg.rate);
+  EXPECT_TRUE(res.ok) << res.describe(g);
+  EXPECT_GT(adv.injected(), 200u);
+}
+
+TEST(BucketAdversary, BurstAllowsOpeningPileup) {
+  // With burst b, the very first step can put b packets on one edge —
+  // which no (w, r) generator with floor(w*r) < b could.
+  const Graph g = make_line(2);
+  BucketAdversary::Config cfg;
+  cfg.burst = 4;
+  cfg.rate = Rat(1, 10);
+  cfg.max_route_len = 1;
+  cfg.seed = 1;
+  cfg.attempts_per_step = 20;
+  BucketAdversary adv(g, cfg);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  eng.step(&adv);
+  EXPECT_GE(eng.total_injected(), 4u);
+}
+
+TEST(BucketAdversary, DeterministicForSeed) {
+  const Graph g = make_grid(3, 3);
+  auto run = [&](std::uint64_t seed) {
+    BucketAdversary::Config cfg;
+    cfg.burst = 2;
+    cfg.rate = Rat(1, 4);
+    cfg.max_route_len = 3;
+    cfg.seed = seed;
+    BucketAdversary adv(g, cfg);
+    FifoProtocol fifo;
+    Engine eng(g, fifo);
+    eng.run(&adv, 500);
+    return eng.total_injected();
+  };
+  EXPECT_EQ(run(4), run(4));
+  EXPECT_NE(run(4), run(5));
+}
+
+TEST(BucketAdversary, StabilityBoundHoldsAtLowRate) {
+  // (b, r) traffic with r <= 1/(d+1) still keeps buffers small in practice
+  // (the Theorem 4.1 residence bound is stated for (w, r) adversaries, but
+  // bounded-burst traffic at low rate behaves comparably: residence stays
+  // within b + ceil that the burst can stack).
+  const Graph g = make_grid(4, 4);
+  BucketAdversary::Config cfg;
+  cfg.burst = 2;
+  cfg.rate = Rat(1, 5);
+  cfg.max_route_len = 4;
+  cfg.seed = 21;
+  BucketAdversary adv(g, cfg);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  eng.run(&adv, 4000);
+  EXPECT_LE(eng.metrics().max_queue_global(), 8u);
+}
+
+}  // namespace
+}  // namespace aqt

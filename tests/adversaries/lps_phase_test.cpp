@@ -1,0 +1,148 @@
+#include "aqt/adversaries/lps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/core/protocol.hpp"
+
+namespace aqt {
+namespace {
+
+LpsConfig small_config(const Rat& r) {
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;  // Unit tests run far below S0.
+  return cfg;
+}
+
+TEST(LpsConfigTest, DerivedFromRate) {
+  const LpsConfig cfg = make_lps_config(Rat(7, 10));
+  EXPECT_NEAR(cfg.eps(), 0.2, 1e-12);
+  const LpsParams p = lps_params(0.2);
+  EXPECT_EQ(cfg.n, p.n);
+  EXPECT_EQ(cfg.s0, p.s0);
+  EXPECT_TRUE(cfg.enforce_s0);
+}
+
+TEST(LpsConfigTest, RejectsOutOfRangeRates) {
+  EXPECT_THROW(make_lps_config(Rat(1, 2)), PreconditionError);
+  EXPECT_THROW(make_lps_config(Rat(1)), PreconditionError);
+  EXPECT_THROW(make_lps_config(Rat(2, 5)), PreconditionError);
+}
+
+TEST(LpsSetup, FlatQueuePlacesSingleEdgePackets) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_closed_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_flat_queue(eng, net, 0, 25);
+  EXPECT_EQ(eng.queue_size(net.gadgets[0].ingress), 25u);
+  EXPECT_EQ(eng.packets_in_flight(), 25u);
+}
+
+TEST(LpsSetup, GadgetInvariantMatchesInspection) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 40;
+  setup_gadget_invariant(eng, net, 0, S);
+  const GadgetInvariantReport rep = inspect_gadget(eng, net, 0);
+  EXPECT_EQ(rep.e_total, S);
+  EXPECT_EQ(rep.ingress_count, S);
+  EXPECT_EQ(rep.empty_e_buffers, 0);
+  EXPECT_TRUE(rep.routes_ok());
+  EXPECT_EQ(rep.stray_packets, 0);
+  EXPECT_EQ(rep.S(), S);
+}
+
+TEST(LpsSetup, GadgetInvariantRequiresSAboveN) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  EXPECT_THROW(setup_gadget_invariant(eng, net, 0, cfg.n - 1),
+               PreconditionError);
+}
+
+TEST(LpsSetup, InspectDetectsBrokenRoutes) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  // A packet on e_1 whose route stops short of the egress.
+  Route wrong = net.e_route(0, 1);
+  wrong.pop_back();
+  eng.add_initial_packet(wrong);
+  const GadgetInvariantReport rep = inspect_gadget(eng, net, 0);
+  EXPECT_FALSE(rep.routes_ok());
+}
+
+TEST(LpsSetup, InspectCountsStrays) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  eng.add_initial_packet({net.gadgets[0].f_path[0]});
+  EXPECT_EQ(inspect_gadget(eng, net, 0).stray_packets, 1);
+}
+
+TEST(LpsPhaseMechanics, ConfigMustMatchNetwork) {
+  LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n + 1, 2);  // Wrong n.
+  EXPECT_THROW(LpsBootstrap(net, cfg, 0), PreconditionError);
+}
+
+TEST(LpsPhaseMechanics, HandoffNeedsSuccessor) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  EXPECT_THROW(LpsHandoff(net, cfg, 1), PreconditionError);
+  EXPECT_NO_THROW(LpsHandoff(net, cfg, 0));
+}
+
+TEST(LpsPhaseMechanics, StitchNeedsClosedChain) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets open = build_chain(cfg.n, 2);
+  EXPECT_THROW(LpsStitch(open, cfg), PreconditionError);
+}
+
+TEST(LpsPhaseMechanics, BootstrapEndsAtTwoSPlusN) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 60;
+  setup_flat_queue(eng, net, 0, 2 * S);
+  LpsBootstrap phase(net, cfg, 0);
+  eng.step(&phase);
+  EXPECT_EQ(phase.measured_s(), S);
+  EXPECT_EQ(phase.end_time(), 2 * S + cfg.n);
+  EXPECT_FALSE(phase.finished(2 * S + cfg.n));
+  EXPECT_TRUE(phase.finished(2 * S + cfg.n + 1));
+}
+
+TEST(LpsPhaseMechanics, BootstrapEnforcesS0ByDefault) {
+  LpsConfig cfg = make_lps_config(Rat(7, 10));  // enforce_s0 = true.
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_flat_queue(eng, net, 0, 10);  // Far below 2*S0.
+  LpsBootstrap phase(net, cfg, 0);
+  EXPECT_THROW(eng.step(&phase), PreconditionError);
+}
+
+TEST(LpsPhaseMechanics, DrainInjectsNothing) {
+  const LpsConfig cfg = small_config(Rat(7, 10));
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_gadget_invariant(eng, net, 0, 30);
+  LpsDrain drain(net, cfg, 0);
+  eng.run(&drain, 30 + cfg.n);
+  EXPECT_EQ(eng.total_injected(), 60u);  // Only the initial configuration.
+  EXPECT_TRUE(drain.finished(eng.now() + 1));
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,127 @@
+#include "aqt/adversaries/pacer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/core/rate_check.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Pacer, CumulativeFloorQuota) {
+  RatePacer p(Rat(3, 5), /*start=*/1, /*total=*/-1);
+  std::int64_t cum = 0;
+  for (Time t = 1; t <= 20; ++t) {
+    cum += p.due(t);
+    EXPECT_EQ(cum, (3 * t) / 5) << t;
+  }
+}
+
+TEST(Pacer, NothingBeforeStart) {
+  RatePacer p(Rat(1, 2), /*start=*/10, /*total=*/5);
+  for (Time t = 1; t < 10; ++t) EXPECT_EQ(p.due(t), 0) << t;
+  EXPECT_EQ(p.emitted(), 0);
+}
+
+TEST(Pacer, TotalCapRespected) {
+  RatePacer p(Rat(1, 1), /*start=*/1, /*total=*/3);
+  std::int64_t cum = 0;
+  for (Time t = 1; t <= 10; ++t) cum += p.due(t);
+  EXPECT_EQ(cum, 3);
+  EXPECT_TRUE(p.exhausted());
+}
+
+TEST(Pacer, UnboundedNeverExhausts) {
+  RatePacer p(Rat(1, 2), 1, -1);
+  (void)p.due(100);
+  EXPECT_FALSE(p.exhausted());
+  EXPECT_EQ(p.emitted(), 50);
+}
+
+TEST(Pacer, ZeroTotalImmediatelyExhausted) {
+  RatePacer p(Rat(1, 2), 1, 0);
+  EXPECT_TRUE(p.exhausted());
+  EXPECT_EQ(p.due(5), 0);
+}
+
+TEST(Pacer, SkippingStepsCatchesUp) {
+  // due() may be called sparsely; the cumulative quota is preserved.
+  RatePacer p(Rat(3, 5), 1, -1);
+  EXPECT_EQ(p.due(10), 6);  // floor(30/5).
+  EXPECT_EQ(p.due(11), 0);  // floor(33/5) = 6.
+  EXPECT_EQ(p.due(20), 6);  // floor(60/5) - 6.
+}
+
+TEST(Pacer, RateAboveOneEmitsBursts) {
+  RatePacer p(Rat(5, 2), 1, -1);
+  EXPECT_EQ(p.due(1), 2);
+  EXPECT_EQ(p.due(2), 3);
+  EXPECT_EQ(p.due(3), 2);
+}
+
+TEST(Pacer, CompletionTime) {
+  // total/r steps, rounded up: 7 packets at 3/5 -> ceil(35/3) = 12 steps.
+  RatePacer p(Rat(3, 5), 1, 7);
+  EXPECT_EQ(p.completion_time(), 12);
+  std::int64_t cum = 0;
+  for (Time t = 1; t <= 12; ++t) cum += p.due(t);
+  EXPECT_EQ(cum, 7);
+  // And it was not complete one step earlier.
+  RatePacer q(Rat(3, 5), 1, 7);
+  cum = 0;
+  for (Time t = 1; t <= 11; ++t) cum += q.due(t);
+  EXPECT_LT(cum, 7);
+}
+
+TEST(Pacer, CompletionTimeZeroTotal) {
+  RatePacer p(Rat(1, 2), 5, 0);
+  EXPECT_EQ(p.completion_time(), 5);
+}
+
+TEST(Pacer, CompletionTimePreconditions) {
+  RatePacer unbounded(Rat(1, 2), 1, -1);
+  EXPECT_THROW((void)unbounded.completion_time(), PreconditionError);
+  RatePacer zero_rate(Rat(0), 1, 3);
+  EXPECT_THROW((void)zero_rate.completion_time(), PreconditionError);
+}
+
+TEST(Pacer, NegativeRateThrows) {
+  EXPECT_THROW(RatePacer(Rat(-1, 2), 1, 1), PreconditionError);
+}
+
+// Property: a paced stream is rate-feasible; two disjoint streams compose.
+class PacerFeasibility : public ::testing::TestWithParam<Rat> {};
+
+TEST_P(PacerFeasibility, SingleStreamIsRateFeasible) {
+  const Rat r = GetParam();
+  RatePacer p(r, 1, -1);
+  RateAudit audit(1);
+  for (Time t = 1; t <= 500; ++t) {
+    const std::int64_t k = p.due(t);
+    for (std::int64_t i = 0; i < k; ++i) audit.add_edge(0, t);
+  }
+  EXPECT_TRUE(check_rate_r(audit, r).ok) << r;
+}
+
+TEST_P(PacerFeasibility, BackToBackStreamsCompose) {
+  const Rat r = GetParam();
+  RateAudit audit(1);
+  RatePacer a(r, 1, 40);
+  RatePacer b(r, a.completion_time() + 1, 40);
+  const Time horizon = b.completion_time() + 5;
+  for (Time t = 1; t <= horizon; ++t) {
+    for (std::int64_t i = 0; i < a.due(t); ++i) audit.add_edge(0, t);
+    for (std::int64_t i = 0; i < b.due(t); ++i) audit.add_edge(0, t);
+  }
+  EXPECT_EQ(a.emitted() + b.emitted(), 80);
+  EXPECT_TRUE(check_rate_r(audit, r).ok) << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PacerFeasibility,
+                         ::testing::Values(Rat(1, 2), Rat(51, 100),
+                                           Rat(3, 5), Rat(7, 10), Rat(2, 3),
+                                           Rat(9, 10), Rat(1, 7)));
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,211 @@
+#include "aqt/adversaries/scripted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt {
+namespace {
+
+class ScriptedTest : public ::testing::Test {
+ protected:
+  ScriptedTest() : g_(make_line(3)) {}
+  Route edge(const char* name) { return {g_.edge_by_name(name)}; }
+
+  Graph g_;
+  FifoProtocol fifo_;
+};
+
+TEST_F(ScriptedTest, InjectsAtScheduledSteps) {
+  Engine eng(g_, fifo_);
+  ScriptedAdversary adv;
+  adv.inject_at(2, edge("l0"));
+  adv.inject_at(2, edge("l1"));
+  adv.inject_at(4, edge("l2"));
+  eng.step(&adv);
+  EXPECT_EQ(eng.total_injected(), 0u);
+  eng.step(&adv);
+  EXPECT_EQ(eng.total_injected(), 2u);
+  eng.step(&adv);
+  eng.step(&adv);
+  EXPECT_EQ(eng.total_injected(), 3u);
+}
+
+TEST_F(ScriptedTest, FinishedAfterLastEvent) {
+  ScriptedAdversary adv;
+  adv.inject_at(5, edge("l0"));
+  EXPECT_FALSE(adv.finished(5));
+  EXPECT_TRUE(adv.finished(6));
+}
+
+TEST_F(ScriptedTest, EmptyScriptIsImmediatelyFinished) {
+  ScriptedAdversary adv;
+  EXPECT_TRUE(adv.finished(1));
+}
+
+TEST_F(ScriptedTest, RejectsPreStartEvents) {
+  ScriptedAdversary adv;
+  EXPECT_THROW(adv.inject_at(0, edge("l0")), PreconditionError);
+  EXPECT_THROW(adv.reroute_at(0, 0, {}), PreconditionError);
+}
+
+TEST_F(ScriptedTest, StreamAdversaryPacesInjections) {
+  Engine eng(g_, fifo_);
+  StreamAdversary adv;
+  adv.add_stream(edge("l0"), Rat(1, 2), 1, 5);
+  eng.run(&adv, 10);
+  EXPECT_EQ(eng.total_injected(), 5u);
+  EXPECT_TRUE(adv.finished(11));
+}
+
+TEST_F(ScriptedTest, StreamAdversaryMultipleStreams) {
+  Engine eng(g_, fifo_);
+  StreamAdversary adv;
+  adv.add_stream(edge("l0"), Rat(1, 2), 1, 3);
+  adv.add_stream(edge("l2"), Rat(1, 3), 1, 2);
+  eng.run(&adv, 12);
+  EXPECT_EQ(eng.total_injected(), 5u);
+}
+
+TEST_F(ScriptedTest, StreamAdversaryZeroTotalFinishes) {
+  StreamAdversary adv;
+  adv.add_stream(edge("l0"), Rat(1, 2), 1, 0);
+  EXPECT_TRUE(adv.finished(1));
+}
+
+TEST_F(ScriptedTest, SequenceRunsStagesBackToBack) {
+  Engine eng(g_, fifo_);
+  SequenceAdversary seq;
+  auto first = std::make_unique<ScriptedAdversary>();
+  first->inject_at(1, edge("l0"), /*tag=*/1);
+  auto second = std::make_unique<ScriptedAdversary>();
+  second->inject_at(3, edge("l0"), /*tag=*/2);
+  seq.append(std::move(first));
+  seq.append(std::move(second));
+
+  eng.step(&seq);
+  EXPECT_EQ(eng.total_injected(), 1u);
+  EXPECT_EQ(seq.stage(), 0u);
+  eng.step(&seq);  // Stage 0 finished; stage 1 takes over.
+  EXPECT_EQ(seq.stage(), 1u);
+  eng.step(&seq);
+  EXPECT_EQ(eng.total_injected(), 2u);
+  eng.step(&seq);
+  EXPECT_TRUE(seq.finished(eng.now()));
+}
+
+TEST_F(ScriptedTest, SequenceSkipsAlreadyFinishedStages) {
+  Engine eng(g_, fifo_);
+  SequenceAdversary seq;
+  seq.append(std::make_unique<ScriptedAdversary>());  // Empty: finished.
+  auto active = std::make_unique<ScriptedAdversary>();
+  active->inject_at(1, edge("l1"));
+  seq.append(std::move(active));
+  eng.step(&seq);
+  EXPECT_EQ(eng.total_injected(), 1u);
+}
+
+TEST_F(ScriptedTest, SequenceNullStageThrows) {
+  SequenceAdversary seq;
+  EXPECT_THROW(seq.append(nullptr), PreconditionError);
+}
+
+TEST_F(ScriptedTest, DelayShiftsInnerClock) {
+  Engine eng(g_, fifo_);
+  auto inner = std::make_unique<ScriptedAdversary>();
+  inner->inject_at(2, edge("l0"));
+  DelayAdversary delayed(std::move(inner), /*delay=*/5);
+  eng.run(&delayed, 6);
+  EXPECT_EQ(eng.total_injected(), 0u);  // Inner step 2 = outer step 7.
+  eng.step(&delayed);
+  EXPECT_EQ(eng.total_injected(), 1u);
+  EXPECT_TRUE(delayed.finished(8));
+  EXPECT_FALSE(delayed.finished(7));
+}
+
+TEST_F(ScriptedTest, DelayZeroIsTransparent) {
+  Engine eng(g_, fifo_);
+  auto inner = std::make_unique<ScriptedAdversary>();
+  inner->inject_at(1, edge("l1"));
+  DelayAdversary delayed(std::move(inner), 0);
+  eng.step(&delayed);
+  EXPECT_EQ(eng.total_injected(), 1u);
+}
+
+TEST_F(ScriptedTest, DelayValidatesArguments) {
+  EXPECT_THROW(DelayAdversary(nullptr, 1), PreconditionError);
+  EXPECT_THROW(DelayAdversary(std::make_unique<ScriptedAdversary>(), -1),
+               PreconditionError);
+}
+
+TEST_F(ScriptedTest, MergeRunsMembersTogether) {
+  Engine eng(g_, fifo_);
+  MergeAdversary merge;
+  auto a = std::make_unique<ScriptedAdversary>();
+  a->inject_at(1, edge("l0"), 1);
+  auto b = std::make_unique<ScriptedAdversary>();
+  b->inject_at(1, edge("l1"), 2);
+  b->inject_at(3, edge("l2"), 3);
+  merge.add(std::move(a));
+  merge.add(std::move(b));
+  eng.step(&merge);
+  EXPECT_EQ(eng.total_injected(), 2u);
+  EXPECT_FALSE(merge.finished(2));
+  eng.step(&merge);
+  eng.step(&merge);
+  EXPECT_EQ(eng.total_injected(), 3u);
+  EXPECT_TRUE(merge.finished(4));
+}
+
+TEST_F(ScriptedTest, MergePreservesMemberOrder) {
+  Engine eng(g_, fifo_);
+  MergeAdversary merge;
+  auto a = std::make_unique<ScriptedAdversary>();
+  a->inject_at(1, edge("l0"), 1);
+  auto b = std::make_unique<ScriptedAdversary>();
+  b->inject_at(1, edge("l0"), 2);
+  merge.add(std::move(a));
+  merge.add(std::move(b));
+  eng.step(&merge);
+  // Member a's packet was sequenced first: FIFO front has tag 1.
+  EXPECT_EQ(eng.packet(eng.buffer(g_.edge_by_name("l0")).front().packet).tag,
+            1u);
+}
+
+TEST_F(ScriptedTest, MergeRejectsNull) {
+  MergeAdversary merge;
+  EXPECT_THROW(merge.add(nullptr), PreconditionError);
+}
+
+TEST_F(ScriptedTest, CombinatorsCompose) {
+  // Two convoys on disjoint edges, one delayed: merged traffic stays
+  // window-feasible per edge.
+  Engine eng(g_, fifo_);
+  MergeAdversary merge;
+  auto c1 = std::make_unique<ScriptedAdversary>();
+  auto c2 = std::make_unique<ScriptedAdversary>();
+  for (Time t = 1; t <= 20; t += 4) {
+    c1->inject_at(t, edge("l0"));
+    c2->inject_at(t, edge("l2"));
+  }
+  merge.add(std::move(c1));
+  merge.add(std::make_unique<DelayAdversary>(std::move(c2), 2));
+  eng.run(&merge, 30);
+  EXPECT_EQ(eng.total_injected(), 10u);
+  EXPECT_EQ(eng.packets_in_flight(), 0u);
+}
+
+TEST_F(ScriptedTest, NullAdversaryDoesNothing) {
+  Engine eng(g_, fifo_);
+  NullAdversary adv;
+  eng.run(&adv, 5);
+  EXPECT_EQ(eng.total_injected(), 0u);
+  EXPECT_TRUE(adv.finished(1));
+}
+
+}  // namespace
+}  // namespace aqt

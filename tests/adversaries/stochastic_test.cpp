@@ -1,0 +1,132 @@
+#include "aqt/adversaries/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt {
+namespace {
+
+StochasticConfig base_config() {
+  StochasticConfig cfg;
+  cfg.w = 12;
+  cfg.r = Rat(1, 4);
+  cfg.max_route_len = 3;
+  cfg.seed = 7;
+  cfg.attempts_per_step = 4;
+  return cfg;
+}
+
+TEST(Stochastic, GeneratedTrafficIsWindowFeasible) {
+  const Graph g = make_grid(4, 4);
+  const StochasticConfig cfg = base_config();
+  StochasticAdversary adv(g, cfg);
+  FifoProtocol fifo;
+  EngineConfig ec;
+  ec.audit_rates = true;
+  Engine eng(g, fifo, ec);
+  eng.run(&adv, 400);
+  eng.finalize_audit();
+  const auto res = check_window(eng.audit(), cfg.w, cfg.r);
+  EXPECT_TRUE(res.ok) << res.describe(g);
+  EXPECT_GT(adv.injected(), 100u);
+}
+
+TEST(Stochastic, RoutesAreSimpleAndBounded) {
+  const Graph g = make_grid(4, 4);
+  StochasticConfig cfg = base_config();
+  cfg.max_route_len = 4;
+  StochasticAdversary adv(g, cfg);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);  // validate_routes on: throws on non-simple routes.
+  EXPECT_NO_THROW(eng.run(&adv, 300));
+  EXPECT_LE(adv.longest_route(), 4);
+  EXPECT_GE(adv.longest_route(), 1);
+}
+
+TEST(Stochastic, DeterministicForSeed) {
+  const Graph g = make_grid(3, 3);
+  auto run = [&](std::uint64_t seed) {
+    StochasticConfig cfg = base_config();
+    cfg.seed = seed;
+    StochasticAdversary adv(g, cfg);
+    FifoProtocol fifo;
+    Engine eng(g, fifo);
+    eng.run(&adv, 200);
+    return eng.total_injected();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Stochastic, HotspotModeRoutesThroughOneEdge) {
+  const Graph g = make_grid(3, 3);
+  StochasticConfig cfg = base_config();
+  cfg.mode = StochasticConfig::Mode::kHotspot;
+  StochasticAdversary adv(g, cfg);
+  FifoProtocol fifo;
+  EngineConfig ec;
+  ec.audit_rates = true;
+  Engine eng(g, fifo, ec);
+  eng.run(&adv, 300);
+  eng.finalize_audit();
+  // One edge carries every injection.
+  bool some_edge_has_all = false;
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    if (eng.audit().times(e).size() == adv.injected())
+      some_edge_has_all = true;
+  EXPECT_TRUE(some_edge_has_all);
+  EXPECT_GT(adv.injected(), 0u);
+}
+
+TEST(Stochastic, ZeroBudgetThrows) {
+  const Graph g = make_line(3);
+  StochasticConfig cfg = base_config();
+  cfg.w = 2;
+  cfg.r = Rat(1, 4);  // floor(2/4) = 0.
+  EXPECT_THROW(StochasticAdversary(g, cfg), PreconditionError);
+}
+
+TEST(Convoy, BurstPatternIsWindowFeasible) {
+  const Graph g = make_line(5);
+  Route path;
+  for (EdgeId e = 0; e < 5; ++e) path.push_back(e);
+  const std::int64_t w = 10;
+  const Rat r(3, 10);
+  ConvoyAdversary adv(path, w, r);
+  FifoProtocol fifo;
+  EngineConfig ec;
+  ec.audit_rates = true;
+  Engine eng(g, fifo, ec);
+  eng.run(&adv, 200);
+  eng.finalize_audit();
+  EXPECT_TRUE(check_window(eng.audit(), w, r).ok);
+  // 3 per aligned window over 200 steps = 60 packets.
+  EXPECT_EQ(eng.total_injected(), 60u);
+}
+
+TEST(Convoy, UsesFullBudgetEveryWindow) {
+  const Graph g = make_line(2);
+  ConvoyAdversary adv({0, 1}, /*w=*/4, Rat(1, 2));
+  FifoProtocol fifo;
+  EngineConfig ec;
+  ec.audit_rates = true;
+  Engine eng(g, fifo, ec);
+  eng.run(&adv, 40);
+  eng.finalize_audit();
+  // floor(4 * 1/2) = 2 per window, 10 windows.
+  EXPECT_EQ(eng.total_injected(), 20u);
+  EXPECT_TRUE(check_window(eng.audit(), 4, Rat(1, 2)).ok);
+}
+
+TEST(Convoy, EmptyPathThrows) {
+  EXPECT_THROW(ConvoyAdversary({}, 4, Rat(1, 2)), PreconditionError);
+  EXPECT_THROW(ConvoyAdversary({0}, 0, Rat(1, 2)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,110 @@
+#include "aqt/analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/topology/gadget.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Bounds, NetworkParams) {
+  const NetworkParams p = network_params(make_in_tree(3));
+  EXPECT_EQ(p.m, 14);
+  EXPECT_EQ(p.alpha, 2);
+}
+
+TEST(Bounds, Thresholds) {
+  EXPECT_EQ(greedy_threshold(4), Rat(1, 5));
+  EXPECT_EQ(time_priority_threshold(4), Rat(1, 4));
+  EXPECT_EQ(diaz_fifo_threshold(4, 10, 2), Rat(1, 160));
+  EXPECT_EQ(borodin_greedy_threshold(10), Rat(1, 10));
+}
+
+TEST(Bounds, PaperBeatsPriorBoundsOnGadgetNetworks) {
+  // The paper's 1/d threshold dominates Diaz et al.'s 1/(2dm*alpha) and
+  // Borodin's 1/m whenever m*alpha > 1 — check on the actual LPS networks.
+  for (std::int64_t M : {2, 4, 8}) {
+    const ChainedGadgets net = build_closed_chain(4, M);
+    const NetworkParams p = network_params(net.graph);
+    const std::int64_t d = lps_longest_route(net);
+    EXPECT_GT(time_priority_threshold(d), diaz_fifo_threshold(d, p.m, p.alpha))
+        << M;
+    EXPECT_GT(greedy_threshold(d), diaz_fifo_threshold(d, p.m, p.alpha)) << M;
+    // d < m on these networks, so 1/d > 1/m too.
+    EXPECT_GT(time_priority_threshold(d), borodin_greedy_threshold(p.m)) << M;
+  }
+}
+
+TEST(Bounds, ResidenceBound) {
+  EXPECT_EQ(residence_bound(10, Rat(1, 3)), 4);   // ceil(10/3).
+  EXPECT_EQ(residence_bound(9, Rat(1, 3)), 3);    // Exact.
+  EXPECT_EQ(residence_bound(1, Rat(1, 5)), 1);    // ceil(1/5).
+}
+
+TEST(Bounds, ResidenceBoundInvalidWindow) {
+  EXPECT_THROW(residence_bound(0, Rat(1, 2)), PreconditionError);
+}
+
+TEST(Bounds, TheoremCountingIdentityAtThreshold) {
+  // The stability proofs hinge on ceil((d+1) r) * ceil(w r) <= ceil(w r)
+  // when r <= 1/(d+1): the first factor must be exactly 1.
+  for (std::int64_t d = 1; d <= 12; ++d) {
+    const Rat r = greedy_threshold(d);
+    EXPECT_EQ(r.ceil_mul(d + 1), 1) << d;
+    const Rat tp = time_priority_threshold(d);
+    EXPECT_EQ(tp.ceil_mul(d), 1) << d;
+  }
+}
+
+TEST(Bounds, Observation44WStar) {
+  // w* = ceil((S + w + 1)/(r* - r)).
+  EXPECT_EQ(observation44_w_star(10, 5, Rat(1, 4), Rat(1, 2)), 64);
+  EXPECT_EQ(observation44_w_star(0, 1, Rat(0), Rat(1, 2)), 4);
+}
+
+TEST(Bounds, Observation44RequiresLargerRate) {
+  EXPECT_THROW(observation44_w_star(1, 1, Rat(1, 2), Rat(1, 2)),
+               PreconditionError);
+  EXPECT_THROW(observation44_w_star(1, 1, Rat(1, 2), Rat(1, 4)),
+               PreconditionError);
+}
+
+TEST(Bounds, Corollary45Bound) {
+  // S=10, w=5, r=1/8, d=3: threshold 1/4, gap 1/8,
+  // w* = ceil(16/(1/8)) = 128, bound = ceil(128/4) = 32.
+  EXPECT_EQ(corollary45_residence_bound(10, 5, Rat(1, 8), 3), 32);
+}
+
+TEST(Bounds, Corollary46Bound) {
+  // Same numbers with threshold 1/d = 1/3: gap = 1/3 - 1/8 = 5/24,
+  // w* = ceil(16 * 24/5) = 77, bound = ceil(77/3) = 26.
+  EXPECT_EQ(corollary46_residence_bound(10, 5, Rat(1, 8), 3), 26);
+}
+
+TEST(Bounds, CorollariesRequireStrictlyBelowThreshold) {
+  EXPECT_THROW(corollary45_residence_bound(1, 1, Rat(1, 4), 3),
+               PreconditionError);
+  EXPECT_THROW(corollary46_residence_bound(1, 1, Rat(1, 3), 3),
+               PreconditionError);
+}
+
+TEST(Bounds, Corollary46TighterThan45) {
+  // For the same (S, w, r, d) the time-priority bound is never worse.
+  for (std::int64_t d = 2; d <= 6; ++d) {
+    const Rat r(1, 2 * (d + 1));
+    EXPECT_LE(corollary46_residence_bound(20, 10, r, d),
+              corollary45_residence_bound(20, 10, r, d))
+        << d;
+  }
+}
+
+TEST(Bounds, QueueBoundFromResidence) {
+  // B = ceil(w r); occupancy <= ceil(r (dB + w)).
+  EXPECT_EQ(queue_bound_from_residence(12, Rat(1, 4), 3), 6);
+}
+
+}  // namespace
+}  // namespace aqt

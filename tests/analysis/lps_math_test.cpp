@@ -1,0 +1,212 @@
+#include "aqt/analysis/lps_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include <cmath>
+
+namespace aqt {
+namespace {
+
+TEST(LpsMath, R1IsOne) {
+  for (double r : {0.51, 0.6, 0.7, 0.9})
+    EXPECT_DOUBLE_EQ(lps_R(r, 1), 1.0) << r;
+}
+
+TEST(LpsMath, RiDecreasesInI) {
+  const double r = 0.7;
+  for (int i = 1; i < 20; ++i) EXPECT_GT(lps_R(r, i), lps_R(r, i + 1));
+}
+
+TEST(LpsMath, RiConvergesToOneMinusR) {
+  const double r = 0.6;
+  EXPECT_NEAR(lps_R(r, 200), 1.0 - r, 1e-12);
+}
+
+TEST(LpsMath, Identity31Holds) {
+  // Equation (3.1): R_i / (r + R_i) = R_{i+1}.
+  for (double r : {0.55, 0.6, 0.7, 0.8}) {
+    for (int i = 1; i <= 15; ++i) {
+      const double Ri = lps_R(r, i);
+      EXPECT_NEAR(Ri / (r + Ri), lps_R(r, i + 1), 1e-12)
+          << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(LpsMath, InvalidArgumentsThrow) {
+  EXPECT_THROW(lps_R(0.6, 0), PreconditionError);
+  EXPECT_THROW(lps_R(1.0, 3), PreconditionError);
+  EXPECT_THROW(lps_R(0.0, 3), PreconditionError);
+  EXPECT_THROW(lps_params(0.0), PreconditionError);
+  EXPECT_THROW(lps_params(0.5), PreconditionError);
+}
+
+TEST(LpsMath, ParamsSatisfyProofConstraints) {
+  for (double eps : {0.05, 0.1, 0.2, 0.3}) {
+    const LpsParams p = lps_params(eps);
+    const double r = 0.5 + eps;
+    // n > (log eps - 2)/log r and n > 1 - 1/log r.
+    EXPECT_GT(p.n, (std::log2(eps) - 2.0) / std::log2(r)) << eps;
+    EXPECT_GT(static_cast<double>(p.n), 1.0 - 1.0 / std::log2(r)) << eps;
+    // Consequences used in the proof: r^n < 1/2 and 4 r^n < eps.
+    const double rn = std::pow(r, static_cast<double>(p.n));
+    EXPECT_LT(rn, 0.5) << eps;
+    EXPECT_LT(4.0 * rn, eps) << eps;
+    // S0 constraints.
+    EXPECT_GT(p.s0, 2 * p.n) << eps;
+    EXPECT_GT(static_cast<double>(p.s0),
+              static_cast<double>(p.n) /
+                  (2.0 * (lps_R(r, p.n) - lps_R(r, p.n + 1))))
+        << eps;
+  }
+}
+
+TEST(LpsMath, SPrimeBeatsOnePlusEps) {
+  // The core amplification: S' = 2S(1-R_n) >= S(1+eps) for valid n.
+  for (double eps : {0.05, 0.1, 0.2}) {
+    const LpsParams p = lps_params(eps);
+    const double S = static_cast<double>(4 * p.s0);
+    EXPECT_GE(lps_s_prime(S, p.r, p.n), S * (1.0 + eps) - 1e-6) << eps;
+  }
+}
+
+TEST(LpsMath, Claim37XBounds) {
+  // 0 < X <= rS for S >= S0.
+  for (double eps : {0.05, 0.1, 0.2}) {
+    const LpsParams p = lps_params(eps);
+    for (double S :
+         {static_cast<double>(p.s0 + 1), static_cast<double>(4 * p.s0)}) {
+      const double X = lps_X(S, p.r, p.n);
+      EXPECT_GT(X, 0.0) << "eps=" << eps << " S=" << S;
+      EXPECT_LE(X, p.r * S) << "eps=" << eps << " S=" << S;
+    }
+  }
+}
+
+TEST(LpsMath, TiIncreasesInI) {
+  const double r = 0.7;
+  const double S = 1000;
+  for (int i = 1; i < 10; ++i)
+    EXPECT_LT(lps_t(S, r, i), lps_t(S, r, i + 1));
+}
+
+TEST(LpsMath, T1IsSOverEpsPlusOne) {
+  // t_1 = 2S/(r+1).
+  EXPECT_NEAR(lps_t(500, 0.7, 1), 1000.0 / 1.7, 1e-9);
+}
+
+TEST(LpsMath, QnAtLeastNForValidS) {
+  // Claim 3.11's conclusion: Q_n = 2S(R_n - R_{n+1}) >= n for S >= S0.
+  for (double eps : {0.1, 0.2}) {
+    const LpsParams p = lps_params(eps);
+    const double Qn = lps_Q(static_cast<double>(p.s0 + 1), p.r, p.n);
+    EXPECT_GE(Qn, static_cast<double>(p.n)) << eps;
+  }
+}
+
+TEST(LpsMath, QiDecreasesInI) {
+  const double r = 0.7;
+  const double S = 2000;
+  for (int i = 1; i < 9; ++i)
+    EXPECT_GE(lps_Q(S, r, i), lps_Q(S, r, i + 1));
+}
+
+TEST(LpsMath, IterationGrowthFormula) {
+  const double g = lps_iteration_growth(0.2, 14);
+  EXPECT_NEAR(g, 0.7 * 0.7 * 0.7 * std::pow(1.2, 14) / 4.0, 1e-9);
+}
+
+TEST(LpsMath, MinMMakesGrowthExceedOne) {
+  for (double eps : {0.05, 0.1, 0.2, 0.3}) {
+    const std::int64_t M = lps_min_M(eps);
+    EXPECT_GT(lps_iteration_growth(eps, M), 1.0) << eps;
+    EXPECT_LE(lps_iteration_growth(eps, M - 1), 1.0) << eps;
+  }
+}
+
+TEST(LpsMath, AsymptoticsBracketN) {
+  // Appendix (5.5): log2(1/eps) + 2 < n < 2 log2(1/eps) + 4 for small eps.
+  for (double eps : {0.01, 0.05, 0.1}) {
+    const LpsParams p = lps_params(eps);
+    const LpsAsymptotics a = lps_asymptotics(eps);
+    EXPECT_GT(static_cast<double>(p.n), a.n_lower - 1.0) << eps;
+    EXPECT_LT(static_cast<double>(p.n), a.n_upper + 1.0) << eps;
+  }
+}
+
+TEST(LpsMath, S0TracksAsymptoticEstimate) {
+  // S0 = Theta(n/eps); the estimate 4n/eps should be within a small
+  // constant factor for small eps.
+  for (double eps : {0.01, 0.02, 0.05}) {
+    const LpsParams p = lps_params(eps);
+    const LpsAsymptotics a = lps_asymptotics(eps);
+    const double ratio = static_cast<double>(p.s0) / a.s0_estimate;
+    EXPECT_GT(ratio, 0.05) << eps;
+    EXPECT_LT(ratio, 8.0) << eps;
+  }
+}
+
+TEST(LpsMath, GadgetGainDefinition) {
+  EXPECT_NEAR(lps_gadget_gain(0.7, 9), 2.0 * (1.0 - lps_R(0.7, 9)), 1e-12);
+}
+
+TEST(LpsMath, GadgetGainCrossesOneAtHalf) {
+  // sup_n 2(1-R_n) = 2r: at r = 1/2 no n amplifies; above 1/2 large n does.
+  for (std::int64_t n = 1; n <= 50; ++n)
+    EXPECT_LE(lps_gadget_gain(0.5, n), 1.0) << n;
+  EXPECT_GT(lps_gadget_gain(0.51, lps_params(0.01).n), 1.0);
+}
+
+TEST(LpsMath, GadgetGainMonotoneInN) {
+  for (std::int64_t n = 1; n < 20; ++n)
+    EXPECT_LT(lps_gadget_gain(0.7, n), lps_gadget_gain(0.7, n + 1)) << n;
+  // ... and saturates at 2r.
+  EXPECT_NEAR(lps_gadget_gain(0.7, 200), 1.4, 1e-9);
+}
+
+TEST(LpsMath, MeasuredIterationGrowthComposition) {
+  // bootstrap (gain/2) * (M-1) hand-offs * stitch r^3.
+  const double g = lps_gadget_gain(0.7, 9);
+  EXPECT_NEAR(lps_measured_iteration_growth(0.7, 9, 4),
+              (g / 2.0) * g * g * g * 0.343, 1e-9);
+}
+
+TEST(LpsMath, EmpiricalMinMIsMinimal) {
+  for (double r : {0.6, 0.65, 0.7, 0.75}) {
+    const std::int64_t n = lps_params(r - 0.5).n;
+    const std::int64_t M = lps_empirical_min_M(r, n);
+    ASSERT_GT(M, 1) << r;
+    EXPECT_GT(lps_measured_iteration_growth(r, n, M), 1.0) << r;
+    EXPECT_LE(lps_measured_iteration_growth(r, n, M - 1), 1.0) << r;
+  }
+}
+
+TEST(LpsMath, EmpiricalMinMUnboundedAtOrBelowHalf) {
+  EXPECT_EQ(lps_empirical_min_M(0.5, 30), -1);
+  EXPECT_EQ(lps_empirical_min_M(0.45, 30), -1);
+}
+
+TEST(LpsMath, EmpiricalMinMNeverExceedsPaperM) {
+  // The exact gain dominates the paper's (1+eps) lower bound, so the exact
+  // minimal chain is never longer than the paper's conservative one.
+  for (double eps : {0.05, 0.1, 0.2, 0.3}) {
+    const LpsParams p = lps_params(eps);
+    EXPECT_LE(lps_empirical_min_M(p.r, p.n), lps_min_M(eps)) << eps;
+  }
+}
+
+TEST(LpsMath, NGrowsLogarithmically) {
+  const std::int64_t n1 = lps_params(0.1).n;
+  const std::int64_t n2 = lps_params(0.01).n;
+  const std::int64_t n3 = lps_params(0.001).n;
+  // Each 10x reduction in eps adds roughly log2(10) ~ 3.3 (bounded by 7).
+  EXPECT_GT(n2, n1);
+  EXPECT_GT(n3, n2);
+  EXPECT_LE(n2 - n1, 8);
+  EXPECT_LE(n3 - n2, 8);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,80 @@
+#include "aqt/core/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqt {
+namespace {
+
+BufferEntry entry(std::int64_t k1, std::int64_t k2, std::uint64_t seq,
+                  PacketId pkt) {
+  return BufferEntry{k1, k2, seq, pkt};
+}
+
+TEST(Buffer, EmptyInitially) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Buffer, PopMinReturnsSmallestPrimaryKey) {
+  Buffer b;
+  b.push(entry(5, 0, 1, 100));
+  b.push(entry(2, 0, 2, 200));
+  b.push(entry(9, 0, 3, 300));
+  EXPECT_EQ(b.pop_min().packet, 200u);
+  EXPECT_EQ(b.pop_min().packet, 100u);
+  EXPECT_EQ(b.pop_min().packet, 300u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Buffer, SecondaryKeyBreaksTies) {
+  Buffer b;
+  b.push(entry(1, 7, 1, 100));
+  b.push(entry(1, 3, 2, 200));
+  EXPECT_EQ(b.pop_min().packet, 200u);
+}
+
+TEST(Buffer, SeqBreaksRemainingTies) {
+  Buffer b;
+  b.push(entry(1, 1, 9, 100));
+  b.push(entry(1, 1, 4, 200));
+  EXPECT_EQ(b.pop_min().packet, 200u);
+}
+
+TEST(Buffer, FrontPeeksWithoutRemoval) {
+  Buffer b;
+  b.push(entry(2, 0, 1, 100));
+  b.push(entry(1, 0, 2, 200));
+  EXPECT_EQ(b.front().packet, 200u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(Buffer, ErasePacketRemovesMatching) {
+  Buffer b;
+  b.push(entry(1, 0, 1, 100));
+  b.push(entry(2, 0, 2, 200));
+  EXPECT_TRUE(b.erase_packet(100));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.front().packet, 200u);
+  EXPECT_FALSE(b.erase_packet(999));
+}
+
+TEST(Buffer, IterationIsKeyOrdered) {
+  Buffer b;
+  b.push(entry(3, 0, 1, 1));
+  b.push(entry(1, 0, 2, 2));
+  b.push(entry(2, 0, 3, 3));
+  std::vector<PacketId> order;
+  for (const auto& e : b) order.push_back(e.packet);
+  EXPECT_EQ(order, (std::vector<PacketId>{2, 3, 1}));
+}
+
+TEST(Buffer, NegativeKeysSortBeforePositive) {
+  Buffer b;
+  b.push(entry(5, 0, 1, 1));
+  b.push(entry(-5, 0, 2, 2));
+  EXPECT_EQ(b.pop_min().packet, 2u);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,62 @@
+#include "aqt/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqt {
+namespace {
+
+TEST(Metrics, FreshMetricsAreZero) {
+  Metrics m(3);
+  EXPECT_EQ(m.max_queue_global(), 0u);
+  EXPECT_EQ(m.max_residence_global(), 0);
+  EXPECT_EQ(m.sends(), 0u);
+  EXPECT_EQ(m.absorbed(), 0u);
+  EXPECT_EQ(m.max_latency(), 0);
+  EXPECT_DOUBLE_EQ(m.mean_latency(), 0.0);
+  EXPECT_TRUE(m.series().empty());
+}
+
+TEST(Metrics, MaxQueuePerEdgeAndGlobal) {
+  Metrics m(3);
+  m.observe_queue(0, 5);
+  m.observe_queue(1, 9);
+  m.observe_queue(0, 2);  // Lower: no change.
+  EXPECT_EQ(m.max_queue(0), 5u);
+  EXPECT_EQ(m.max_queue(1), 9u);
+  EXPECT_EQ(m.max_queue(2), 0u);
+  EXPECT_EQ(m.max_queue_global(), 9u);
+}
+
+TEST(Metrics, ResidenceTracking) {
+  Metrics m(2);
+  m.observe_send(0, 3);
+  m.observe_send(1, 7);
+  m.observe_send(0, 1);
+  EXPECT_EQ(m.max_residence(0), 3);
+  EXPECT_EQ(m.max_residence(1), 7);
+  EXPECT_EQ(m.max_residence_global(), 7);
+  EXPECT_EQ(m.sends(), 3u);
+}
+
+TEST(Metrics, LatencyStatistics) {
+  Metrics m(1);
+  m.observe_absorb(4);
+  m.observe_absorb(10);
+  m.observe_absorb(1);
+  EXPECT_EQ(m.absorbed(), 3u);
+  EXPECT_EQ(m.max_latency(), 10);
+  EXPECT_DOUBLE_EQ(m.mean_latency(), 5.0);
+}
+
+TEST(Metrics, SeriesAppends) {
+  Metrics m(1);
+  m.push_series(10, 100, 50);
+  m.push_series(20, 200, 60);
+  ASSERT_EQ(m.series().size(), 2u);
+  EXPECT_EQ(m.series()[1].t, 20);
+  EXPECT_EQ(m.series()[1].in_flight, 200u);
+  EXPECT_EQ(m.series()[1].max_queue, 60u);
+}
+
+}  // namespace
+}  // namespace aqt

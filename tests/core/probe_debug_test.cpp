@@ -1,0 +1,117 @@
+// Tests for QueueProbe and the state dumper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "aqt/core/debug.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/probe.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(QueueProbe, SamplesSelectedEdges) {
+  const Graph g = make_line(3);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  for (int i = 0; i < 4; ++i) eng.add_initial_packet({0, 1, 2});
+  QueueProbe probe(eng, {0, 1});
+  probe.sample();  // t = 0.
+  for (Time t = 1; t <= 3; ++t) {
+    eng.step(nullptr);
+    probe.sample();
+  }
+  ASSERT_EQ(probe.samples(), 4u);
+  EXPECT_EQ(probe.series(0),
+            (std::vector<std::uint64_t>{4, 3, 2, 1}));
+  EXPECT_EQ(probe.series(1), (std::vector<std::uint64_t>{0, 1, 1, 1}));
+}
+
+TEST(QueueProbe, AtLooksUpByTime) {
+  const Graph g = make_line(2);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  for (int i = 0; i < 3; ++i) eng.add_initial_packet({0});
+  QueueProbe probe(eng, {0});
+  probe.sample();
+  eng.step(nullptr);
+  probe.sample();
+  EXPECT_EQ(probe.at(0, 0), 3u);
+  EXPECT_EQ(probe.at(0, 1), 2u);
+  EXPECT_THROW((void)probe.at(0, 99), PreconditionError);
+  EXPECT_THROW((void)probe.at(5, 0), PreconditionError);
+}
+
+TEST(QueueProbe, CsvExport) {
+  const Graph g = make_line(2);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  eng.add_initial_packet({0});
+  QueueProbe probe(eng, {0, 1});
+  probe.sample();
+  const std::string path = ::testing::TempDir() + "/probe_test.csv";
+  probe.save_csv(path, g);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,l0,l1");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "0,1,0");
+  std::remove(path.c_str());
+}
+
+TEST(QueueProbe, RejectsBadConstruction) {
+  const Graph g = make_line(2);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  EXPECT_THROW(QueueProbe(eng, {}), PreconditionError);
+  EXPECT_THROW(QueueProbe(eng, {99}), PreconditionError);
+}
+
+TEST(DumpState, ShowsQueuesInForwardingOrder) {
+  const Graph g = make_line(3);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  eng.add_initial_packet({0, 1, 2}, /*tag=*/7);
+  eng.add_initial_packet({0}, /*tag=*/8);
+  const std::string dump = dump_state(eng);
+  EXPECT_NE(dump.find("t=0"), std::string::npos);
+  EXPECT_NE(dump.find("[l0] 2:"), std::string::npos);
+  EXPECT_NE(dump.find("(tag 7) l0>l1>l2"), std::string::npos);
+  EXPECT_NE(dump.find("(tag 8) l0"), std::string::npos);
+  // Empty buffers omitted by default.
+  EXPECT_EQ(dump.find("[l1]"), std::string::npos);
+}
+
+TEST(DumpState, TruncatesLongQueues) {
+  const Graph g = make_line(2);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  for (int i = 0; i < 20; ++i) eng.add_initial_packet({0});
+  DumpOptions opts;
+  opts.max_per_buffer = 3;
+  opts.show_routes = false;
+  const std::string dump = dump_state(eng, opts);
+  EXPECT_NE(dump.find("[l0] 20:"), std::string::npos);
+  EXPECT_NE(dump.find("..."), std::string::npos);
+}
+
+TEST(DumpState, CanIncludeEmptyBuffers) {
+  const Graph g = make_line(2);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  DumpOptions opts;
+  opts.skip_empty = false;
+  const std::string dump = dump_state(eng, opts);
+  EXPECT_NE(dump.find("[l0] 0:"), std::string::npos);
+  EXPECT_NE(dump.find("[l1] 0:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqt

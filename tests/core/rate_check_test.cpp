@@ -1,0 +1,286 @@
+#include "aqt/core/rate_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/rng.hpp"
+
+namespace aqt {
+namespace {
+
+RateAudit audit_of(std::size_t edges,
+                   const std::vector<std::pair<EdgeId, Time>>& entries) {
+  RateAudit a(edges);
+  for (const auto& [e, t] : entries) a.add_edge(e, t);
+  return a;
+}
+
+TEST(RateCheck, EmptyAuditIsFeasible) {
+  RateAudit a(3);
+  EXPECT_TRUE(check_rate_r(a, Rat(1, 2)).ok);
+  EXPECT_TRUE(check_window(a, 10, Rat(1, 2)).ok);
+}
+
+TEST(RateCheck, SinglePacketFeasibleForAnyPositiveRate) {
+  const auto a = audit_of(1, {{0, 5}});
+  EXPECT_TRUE(check_rate_r(a, Rat(1, 1000)).ok);
+}
+
+TEST(RateCheck, SinglePacketInfeasibleAtRateZero) {
+  const auto a = audit_of(1, {{0, 5}});
+  const auto res = check_rate_r(a, Rat(0));
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.budget, 0);
+  EXPECT_EQ(res.count, 1);
+}
+
+TEST(RateCheck, TwoPacketsSameStepViolateEvenRateOne) {
+  // A length-1 interval admits ceil(r*1) = 1 packet for any r <= 1.
+  const auto a = audit_of(1, {{0, 5}, {0, 5}});
+  EXPECT_FALSE(check_rate_r(a, Rat(9, 10)).ok);
+  EXPECT_FALSE(check_rate_r(a, Rat(1)).ok);
+}
+
+TEST(RateCheck, ExactBoundaryIsFeasible) {
+  // Rate 1/2 over an interval of 4 steps allows ceil(2) = 2 packets.
+  const auto a = audit_of(1, {{0, 1}, {0, 4}});
+  EXPECT_TRUE(check_rate_r(a, Rat(1, 2)).ok);
+}
+
+TEST(RateCheck, OnePastBoundaryIsInfeasible) {
+  // Times {1, 2, 4} at rate 1/2: the sub-interval [1, 2] already carries
+  // 2 packets against a budget of ceil(2 * 1/2) = 1, and the checker
+  // reports that earliest witness.
+  const auto a = audit_of(1, {{0, 1}, {0, 2}, {0, 4}});
+  const auto res = check_rate_r(a, Rat(1, 2));
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.count, 2);
+  EXPECT_EQ(res.budget, 1);
+  EXPECT_EQ(res.t1, 1);
+  EXPECT_EQ(res.t2, 2);
+}
+
+TEST(RateCheck, WholeIntervalViolationDetected) {
+  // Times {1, 3, 4}: every 2-packet sub-interval fits (e.g. [3,4] holds 2
+  // vs budget ceil(2*3/5) = 2) but [1,4] carries 3 > ceil(4*3/5) = 3?  No:
+  // at rate 3/5 budget is 3 — feasible.  At rate 2/5 the budget for [3,4]
+  // is ceil(4/5) = 1 < 2: infeasible.
+  const auto a = audit_of(1, {{0, 1}, {0, 3}, {0, 4}});
+  EXPECT_TRUE(check_rate_r(a, Rat(3, 5)).ok);
+  EXPECT_FALSE(check_rate_r(a, Rat(2, 5)).ok);
+}
+
+TEST(RateCheck, ViolationWitnessDescribesEdge) {
+  Graph g = make_line(2);
+  RateAudit a(g.edge_count());
+  a.add_edge(0, 1);
+  a.add_edge(0, 1);
+  const auto res = check_rate_r(a, Rat(1, 2));
+  ASSERT_FALSE(res.ok);
+  const std::string desc = res.describe(g);
+  EXPECT_NE(desc.find("l0"), std::string::npos);
+  EXPECT_NE(desc.find("budget"), std::string::npos);
+}
+
+TEST(RateCheck, UnsortedInputHandled) {
+  const auto a = audit_of(1, {{0, 9}, {0, 1}, {0, 5}});
+  EXPECT_TRUE(check_rate_r(a, Rat(1, 2)).ok);
+}
+
+TEST(RateCheck, PerEdgeIndependence) {
+  // Edge 0 violates; edge 1 is clean; witness points at edge 0.
+  const auto a = audit_of(2, {{0, 1}, {0, 1}, {1, 1}, {1, 10}});
+  const auto res = check_rate_r(a, Rat(1, 2));
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.edge, 0u);
+}
+
+TEST(RateCheck, DistantPacketsAlwaysFeasible) {
+  RateAudit a(1);
+  for (Time t = 0; t < 50; ++t) a.add_edge(0, t * 100);
+  EXPECT_TRUE(check_rate_r(a, Rat(1, 50)).ok);
+}
+
+TEST(RateCheck, FloorPacedStreamIsFeasibleProperty) {
+  // A cumulative-floor paced stream at rate p/q is rate-(p/q) feasible.
+  for (const auto& [p, q] : std::vector<std::pair<int, int>>{
+           {1, 2}, {3, 5}, {7, 10}, {2, 3}, {1, 7}, {9, 10}}) {
+    const Rat r(p, q);
+    RateAudit a(1);
+    std::int64_t emitted = 0;
+    for (Time t = 1; t <= 300; ++t) {
+      const std::int64_t quota = r.floor_mul(t);
+      for (; emitted < quota; ++emitted) a.add_edge(0, t);
+    }
+    EXPECT_TRUE(check_rate_r(a, r).ok) << p << "/" << q;
+  }
+}
+
+TEST(RateCheck, DisjointFloorPacedBlocksComposeFeasibly) {
+  // Key property behind the LPS phase composition: disjoint floor-paced
+  // blocks on one edge remain jointly rate-r feasible.
+  const Rat r(7, 10);
+  RateAudit a(1);
+  Rng rng(5);
+  Time block_start = 1;
+  for (int b = 0; b < 8; ++b) {
+    const Time len = rng.range(5, 40);
+    std::int64_t emitted = 0;
+    for (Time k = 1; k <= len; ++k) {
+      const std::int64_t quota = r.floor_mul(k);
+      for (; emitted < quota; ++emitted) a.add_edge(0, block_start + k - 1);
+    }
+    block_start += len + rng.range(0, 3);  // Blocks may touch, not overlap.
+  }
+  EXPECT_TRUE(check_rate_r(a, r).ok);
+}
+
+TEST(RateCheck, BruteForceAgreement) {
+  // The O(k) checker agrees with the O(k^2) definition on random audits.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    RateAudit a(1);
+    std::vector<Time> times;
+    const int count = static_cast<int>(rng.range(1, 12));
+    for (int i = 0; i < count; ++i) times.push_back(rng.range(1, 20));
+    std::sort(times.begin(), times.end());
+    for (Time t : times) a.add_edge(0, t);
+
+    const Rat r(static_cast<std::int64_t>(rng.range(1, 9)), 10);
+    bool brute_ok = true;
+    for (std::size_t i = 0; i < times.size(); ++i)
+      for (std::size_t j = i; j < times.size(); ++j)
+        if (static_cast<std::int64_t>(j - i + 1) >
+            r.ceil_mul(times[j] - times[i] + 1))
+          brute_ok = false;
+    EXPECT_EQ(check_rate_r(a, r).ok, brute_ok) << "trial " << trial;
+  }
+}
+
+TEST(WindowCheck, RespectsBudget) {
+  // w=10, r=3/10: budget 3 per window.
+  const auto a = audit_of(1, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_TRUE(check_window(a, 10, Rat(3, 10)).ok);
+}
+
+TEST(WindowCheck, DetectsOverfullWindow) {
+  const auto a = audit_of(1, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto res = check_window(a, 10, Rat(3, 10));
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.count, 4);
+  EXPECT_EQ(res.budget, 3);
+}
+
+TEST(WindowCheck, SlidingWindowNotJustAligned) {
+  // 3 packets within 5 consecutive steps but crossing an aligned boundary.
+  const auto a = audit_of(1, {{0, 9}, {0, 10}, {0, 11}});
+  EXPECT_FALSE(check_window(a, 5, Rat(2, 5)).ok);
+}
+
+TEST(WindowCheck, WiderSpacingFeasible) {
+  const auto a = audit_of(1, {{0, 1}, {0, 6}, {0, 11}});
+  EXPECT_TRUE(check_window(a, 5, Rat(1, 5)).ok);
+}
+
+TEST(WindowCheck, BadWindowThrows) {
+  RateAudit a(1);
+  EXPECT_THROW((void)check_window(a, 0, Rat(1, 2)), PreconditionError);
+}
+
+TEST(EmpiricalRate, MatchesKnownPattern) {
+  // Two packets 1 step apart: infimum rate is (2-1)/2 = 0.5.
+  const auto a = audit_of(1, {{0, 1}, {0, 2}});
+  EXPECT_DOUBLE_EQ(empirical_rate(a), 0.5);
+}
+
+TEST(EmpiricalRate, EmptyAndSingletonAreZero) {
+  RateAudit a(1);
+  EXPECT_DOUBLE_EQ(empirical_rate(a), 0.0);
+  a.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(empirical_rate(a), 0.0);
+}
+
+TEST(OnlineRateChecker, AgreesWithPostHocOnRandomStreams) {
+  Rng rng(314);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Rat r(static_cast<std::int64_t>(rng.range(1, 9)), 10);
+    RateAudit audit(2);
+    OnlineRateChecker online(2, r);
+    bool online_ok = true;
+    Time t = 1;
+    for (int i = 0; i < 30; ++i) {
+      t += rng.range(0, 3);
+      const EdgeId e = static_cast<EdgeId>(rng.below(2));
+      audit.add_edge(e, t);
+      online_ok = online.add_edge(e, t) && online_ok;
+    }
+    EXPECT_EQ(online.ok(), check_rate_r(audit, r).ok) << "trial " << trial;
+    EXPECT_EQ(online.ok(), online_ok);
+  }
+}
+
+TEST(OnlineRateChecker, ViolationWitnessMatchesDefinition) {
+  // Times {1, 2} at rate 1/2: [1, 2] holds 2 > ceil(1) = 1.
+  OnlineRateChecker online(1, Rat(1, 2));
+  EXPECT_TRUE(online.add_edge(0, 1));
+  EXPECT_FALSE(online.add_edge(0, 2));
+  const auto& v = online.violation();
+  EXPECT_EQ(v.edge, 0u);
+  EXPECT_EQ(v.t1, 1);
+  EXPECT_EQ(v.t2, 2);
+  EXPECT_EQ(v.count, 2);
+  EXPECT_EQ(v.budget, 1);
+}
+
+TEST(OnlineRateChecker, StaysFailedAfterViolation) {
+  OnlineRateChecker online(1, Rat(1, 2));
+  (void)online.add_edge(0, 1);
+  (void)online.add_edge(0, 2);
+  EXPECT_FALSE(online.ok());
+  EXPECT_FALSE(online.add_edge(0, 100));  // Still failed.
+}
+
+TEST(OnlineRateChecker, AddRouteChargesAllEdges) {
+  OnlineRateChecker online(3, Rat(1, 2));
+  EXPECT_TRUE(online.add({0, 1, 2}, 5));
+  EXPECT_FALSE(online.add({2}, 6));  // Edge 2 now has 2 in [5, 6].
+}
+
+TEST(OnlineRateChecker, RejectsTimeRegressionPerEdge) {
+  OnlineRateChecker online(1, Rat(1, 2));
+  (void)online.add_edge(0, 10);
+  EXPECT_THROW((void)online.add_edge(0, 9), PreconditionError);
+}
+
+TEST(OnlineRateChecker, RejectsZeroRate) {
+  EXPECT_THROW(OnlineRateChecker(1, Rat(0)), PreconditionError);
+}
+
+TEST(OnlineRateChecker, FloorPacedStreamPasses) {
+  const Rat r(7, 10);
+  OnlineRateChecker online(1, r);
+  std::int64_t emitted = 0;
+  for (Time t = 1; t <= 500; ++t) {
+    const std::int64_t quota = r.floor_mul(t);
+    for (; emitted < quota; ++emitted) EXPECT_TRUE(online.add_edge(0, t));
+  }
+  EXPECT_TRUE(online.ok());
+}
+
+TEST(RateAudit, AddRouteChargesEveryEdge) {
+  RateAudit a(3);
+  a.add({0, 1, 2}, 7);
+  for (EdgeId e = 0; e < 3; ++e)
+    EXPECT_EQ(a.times(e), (std::vector<Time>{7}));
+  EXPECT_EQ(a.entries(), 3u);
+}
+
+TEST(RateAudit, OutOfRangeEdgeThrows) {
+  RateAudit a(2);
+  EXPECT_THROW(a.add_edge(5, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,174 @@
+// Tests for the Lemma 3.3 rerouting-legality checker (Definition 3.2's
+// "new edge" condition and the common-edge hypothesis).
+#include <gtest/gtest.h>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/reroute_legality.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+class LegalityTest : public ::testing::Test {
+ protected:
+  LegalityTest() : g_(make_grid(3, 4)), eng_(g_, fifo_) {}
+
+  Route edges(std::initializer_list<const char*> names) {
+    Route r;
+    for (const char* n : names) r.push_back(g_.edge_by_name(n));
+    return r;
+  }
+
+  Graph g_;
+  FifoProtocol fifo_;
+  Engine eng_;
+};
+
+TEST_F(LegalityTest, FreshEdgesAreLegal) {
+  RerouteLegalityChecker checker(g_, Rat(7, 10));
+  const PacketId a = eng_.add_initial_packet(edges({"h0_0", "h0_1"}));
+  const PacketId b = eng_.add_initial_packet(edges({"h0_0", "h0_1"}));
+  eng_.step(nullptr);
+  // Both packets share h0_1 (a crossed h0_0 and waits at h0_1; b still at
+  // h0_0): common edge OK, suffixes on untouched edges.
+  std::vector<Reroute> batch = {
+      Reroute{a, edges({"d0_2", "h1_2"})},
+      Reroute{b, edges({"h0_2"})},
+  };
+  const auto rep = checker.check_and_apply(eng_.now(), eng_, batch);
+  EXPECT_TRUE(rep.ok) << rep.reason;
+}
+
+TEST_F(LegalityTest, NoCommonEdgeIsIllegal) {
+  RerouteLegalityChecker checker(g_, Rat(7, 10));
+  const PacketId a = eng_.add_initial_packet(edges({"h0_0"}));
+  const PacketId b = eng_.add_initial_packet(edges({"h1_0"}));
+  // Disjoint routes: Lemma 3.3's hypothesis fails.
+  std::vector<Reroute> batch = {
+      Reroute{a, edges({"h0_1"})},
+      Reroute{b, edges({"h1_1"})},
+  };
+  const auto rep = checker.check_and_apply(1, eng_, batch);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.reason.find("common edge"), std::string::npos);
+}
+
+TEST_F(LegalityTest, RecentlyInjectedEdgeIsNotNew) {
+  RerouteLegalityChecker checker(g_, Rat(7, 10));
+  const PacketId a = eng_.add_initial_packet(edges({"h0_0", "h0_1"}));
+  // An injection at t=1 uses d0_2; initial packet has inject_time 0, so
+  // t* = 0 and cutoff = 0 - ceil(10/7) = -2: the t=1 use disqualifies d0_2.
+  checker.on_injection(1, edges({"d0_2"}));
+  std::vector<Reroute> batch = {Reroute{a, edges({"d0_2"})}};
+  const auto rep = checker.check_and_apply(2, eng_, batch);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.reason.find("not new"), std::string::npos);
+}
+
+TEST_F(LegalityTest, AncientUseIsForgottenOncePacketsAreYoung) {
+  // Edge was used long ago; all live packets were injected much later, so
+  // the cutoff t* - ceil(1/r) has moved past the old use.
+  RerouteLegalityChecker checker(g_, Rat(7, 10));
+  checker.on_injection(1, edges({"d0_2"}));
+
+  // Inject a fresh packet at t=50 via a tiny adversary.
+  struct OneInjection final : Adversary {
+    Route route;
+    void step(Time now, const Engine&, AdversaryStep& out) override {
+      if (now == 50) out.injections.push_back(Injection{route, 0});
+    }
+  } adv;
+  adv.route = edges({"h0_0", "h0_1"});
+  for (int i = 0; i < 50; ++i) eng_.step(&adv);
+  checker.on_injection(50, adv.route);
+
+  // The injected packet waits at h0_1 now (it crossed h0_0 at step 51)...
+  eng_.step(nullptr);
+  ASSERT_EQ(eng_.packets_in_flight(), 1u);
+  PacketId id = kNoPacket;
+  for (const BufferEntry& be : eng_.buffer(g_.edge_by_name("h0_1")))
+    id = be.packet;
+  ASSERT_NE(id, kNoPacket);
+
+  // t* = 50, cutoff = 48 > 1: d0_2 counts as new again.
+  std::vector<Reroute> batch = {Reroute{id, edges({"d0_2"})}};
+  const auto rep = checker.check_and_apply(eng_.now(), eng_, batch);
+  EXPECT_TRUE(rep.ok) << rep.reason;
+}
+
+TEST_F(LegalityTest, SuffixEdgesChargedAfterApply) {
+  RerouteLegalityChecker checker(g_, Rat(7, 10));
+  const PacketId a = eng_.add_initial_packet(edges({"h0_0", "h0_1"}));
+  std::vector<Reroute> batch = {Reroute{a, edges({"h0_2"})}};
+  ASSERT_TRUE(checker.check_and_apply(1, eng_, batch).ok);
+  // h0_2 now carries the rerouted packet's injection time (0).
+  EXPECT_EQ(checker.last_use(g_.edge_by_name("h0_2")), 0);
+}
+
+TEST_F(LegalityTest, EmptyBatchIsTriviallyLegal) {
+  RerouteLegalityChecker checker(g_, Rat(7, 10));
+  EXPECT_TRUE(checker.check_and_apply(1, eng_, {}).ok);
+}
+
+TEST(LegalityLps, HandoffReroutesAreLemma33Legal) {
+  // The LPS hand-off's reroutes must satisfy exactly the hypotheses the
+  // paper invokes: common edge (the egress) and new target edges.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_gadget_invariant(eng, net, 0, 200);
+
+  RerouteLegalityChecker checker(net.graph, r);
+  LpsHandoff phase(net, cfg, 0);
+  LegalityCheckedAdversary checked(phase, checker);
+  while (!phase.finished(eng.now() + 1)) eng.step(&checked);
+  EXPECT_TRUE(checked.all_legal()) << checked.first_violation();
+}
+
+TEST(LegalityLps, BootstrapReroutesAreLemma33Legal) {
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 1);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_flat_queue(eng, net, 0, 300);
+
+  RerouteLegalityChecker checker(net.graph, r);
+  LpsBootstrap phase(net, cfg, 0);
+  LegalityCheckedAdversary checked(phase, checker);
+  while (!phase.finished(eng.now() + 1)) eng.step(&checked);
+  EXPECT_TRUE(checked.all_legal()) << checked.first_violation();
+}
+
+TEST(LegalityLps, FullLoopReroutesAreLemma33Legal) {
+  // Two complete Theorem 3.17 iterations, every reroute batch validated.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_closed_chain(cfg.n, 4);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_flat_queue(eng, net, 0, 600);
+
+  RerouteLegalityChecker checker(net.graph, r);
+  LpsAdversary adv(net, cfg, /*max_iterations=*/2);
+  LegalityCheckedAdversary checked(adv, checker);
+  while (!adv.finished(eng.now() + 1)) eng.step(&checked);
+  EXPECT_TRUE(checked.all_legal()) << checked.first_violation();
+  EXPECT_GE(adv.history().size(), 1u);
+}
+
+TEST(LegalityChecker, ZeroRateRejected) {
+  const Graph g = make_line(2);
+  EXPECT_THROW(RerouteLegalityChecker(g, Rat(0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,84 @@
+#include "aqt/core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include "aqt/adversaries/scripted.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Simulation, ConstructsByProtocolName) {
+  Simulation sim(make_line(3), "FIFO");
+  EXPECT_EQ(sim.protocol().name(), "FIFO");
+}
+
+TEST(Simulation, UnknownProtocolThrows) {
+  EXPECT_THROW(Simulation(make_line(3), "NOPE"), PreconditionError);
+}
+
+TEST(Simulation, InitialQueuePlacesPackets) {
+  Simulation sim(make_line(3), "FIFO");
+  const EdgeId l0 = sim.graph().edge_by_name("l0");
+  sim.add_initial_queue({l0}, 5);
+  EXPECT_EQ(sim.engine().queue_size(l0), 5u);
+}
+
+TEST(Simulation, RunForAdvancesTime) {
+  Simulation sim(make_line(3), "FIFO");
+  sim.run_for(7);
+  EXPECT_EQ(sim.engine().now(), 7);
+}
+
+TEST(Simulation, RunUntilPredicate) {
+  Simulation sim(make_line(3), "FIFO");
+  const EdgeId l0 = sim.graph().edge_by_name("l0");
+  sim.add_initial_queue({l0}, 10);
+  sim.run_until([&](const Engine& e) { return e.total_absorbed() >= 4; },
+                100);
+  EXPECT_EQ(sim.engine().total_absorbed(), 4u);
+}
+
+TEST(Simulation, RunUntilStopsOnAdversaryFinish) {
+  Simulation sim(make_line(3), "FIFO");
+  auto adv = std::make_unique<ScriptedAdversary>();
+  const EdgeId l0 = sim.graph().edge_by_name("l0");
+  adv->inject_at(3, {l0});
+  sim.set_adversary(std::move(adv));
+  sim.run_until({}, 1000);
+  // The script's last event is at step 3; the run stops shortly after.
+  EXPECT_LE(sim.engine().now(), 5);
+  EXPECT_EQ(sim.engine().total_injected(), 1u);
+}
+
+TEST(Simulation, RunUntilRespectsCap) {
+  Simulation sim(make_line(3), "FIFO");
+  sim.run_until([](const Engine&) { return false; }, 12);
+  EXPECT_EQ(sim.engine().now(), 12);
+}
+
+TEST(Simulation, SummaryAggregates) {
+  Simulation sim(make_line(2), "FIFO");
+  const EdgeId l0 = sim.graph().edge_by_name("l0");
+  const EdgeId l1 = sim.graph().edge_by_name("l1");
+  sim.add_initial_queue({l0, l1}, 3);
+  sim.run_for(10);
+  const RunSummary s = sim.summary();
+  EXPECT_EQ(s.steps, 10);
+  EXPECT_EQ(s.injected, 3u);
+  EXPECT_EQ(s.absorbed, 3u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.max_queue, 3u);
+  EXPECT_GT(s.max_latency, 0);
+  EXPECT_GT(s.mean_latency, 0.0);
+}
+
+TEST(Simulation, NullProtocolThrows) {
+  EXPECT_THROW(Simulation(make_line(2), std::unique_ptr<Protocol>{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

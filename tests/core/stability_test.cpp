@@ -1,0 +1,82 @@
+#include "aqt/core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqt {
+namespace {
+
+std::vector<std::uint64_t> ramp(std::size_t len, std::uint64_t base,
+                                std::uint64_t slope) {
+  std::vector<std::uint64_t> v(len);
+  for (std::size_t i = 0; i < len; ++i)
+    v[i] = base + slope * static_cast<std::uint64_t>(i);
+  return v;
+}
+
+TEST(Stability, FlatSeriesIsBounded) {
+  const auto rep = classify_growth(ramp(30, 100, 0));
+  EXPECT_EQ(rep.verdict, GrowthVerdict::kBounded);
+  EXPECT_NEAR(rep.ratio, 1.0, 1e-9);
+}
+
+TEST(Stability, SteepRampIsGrowing) {
+  const auto rep = classify_growth(ramp(30, 10, 50));
+  EXPECT_EQ(rep.verdict, GrowthVerdict::kGrowing);
+  EXPECT_GT(rep.ratio, 2.0);
+}
+
+TEST(Stability, TooFewSamplesUndecided) {
+  const auto rep = classify_growth(ramp(4, 1, 100));
+  EXPECT_EQ(rep.verdict, GrowthVerdict::kUndecided);
+}
+
+TEST(Stability, MildDriftUndecidedAtDefaultSlack) {
+  // 1.5x growth: above the bounded band, below the 2x growth bar.
+  std::vector<std::uint64_t> v;
+  for (int i = 0; i < 30; ++i)
+    v.push_back(static_cast<std::uint64_t>(100 + i * 2));
+  const auto rep = classify_growth(v);
+  EXPECT_EQ(rep.verdict, GrowthVerdict::kUndecided);
+}
+
+TEST(Stability, SlackParameterShiftsVerdict) {
+  std::vector<std::uint64_t> v;
+  for (int i = 0; i < 30; ++i)
+    v.push_back(static_cast<std::uint64_t>(100 + i * 2));
+  EXPECT_EQ(classify_growth(v, 1.2).verdict, GrowthVerdict::kGrowing);
+}
+
+TEST(Stability, SeriesOverloadUsesInFlight) {
+  std::vector<SeriesPoint> series;
+  for (int i = 0; i < 30; ++i)
+    series.push_back(SeriesPoint{i, static_cast<std::uint64_t>(10 + 20 * i),
+                                 0});
+  EXPECT_EQ(classify_growth(series).verdict, GrowthVerdict::kGrowing);
+}
+
+TEST(Stability, ToStringCoversAllVerdicts) {
+  EXPECT_STREQ(to_string(GrowthVerdict::kBounded), "bounded");
+  EXPECT_STREQ(to_string(GrowthVerdict::kGrowing), "growing");
+  EXPECT_STREQ(to_string(GrowthVerdict::kUndecided), "undecided");
+}
+
+TEST(GrowthFactor, GeometricSeries) {
+  EXPECT_NEAR(geometric_growth_factor({100, 200, 400, 800}), 2.0, 1e-9);
+}
+
+TEST(GrowthFactor, DecayingSeries) {
+  EXPECT_NEAR(geometric_growth_factor({800, 400, 200}), 0.5, 1e-9);
+}
+
+TEST(GrowthFactor, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(geometric_growth_factor({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_growth_factor({5}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_growth_factor({0, 10}), 0.0);
+}
+
+TEST(GrowthFactor, SkipsZeroTerms) {
+  EXPECT_NEAR(geometric_growth_factor({100, 0, 200, 400}), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,210 @@
+// Tests for the trace record / persist / replay subsystem.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/adversaries/scripted.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/trace/trace.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.record_injection(1, Injection{{0}, 5});
+  trace.record_reroute(2, 0, {1, 2});
+  trace.record_injection(2, Injection{{1}, 6});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.injection_count(), 2u);
+  EXPECT_EQ(trace.last_time(), 2);
+  EXPECT_EQ(trace.events()[0].kind, TraceEvent::Kind::kInjection);
+  EXPECT_EQ(trace.events()[1].kind, TraceEvent::Kind::kReroute);
+}
+
+TEST(Trace, RejectsTimeRegression) {
+  Trace trace;
+  trace.record_injection(5, Injection{{0}, 0});
+  EXPECT_THROW(trace.record_injection(4, Injection{{0}, 0}),
+               PreconditionError);
+}
+
+TEST(Trace, SaveLoadRoundtrip) {
+  const Graph g = make_line(4);
+  Trace trace;
+  trace.record_injection(1, Injection{{0, 1, 2}, 9});
+  trace.record_reroute(3, 0, {3});
+  trace.record_injection(4, Injection{{2}, 0});
+
+  std::stringstream buf;
+  trace.save(buf, g);
+  const Trace loaded = Trace::load(buf, g);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.events()[i].kind, trace.events()[i].kind) << i;
+    EXPECT_EQ(loaded.events()[i].t, trace.events()[i].t) << i;
+    EXPECT_EQ(loaded.events()[i].tag, trace.events()[i].tag) << i;
+    EXPECT_EQ(loaded.events()[i].ordinal, trace.events()[i].ordinal) << i;
+    EXPECT_EQ(loaded.events()[i].edges, trace.events()[i].edges) << i;
+  }
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines) {
+  const Graph g = make_line(2);
+  std::stringstream buf("# a comment\n\nI 3 7 l0 l1\n");
+  const Trace t = Trace::load(buf, g);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events()[0].t, 3);
+  EXPECT_EQ(t.events()[0].tag, 7u);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const Graph g = make_line(2);
+  std::stringstream bad_kind("X 1 0 l0\n");
+  EXPECT_THROW((void)Trace::load(bad_kind, g), PreconditionError);
+  std::stringstream bad_edge("I 1 0 nosuch\n");
+  EXPECT_THROW((void)Trace::load(bad_edge, g), PreconditionError);
+  std::stringstream no_route("I 1 0\n");
+  EXPECT_THROW((void)Trace::load(no_route, g), PreconditionError);
+}
+
+TEST(Trace, RecordingWrapsAnotherAdversary) {
+  const Graph g = make_line(3);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  ScriptedAdversary inner;
+  inner.inject_at(1, {0, 1}, 4);
+  inner.inject_at(3, {2}, 5);
+  Trace trace;
+  RecordingAdversary rec(inner, trace);
+  eng.run(&rec, 4);
+  EXPECT_EQ(trace.injection_count(), 2u);
+  EXPECT_EQ(trace.events()[0].t, 1);
+  EXPECT_EQ(trace.events()[0].tag, 4u);
+  EXPECT_EQ(trace.events()[1].t, 3);
+  EXPECT_TRUE(rec.finished(5));
+}
+
+TEST(Trace, ReplayReproducesIdenticalRun) {
+  const Graph g = make_grid(3, 3);
+  // Record a run.
+  Trace trace;
+  {
+    FifoProtocol fifo;
+    Engine eng(g, fifo);
+    ScriptedAdversary inner;
+    inner.inject_at(1, {g.edge_by_name("h0_0"), g.edge_by_name("h0_1")}, 1);
+    inner.inject_at(2, {g.edge_by_name("d0_0")}, 2);
+    inner.inject_at(2, {g.edge_by_name("h0_0")}, 3);
+    inner.inject_at(5, {g.edge_by_name("h1_0"), g.edge_by_name("h1_1")}, 4);
+    RecordingAdversary rec(inner, trace);
+    eng.run(&rec, 10);
+  }
+  // Replay and compare observables.
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  ReplayAdversary replay(trace);
+  eng.run(&replay, 10);
+  EXPECT_EQ(eng.total_injected(), 4u);
+  EXPECT_EQ(eng.total_absorbed(), 4u);
+  EXPECT_EQ(replay.skipped_reroutes(), 0u);
+  EXPECT_TRUE(replay.finished(11));
+}
+
+TEST(Trace, ReplayLpsRunMatchesOriginalUnderFifo) {
+  // Record a full bootstrap+handoff under FIFO, then replay the trace under
+  // FIFO again: the executions must match in aggregate observables.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+
+  Trace trace;
+  std::uint64_t orig_injected = 0;
+  std::uint64_t orig_absorbed = 0;
+  std::int64_t orig_target_s = 0;
+  Time duration = 0;
+  {
+    FifoProtocol fifo;
+    Engine eng(net.graph, fifo);
+    setup_gadget_invariant(eng, net, 0, 200);
+    LpsHandoff phase(net, cfg, 0);
+    RecordingAdversary rec(phase, trace);
+    while (!phase.finished(eng.now() + 1)) eng.step(&rec);
+    orig_injected = eng.total_injected();
+    orig_absorbed = eng.total_absorbed();
+    orig_target_s = inspect_gadget(eng, net, 1).S();
+    duration = eng.now();
+  }
+  {
+    FifoProtocol fifo;
+    Engine eng(net.graph, fifo);
+    setup_gadget_invariant(eng, net, 0, 200);
+    ReplayAdversary replay(trace);
+    eng.run(&replay, duration);
+    EXPECT_EQ(eng.total_injected(), orig_injected);
+    EXPECT_EQ(eng.total_absorbed(), orig_absorbed);
+    EXPECT_EQ(inspect_gadget(eng, net, 1).S(), orig_target_s);
+    EXPECT_EQ(replay.skipped_reroutes(), 0u);
+  }
+}
+
+TEST(Trace, ReplayUnderDifferentProtocolSkipsImpossibleReroutes) {
+  // Record under FIFO, replay under LIS: injections replay verbatim; any
+  // reroute whose target moved differently is skipped, not crashed.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+
+  Trace trace;
+  Time duration = 0;
+  {
+    FifoProtocol fifo;
+    Engine eng(net.graph, fifo);
+    setup_gadget_invariant(eng, net, 0, 200);
+    LpsHandoff phase(net, cfg, 0);
+    RecordingAdversary rec(phase, trace);
+    while (!phase.finished(eng.now() + 1)) eng.step(&rec);
+    duration = eng.now();
+  }
+  LisProtocol lis;
+  Engine eng(net.graph, lis);
+  setup_gadget_invariant(eng, net, 0, 200);
+  ReplayAdversary replay(trace);
+  EXPECT_NO_THROW(eng.run(&replay, duration));
+  EXPECT_EQ(eng.total_injected() - 400,  // Minus the initial configuration.
+            trace.injection_count());
+}
+
+TEST(Trace, FileRoundtripAndMissingFileErrors) {
+  const Graph g = make_line(3);
+  Trace trace;
+  trace.record_injection(1, Injection{{0, 1}, 3});
+  const std::string path = ::testing::TempDir() + "/aqt_trace_io.trace";
+  trace.save_file(path, g);
+  const Trace loaded = Trace::load_file(path, g);
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)Trace::load_file(path, g), PreconditionError);
+  EXPECT_THROW(trace.save_file("/no/such/dir/x.trace", g),
+               PreconditionError);
+}
+
+TEST(Trace, ReplayStartedMidTraceThrows) {
+  const Graph g = make_line(2);
+  Trace trace;
+  trace.record_injection(1, Injection{{0}, 0});
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  eng.step(nullptr);  // Engine already at t=1; replay would start at t=2.
+  ReplayAdversary replay(trace);
+  EXPECT_THROW(eng.step(&replay), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

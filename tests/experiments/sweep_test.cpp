@@ -1,0 +1,134 @@
+#include "aqt/experiments/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/analysis/bounds.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+SweepConfig small_config() {
+  SweepConfig cfg;
+  cfg.protocols = {"FIFO", "NTG"};
+  cfg.topologies = {{"grid3x3", [] { return make_grid(3, 3); }},
+                    {"ring8", [] { return make_ring(8); }}};
+  cfg.seeds = {1, 2};
+  cfg.steps = 400;
+  cfg.traffic.w = 12;
+  cfg.traffic.r = Rat(1, 4);
+  cfg.traffic.max_route_len = 3;
+  return cfg;
+}
+
+TEST(Sweep, ProducesOneCellPerCombination) {
+  const auto cells = run_sweep(small_config());
+  EXPECT_EQ(cells.size(), 2u * 2u * 2u);
+  // Every cell actually ran traffic and stayed feasible.
+  for (const auto& c : cells) {
+    EXPECT_GT(c.injected, 0u) << c.protocol << "/" << c.topology;
+    EXPECT_TRUE(c.traffic_feasible);
+    EXPECT_LE(c.longest_route, 3);
+  }
+}
+
+TEST(Sweep, DeterministicAcrossRuns) {
+  const auto a = run_sweep(small_config());
+  const auto b = run_sweep(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].injected, b[i].injected) << i;
+    EXPECT_EQ(a[i].max_residence, b[i].max_residence) << i;
+    EXPECT_EQ(a[i].max_queue, b[i].max_queue) << i;
+  }
+}
+
+TEST(Sweep, AggregateGroupsByProtocolTopology) {
+  const auto cells = run_sweep(small_config());
+  const auto aggs = aggregate_sweep(cells);
+  EXPECT_EQ(aggs.size(), 4u);  // 2 protocols x 2 topologies.
+  for (const auto& a : aggs) {
+    EXPECT_EQ(a.residence.count(), 2u);  // 2 seeds.
+    EXPECT_GE(a.worst_residence,
+              static_cast<Time>(a.residence.mean() - 1e-9));
+    EXPECT_TRUE(a.all_feasible);
+  }
+}
+
+TEST(Sweep, WorstResidenceIsMaxOverCells) {
+  const auto cells = run_sweep(small_config());
+  Time expected = 0;
+  for (const auto& c : cells)
+    expected = std::max(expected, c.max_residence);
+  EXPECT_EQ(worst_residence(cells), expected);
+}
+
+TEST(Sweep, RespectsTheorem41AtThreshold) {
+  SweepConfig cfg = small_config();
+  const std::int64_t bound =
+      residence_bound(cfg.traffic.w, cfg.traffic.r);
+  const auto cells = run_sweep(cfg);
+  EXPECT_LE(worst_residence(cells), bound);
+}
+
+TEST(Sweep, SetupHookAppliesInitialConfiguration) {
+  SweepConfig cfg = small_config();
+  cfg.protocols = {"FIFO"};
+  cfg.topologies = {{"grid3x3", [] { return make_grid(3, 3); }}};
+  cfg.seeds = {1};
+  cfg.setup = [](Engine& eng, const Graph& g) {
+    for (int i = 0; i < 25; ++i)
+      eng.add_initial_packet({g.edge_by_name("h0_0")});
+  };
+  const auto cells = run_sweep(cfg);
+  ASSERT_EQ(cells.size(), 1u);
+  // The initial pile forces a long residence (~25 steps for the last one).
+  EXPECT_GE(cells[0].max_residence, 20);
+  // Initial packets count as injected.
+  EXPECT_GE(cells[0].injected, 25u);
+}
+
+TEST(Sweep, EmptyConfigurationThrows) {
+  SweepConfig cfg = small_config();
+  cfg.protocols.clear();
+  EXPECT_THROW((void)run_sweep(cfg), PreconditionError);
+  cfg = small_config();
+  cfg.seeds.clear();
+  EXPECT_THROW((void)run_sweep(cfg), PreconditionError);
+  cfg = small_config();
+  cfg.topologies.clear();
+  EXPECT_THROW((void)run_sweep(cfg), PreconditionError);
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  // Cells are independent; the parallel runner must produce bit-identical
+  // results in the same deterministic order.
+  const auto serial = run_sweep(small_config(), 1);
+  const auto parallel = run_sweep(small_config(), 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].protocol, parallel[i].protocol) << i;
+    EXPECT_EQ(serial[i].topology, parallel[i].topology) << i;
+    EXPECT_EQ(serial[i].seed, parallel[i].seed) << i;
+    EXPECT_EQ(serial[i].injected, parallel[i].injected) << i;
+    EXPECT_EQ(serial[i].max_residence, parallel[i].max_residence) << i;
+    EXPECT_EQ(serial[i].max_queue, parallel[i].max_queue) << i;
+  }
+}
+
+TEST(Sweep, ZeroThreadsUsesHardwareConcurrency) {
+  // Just exercises the threads == 0 path.
+  const auto cells = run_sweep(small_config(), 0);
+  EXPECT_EQ(cells.size(), 8u);
+}
+
+TEST(Sweep, AuditCanBeDisabled) {
+  SweepConfig cfg = small_config();
+  cfg.audit = false;
+  const auto cells = run_sweep(cfg);
+  for (const auto& c : cells) EXPECT_TRUE(c.traffic_feasible);  // Default.
+}
+
+}  // namespace
+}  // namespace aqt

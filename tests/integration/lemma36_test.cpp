@@ -1,0 +1,332 @@
+// Integration tests for Lemma 3.6: one gadget hand-off amplifies C(S, F)
+// into C(S', F') with S' = 2S(1 - R_n) >= S(1 + eps), leaving F empty,
+// while staying exactly rate-r feasible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/analysis/lps_math.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/probe.hpp"
+#include "aqt/core/rate_check.hpp"
+#include "aqt/adversaries/scripted.hpp"
+#include "aqt/topology/routing.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+struct HandoffRun {
+  GadgetInvariantReport before;
+  GadgetInvariantReport source;  ///< F(k) after the hand-off.
+  GadgetInvariantReport target;  ///< F(k+1) after the hand-off.
+  std::int64_t S = 0;
+  double predicted = 0.0;
+  bool rate_feasible = false;
+};
+
+HandoffRun run_handoff(const Rat& r, std::int64_t S) {
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  EngineConfig ec;
+  ec.audit_rates = true;
+  Engine eng(net.graph, fifo, ec);
+  setup_gadget_invariant(eng, net, 0, S);
+
+  HandoffRun run;
+  run.S = S;
+  run.before = inspect_gadget(eng, net, 0);
+  run.predicted = lps_s_prime(static_cast<double>(S), r.to_double(), cfg.n);
+
+  LpsHandoff phase(net, cfg, 0);
+  while (!phase.finished(eng.now() + 1)) eng.step(&phase);
+
+  run.source = inspect_gadget(eng, net, 0);
+  run.target = inspect_gadget(eng, net, 1);
+  eng.finalize_audit();
+  run.rate_feasible = check_rate_r(eng.audit(), r).ok;
+  return run;
+}
+
+TEST(Lemma36, AmplifiesByAtLeastOnePlusEps) {
+  const Rat r(7, 10);
+  const HandoffRun run = run_handoff(r, 400);
+  // The paper's guarantee: S' >= S(1 + eps).
+  EXPECT_GE(run.target.S(), static_cast<std::int64_t>(400 * 1.2));
+}
+
+TEST(Lemma36, MatchesExactFormulaWithinSlack) {
+  const Rat r(7, 10);
+  for (const std::int64_t S : {300, 500, 800}) {
+    const HandoffRun run = run_handoff(r, S);
+    // Both halves of C(S', F') track 2S(1 - R_n) within O(n) slack.
+    const double slack = 3.0 * 9 + 8;  // 3n + O(1) for n = 9.
+    EXPECT_NEAR(static_cast<double>(run.target.e_total), run.predicted, slack)
+        << "S=" << S;
+    EXPECT_NEAR(static_cast<double>(run.target.ingress_count), run.predicted,
+                slack)
+        << "S=" << S;
+  }
+}
+
+TEST(Lemma36, TargetInvariantShapeHolds) {
+  const HandoffRun run = run_handoff(Rat(7, 10), 500);
+  // Part 2: every e'-buffer nonempty.
+  EXPECT_EQ(run.target.empty_e_buffers, 0);
+  // Remaining routes are as prescribed, up to O(n) lingering decoys.
+  EXPECT_LE(run.target.mismatched_routes, 2 * 9);
+  // Part 4: only O(n) transients on the f'-path.
+  EXPECT_LE(run.target.stray_packets, 2 * 9);
+}
+
+TEST(Lemma36, SourceGadgetDrainsEmpty) {
+  const HandoffRun run = run_handoff(Rat(7, 10), 500);
+  EXPECT_EQ(run.source.e_total, 0);
+  EXPECT_EQ(run.source.stray_packets, 0);
+  // The source's ingress was emptied too.  (Its egress buffer is the
+  // target's ingress buffer — the shared boundary edge — so the S' packets
+  // reported there belong to the target invariant.)
+  EXPECT_EQ(run.source.ingress_count, 0);
+}
+
+TEST(Lemma36, ComposedAdversaryIsRateFeasible) {
+  // The hand-off's streams plus the Lemma 3.3 reroutes form a rate-r
+  // adversary; the exact checker confirms it on the whole execution.
+  for (const auto& r : {Rat(7, 10), Rat(3, 5)}) {
+    const HandoffRun run = run_handoff(r, 400);
+    EXPECT_TRUE(run.rate_feasible) << r;
+  }
+}
+
+TEST(Lemma36, GainMatchesExactFormula) {
+  // The exact gain 2(1 - R_n) is what one hand-off actually delivers.
+  const Rat r(7, 10);
+  const HandoffRun run = run_handoff(r, 600);
+  const double gain = lps_gadget_gain(r.to_double(), 9);
+  EXPECT_NEAR(static_cast<double>(run.target.S()) / 600.0, gain, 0.08);
+}
+
+TEST(Lemma36, WorksAcrossRates) {
+  // Amplification holds for every tested rate above 1/2 (with its own n).
+  for (const auto& r : {Rat(3, 5), Rat(13, 20), Rat(7, 10), Rat(3, 4)}) {
+    LpsConfig cfg = make_lps_config(r);
+    const HandoffRun run = run_handoff(r, 600);
+    const double eps = cfg.eps();
+    EXPECT_GE(static_cast<double>(run.target.S()),
+              600.0 * (1.0 + eps) - 2.0 * static_cast<double>(cfg.n))
+        << r;
+  }
+}
+
+TEST(Lemma36, Claim38OneOldPacketCrossesEgressPerStep) {
+  // Claim 3.8: during [1, 2S] exactly one packet crosses a' each step.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 500;
+  setup_gadget_invariant(eng, net, 0, S);
+  const EdgeId egress = net.gadgets[0].egress;
+
+  LpsHandoff phase(net, cfg, 0);
+  std::uint64_t prev = 0;
+  std::int64_t single_cross_steps = 0;
+  for (Time t = 1; t <= 2 * S; ++t) {
+    eng.step(&phase);
+    const std::uint64_t now = eng.metrics().sends(egress);
+    if (now - prev == 1) ++single_cross_steps;
+    prev = now;
+  }
+  // All but O(1) warm-up steps carry exactly one crossing.
+  EXPECT_GE(single_cross_steps, 2 * S - 4);
+}
+
+TEST(Lemma36, Claim311BufferFloorsMatchQi) {
+  // Claim 3.11: at time 2S + i the buffer of e'_i holds Q_i = (2S - t_i) R_i
+  // packets (and in particular is nonempty).
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 800;
+  setup_gadget_invariant(eng, net, 0, S);
+
+  QueueProbe probe(eng, net.gadgets[1].e_path);
+  LpsHandoff phase(net, cfg, 0);
+  while (!phase.finished(eng.now() + 1)) {
+    eng.step(&phase);
+    probe.sample();
+  }
+
+  const double rd = r.to_double();
+  for (std::int64_t i = 1; i <= cfg.n; ++i) {
+    const double q_pred = lps_Q(static_cast<double>(S), rd, i);
+    const auto measured = static_cast<double>(
+        probe.at(static_cast<std::size_t>(i - 1), 2 * S + i));
+    // The buffer at 2S+i holds old packets *plus* decoys not yet absorbed
+    // (Claim 3.9(3) says decoys vanish by then, up to pacing slack), so
+    // allow a generous relative + additive tolerance.
+    EXPECT_NEAR(measured, q_pred, 0.15 * q_pred + 25.0) << "i=" << i;
+    EXPECT_GT(measured, 0.0) << "i=" << i;
+  }
+}
+
+TEST(Lemma36, Claim39EscapeRateIsRn) {
+  // Consequence of Claim 3.9: by time 2S + n about 2S * R_n old packets
+  // have crossed a'' (and been absorbed); everything else stays in F'.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_chain(cfg.n, 2);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 800;
+  setup_gadget_invariant(eng, net, 0, S);
+  const EdgeId a2 = net.gadgets[1].egress;
+
+  LpsHandoff phase(net, cfg, 0);
+  while (!phase.finished(eng.now() + 1)) eng.step(&phase);
+
+  // Crossings of a'' = old escapes (decoys never reach a'').
+  const double escapes = static_cast<double>(eng.metrics().sends(a2));
+  const double predicted = 2.0 * static_cast<double>(S) *
+                           lps_R(r.to_double(), cfg.n);
+  EXPECT_NEAR(escapes, predicted, 0.10 * predicted + 20.0);
+}
+
+TEST(Lemma313, DrainCollectsHalfAtTheEgress) {
+  // Lemma 3.13's closing step: after the cascade reaches F(M), S + n silent
+  // steps leave at least S' >= S(1+eps)^(M-1)/2 packets at the egress of
+  // F_n^M, and nothing else in the network.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const std::int64_t M = 4;
+  const ChainedGadgets net = build_chain(cfg.n, M);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 400;
+  setup_gadget_invariant(eng, net, 0, S);
+
+  SequenceAdversary seq;
+  for (std::size_t k = 0; k + 1 < static_cast<std::size_t>(M); ++k)
+    seq.append(std::make_unique<LpsHandoff>(net, cfg, k));
+  seq.append(std::make_unique<LpsDrain>(net, cfg, M - 1));
+  while (!seq.finished(eng.now() + 1)) eng.step(&seq);
+
+  const EdgeId egress = net.gadgets.back().egress;
+  const auto at_egress = static_cast<std::int64_t>(eng.queue_size(egress));
+  const double bound =
+      static_cast<double>(S) * std::pow(1.2, static_cast<double>(M - 1)) /
+      2.0;
+  EXPECT_GE(static_cast<double>(at_egress), bound);
+  // Every remaining packet sits at the egress with a length-1 remainder.
+  EXPECT_EQ(eng.packets_in_flight(), static_cast<std::uint64_t>(at_egress));
+  for (const BufferEntry& be : eng.buffer(egress)) {
+    const Packet& p = eng.packet(be.packet);
+    EXPECT_EQ(p.remaining(), 1u);
+  }
+}
+
+TEST(Lemma33Remark2, PacketsSurviveRepeatedRerouting) {
+  // Remark 2: a packet may be rerouted several times.  Old packets of the
+  // chain get extended once per gadget they survive; check a long chain
+  // runs cleanly and that survivor routes grew by (n+1) per extension.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const std::int64_t M = 5;
+  const ChainedGadgets net = build_chain(cfg.n, M);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_gadget_invariant(eng, net, 0, 400);
+
+  SequenceAdversary seq;
+  for (std::size_t k = 0; k + 1 < static_cast<std::size_t>(M); ++k)
+    seq.append(std::make_unique<LpsHandoff>(net, cfg, k));
+  while (!seq.finished(eng.now() + 1)) eng.step(&seq);
+
+  // Initial e-route packets had n + 2 - i edges; f-route packets n + 2.
+  // Each surviving extension appends n + 1 edges, so any packet in the
+  // final gadget with route length > 2(n + 1) + 2 was rerouted at least
+  // twice.
+  std::size_t multi_rerouted = 0;
+  eng.arena().for_each_live([&](PacketId, const Packet& p) {
+    if (p.inject_time == 0 &&
+        p.route.size() > 2 * static_cast<std::size_t>(cfg.n + 1) + 2)
+      ++multi_rerouted;
+  });
+  EXPECT_GT(multi_rerouted, 0u);
+}
+
+TEST(Section5Remark, ConstructionUsesShortestRoutes) {
+  // §5: "our lower bounds use shortest-paths (and hence noncircular)
+  // routes."  Verify: the effective route of every packet (live or not;
+  // here checked on live packets at several instants) has exactly the BFS
+  // distance between its endpoints.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_closed_chain(cfg.n, 3);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  setup_flat_queue(eng, net, 0, 400);
+  LpsAdversary adv(net, cfg, /*max_iterations=*/1);
+
+  Time next_check = 50;
+  while (!adv.finished(eng.now() + 1)) {
+    eng.step(&adv);
+    if (eng.now() == next_check) {
+      next_check += 400;
+      eng.arena().for_each_live([&](PacketId, const Packet& p) {
+        const NodeId from = net.graph.tail(p.route.front());
+        const NodeId to = net.graph.head(p.route.back());
+        const auto shortest = shortest_route(net.graph, from, to);
+        ASSERT_TRUE(shortest.has_value());
+        EXPECT_EQ(p.route.size(), shortest->size())
+            << "packet ordinal " << p.ordinal;
+      });
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+TEST(Lemma36, ChainOfHandoffsCompoundsGeometrically) {
+  // Lemma 3.13 / Claim 3.14: along F(1..M) the queue compounds by at least
+  // (1 + eps) per gadget.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const std::int64_t M = 5;
+  const ChainedGadgets net = build_chain(cfg.n, M);
+  FifoProtocol fifo;
+  Engine eng(net.graph, fifo);
+  const std::int64_t S = 400;
+  setup_gadget_invariant(eng, net, 0, S);
+
+  std::vector<std::int64_t> cascade{S};
+  for (std::size_t k = 0; k + 1 < static_cast<std::size_t>(M); ++k) {
+    LpsHandoff phase(net, cfg, k);
+    while (!phase.finished(eng.now() + 1)) eng.step(&phase);
+    cascade.push_back(inspect_gadget(eng, net, k + 1).S());
+  }
+  for (std::size_t i = 0; i + 1 < cascade.size(); ++i) {
+    EXPECT_GE(static_cast<double>(cascade[i + 1]),
+              1.2 * static_cast<double>(cascade[i]))
+        << "gadget " << i;
+  }
+  // Overall amplification beats (1+eps)^(M-1).
+  EXPECT_GE(static_cast<double>(cascade.back()),
+            static_cast<double>(S) *
+                std::pow(1.2, static_cast<double>(M - 1)));
+}
+
+}  // namespace
+}  // namespace aqt

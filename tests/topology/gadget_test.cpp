@@ -1,0 +1,149 @@
+#include "aqt/topology/gadget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Gadget, SingleGadgetStructure) {
+  const ChainedGadgets net = build_chain(/*n=*/3, /*gadget_count=*/1);
+  EXPECT_EQ(net.gadgets.size(), 1u);
+  // Edges: a1, e1..e3, f1..f3, a2 = 8.
+  EXPECT_EQ(net.graph.edge_count(), 8u);
+  const GadgetEdges& ge = net.gadgets[0];
+  EXPECT_EQ(net.graph.edge(ge.ingress).name, "a1");
+  EXPECT_EQ(net.graph.edge(ge.egress).name, "a2");
+  EXPECT_EQ(ge.e_path.size(), 3u);
+  EXPECT_EQ(ge.f_path.size(), 3u);
+}
+
+TEST(Gadget, IngressFromDegreeOneSourceEgressToDegreeOneSink) {
+  const ChainedGadgets net = build_chain(2, 1);
+  const Graph& g = net.graph;
+  const NodeId s = *g.find_node("s");
+  const NodeId z = *g.find_node("z");
+  EXPECT_EQ(g.out_edges(s).size(), 1u);
+  EXPECT_EQ(g.in_edges(s).size(), 0u);
+  EXPECT_EQ(g.in_edges(z).size(), 1u);
+  EXPECT_EQ(g.out_edges(z).size(), 0u);
+}
+
+TEST(Gadget, DaisyChainSharesBoundaryEdge) {
+  // Definition 3.4: egress of F(k) is identified with ingress of F(k+1).
+  const ChainedGadgets net = build_chain(2, 3);
+  for (std::size_t k = 0; k + 1 < net.gadgets.size(); ++k)
+    EXPECT_EQ(net.gadgets[k].egress, net.gadgets[k + 1].ingress) << k;
+}
+
+TEST(Gadget, ChainEdgeCount) {
+  // M gadgets: M+1 boundary edges + 2nM path edges.
+  const std::int64_t n = 4;
+  const std::int64_t M = 5;
+  const ChainedGadgets net = build_chain(n, M);
+  EXPECT_EQ(net.graph.edge_count(),
+            static_cast<std::size_t>(M + 1 + 2 * n * M));
+  EXPECT_EQ(net.back_edge, kNoEdge);
+}
+
+TEST(Gadget, ClosedChainAddsBackEdge) {
+  const ChainedGadgets net = build_closed_chain(2, 2);
+  ASSERT_NE(net.back_edge, kNoEdge);
+  const Graph& g = net.graph;
+  EXPECT_EQ(g.edge(net.back_edge).name, "e0");
+  // e0 runs from the egress head (z) back to the ingress tail (s).
+  EXPECT_EQ(g.tail(net.back_edge), *g.find_node("z"));
+  EXPECT_EQ(g.head(net.back_edge), *g.find_node("s"));
+}
+
+TEST(Gadget, StitchPathIsSimple) {
+  // The 3-edge path of Lemma 3.16: egress(M), e0, ingress(1).
+  const ChainedGadgets net = build_closed_chain(2, 2);
+  const Route path = {net.gadgets.back().egress, net.back_edge,
+                      net.gadgets.front().ingress};
+  EXPECT_TRUE(net.graph.is_simple_path(path));
+}
+
+TEST(Gadget, ERouteIsSimpleAndCorrect) {
+  const ChainedGadgets net = build_chain(3, 2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const Route r = net.e_route(k, i);
+      EXPECT_EQ(r.size(), 3 - i + 2) << "k=" << k << " i=" << i;
+      EXPECT_TRUE(net.graph.is_simple_path(r));
+      EXPECT_EQ(r.back(), net.gadgets[k].egress);
+    }
+  }
+}
+
+TEST(Gadget, FRouteIsSimpleAndCorrect) {
+  const ChainedGadgets net = build_chain(3, 2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    const Route r = net.f_route(k);
+    EXPECT_EQ(r.size(), 5u);  // a + 3 f-edges + a'.
+    EXPECT_TRUE(net.graph.is_simple_path(r));
+    EXPECT_EQ(r.front(), net.gadgets[k].ingress);
+    EXPECT_EQ(r.back(), net.gadgets[k].egress);
+  }
+}
+
+TEST(Gadget, LongPacketRouteAcrossTwoGadgetsIsSimple) {
+  // The Lemma 3.6 part-(3) route a, f.., a', f'.., a''.
+  const ChainedGadgets net = build_chain(3, 2);
+  Route r = net.f_route(0);
+  const Route next = net.f_route(1);
+  r.insert(r.end(), next.begin() + 1, next.end());
+  EXPECT_TRUE(net.graph.is_simple_path(r));
+  EXPECT_EQ(r.size(), 9u);  // 2n + 3 with n = 3.
+}
+
+TEST(Gadget, ParallelPathsAreDisjoint) {
+  const ChainedGadgets net = build_chain(3, 1);
+  const GadgetEdges& ge = net.gadgets[0];
+  for (EdgeId e : ge.e_path)
+    for (EdgeId f : ge.f_path) EXPECT_NE(e, f);
+}
+
+TEST(Gadget, EdgeRolesNamedPerConvention) {
+  const ChainedGadgets net = build_chain(2, 2);
+  const Graph& g = net.graph;
+  EXPECT_TRUE(g.find_edge("g1.e1").has_value());
+  EXPECT_TRUE(g.find_edge("g1.f2").has_value());
+  EXPECT_TRUE(g.find_edge("g2.e2").has_value());
+  EXPECT_TRUE(g.find_edge("a2").has_value());
+  EXPECT_TRUE(g.find_edge("a3").has_value());
+}
+
+TEST(Gadget, NEqualsOneDegenerateGadget) {
+  // n = 1: e and f are parallel edges u -> v.
+  const ChainedGadgets net = build_chain(1, 1);
+  EXPECT_EQ(net.graph.edge_count(), 4u);
+  EXPECT_TRUE(net.graph.is_simple_path(net.f_route(0)));
+  EXPECT_TRUE(net.graph.is_simple_path(net.e_route(0, 1)));
+}
+
+TEST(Gadget, InvalidParametersThrow) {
+  EXPECT_THROW(build_chain(0, 1), PreconditionError);
+  EXPECT_THROW(build_chain(1, 0), PreconditionError);
+  const ChainedGadgets net = build_chain(2, 1);
+  EXPECT_THROW((void)net.e_route(5, 1), PreconditionError);
+  EXPECT_THROW((void)net.e_route(0, 0), PreconditionError);
+  EXPECT_THROW((void)net.e_route(0, 3), PreconditionError);
+}
+
+TEST(Gadget, LpsLongestRouteFormula) {
+  EXPECT_EQ(lps_longest_route(build_chain(3, 1)), 5);        // n + 2.
+  EXPECT_EQ(lps_longest_route(build_chain(3, 4)), 17);       // (n+1)M + 1.
+  EXPECT_EQ(lps_longest_route(build_closed_chain(2, 5)), 16);
+}
+
+TEST(Gadget, DotExportRenders) {
+  const ChainedGadgets net = build_closed_chain(2, 2);
+  const std::string dot = net.graph.to_dot("F2n");
+  EXPECT_NE(dot.find("e0"), std::string::npos);
+  EXPECT_NE(dot.find("g2.f1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,135 @@
+#include "aqt/topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Generators, Line) {
+  const Graph g = make_line(5);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  // The whole line is one simple path.
+  Route r;
+  for (EdgeId e = 0; e < 5; ++e) r.push_back(e);
+  EXPECT_TRUE(g.is_simple_path(r));
+}
+
+TEST(Generators, Ring) {
+  const Graph g = make_ring(4);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.out_edges(v).size(), 1u);
+    EXPECT_EQ(g.in_edges(v).size(), 1u);
+  }
+  // Going all the way around is contiguous but not simple.
+  Route full = {0, 1, 2, 3};
+  EXPECT_TRUE(g.is_path(full));
+  EXPECT_FALSE(g.is_simple_path(full));
+  // A partial arc is simple.
+  EXPECT_TRUE(g.is_simple_path({0, 1, 2}));
+}
+
+TEST(Generators, BidirectionalRing) {
+  const Graph g = make_bidirectional_ring(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.out_edges(v).size(), 2u);
+    EXPECT_EQ(g.in_edges(v).size(), 2u);
+  }
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  // Horizontal: 3 rows x 3; vertical: 2 x 4.
+  EXPECT_EQ(g.edge_count(), 9u + 8u);
+  // Top-left to bottom-right staircase is a simple path.
+  const Route staircase = {g.edge_by_name("h0_0"), g.edge_by_name("d0_1"),
+                           g.edge_by_name("h1_1"), g.edge_by_name("d1_2"),
+                           g.edge_by_name("h2_2")};
+  EXPECT_TRUE(g.is_simple_path(staircase));
+}
+
+TEST(Generators, InTree) {
+  const Graph g = make_in_tree(3);
+  // Nodes: 1 + 2 + 4 + 8 = 15; edges: 14, all pointing rootward.
+  EXPECT_EQ(g.node_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  // Root (t0) has in-degree 2, out-degree 0.
+  const NodeId root = *g.find_node("t0");
+  EXPECT_EQ(g.in_edges(root).size(), 2u);
+  EXPECT_EQ(g.out_edges(root).size(), 0u);
+  EXPECT_EQ(g.max_in_degree(), 2u);
+}
+
+TEST(Generators, RandomDagHasSpineAndIsAcyclicByConstruction) {
+  Rng rng(17);
+  const Graph g = make_random_dag(20, 0.1, rng);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_GE(g.edge_count(), 19u);  // At least the spine.
+  // Every edge goes from a lower to a higher index: acyclic.
+  for (EdgeId e = 0; e < g.edge_count(); ++e)
+    EXPECT_LT(g.tail(e), g.head(e));
+}
+
+TEST(Generators, RandomDagDeterministicForSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(make_random_dag(15, 0.3, a).edge_count(),
+            make_random_dag(15, 0.3, b).edge_count());
+}
+
+TEST(Generators, ParallelEdges) {
+  const Graph g = make_parallel_edges(3);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.max_in_degree(), 3u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(3);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 24u);  // 8 nodes x 3 bits.
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.out_edges(v).size(), 3u);
+    EXPECT_EQ(g.in_edges(v).size(), 3u);
+  }
+  // A greedy bit-fixing route 000 -> 111 is a simple path.
+  const Route r = {g.edge_by_name("h0_0"), g.edge_by_name("h1_1"),
+                   g.edge_by_name("h3_2")};
+  EXPECT_TRUE(g.is_simple_path(r));
+  EXPECT_EQ(g.head(r.back()), 7u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 24u);  // Every node: 1 right + 1 down.
+  for (NodeId v = 0; v < 12; ++v) {
+    EXPECT_EQ(g.out_edges(v).size(), 2u);
+    EXPECT_EQ(g.in_edges(v).size(), 2u);
+  }
+  // Wraparound: the last column's horizontal edge returns to column 0.
+  const EdgeId wrap = g.edge_by_name("h0_3");
+  EXPECT_EQ(g.head(wrap), *g.find_node("v0_0"));
+}
+
+TEST(Generators, InvalidParametersThrow) {
+  EXPECT_THROW(make_line(0), PreconditionError);
+  EXPECT_THROW(make_ring(1), PreconditionError);
+  EXPECT_THROW(make_grid(0, 3), PreconditionError);
+  EXPECT_THROW(make_in_tree(0), PreconditionError);
+  EXPECT_THROW(make_hypercube(0), PreconditionError);
+  EXPECT_THROW(make_torus(1, 5), PreconditionError);
+  Rng rng(1);
+  EXPECT_THROW(make_random_dag(1, 0.5, rng), PreconditionError);
+  EXPECT_THROW(make_random_dag(5, 1.5, rng), PreconditionError);
+  EXPECT_THROW(make_parallel_edges(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,109 @@
+#include "aqt/topology/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/topology/gadget.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(Routing, ShortestOnLine) {
+  const Graph g = make_line(5);
+  const auto route = shortest_route(g, "v1", "v4");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->size(), 3u);
+  EXPECT_TRUE(g.is_simple_path(*route));
+  EXPECT_EQ(g.tail(route->front()), *g.find_node("v1"));
+  EXPECT_EQ(g.head(route->back()), *g.find_node("v4"));
+}
+
+TEST(Routing, ShortestOnGridIsManhattan) {
+  const Graph g = make_grid(4, 4);
+  const auto route = shortest_route(g, "v0_0", "v3_3");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->size(), 6u);  // 3 right + 3 down.
+}
+
+TEST(Routing, UnreachableReturnsNullopt) {
+  const Graph g = make_line(3);  // Directed: no way back.
+  EXPECT_FALSE(shortest_route(g, "v3", "v0").has_value());
+}
+
+TEST(Routing, SameNodeReturnsNullopt) {
+  const Graph g = make_line(3);
+  EXPECT_FALSE(shortest_route(g, "v1", "v1").has_value());
+}
+
+TEST(Routing, UnknownNodeThrows) {
+  const Graph g = make_line(3);
+  EXPECT_THROW((void)shortest_route(g, "ghost", "v0"), PreconditionError);
+}
+
+TEST(Routing, DeterministicTieBreak) {
+  // Two equal-length paths in a diamond: the lower edge ids win.
+  Graph g;
+  g.add_edge("s", "a", "sa");
+  g.add_edge("s", "b", "sb");
+  g.add_edge("a", "t", "at");
+  g.add_edge("b", "t", "bt");
+  const auto route = shortest_route(g, "s", "t");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ((*route)[0], g.edge_by_name("sa"));
+}
+
+TEST(Routing, HopDiameter) {
+  EXPECT_EQ(hop_diameter(make_line(5)), 5);
+  EXPECT_EQ(hop_diameter(make_ring(6)), 5);  // Farthest node 5 hops away.
+  EXPECT_EQ(hop_diameter(make_grid(3, 3)), 4);
+  // Hypercube diameter = dimension.
+  EXPECT_EQ(hop_diameter(make_hypercube(4)), 4);
+}
+
+TEST(Routing, HopDiameterOfGadgetChain) {
+  // F_n^M: ingress + M * (n-path + egress) = 1 + M(n+1) hops end-to-end.
+  const ChainedGadgets net = build_chain(3, 2);
+  EXPECT_EQ(hop_diameter(net.graph), 1 + 2 * 4);
+}
+
+TEST(Routing, AllSimpleRoutesOnDiamond) {
+  Graph g;
+  g.add_edge("s", "a", "sa");
+  g.add_edge("s", "b", "sb");
+  g.add_edge("a", "t", "at");
+  g.add_edge("b", "t", "bt");
+  const auto routes = all_simple_routes(g, *g.find_node("s"),
+                                        *g.find_node("t"), 4);
+  EXPECT_EQ(routes.size(), 2u);
+  for (const Route& r : routes) EXPECT_TRUE(g.is_simple_path(r));
+}
+
+TEST(Routing, AllSimpleRoutesRespectsMaxLen) {
+  const Graph g = make_grid(3, 3);
+  const auto routes = all_simple_routes(g, *g.find_node("v0_0"),
+                                        *g.find_node("v2_2"), 3);
+  EXPECT_TRUE(routes.empty());  // Needs 4 hops minimum.
+  const auto ok = all_simple_routes(g, *g.find_node("v0_0"),
+                                    *g.find_node("v2_2"), 4);
+  EXPECT_EQ(ok.size(), 6u);  // C(4,2) monotone staircases.
+}
+
+TEST(Routing, AllSimpleRoutesHonorsLimit) {
+  const Graph g = make_grid(4, 4);
+  const auto routes = all_simple_routes(g, *g.find_node("v0_0"),
+                                        *g.find_node("v3_3"), 10, 5);
+  EXPECT_EQ(routes.size(), 5u);
+}
+
+TEST(Routing, GadgetParallelPathsEnumerate) {
+  // F_n has exactly two simple u -> v paths (the e- and f-paths).
+  const ChainedGadgets net = build_chain(4, 1);
+  const Graph& g = net.graph;
+  const auto routes = all_simple_routes(g, *g.find_node("u1"),
+                                        *g.find_node("v1"), 10);
+  EXPECT_EQ(routes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aqt

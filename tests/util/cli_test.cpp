@@ -1,0 +1,108 @@
+#include "aqt/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include <vector>
+
+namespace aqt {
+namespace {
+
+/// Builds an argv array from string literals (argv[0] is the program name).
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(prog_);
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  char prog_[5] = "prog";
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("t", "test");
+  cli.flag("steps", "100", "step count");
+  Args a({});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get_int("steps"), 100);
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli("t", "test");
+  cli.flag("rate", "0.5", "rate");
+  Args a({"--rate", "0.7"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.7);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  Cli cli("t", "test");
+  cli.flag("proto", "FIFO", "protocol");
+  Args a({"--proto=LIS"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get("proto"), "LIS");
+}
+
+TEST(Cli, RationalFlag) {
+  Cli cli("t", "test");
+  cli.flag("r", "1/2", "rate");
+  Args a({"--r", "7/10"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get_rat("r"), Rat(7, 10));
+}
+
+TEST(Cli, BoolFlagVariants) {
+  Cli cli("t", "test");
+  cli.flag("audit", "false", "audit");
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    Cli c("t", "test");
+    c.flag("audit", "false", "audit");
+    Args a({std::string("--audit=") + v});
+    ASSERT_TRUE(c.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(c.get_bool("audit")) << v;
+  }
+  Args a({"--audit=0"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_FALSE(cli.get_bool("audit"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("t", "test");
+  cli.flag("x", "1", "x");
+  Args a({"--nope", "3"});
+  EXPECT_THROW((void)cli.parse(a.argc(), a.argv()), PreconditionError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli("t", "test");
+  cli.flag("x", "1", "x");
+  Args a({"--x"});
+  EXPECT_THROW((void)cli.parse(a.argc(), a.argv()), PreconditionError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("t", "test");
+  cli.flag("x", "1", "x");
+  Args a({"--help"});
+  EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+}
+
+TEST(Cli, DuplicateFlagDeclarationThrows) {
+  Cli cli("t", "test");
+  cli.flag("x", "1", "x");
+  EXPECT_THROW(cli.flag("x", "2", "again"), PreconditionError);
+}
+
+TEST(Cli, UndeclaredGetThrows) {
+  Cli cli("t", "test");
+  EXPECT_THROW((void)cli.get("ghost"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "aqt/util/check.hpp"
+#include "aqt/util/csv.hpp"
+#include "aqt/util/table.hpp"
+
+namespace aqt {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/aqt_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.rowv(1, 2.5);
+    w.rowv("x", "y");
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2.5\nx,y\n");
+}
+
+TEST_F(CsvTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter w(path_, {"f"});
+    w.row({"a,b"});
+    w.row({"say \"hi\""});
+  }
+  EXPECT_EQ(slurp(path_), "f\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, WidthMismatchThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), PreconditionError);
+}
+
+TEST_F(CsvTest, DoubleFormatting) {
+  EXPECT_EQ(CsvWriter::format(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::format(1e10), "1e+10");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.rowv("alpha", 1);
+  t.rowv("b", 22);
+  std::ostringstream os;
+  os << t;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Numbers are right-aligned within their column.
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(true), "yes");
+  EXPECT_EQ(Table::cell(false), "no");
+  EXPECT_EQ(Table::cell(42), "42");
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.row({"x", "y"}), PreconditionError);
+}
+
+TEST(TableTest, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.rowv(1);
+  t.rowv(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace aqt

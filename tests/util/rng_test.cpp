@@ -1,0 +1,134 @@
+#include "aqt/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace aqt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeDegenerateSingleValue) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.range(5, 5), 5);
+}
+
+TEST(Rng, RangeBadBoundsThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.range(2, 1), PreconditionError);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(22);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.split();
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() != b.next()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,185 @@
+// aqt-fuzz: randomized differential testing of the engine against the
+// independent reference simulator.
+//
+// Generates random topologies, random injection scripts, and random legal
+// reroutes; runs both simulators in lockstep for every deterministic
+// protocol; and reports the first observable divergence (queue contents in
+// forwarding order, absorption counts).  Exit code 0 means no divergence.
+//
+//   aqt-fuzz [--trials 200] [--steps 80] [--seed 1]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/reference.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/cli.hpp"
+#include "aqt/util/rng.hpp"
+
+namespace {
+
+using namespace aqt;
+
+/// Random simple forward route of up to `max_len` edges.
+Route random_route(const Graph& g, Rng& rng, std::size_t max_len) {
+  Route route;
+  std::vector<bool> visited(g.node_count(), false);
+  const EdgeId start = static_cast<EdgeId>(rng.below(g.edge_count()));
+  route.push_back(start);
+  visited[g.tail(start)] = visited[g.head(start)] = true;
+  while (route.size() < max_len && !rng.chance(0.3)) {
+    const auto& outs = g.out_edges(g.head(route.back()));
+    Route options;
+    for (EdgeId e : outs)
+      if (!visited[g.head(e)]) options.push_back(e);
+    if (options.empty()) break;
+    const EdgeId pick = options[rng.below(options.size())];
+    visited[g.head(pick)] = true;
+    route.push_back(pick);
+  }
+  return route;
+}
+
+ReferenceSnapshot engine_snapshot(const Engine& eng) {
+  ReferenceSnapshot snap;
+  snap.now = eng.now();
+  snap.injected = eng.total_injected();
+  snap.absorbed = eng.total_absorbed();
+  snap.queue_tags.resize(eng.graph().edge_count());
+  for (EdgeId e = 0; e < eng.graph().edge_count(); ++e)
+    for (const BufferEntry& be : eng.buffer(e))
+      snap.queue_tags[e].push_back(eng.packet(be.packet).tag);
+  return snap;
+}
+
+bool equal(const ReferenceSnapshot& a, const ReferenceSnapshot& b) {
+  return a.now == b.now && a.injected == b.injected &&
+         a.absorbed == b.absorbed && a.queue_tags == b.queue_tags;
+}
+
+Graph random_topology(Rng& rng) {
+  switch (rng.below(5)) {
+    case 0:
+      return make_grid(rng.range(2, 4), rng.range(2, 4));
+    case 1:
+      return make_ring(rng.range(3, 10));
+    case 2:
+      return make_bidirectional_ring(rng.range(3, 7));
+    case 3:
+      return make_torus(rng.range(2, 4), rng.range(2, 4));
+    default:
+      return make_random_dag(rng.range(5, 14), 0.25, rng);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("aqt-fuzz", "differential fuzzing: Engine vs ReferenceSimulator");
+  cli.flag("trials", "200", "random scenarios to run");
+  cli.flag("steps", "80", "steps per scenario");
+  cli.flag("seed", "1", "master seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::int64_t trials = cli.get_int("trials");
+  const Time steps = cli.get_int("steps");
+  Rng master(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const std::vector<std::string> protocols = {"FIFO", "LIFO", "LIS", "NIS",
+                                              "FTG", "NTG", "FFS", "NTS"};
+
+  std::uint64_t checks = 0;
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    Rng rng = master.split();
+    const Graph g = random_topology(rng);
+    const std::string proto = protocols[rng.below(protocols.size())];
+    const bool historic = make_protocol(proto)->is_historic();
+
+    auto protocol = make_protocol(proto);
+    Engine eng(g, *protocol);
+    ReferenceSimulator ref(g, proto);
+
+    // Shared initial configuration.
+    const std::int64_t initial = rng.range(0, 6);
+    for (std::int64_t i = 0; i < initial; ++i) {
+      const Route route = random_route(g, rng, 4);
+      eng.add_initial_packet(route, static_cast<std::uint64_t>(1000 + i));
+      ref.add_initial_packet(route, static_cast<std::uint64_t>(1000 + i));
+    }
+
+    struct Driver final : Adversary {
+      std::vector<Injection> injections;
+      std::vector<Reroute> reroutes;
+      void step(Time, const Engine&, AdversaryStep& out) override {
+        for (auto& inj : injections) out.injections.push_back(inj);
+        for (auto& rr : reroutes) out.reroutes.push_back(rr);
+        injections.clear();
+        reroutes.clear();
+      }
+    } driver;
+
+    std::uint64_t tag = 1;
+    for (Time t = 1; t <= steps; ++t) {
+      // Random injections.
+      std::vector<Injection> step_inj;
+      const std::int64_t count = rng.range(0, 2);
+      for (std::int64_t i = 0; i < count; ++i)
+        step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
+      driver.injections = step_inj;
+
+      // Occasionally one random legal reroute (historic protocols only):
+      // pick a buffered packet that is not a buffer front.
+      std::vector<ReferenceSimulator::RefReroute> ref_rr;
+      if (historic && rng.chance(0.3)) {
+        std::vector<PacketId> candidates;
+        for (EdgeId e = 0; e < g.edge_count(); ++e) {
+          bool first = true;
+          for (const BufferEntry& be : eng.buffer(e)) {
+            if (!first) candidates.push_back(be.packet);
+            first = false;
+          }
+        }
+        if (!candidates.empty()) {
+          const PacketId id = candidates[rng.below(candidates.size())];
+          const Packet& p = eng.packet(id);
+          std::vector<bool> used(g.node_count(), false);
+          for (std::size_t h = 0; h <= p.hop; ++h) {
+            used[g.tail(p.route[h])] = true;
+            used[g.head(p.route[h])] = true;
+          }
+          Route suffix;
+          NodeId at = g.head(p.route[p.hop]);
+          for (int len = 0; len < 3; ++len) {
+            Route options;
+            for (EdgeId e : g.out_edges(at))
+              if (!used[g.head(e)]) options.push_back(e);
+            if (options.empty()) break;
+            const EdgeId pick = options[rng.below(options.size())];
+            suffix.push_back(pick);
+            at = g.head(pick);
+            used[at] = true;
+          }
+          driver.reroutes.push_back(Reroute{id, suffix});
+          ref_rr.push_back(
+              ReferenceSimulator::RefReroute{p.ordinal, suffix});
+        }
+      }
+
+      eng.step(&driver);
+      ref.step(step_inj, ref_rr);
+      ++checks;
+      if (!equal(engine_snapshot(eng), ref.snapshot())) {
+        std::printf("DIVERGENCE: trial %lld protocol %s step %lld\n",
+                    static_cast<long long>(trial), proto.c_str(),
+                    static_cast<long long>(t));
+        return 1;
+      }
+    }
+  }
+  std::printf("aqt-fuzz: %lld trials x %lld steps, %llu lockstep "
+              "comparisons, no divergence\n",
+              static_cast<long long>(trials), static_cast<long long>(steps),
+              static_cast<unsigned long long>(checks));
+  return 0;
+}

@@ -1,0 +1,216 @@
+// aqt-sim: general-purpose simulation driver.
+//
+// Pick a topology, a protocol, and an adversary from the command line; run
+// for a number of steps; print the stability-relevant metrics and
+// optionally dump the occupancy time series as CSV, verify rate
+// feasibility, record the adversary schedule as a trace, or checkpoint the
+// final state.
+//
+// Examples:
+//   aqt-sim --topology grid:5x5 --protocol FIFO \
+//           --adversary stochastic --w 12 --r 1/4 --d 4 --steps 20000
+//   aqt-sim --topology lps:9x8 --protocol FIFO \
+//           --adversary lps --r 7/10 --iterations 3 --series out.csv
+//   aqt-sim --topology ring:16 --protocol NTG --adversary convoy \
+//           --w 12 --r 1/3 --steps 5000 --audit true
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/adversaries/bucket.hpp"
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/analysis/bounds.hpp"
+#include "aqt/core/checkpoint.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/rate_check.hpp"
+#include "aqt/core/stability.hpp"
+#include "aqt/topology/gadget.hpp"
+#include "aqt/topology/spec.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/trace/trace.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/cli.hpp"
+#include "aqt/util/csv.hpp"
+#include "aqt/util/table.hpp"
+
+namespace {
+
+using namespace aqt;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("aqt-sim", "adversarial queuing simulation driver");
+  cli.flag("topology", "grid:4x4",
+           "line:N ring:N bidiring:N grid:RxC torus:RxC tree:D hypercube:D "
+           "dag:N lps:NxM");
+  cli.flag("protocol", "FIFO", "FIFO LIFO LIS NIS FTG NTG FFS NTS RANDOM");
+  cli.flag("adversary", "stochastic",
+           "stochastic | hotspot | convoy | bucket | lps");
+  cli.flag("burst", "2", "token-bucket burst b (bucket adversary)");
+  cli.flag("steps", "10000", "steps to run (lps: upper cap)");
+  cli.flag("w", "12", "window size (stochastic/convoy)");
+  cli.flag("r", "1/4", "injection rate");
+  cli.flag("d", "4", "max route length (stochastic)");
+  cli.flag("iterations", "3", "outer iterations (lps)");
+  cli.flag("s-star", "1200", "initial flat queue (lps)");
+  cli.flag("seed", "1", "rng seed");
+  cli.flag("audit", "false", "verify rate feasibility post-run");
+  cli.flag("series", "", "write occupancy series CSV to this path");
+  cli.flag("record", "", "record the adversary schedule to this trace file");
+  cli.flag("checkpoint", "", "save the final state to this file");
+  cli.flag("resume", "",
+           "load this checkpoint before running (same topology required; "
+           "the adversary starts fresh on the restored state)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  TopologySpec topo = parse_topology_spec(cli.get("topology"), seed);
+  auto protocol = make_protocol(cli.get("protocol"), seed);
+  const Rat r = cli.get_rat("r");
+  const bool audit = cli.get_bool("audit");
+
+  EngineConfig ec;
+  ec.audit_rates = audit;
+  ec.series_stride = cli.get("series").empty()
+                         ? 0
+                         : std::max<Time>(1, cli.get_int("steps") / 512);
+  Engine eng(topo.graph, *protocol, ec);
+
+  const bool resuming = !cli.get("resume").empty();
+  if (resuming) {
+    AQT_REQUIRE(!audit, "--resume requires --audit false");
+    load_checkpoint_file(eng, cli.get("resume"));
+    std::printf("resumed from %s at step %lld (%llu packets in flight)\n",
+                cli.get("resume").c_str(), static_cast<long long>(eng.now()),
+                static_cast<unsigned long long>(eng.packets_in_flight()));
+  }
+
+  // Build the adversary.
+  std::unique_ptr<Adversary> adversary;
+  const std::string kind = cli.get("adversary");
+  if (kind == "stochastic" || kind == "hotspot") {
+    StochasticConfig cfg;
+    cfg.w = cli.get_int("w");
+    cfg.r = r;
+    cfg.max_route_len = cli.get_int("d");
+    cfg.seed = seed;
+    cfg.mode = kind == "hotspot" ? StochasticConfig::Mode::kHotspot
+                                 : StochasticConfig::Mode::kUniform;
+    adversary = std::make_unique<StochasticAdversary>(topo.graph, cfg);
+  } else if (kind == "bucket") {
+    BucketAdversary::Config cfg;
+    cfg.burst = cli.get_int("burst");
+    cfg.rate = r;
+    cfg.max_route_len = cli.get_int("d");
+    cfg.seed = seed;
+    adversary = std::make_unique<BucketAdversary>(topo.graph, cfg);
+  } else if (kind == "convoy") {
+    // The longest simple forward path from node 0's first out-edge.
+    Route path;
+    NodeId at = 0;
+    std::vector<bool> seen(topo.graph.node_count(), false);
+    seen[at] = true;
+    while (!topo.graph.out_edges(at).empty() &&
+           path.size() < static_cast<std::size_t>(cli.get_int("d"))) {
+      EdgeId next = kNoEdge;
+      for (EdgeId e : topo.graph.out_edges(at))
+        if (!seen[topo.graph.head(e)]) {
+          next = e;
+          break;
+        }
+      if (next == kNoEdge) break;
+      path.push_back(next);
+      at = topo.graph.head(next);
+      seen[at] = true;
+    }
+    AQT_REQUIRE(!path.empty(), "no forward path for the convoy");
+    adversary = std::make_unique<ConvoyAdversary>(path, cli.get_int("w"), r);
+  } else if (kind == "lps") {
+    AQT_REQUIRE(topo.is_lps, "--adversary lps needs --topology lps:NxM");
+    LpsConfig cfg = make_lps_config(r);
+    cfg.enforce_s0 = false;
+    AQT_REQUIRE(cfg.n == topo.lps_net.n,
+                "topology lps:" << topo.lps_net.n << "xM does not match "
+                                << "n(" << r << ") = " << cfg.n
+                                << "; use lps:" << cfg.n << "xM");
+    if (!resuming)
+      setup_flat_queue(eng, topo.lps_net, 0, cli.get_int("s-star"));
+    adversary = std::make_unique<LpsAdversary>(topo.lps_net, cfg,
+                                               cli.get_int("iterations"));
+  } else {
+    AQT_REQUIRE(false, "unknown adversary: " << kind);
+  }
+
+  // Optional trace recording.
+  Trace trace;
+  std::unique_ptr<RecordingAdversary> recorder;
+  Adversary* driver = adversary.get();
+  if (!cli.get("record").empty()) {
+    recorder = std::make_unique<RecordingAdversary>(*adversary, trace);
+    driver = recorder.get();
+  }
+
+  // Run.
+  const Time cap = cli.get_int("steps");
+  for (Time i = 0; i < cap; ++i) {
+    if (driver->finished(eng.now() + 1)) break;
+    eng.step(driver);
+  }
+
+  // Report.
+  Table t({"metric", "value"});
+  t.rowv("topology", cli.get("topology"));
+  t.rowv("protocol", cli.get("protocol"));
+  t.rowv("adversary", kind);
+  t.rowv("steps", static_cast<long long>(eng.now()));
+  t.rowv("injected", static_cast<long long>(eng.total_injected()));
+  t.rowv("absorbed", static_cast<long long>(eng.total_absorbed()));
+  t.rowv("in flight", static_cast<long long>(eng.packets_in_flight()));
+  t.rowv("max queue", static_cast<long long>(eng.metrics().max_queue_global()));
+  t.rowv("max residence",
+         static_cast<long long>(eng.metrics().max_residence_global()));
+  t.rowv("max latency", static_cast<long long>(eng.metrics().max_latency()));
+  t.rowv("mean latency", eng.metrics().mean_latency());
+  std::cout << "\n" << t;
+
+  if (ec.series_stride > 0) {
+    const auto verdict = classify_growth(eng.metrics().series());
+    std::cout << "\ngrowth verdict: " << to_string(verdict.verdict)
+              << " (late/early occupancy ratio " << verdict.ratio << ")\n";
+    CsvWriter csv(cli.get("series"), {"t", "in_flight", "max_queue"});
+    for (const auto& p : eng.metrics().series())
+      csv.rowv(static_cast<long long>(p.t),
+               static_cast<long long>(p.in_flight),
+               static_cast<long long>(p.max_queue));
+    std::cout << "series written to " << cli.get("series") << "\n";
+  }
+
+  if (audit) {
+    eng.finalize_audit();
+    RateCheckResult res;
+    if (kind == "lps") {
+      res = check_rate_r(eng.audit(), r);
+    } else if (kind == "bucket") {
+      res = check_bucket(eng.audit(), cli.get_int("burst"), r);
+    } else {
+      res = check_window(eng.audit(), cli.get_int("w"), r);
+    }
+    std::cout << "\nrate feasibility: " << res.describe(topo.graph) << "\n";
+    if (!res.ok) return 1;
+  }
+  if (!cli.get("record").empty()) {
+    trace.save_file(cli.get("record"), topo.graph);
+    std::cout << "trace (" << trace.size() << " events) written to "
+              << cli.get("record") << "\n";
+  }
+  if (!cli.get("checkpoint").empty()) {
+    AQT_REQUIRE(!audit, "checkpointing requires --audit false");
+    save_checkpoint_file(eng, cli.get("checkpoint"));
+    std::cout << "checkpoint written to " << cli.get("checkpoint") << "\n";
+  }
+  return 0;
+}
