@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_fifo_instability.dir/bench_e01_fifo_instability.cpp.o"
+  "CMakeFiles/bench_e01_fifo_instability.dir/bench_e01_fifo_instability.cpp.o.d"
+  "bench_e01_fifo_instability"
+  "bench_e01_fifo_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_fifo_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

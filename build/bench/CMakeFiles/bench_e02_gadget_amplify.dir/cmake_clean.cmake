@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e02_gadget_amplify.dir/bench_e02_gadget_amplify.cpp.o"
+  "CMakeFiles/bench_e02_gadget_amplify.dir/bench_e02_gadget_amplify.cpp.o.d"
+  "bench_e02_gadget_amplify"
+  "bench_e02_gadget_amplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_gadget_amplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

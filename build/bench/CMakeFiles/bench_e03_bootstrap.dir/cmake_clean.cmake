@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_bootstrap.dir/bench_e03_bootstrap.cpp.o"
+  "CMakeFiles/bench_e03_bootstrap.dir/bench_e03_bootstrap.cpp.o.d"
+  "bench_e03_bootstrap"
+  "bench_e03_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

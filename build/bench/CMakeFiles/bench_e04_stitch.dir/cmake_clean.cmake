@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_stitch.dir/bench_e04_stitch.cpp.o"
+  "CMakeFiles/bench_e04_stitch.dir/bench_e04_stitch.cpp.o.d"
+  "bench_e04_stitch"
+  "bench_e04_stitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_stitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_greedy_stability.dir/bench_e05_greedy_stability.cpp.o"
+  "CMakeFiles/bench_e05_greedy_stability.dir/bench_e05_greedy_stability.cpp.o.d"
+  "bench_e05_greedy_stability"
+  "bench_e05_greedy_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_greedy_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

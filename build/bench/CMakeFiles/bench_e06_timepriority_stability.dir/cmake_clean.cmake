@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_timepriority_stability.dir/bench_e06_timepriority_stability.cpp.o"
+  "CMakeFiles/bench_e06_timepriority_stability.dir/bench_e06_timepriority_stability.cpp.o.d"
+  "bench_e06_timepriority_stability"
+  "bench_e06_timepriority_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_timepriority_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

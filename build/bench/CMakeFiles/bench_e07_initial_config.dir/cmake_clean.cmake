@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_initial_config.dir/bench_e07_initial_config.cpp.o"
+  "CMakeFiles/bench_e07_initial_config.dir/bench_e07_initial_config.cpp.o.d"
+  "bench_e07_initial_config"
+  "bench_e07_initial_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_initial_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

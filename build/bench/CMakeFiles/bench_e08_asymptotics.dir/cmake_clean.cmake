@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_asymptotics.dir/bench_e08_asymptotics.cpp.o"
+  "CMakeFiles/bench_e08_asymptotics.dir/bench_e08_asymptotics.cpp.o.d"
+  "bench_e08_asymptotics"
+  "bench_e08_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

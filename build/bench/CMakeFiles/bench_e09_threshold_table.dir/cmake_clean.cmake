@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_threshold_table.dir/bench_e09_threshold_table.cpp.o"
+  "CMakeFiles/bench_e09_threshold_table.dir/bench_e09_threshold_table.cpp.o.d"
+  "bench_e09_threshold_table"
+  "bench_e09_threshold_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_threshold_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

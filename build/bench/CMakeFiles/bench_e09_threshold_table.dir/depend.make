@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e09_threshold_table.
+# This may be replaced when dependencies are built.

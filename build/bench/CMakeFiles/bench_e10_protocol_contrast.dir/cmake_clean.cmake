@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_protocol_contrast.dir/bench_e10_protocol_contrast.cpp.o"
+  "CMakeFiles/bench_e10_protocol_contrast.dir/bench_e10_protocol_contrast.cpp.o.d"
+  "bench_e10_protocol_contrast"
+  "bench_e10_protocol_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_protocol_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_rate_scan.dir/bench_e11_rate_scan.cpp.o"
+  "CMakeFiles/bench_e11_rate_scan.dir/bench_e11_rate_scan.cpp.o.d"
+  "bench_e11_rate_scan"
+  "bench_e11_rate_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_rate_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_burst_tolerance.dir/bench_e14_burst_tolerance.cpp.o"
+  "CMakeFiles/bench_e14_burst_tolerance.dir/bench_e14_burst_tolerance.cpp.o.d"
+  "bench_e14_burst_tolerance"
+  "bench_e14_burst_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_burst_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

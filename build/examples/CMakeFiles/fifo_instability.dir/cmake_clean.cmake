@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_instability.dir/fifo_instability.cpp.o"
+  "CMakeFiles/fifo_instability.dir/fifo_instability.cpp.o.d"
+  "fifo_instability"
+  "fifo_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_anatomy.dir/gadget_anatomy.cpp.o"
+  "CMakeFiles/gadget_anatomy.dir/gadget_anatomy.cpp.o.d"
+  "gadget_anatomy"
+  "gadget_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_bounds.dir/stability_bounds.cpp.o"
+  "CMakeFiles/stability_bounds.dir/stability_bounds.cpp.o.d"
+  "stability_bounds"
+  "stability_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("aqt/util")
+subdirs("aqt/core")
+subdirs("aqt/trace")
+subdirs("aqt/topology")
+subdirs("aqt/analysis")
+subdirs("aqt/adversaries")
+subdirs("aqt/experiments")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_adversaries.dir/bucket.cpp.o"
+  "CMakeFiles/aqt_adversaries.dir/bucket.cpp.o.d"
+  "CMakeFiles/aqt_adversaries.dir/lps.cpp.o"
+  "CMakeFiles/aqt_adversaries.dir/lps.cpp.o.d"
+  "CMakeFiles/aqt_adversaries.dir/pacer.cpp.o"
+  "CMakeFiles/aqt_adversaries.dir/pacer.cpp.o.d"
+  "CMakeFiles/aqt_adversaries.dir/scripted.cpp.o"
+  "CMakeFiles/aqt_adversaries.dir/scripted.cpp.o.d"
+  "CMakeFiles/aqt_adversaries.dir/stochastic.cpp.o"
+  "CMakeFiles/aqt_adversaries.dir/stochastic.cpp.o.d"
+  "libaqt_adversaries.a"
+  "libaqt_adversaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_adversaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/aqt_analysis.dir/bounds.cpp.o.d"
+  "CMakeFiles/aqt_analysis.dir/lps_math.cpp.o"
+  "CMakeFiles/aqt_analysis.dir/lps_math.cpp.o.d"
+  "CMakeFiles/aqt_analysis.dir/observation44.cpp.o"
+  "CMakeFiles/aqt_analysis.dir/observation44.cpp.o.d"
+  "libaqt_analysis.a"
+  "libaqt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqt/core/buffer.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/buffer.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/buffer.cpp.o.d"
+  "/root/repo/src/aqt/core/checkpoint.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/checkpoint.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/aqt/core/debug.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/debug.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/debug.cpp.o.d"
+  "/root/repo/src/aqt/core/engine.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/engine.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/aqt/core/graph.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/graph.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/graph.cpp.o.d"
+  "/root/repo/src/aqt/core/metrics.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/metrics.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/aqt/core/packet.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/packet.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/packet.cpp.o.d"
+  "/root/repo/src/aqt/core/probe.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/probe.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/probe.cpp.o.d"
+  "/root/repo/src/aqt/core/protocol.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/protocol.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/aqt/core/rate_check.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/rate_check.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/rate_check.cpp.o.d"
+  "/root/repo/src/aqt/core/reference.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/reference.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/reference.cpp.o.d"
+  "/root/repo/src/aqt/core/reroute_legality.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/reroute_legality.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/reroute_legality.cpp.o.d"
+  "/root/repo/src/aqt/core/simulation.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/simulation.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/aqt/core/stability.cpp" "src/aqt/core/CMakeFiles/aqt_core.dir/stability.cpp.o" "gcc" "src/aqt/core/CMakeFiles/aqt_core.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqt/util/CMakeFiles/aqt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_core.dir/buffer.cpp.o"
+  "CMakeFiles/aqt_core.dir/buffer.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/aqt_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/debug.cpp.o"
+  "CMakeFiles/aqt_core.dir/debug.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/engine.cpp.o"
+  "CMakeFiles/aqt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/graph.cpp.o"
+  "CMakeFiles/aqt_core.dir/graph.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/metrics.cpp.o"
+  "CMakeFiles/aqt_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/packet.cpp.o"
+  "CMakeFiles/aqt_core.dir/packet.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/probe.cpp.o"
+  "CMakeFiles/aqt_core.dir/probe.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/protocol.cpp.o"
+  "CMakeFiles/aqt_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/rate_check.cpp.o"
+  "CMakeFiles/aqt_core.dir/rate_check.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/reference.cpp.o"
+  "CMakeFiles/aqt_core.dir/reference.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/reroute_legality.cpp.o"
+  "CMakeFiles/aqt_core.dir/reroute_legality.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/simulation.cpp.o"
+  "CMakeFiles/aqt_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/aqt_core.dir/stability.cpp.o"
+  "CMakeFiles/aqt_core.dir/stability.cpp.o.d"
+  "libaqt_core.a"
+  "libaqt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_experiments.dir/sweep.cpp.o"
+  "CMakeFiles/aqt_experiments.dir/sweep.cpp.o.d"
+  "libaqt_experiments.a"
+  "libaqt_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_topology.dir/gadget.cpp.o"
+  "CMakeFiles/aqt_topology.dir/gadget.cpp.o.d"
+  "CMakeFiles/aqt_topology.dir/generators.cpp.o"
+  "CMakeFiles/aqt_topology.dir/generators.cpp.o.d"
+  "CMakeFiles/aqt_topology.dir/routing.cpp.o"
+  "CMakeFiles/aqt_topology.dir/routing.cpp.o.d"
+  "CMakeFiles/aqt_topology.dir/spec.cpp.o"
+  "CMakeFiles/aqt_topology.dir/spec.cpp.o.d"
+  "libaqt_topology.a"
+  "libaqt_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_trace.dir/trace.cpp.o"
+  "CMakeFiles/aqt_trace.dir/trace.cpp.o.d"
+  "libaqt_trace.a"
+  "libaqt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

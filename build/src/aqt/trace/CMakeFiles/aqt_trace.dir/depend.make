@@ -1,0 +1,2 @@
+# Empty dependencies file for aqt_trace.
+# This may be replaced when dependencies are built.

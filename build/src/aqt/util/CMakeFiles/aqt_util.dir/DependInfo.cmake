@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqt/util/check.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/check.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/check.cpp.o.d"
+  "/root/repo/src/aqt/util/cli.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/cli.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/cli.cpp.o.d"
+  "/root/repo/src/aqt/util/csv.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/csv.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/csv.cpp.o.d"
+  "/root/repo/src/aqt/util/histogram.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/histogram.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/aqt/util/rational.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/rational.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/rational.cpp.o.d"
+  "/root/repo/src/aqt/util/rng.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/rng.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/rng.cpp.o.d"
+  "/root/repo/src/aqt/util/stats.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/stats.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/stats.cpp.o.d"
+  "/root/repo/src/aqt/util/table.cpp" "src/aqt/util/CMakeFiles/aqt_util.dir/table.cpp.o" "gcc" "src/aqt/util/CMakeFiles/aqt_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

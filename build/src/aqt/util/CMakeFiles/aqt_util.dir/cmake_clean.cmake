@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt_util.dir/check.cpp.o"
+  "CMakeFiles/aqt_util.dir/check.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/cli.cpp.o"
+  "CMakeFiles/aqt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/csv.cpp.o"
+  "CMakeFiles/aqt_util.dir/csv.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/histogram.cpp.o"
+  "CMakeFiles/aqt_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/rational.cpp.o"
+  "CMakeFiles/aqt_util.dir/rational.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/rng.cpp.o"
+  "CMakeFiles/aqt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/stats.cpp.o"
+  "CMakeFiles/aqt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/aqt_util.dir/table.cpp.o"
+  "CMakeFiles/aqt_util.dir/table.cpp.o.d"
+  "libaqt_util.a"
+  "libaqt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversaries.dir/adversaries/bucket_test.cpp.o"
+  "CMakeFiles/test_adversaries.dir/adversaries/bucket_test.cpp.o.d"
+  "CMakeFiles/test_adversaries.dir/adversaries/lps_phase_test.cpp.o"
+  "CMakeFiles/test_adversaries.dir/adversaries/lps_phase_test.cpp.o.d"
+  "CMakeFiles/test_adversaries.dir/adversaries/pacer_test.cpp.o"
+  "CMakeFiles/test_adversaries.dir/adversaries/pacer_test.cpp.o.d"
+  "CMakeFiles/test_adversaries.dir/adversaries/scripted_test.cpp.o"
+  "CMakeFiles/test_adversaries.dir/adversaries/scripted_test.cpp.o.d"
+  "CMakeFiles/test_adversaries.dir/adversaries/stochastic_test.cpp.o"
+  "CMakeFiles/test_adversaries.dir/adversaries/stochastic_test.cpp.o.d"
+  "test_adversaries"
+  "test_adversaries.pdb"
+  "test_adversaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/buffer_test.cpp" "tests/CMakeFiles/test_core.dir/core/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/buffer_test.cpp.o.d"
+  "/root/repo/tests/core/checkpoint_test.cpp" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/core/engine_test.cpp" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "/root/repo/tests/core/graph_test.cpp" "tests/CMakeFiles/test_core.dir/core/graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/graph_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/packet_test.cpp" "tests/CMakeFiles/test_core.dir/core/packet_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/packet_test.cpp.o.d"
+  "/root/repo/tests/core/probe_debug_test.cpp" "tests/CMakeFiles/test_core.dir/core/probe_debug_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/probe_debug_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_test.cpp" "tests/CMakeFiles/test_core.dir/core/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "/root/repo/tests/core/rate_check_test.cpp" "tests/CMakeFiles/test_core.dir/core/rate_check_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/rate_check_test.cpp.o.d"
+  "/root/repo/tests/core/reference_test.cpp" "tests/CMakeFiles/test_core.dir/core/reference_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reference_test.cpp.o.d"
+  "/root/repo/tests/core/reroute_legality_test.cpp" "tests/CMakeFiles/test_core.dir/core/reroute_legality_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/reroute_legality_test.cpp.o.d"
+  "/root/repo/tests/core/simulation_test.cpp" "tests/CMakeFiles/test_core.dir/core/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/simulation_test.cpp.o.d"
+  "/root/repo/tests/core/stability_test.cpp" "tests/CMakeFiles/test_core.dir/core/stability_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/stability_test.cpp.o.d"
+  "/root/repo/tests/core/trace_test.cpp" "tests/CMakeFiles/test_core.dir/core/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqt/experiments/CMakeFiles/aqt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/adversaries/CMakeFiles/aqt_adversaries.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/analysis/CMakeFiles/aqt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/topology/CMakeFiles/aqt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/trace/CMakeFiles/aqt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/core/CMakeFiles/aqt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/util/CMakeFiles/aqt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/buffer_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/buffer_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/graph_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/graph_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/packet_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/packet_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/probe_debug_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/probe_debug_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rate_check_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rate_check_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/reference_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/reference_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/reroute_legality_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/reroute_legality_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/simulation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/simulation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/stability_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/stability_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/experiments/sweep_test.cpp" "tests/CMakeFiles/test_experiments.dir/experiments/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_experiments.dir/experiments/sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqt/experiments/CMakeFiles/aqt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/adversaries/CMakeFiles/aqt_adversaries.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/analysis/CMakeFiles/aqt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/topology/CMakeFiles/aqt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/trace/CMakeFiles/aqt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/core/CMakeFiles/aqt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/util/CMakeFiles/aqt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/test_util.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/csv_table_test.cpp" "tests/CMakeFiles/test_util.dir/util/csv_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/csv_table_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/test_util.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/rational_test.cpp" "tests/CMakeFiles/test_util.dir/util/rational_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rational_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqt/experiments/CMakeFiles/aqt_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/adversaries/CMakeFiles/aqt_adversaries.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/analysis/CMakeFiles/aqt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/topology/CMakeFiles/aqt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/trace/CMakeFiles/aqt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/core/CMakeFiles/aqt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/util/CMakeFiles/aqt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

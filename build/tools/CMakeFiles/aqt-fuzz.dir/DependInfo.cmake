@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/aqt_fuzz.cpp" "tools/CMakeFiles/aqt-fuzz.dir/aqt_fuzz.cpp.o" "gcc" "tools/CMakeFiles/aqt-fuzz.dir/aqt_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqt/topology/CMakeFiles/aqt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/core/CMakeFiles/aqt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqt/util/CMakeFiles/aqt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

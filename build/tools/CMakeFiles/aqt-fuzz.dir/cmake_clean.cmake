@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt-fuzz.dir/aqt_fuzz.cpp.o"
+  "CMakeFiles/aqt-fuzz.dir/aqt_fuzz.cpp.o.d"
+  "aqt-fuzz"
+  "aqt-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

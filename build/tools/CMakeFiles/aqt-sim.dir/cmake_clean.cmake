@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqt-sim.dir/aqt_sim.cpp.o"
+  "CMakeFiles/aqt-sim.dir/aqt_sim.cpp.o.d"
+  "aqt-sim"
+  "aqt-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqt-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
