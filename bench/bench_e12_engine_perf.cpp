@@ -41,6 +41,30 @@ void BM_GridStochasticSteps(benchmark::State& state) {
 }
 BENCHMARK(BM_GridStochasticSteps)->Arg(4)->Arg(8)->Arg(16);
 
+void BM_GridStochasticStepsAudited(benchmark::State& state) {
+  // Same workload with EngineConfig::audit_invariants on: the ratio to
+  // BM_GridStochasticSteps is the full cost of re-checking every model
+  // invariant each step (budgeted at < 2x).
+  const auto side = state.range(0);
+  const Graph g = make_grid(side, side);
+  FifoProtocol fifo;
+  EngineConfig eng_cfg;
+  eng_cfg.audit_invariants = true;
+  Engine eng(g, fifo, eng_cfg);
+  StochasticConfig cfg;
+  cfg.w = 12;
+  cfg.r = Rat(1, 4);
+  cfg.max_route_len = 4;
+  cfg.seed = 1;
+  StochasticAdversary adv(g, cfg);
+  for (auto _ : state) {
+    eng.step(&adv);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["edges"] = static_cast<double>(g.edge_count());
+}
+BENCHMARK(BM_GridStochasticStepsAudited)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_ProtocolStep(benchmark::State& state,
                      const std::string& protocol_name) {
   const Graph g = make_grid(6, 6);

@@ -1,0 +1,44 @@
+# Sanitizer wiring (AQT_SANITIZE).
+#
+# AQT_SANITIZE selects an instrumentation profile applied to every target in
+# the build (library, tests, tools, benches alike — mixing instrumented and
+# uninstrumented code defeats the point):
+#
+#   ""        -- no instrumentation (default)
+#   address   -- AddressSanitizer + UndefinedBehaviorSanitizer
+#   thread    -- ThreadSanitizer
+#
+# All profiles compile with frame pointers (usable stacks in reports) and
+# -fno-sanitize-recover=all so the first report is fatal: CI cannot scroll
+# past a finding, and ctest fails loudly.  Prefer the presets in
+# CMakePresets.json (`cmake --preset asan`) over setting this by hand.
+set(AQT_SANITIZE "" CACHE STRING
+    "Sanitizer profile: empty, 'address' (ASan+UBSan) or 'thread' (TSan)")
+set_property(CACHE AQT_SANITIZE PROPERTY STRINGS "" address thread)
+
+if(AQT_SANITIZE STREQUAL "")
+  # Nothing to do.
+elseif(AQT_SANITIZE STREQUAL "address")
+  set(_aqt_san_flags -fsanitize=address,undefined)
+elseif(AQT_SANITIZE STREQUAL "thread")
+  set(_aqt_san_flags -fsanitize=thread)
+else()
+  message(FATAL_ERROR
+      "AQT_SANITIZE='${AQT_SANITIZE}' is not a profile; "
+      "use '', 'address' or 'thread'")
+endif()
+
+if(DEFINED _aqt_san_flags)
+  if(NOT (CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang"))
+    message(FATAL_ERROR
+        "AQT_SANITIZE=${AQT_SANITIZE} requires GCC or Clang "
+        "(have ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  list(APPEND _aqt_san_flags
+       -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  add_compile_options(${_aqt_san_flags})
+  add_link_options(${_aqt_san_flags})
+  message(STATUS "aqt: sanitizer profile '${AQT_SANITIZE}' enabled "
+                 "(${_aqt_san_flags})")
+  unset(_aqt_san_flags)
+endif()

@@ -1,0 +1,29 @@
+# clang-tidy wiring (AQT_ANALYZE).
+#
+# With AQT_ANALYZE=ON every translation unit is additionally run through
+# clang-tidy (configuration: the checked-in .clang-tidy at the repo root)
+# via CMAKE_CXX_CLANG_TIDY, and any diagnostic fails the build
+# (--warnings-as-errors=*).  The gate is "zero emitted diagnostics": new
+# code either satisfies the check set or carries a justified NOLINT.
+#
+# clang-tidy must be on PATH (or named via AQT_CLANG_TIDY_EXE); requesting
+# analysis without it is a hard configure error rather than a silent skip,
+# so CI cannot accidentally run a no-op analysis job.
+option(AQT_ANALYZE "Run clang-tidy over every TU; diagnostics fail the build" OFF)
+
+if(AQT_ANALYZE)
+  find_program(AQT_CLANG_TIDY_EXE NAMES clang-tidy
+               DOC "clang-tidy executable used when AQT_ANALYZE=ON")
+  if(NOT AQT_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+        "AQT_ANALYZE=ON but clang-tidy was not found; install clang-tidy "
+        "or set AQT_CLANG_TIDY_EXE")
+  endif()
+  # Exported so every subdirectory target picks it up as its default
+  # CXX_CLANG_TIDY property.  Generated sources (gtest discovery stamps
+  # etc.) are not C++ TUs and are unaffected.
+  set(CMAKE_CXX_CLANG_TIDY
+      "${AQT_CLANG_TIDY_EXE};--warnings-as-errors=*"
+      CACHE STRING "clang-tidy command line prefix" FORCE)
+  message(STATUS "aqt: clang-tidy analysis enabled (${AQT_CLANG_TIDY_EXE})")
+endif()

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Builds everything, runs the full test suite, every experiment bench, the
-# differential fuzzer, and all examples.  Outputs land in ./out.
+# Builds everything, lints the example scenarios, runs the full test suite,
+# every experiment bench, the differential fuzzer, and all examples.
+# Outputs land in ./out.  Fails fast: any failing step aborts the script
+# with a pointer to the command that broke.
 set -euo pipefail
+trap 'echo "run_all.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 
 mkdir -p out
+
+./build/tools/aqt-lint examples/scenarios/*.aqts | tee out/lint_output.txt
+
 ctest --test-dir build --output-on-failure 2>&1 | tee out/test_output.txt
 
 for b in build/bench/bench_*; do
@@ -18,7 +24,7 @@ done 2>&1 | tee out/bench_output.txt
 ./build/tools/aqt-fuzz --trials 200 --steps 80 | tee out/fuzz_output.txt
 
 for e in build/examples/*; do
-  [ -x "$e" ] || continue
+  [ -f "$e" ] && [ -x "$e" ] || continue  # skip CMake's own directories
   echo "=== $(basename "$e") ==="
   "$e"
 done 2>&1 | tee out/examples_output.txt

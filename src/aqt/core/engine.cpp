@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "aqt/core/invariants.hpp"
 #include "aqt/util/check.hpp"
 
 namespace aqt {
@@ -14,7 +15,11 @@ Engine::Engine(const Graph& graph, const Protocol& protocol,
       buffers_(graph.edge_count()),
       metrics_(graph.edge_count()) {
   if (config_.audit_rates) audit_.emplace(graph.edge_count());
+  if (config_.audit_invariants)
+    invariants_ = std::make_unique<InvariantAuditor>(*this);
 }
+
+Engine::~Engine() = default;
 
 PacketId Engine::add_initial_packet(Route route, std::uint64_t tag) {
   AQT_REQUIRE(!stepping_started_,
@@ -100,6 +105,7 @@ void Engine::apply_injection(const Injection& inj, Time t) {
 void Engine::step(Adversary* adversary) {
   AQT_REQUIRE(!audit_finalized_, "stepping after finalize_audit()");
   stepping_started_ = true;
+  if (invariants_) invariants_->begin_step();
   const Time t = ++now_;
 
   // Substep 1: every nonempty buffer sends its highest-priority packet.
@@ -144,6 +150,8 @@ void Engine::step(Adversary* adversary) {
   for (const EdgeId e : active_) metrics_.observe_queue(e, buffers_[e].size());
   if (config_.series_stride > 0 && t % config_.series_stride == 0)
     metrics_.push_series(t, arena_.live_count(), max_queue_now());
+
+  if (invariants_) invariants_->end_step(sent_);
 }
 
 void Engine::run(Adversary* adversary, Time count) {

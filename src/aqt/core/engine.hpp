@@ -42,6 +42,8 @@
 
 namespace aqt {
 
+class InvariantAuditor;
+
 struct EngineConfig {
   /// Validate that every injected route is a simple directed path and that
   /// every reroute splices into one.  Cheap; keep on except in the very
@@ -56,6 +58,14 @@ struct EngineConfig {
   /// Subsample the occupancy time series every `series_stride` steps
   /// (0 disables the series).
   Time series_stride = 0;
+
+  /// Re-derive the model invariants (packet conservation, active-set
+  /// consistency, time-priority sequence order, route simplicity, work
+  /// conservation) from whole engine state after every step; a violation
+  /// aborts with a state dump.  See invariants.hpp.  Costs roughly one
+  /// extra pass over the live state per step — keep on in tests and
+  /// debugging runs, off in the largest benches.
+  bool audit_invariants = false;
 };
 
 /// The simulator.  Owns packets, buffers and metrics; borrows graph and
@@ -64,6 +74,7 @@ class Engine {
  public:
   Engine(const Graph& graph, const Protocol& protocol,
          EngineConfig config = {});
+  ~Engine();
 
   /// Places a packet in the buffer of the first edge of `route` as part of
   /// the initial configuration (before step 1); its injection time is 0.
@@ -98,6 +109,12 @@ class Engine {
   /// Largest buffer right now.
   [[nodiscard]] std::uint64_t max_queue_now() const;
 
+  /// Edges with nonempty buffers, in increasing edge-id order (the order
+  /// buffers send in).
+  [[nodiscard]] const std::set<EdgeId>& active_edges() const {
+    return active_;
+  }
+
   [[nodiscard]] const Packet& packet(PacketId id) const { return arena_[id]; }
   [[nodiscard]] bool is_live(PacketId id) const { return arena_.is_live(id); }
   [[nodiscard]] const PacketArena& arena() const { return arena_; }
@@ -124,6 +141,7 @@ class Engine {
  private:
   friend void save_checkpoint(const Engine& engine, std::ostream& os);
   friend void load_checkpoint(Engine& engine, std::istream& is);
+  friend struct EngineTamperer;  // Test-only corruption (invariants.hpp).
 
   void enqueue(PacketId id, Time t);
   void absorb(PacketId id, Time t);
@@ -146,6 +164,7 @@ class Engine {
   bool audit_finalized_ = false;
 
   std::optional<RateAudit> audit_;
+  std::unique_ptr<InvariantAuditor> invariants_;
 
   // Scratch reused across steps.
   std::vector<PacketId> sent_;

@@ -1,0 +1,220 @@
+#include "aqt/core/invariants.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "aqt/core/buffer.hpp"
+#include "aqt/core/debug.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/graph.hpp"
+#include "aqt/core/packet.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+InvariantAuditor::InvariantAuditor(const Engine& engine) : engine_(engine) {
+  node_stamp_.assign(engine_.graph().node_count(), 0);
+}
+
+void InvariantAuditor::begin_step() {
+  const auto& active = engine_.active_edges();
+  pre_active_.assign(active.begin(), active.end());
+  pre_injected_ = engine_.total_injected();
+  pre_absorbed_ = engine_.total_absorbed();
+  pre_live_ = engine_.packets_in_flight();
+  armed_ = true;
+}
+
+void InvariantAuditor::end_step(const std::vector<PacketId>& sent) {
+  AQT_CHECK(armed_, "InvariantAuditor::end_step without begin_step");
+  armed_ = false;
+  entries_seen_ = 0;
+  scan_buffers();
+  check_packet_conservation();
+  check_work_conservation(sent);
+  ++steps_audited_;
+}
+
+void InvariantAuditor::check_packet_conservation() const {
+  const std::uint64_t injected = engine_.total_injected();
+  const std::uint64_t absorbed = engine_.total_absorbed();
+  const std::uint64_t live = engine_.packets_in_flight();
+  AQT_CHECK(injected == absorbed + live,
+            "invariant violated (packet conservation): injected "
+                << injected << " != absorbed " << absorbed << " + in-flight "
+                << live << " at step " << engine_.now() << "\n"
+                << dump_state(engine_));
+  // Between steps nothing is in transit, so the buffers jointly hold the
+  // live set: same cardinality, and check_buffer_entries() has already
+  // verified each entry maps to a distinct live packet.
+  AQT_CHECK(entries_seen_ == live,
+            "invariant violated (packet conservation): buffers hold "
+                << entries_seen_ << " entries but " << live
+                << " packets are live at step " << engine_.now() << "\n"
+                << dump_state(engine_));
+  AQT_CHECK(injected >= pre_injected_ && absorbed >= pre_absorbed_,
+            "invariant violated (packet conservation): counters moved "
+            "backwards across step "
+                << engine_.now() << "\n"
+                << dump_state(engine_));
+  const std::uint64_t injected_delta = injected - pre_injected_;
+  const std::uint64_t absorbed_delta = absorbed - pre_absorbed_;
+  AQT_CHECK(pre_live_ + injected_delta == live + absorbed_delta,
+            "invariant violated (packet conservation): step "
+                << engine_.now() << " flow imbalance: pre-live " << pre_live_
+                << " + injected " << injected_delta << " != live " << live
+                << " + absorbed " << absorbed_delta << "\n"
+                << dump_state(engine_));
+}
+
+void InvariantAuditor::scan_buffers() {
+  // Single merged O(entries + E) pass.  Between steps nothing is in
+  // transit, so the buffers jointly hold the entire live set (the count is
+  // cross-checked by check_packet_conservation) — auditing every buffered
+  // packet therefore audits every live packet, and one walk covers
+  // active-set consistency, per-entry sanity, time-priority order, and
+  // route simplicity without a separate arena sweep.
+  const Graph& g = engine_.graph();
+  const auto& active = engine_.active_edges();
+  auto listed_it = active.begin();  // std::set iterates in edge-id order.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const bool listed = listed_it != active.end() && *listed_it == e;
+    if (listed) ++listed_it;
+    const Buffer& buf = engine_.buffer(e);
+    AQT_CHECK(!buf.empty() == listed,
+              "invariant violated (active-set consistency): edge "
+                  << g.edge(e).name << " is "
+                  << (!buf.empty() ? "nonempty" : "empty") << " but "
+                  << (listed ? "listed" : "not listed")
+                  << " in the active set at step " << engine_.now() << "\n"
+                  << dump_state(engine_));
+    if (!listed) continue;
+    seq_scratch_.clear();
+    for (const BufferEntry& entry : buf) {
+      AQT_CHECK(engine_.is_live(entry.packet),
+                "invariant violated (buffer entries): buffer of edge "
+                    << g.edge(e).name << " holds dead packet id "
+                    << entry.packet << " at step " << engine_.now() << "\n"
+                    << dump_state(engine_));
+      const Packet& p = engine_.packet(entry.packet);
+      AQT_CHECK(p.hop < p.route.size() && p.route[p.hop] == e,
+                "invariant violated (buffer entries): packet "
+                    << entry.packet << " queued at edge " << g.edge(e).name
+                    << " but its route wants "
+                    << (p.hop < p.route.size()
+                            ? g.edge(p.route[p.hop]).name
+                            : std::string("<finished>"))
+                    << " at step " << engine_.now() << "\n"
+                    << dump_state(engine_));
+      AQT_CHECK(entry.seq == p.arrival_seq,
+                "invariant violated (time-priority): buffer entry seq "
+                    << entry.seq << " disagrees with packet "
+                    << entry.packet << "'s arrival_seq " << p.arrival_seq
+                    << " at edge " << g.edge(e).name << ", step "
+                    << engine_.now() << "\n"
+                    << dump_state(engine_));
+      check_route_simple(entry.packet, p);
+      seq_scratch_.emplace_back(entry.seq, p.arrival_time);
+      ++entries_seen_;
+    }
+    // Sequence numbers are issued globally in time order, so within one
+    // buffer the seq order must agree with arrival-time order — the
+    // structural half of FIFO's time-priority property (Definition 4.2).
+    std::sort(seq_scratch_.begin(), seq_scratch_.end());
+    for (std::size_t i = 1; i < seq_scratch_.size(); ++i) {
+      AQT_CHECK(seq_scratch_[i - 1].second <= seq_scratch_[i].second,
+                "invariant violated (time-priority): edge "
+                    << g.edge(e).name << " holds seq "
+                    << seq_scratch_[i - 1].first << " (arrival t="
+                    << seq_scratch_[i - 1].second << ") and seq "
+                    << seq_scratch_[i].first << " (arrival t="
+                    << seq_scratch_[i].second
+                    << ") out of time order at step " << engine_.now() << "\n"
+                    << dump_state(engine_));
+    }
+  }
+}
+
+void InvariantAuditor::check_route_simple(PacketId id, const Packet& p) {
+  const Graph& g = engine_.graph();
+  if (++stamp_epoch_ == 0) {  // Epoch wrapped: reset marks once.
+    std::fill(node_stamp_.begin(), node_stamp_.end(), 0);
+    stamp_epoch_ = 1;
+  }
+  bool simple = true;
+  node_stamp_[g.tail(p.route.front())] = stamp_epoch_;
+  NodeId at = g.tail(p.route.front());
+  for (const EdgeId e : p.route) {
+    if (e >= g.edge_count() || g.tail(e) != at ||
+        node_stamp_[g.head(e)] == stamp_epoch_) {
+      simple = false;
+      break;
+    }
+    at = g.head(e);
+    node_stamp_[at] = stamp_epoch_;
+  }
+  AQT_CHECK(simple,
+            "invariant violated (route simplicity): live packet " << id
+                << "'s effective route is not a simple directed path at "
+                   "step "
+                << engine_.now() << "\n"
+                << dump_state(engine_));
+}
+
+void InvariantAuditor::check_work_conservation(
+    const std::vector<PacketId>& sent) const {
+  const Graph& g = engine_.graph();
+  AQT_CHECK(sent.size() == pre_active_.size(),
+            "invariant violated (work conservation): "
+                << pre_active_.size() << " buffers were nonempty but "
+                << sent.size() << " packets were sent at step "
+                << engine_.now() << "\n"
+                << dump_state(engine_));
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const PacketId id = sent[i];
+    if (!engine_.is_live(id)) continue;  // Absorbed (or its slot recycled).
+    const Packet& p = engine_.packet(id);
+    // A live sent packet advanced one hop; a recycled slot holds a fresh
+    // injection with hop == 0 and is indistinguishable only in id, so it
+    // is skipped rather than mis-attributed.
+    if (p.hop == 0) continue;
+    AQT_CHECK(p.route[p.hop - 1] == pre_active_[i],
+              "invariant violated (work conservation): slot " << i
+                  << " of this step's sends (edge "
+                  << g.edge(pre_active_[i]).name << ") forwarded packet "
+                  << id << ", whose route crossed "
+                  << g.edge(p.route[p.hop - 1]).name << " instead at step "
+                  << engine_.now() << "\n"
+                  << dump_state(engine_));
+  }
+}
+
+// --- Test-only corruption hooks --------------------------------------------
+
+void EngineTamperer::phantom_absorption(Engine& engine) {
+  ++engine.absorbed_;
+}
+
+void EngineTamperer::make_route_nonsimple(Engine& engine, PacketId id) {
+  Packet& p = engine.arena_[id];
+  // Re-crossing the packet's own current edge revisits its head node —
+  // exactly the cycle Definition §2's simplicity requirement forbids.
+  p.route.push_back(p.route[p.hop]);
+}
+
+void EngineTamperer::hide_active(Engine& engine, EdgeId e) {
+  engine.active_.erase(e);
+}
+
+void EngineTamperer::scramble_buffer_seq(Engine& engine, EdgeId e) {
+  Buffer& buf = engine.buffers_[e];
+  AQT_REQUIRE(!buf.empty(), "scramble_buffer_seq on empty buffer");
+  // Forge the *last-served* entry: it survives the next step (which
+  // forwards the minimum), so the audit must spot the stale corruption.
+  BufferEntry entry = *std::prev(buf.end());
+  buf.erase_packet(entry.packet);
+  entry.seq += 1u << 20;  // No longer matches the packet's arrival_seq.
+  buf.push(entry);
+}
+
+}  // namespace aqt

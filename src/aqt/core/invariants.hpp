@@ -1,0 +1,110 @@
+// Step-level machine-checked invariants of the synchronous engine.
+//
+// The paper's theorems are statements about invariants — greedy
+// work-conservation (§2), FIFO's structural time-priority property
+// (Definition 4.2), route simplicity (§2) — so the simulator's evidence is
+// only as good as those invariants actually holding in code.  The
+// InvariantAuditor re-derives them from observable state after every step
+// when EngineConfig::audit_invariants is on:
+//
+//   * packet conservation    -- injected = absorbed + in-flight, and the
+//                               buffers jointly hold exactly the live set;
+//   * active-set consistency -- the engine's active edge set is exactly the
+//                               set of nonempty buffers;
+//   * time-priority order    -- within each buffer, arrival sequence
+//                               numbers are consistent with arrival times
+//                               and with the packets' own records (the
+//                               structural property engine.hpp promises);
+//   * route simplicity       -- every live packet's full effective route is
+//                               a simple directed path of the graph;
+//   * work conservation      -- every buffer that was nonempty at the start
+//                               of the step forwarded exactly one packet
+//                               over exactly its own edge.
+//
+// A violation is a simulator bug by definition, so it reports through
+// AQT_CHECK (abort) with a dump_state() snapshot attached — the same
+// tripwire discipline as the rest of the engine, but covering whole-state
+// properties no local assertion can see.  The auditor reads only the
+// engine's public API; it keeps reusable scratch so a clean audit performs
+// no per-step allocation in steady state.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+class Engine;
+struct Packet;
+
+/// Whole-state invariant checker driven by the engine around each step.
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const Engine& engine);
+
+  /// Snapshots the pre-step state (active edges, conservation counters).
+  /// The engine calls this at the top of step(), before any send.
+  void begin_step();
+
+  /// Verifies every invariant against the post-step state.  `sent` holds
+  /// the packet forwarded by each buffer this step, in sending-edge order
+  /// (ids of absorbed packets are dead by now; ids may even have been
+  /// recycled by a same-step injection).  Aborts via AQT_CHECK on the
+  /// first violation, with a state dump in the diagnostic.
+  void end_step(const std::vector<PacketId>& sent);
+
+  /// Steps fully audited so far.
+  [[nodiscard]] std::uint64_t steps_audited() const { return steps_audited_; }
+
+ private:
+  /// Merged single pass over all buffers: active-set consistency, entry
+  /// sanity, time-priority order, and route simplicity of every buffered
+  /// (== every live) packet.
+  void scan_buffers();
+  void check_route_simple(PacketId id, const Packet& p);
+  void check_packet_conservation() const;
+  void check_work_conservation(const std::vector<PacketId>& sent) const;
+
+  const Engine& engine_;
+
+  // Pre-step snapshot (begin_step).
+  std::vector<EdgeId> pre_active_;  ///< Sorted: copied from the active set.
+  std::uint64_t pre_injected_ = 0;
+  std::uint64_t pre_absorbed_ = 0;
+  std::uint64_t pre_live_ = 0;
+  bool armed_ = false;
+
+  std::uint64_t steps_audited_ = 0;
+  std::uint64_t entries_seen_ = 0;  ///< Buffer entries in the current audit.
+
+  // Reusable scratch (no steady-state allocation).
+  std::vector<std::pair<std::uint64_t, Time>> seq_scratch_;  ///< (seq, arrival)
+  std::vector<std::uint32_t> node_stamp_;  ///< Visited marks, epoch-tagged.
+  std::uint32_t stamp_epoch_ = 0;
+};
+
+/// Test-only corruption hooks.  Each method damages exactly one invariant
+/// through the engine's private state, bypassing all API validation — the
+/// only honest way to prove the auditor catches real corruption, since the
+/// public API is designed to make these states unreachable.  Never call
+/// outside tests.
+struct EngineTamperer {
+  /// Inflates the absorbed counter: breaks packet conservation.
+  static void phantom_absorption(Engine& engine);
+  /// Appends an arbitrary disconnected edge to a live packet's route:
+  /// breaks route simplicity (a non-simple route smuggled past validation).
+  static void make_route_nonsimple(Engine& engine, PacketId id);
+  /// Removes an edge from the active set while its buffer stays nonempty:
+  /// breaks active-set consistency (and silently idles a nonempty buffer —
+  /// the exact failure work-conservation proofs assume away).
+  static void hide_active(Engine& engine, EdgeId e);
+  /// Rewrites the last-served entry of a buffer with a forged sequence
+  /// number (one that stays buffered across the next step):
+  /// breaks the time-priority/sequence consistency invariant.
+  static void scramble_buffer_seq(Engine& engine, EdgeId e);
+};
+
+}  // namespace aqt

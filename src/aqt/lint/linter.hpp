@@ -1,0 +1,76 @@
+// Static validation of scenario specs — the aqt-lint core.
+//
+// The engine validates what it can *per call* (route shape on injection,
+// historic-protocol gating on reroute), but by then a multi-hour run is
+// already underway; an infeasible (w, r) script is only caught post-run by
+// the exact checkers.  The linter front-loads every statically decidable
+// model obligation so a malformed scenario is rejected before step 1:
+//
+//   * the topology spec parses, and for gadget networks the chain wiring
+//     satisfies Definition 3.4 (lint_gadget_wiring);
+//   * the protocol name is known;
+//   * every route/suffix resolves to real edges and is a contiguous simple
+//     directed path (paper §2);
+//   * the injection script satisfies its declared (w, r) window constraint
+//     (Definition 2.1) and/or rate-r constraint, verified with the exact
+//     checkers over final effective routes — reroute suffixes charged at
+//     the target's injection time, exactly as Lemma 3.3 accounts them;
+//   * reroutes satisfy the statically checkable Lemma 3.3 preconditions:
+//     historic protocol, an existing target packet, issued strictly after
+//     the target's injection, and a suffix that can splice contiguously
+//     onto the target's route.
+//
+// All findings are collected (never fail-fast) and rendered as either
+// human-readable text or machine-readable JSON, so CI can gate on the
+// report and tools can consume it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aqt/lint/scenario.hpp"
+#include "aqt/topology/gadget.hpp"
+
+namespace aqt {
+
+/// One problem found in a scenario.  `code` is a stable machine-readable
+/// identifier (e.g. "route-not-simple", "dangling-edge",
+/// "window-infeasible", "reroute-nonhistoric").
+struct LintFinding {
+  std::string code;
+  int line = 0;  ///< 1-based scenario line (0 when not line-attributable).
+  std::string message;
+};
+
+/// The full verdict for one scenario.
+struct LintReport {
+  std::string file;
+  std::vector<LintFinding> findings;
+  std::size_t injections = 0;  ///< Script size, for the certificate.
+  std::size_t reroutes = 0;
+  /// Human summary of the feasibility certificates that *passed*, e.g.
+  /// "window(12, 1/4) feasible; rate 7/10 feasible".
+  std::string certificates;
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// Lints one parsed scenario.  Never throws for content problems — they
+/// all become findings.
+LintReport lint_scenario(const Scenario& scenario, std::string file);
+
+/// Parses and lints a file; parse and I/O errors become a "parse-error"
+/// finding so callers get a uniform report.
+LintReport lint_file(const std::string& path);
+
+/// Definition 3.4 sanity of a chained-gadget handle: per-gadget path
+/// lengths and contiguity, egress/ingress identification between
+/// neighbours, and back-edge closure.  Exposed separately so tests can
+/// feed deliberately broken handles.
+std::vector<LintFinding> lint_gadget_wiring(const ChainedGadgets& net);
+
+/// Renders a batch of reports.
+std::string to_human(const std::vector<LintReport>& reports);
+std::string to_json(const std::vector<LintReport>& reports);
+
+}  // namespace aqt

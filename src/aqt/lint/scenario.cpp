@@ -1,0 +1,181 @@
+#include "aqt/lint/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+/// Splits on whitespace.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Splits an edge-name list "e0>e1>e2" (empty segments are syntax errors).
+std::vector<std::string> split_route(const std::string& text,
+                                     const std::string& name, int line) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto gt = text.find('>', start);
+    const std::string part = text.substr(
+        start, gt == std::string::npos ? std::string::npos : gt - start);
+    AQT_REQUIRE(!part.empty(),
+                "scenario " << name << ":" << line << ": empty edge name in route list '"
+                     << text << "'");
+    out.push_back(part);
+    if (gt == std::string::npos) break;
+    start = gt + 1;
+  }
+  return out;
+}
+
+/// Parses "key=value"; requires the given key.
+std::string expect_kv(const std::string& tok, const std::string& key,
+                      const std::string& name, int line) {
+  const auto eq = tok.find('=');
+  AQT_REQUIRE(eq != std::string::npos && tok.substr(0, eq) == key,
+              "scenario " << name << ":" << line << ": expected '" << key << "=...', got '"
+                   << tok << "'");
+  return tok.substr(eq + 1);
+}
+
+std::int64_t parse_int(const std::string& text, const std::string& name,
+                       int line) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(text, &pos);
+    AQT_REQUIRE(pos == text.size(),
+                "scenario " << name << ":" << line << ": trailing junk in number '" << text
+                     << "'");
+    return v;
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (const std::exception&) {
+    detail::require_failed("integer", name.c_str(), line,
+                           "not an integer: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::istream& in, const std::string& name) {
+  Scenario sc;
+  bool have_topology = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::vector<std::string> toks = tokens_of(line);
+    if (toks.empty()) continue;
+    const std::string& kind = toks[0];
+
+    if (kind == "topology") {
+      AQT_REQUIRE(!have_topology,
+                  "scenario " << name << ":" << lineno << ": duplicate topology line");
+      AQT_REQUIRE(toks.size() >= 2 && toks.size() <= 3,
+                  "scenario " << name << ":" << lineno
+                       << ": usage: topology <spec> [seed=<n>]");
+      sc.topology = toks[1];
+      sc.topology_line = lineno;
+      if (toks.size() == 3)
+        sc.topology_seed = static_cast<std::uint64_t>(parse_int(
+            expect_kv(toks[2], "seed", name, lineno), name, lineno));
+      have_topology = true;
+    } else if (kind == "protocol") {
+      AQT_REQUIRE(toks.size() == 2,
+                  "scenario " << name << ":" << lineno << ": usage: protocol <NAME>");
+      sc.protocol = toks[1];
+      sc.protocol_line = lineno;
+    } else if (kind == "window") {
+      AQT_REQUIRE(toks.size() == 3,
+                  "scenario " << name << ":" << lineno << ": usage: window <w> <r>");
+      sc.window_w = parse_int(toks[1], name, lineno);
+      sc.window_r = Rat::parse(toks[2]);
+      sc.window_line = lineno;
+    } else if (kind == "rate") {
+      AQT_REQUIRE(toks.size() == 2,
+                  "scenario " << name << ":" << lineno << ": usage: rate <r>");
+      sc.rate_r = Rat::parse(toks[1]);
+      sc.rate_line = lineno;
+    } else if (kind == "inject") {
+      AQT_REQUIRE(toks.size() >= 3 && toks.size() <= 4,
+                  "scenario " << name << ":" << lineno
+                       << ": usage: inject t=<step> route=<e>... [tag=<n>]");
+      ScenarioInjection inj;
+      inj.t = parse_int(expect_kv(toks[1], "t", name, lineno), name, lineno);
+      inj.route = split_route(expect_kv(toks[2], "route", name, lineno),
+                              name, lineno);
+      if (toks.size() == 4)
+        inj.tag = static_cast<std::uint64_t>(parse_int(
+            expect_kv(toks[3], "tag", name, lineno), name, lineno));
+      inj.line = lineno;
+      sc.injections.push_back(std::move(inj));
+    } else if (kind == "reroute") {
+      AQT_REQUIRE(
+          toks.size() == 4,
+          "scenario " << name << ":" << lineno
+               << ": usage: reroute t=<step> packet=<ordinal> suffix=<e>...");
+      ScenarioReroute rr;
+      rr.t = parse_int(expect_kv(toks[1], "t", name, lineno), name, lineno);
+      rr.packet_ordinal = static_cast<std::uint64_t>(parse_int(
+          expect_kv(toks[2], "packet", name, lineno), name, lineno));
+      rr.suffix = split_route(expect_kv(toks[3], "suffix", name, lineno),
+                              name, lineno);
+      rr.line = lineno;
+      sc.reroutes.push_back(std::move(rr));
+    } else {
+      detail::require_failed("known directive", name.c_str(), lineno,
+                             "unknown directive '" + kind +
+                                 "' (expected topology/protocol/window/"
+                                 "rate/inject/reroute)");
+    }
+  }
+  AQT_REQUIRE(have_topology,
+              "scenario " << name << ": missing required 'topology' line");
+  return sc;
+}
+
+Scenario parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  AQT_REQUIRE(in.good(), "cannot open scenario file: " << path);
+  return parse_scenario(in, path);
+}
+
+std::string to_text(const Scenario& scenario) {
+  std::ostringstream os;
+  os << "topology " << scenario.topology;
+  if (scenario.topology_seed != 1) os << " seed=" << scenario.topology_seed;
+  os << "\nprotocol " << scenario.protocol << "\n";
+  if (scenario.window_w)
+    os << "window " << *scenario.window_w << " " << scenario.window_r->str()
+       << "\n";
+  if (scenario.rate_r) os << "rate " << scenario.rate_r->str() << "\n";
+  auto join = [&os](const std::vector<std::string>& names) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      os << (i == 0 ? "" : ">") << names[i];
+  };
+  for (const ScenarioInjection& inj : scenario.injections) {
+    os << "inject t=" << inj.t << " route=";
+    join(inj.route);
+    if (inj.tag != 0) os << " tag=" << inj.tag;
+    os << "\n";
+  }
+  for (const ScenarioReroute& rr : scenario.reroutes) {
+    os << "reroute t=" << rr.t << " packet=" << rr.packet_ordinal
+       << " suffix=";
+    join(rr.suffix);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aqt

@@ -1,0 +1,87 @@
+// Textual scenario specs — the input language of aqt-lint.
+//
+// A scenario bundles everything needed to reproduce a run: a topology spec
+// (spec.hpp grammar), a protocol name, optional declared rate constraints,
+// and a script of injections and reroutes.  The format is line-oriented so
+// specs diff well and can be generated trivially:
+//
+//   # FIFO convoy on a ring, (w, r)-feasible by construction.
+//   topology ring:6
+//   protocol FIFO
+//   window 12 1/3
+//   inject t=1 route=e0>e1>e2 tag=7
+//   inject t=13 route=e0>e1
+//   reroute t=20 packet=0 suffix=e3>e4
+//
+// Lines:
+//   topology <spec> [seed=<n>]      (required, once)
+//   protocol <NAME>                 (optional, default FIFO)
+//   window <w> <r>                  (optional: declare (w, r) feasibility)
+//   rate <r>                        (optional: declare rate-r feasibility)
+//   inject t=<step> route=<e>...>   (routes name edges, '>'-separated)
+//   reroute t=<step> packet=<ordinal> suffix=<e>...>
+//
+// `packet=` refers to the injection's 0-based ordinal within the file —
+// the same protocol-independent identity trace replay uses.  Parsing is
+// purely syntactic; every semantic question (do the edges exist? is the
+// route simple? is the script feasible?) belongs to the linter so that one
+// run reports *all* problems, not just the first.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aqt/core/types.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+/// One scripted injection, route still in edge-name form.
+struct ScenarioInjection {
+  Time t = 0;
+  std::vector<std::string> route;
+  std::uint64_t tag = 0;
+  int line = 0;  ///< 1-based source line, for diagnostics.
+};
+
+/// One scripted reroute, suffix still in edge-name form.
+struct ScenarioReroute {
+  Time t = 0;
+  std::uint64_t packet_ordinal = 0;  ///< Index into the injection list.
+  std::vector<std::string> suffix;
+  int line = 0;
+};
+
+/// A parsed scenario file.
+struct Scenario {
+  std::string topology;  ///< spec.hpp grammar, e.g. "grid:4x4", "lps:9x8".
+  std::uint64_t topology_seed = 1;
+  int topology_line = 0;
+  std::string protocol = "FIFO";
+  int protocol_line = 0;
+
+  std::optional<std::int64_t> window_w;  ///< Declared (w, r) constraint.
+  std::optional<Rat> window_r;
+  int window_line = 0;
+  std::optional<Rat> rate_r;  ///< Declared rate-r constraint.
+  int rate_line = 0;
+
+  std::vector<ScenarioInjection> injections;
+  std::vector<ScenarioReroute> reroutes;
+};
+
+/// Parses a scenario; throws PreconditionError (with a line number) on
+/// syntax errors.  `name` labels diagnostics, e.g. the file path.
+Scenario parse_scenario(std::istream& in, const std::string& name);
+
+/// Reads and parses a file; throws PreconditionError if unreadable.
+Scenario parse_scenario_file(const std::string& path);
+
+/// Serializes back to the textual format (round-trips through
+/// parse_scenario); used by the fuzz harness.
+std::string to_text(const Scenario& scenario);
+
+}  // namespace aqt

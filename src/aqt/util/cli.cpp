@@ -17,17 +17,35 @@ Cli& Cli::flag(const std::string& name, const std::string& def,
   return *this;
 }
 
+Cli& Cli::positionals(const std::string& placeholder,
+                      const std::string& help) {
+  allow_positionals_ = true;
+  positional_placeholder_ = placeholder;
+  positional_help_ = help;
+  return *this;
+}
+
 bool Cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("%s - %s\n\nflags:\n", program_.c_str(), about_.c_str());
+      std::printf("%s - %s\n\n", program_.c_str(), about_.c_str());
+      if (allow_positionals_)
+        std::printf("usage: %s [flags] %s\n  %s\n\n", program_.c_str(),
+                    positional_placeholder_.c_str(),
+                    positional_help_.c_str());
+      std::printf("flags:\n");
       for (const auto& name : order_) {
         const auto& f = flags_.at(name);
         std::printf("  --%-18s %s (default: %s)\n", name.c_str(),
                     f.help.c_str(), f.def.empty() ? "\"\"" : f.def.c_str());
       }
       return false;
+    }
+    if (allow_positionals_ &&
+        (arg.size() < 2 || arg[0] != '-' || arg[1] != '-')) {
+      positionals_.push_back(arg);
+      continue;
     }
     AQT_REQUIRE(arg.size() > 2 && arg[0] == '-' && arg[1] == '-',
                 "unexpected argument: " << arg);

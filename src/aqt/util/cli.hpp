@@ -23,9 +23,19 @@ class Cli {
   Cli& flag(const std::string& name, const std::string& def,
             const std::string& help);
 
+  /// Declares that the tool accepts positional (non-flag) arguments, e.g.
+  /// file paths; `placeholder` and `help` feed the --help banner.  Without
+  /// this declaration positional arguments remain an error.
+  Cli& positionals(const std::string& placeholder, const std::string& help);
+
   /// Parses argv; on --help prints usage and returns false (caller exits 0).
   /// Throws PreconditionError on unknown flags or missing values.
   [[nodiscard]] bool parse(int argc, char** argv);
+
+  /// The positional arguments collected by parse(), in order.
+  [[nodiscard]] const std::vector<std::string>& positional_args() const {
+    return positionals_;
+  }
 
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
@@ -44,6 +54,10 @@ class Cli {
   std::string about_;
   std::vector<std::string> order_;
   std::map<std::string, Flag> flags_;
+  bool allow_positionals_ = false;
+  std::string positional_placeholder_;
+  std::string positional_help_;
+  std::vector<std::string> positionals_;
 };
 
 }  // namespace aqt

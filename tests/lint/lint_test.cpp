@@ -1,0 +1,308 @@
+// Tests for the scenario parser and the aqt-lint core: accepted scenarios
+// produce feasibility certificates, every malformed class is rejected with
+// its stable finding code, gadget wiring is validated against Definition
+// 3.4, and the JSON rendering is shaped for CI consumption.
+#include "aqt/lint/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "aqt/lint/scenario.hpp"
+#include "aqt/topology/gadget.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+Scenario parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in, "test");
+}
+
+LintReport lint_text(const std::string& text) {
+  return lint_scenario(parse_text(text), "test");
+}
+
+bool has_code(const LintReport& rep, const std::string& code) {
+  for (const LintFinding& f : rep.findings)
+    if (f.code == code) return true;
+  return false;
+}
+
+int line_of(const LintReport& rep, const std::string& code) {
+  for (const LintFinding& f : rep.findings)
+    if (f.code == code) return f.line;
+  return -1;
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(ScenarioParserTest, ParsesEveryDirective) {
+  const Scenario sc = parse_text(
+      "# comment\n"
+      "topology ring:6 seed=42\n"
+      "protocol LIS\n"
+      "window 12 1/3\n"
+      "rate 7/10\n"
+      "\n"
+      "inject t=1 route=r0>r1>r2 tag=7\n"
+      "inject t=5 route=r3\n"
+      "reroute t=9 packet=0 suffix=r3>r4\n");
+  EXPECT_EQ(sc.topology, "ring:6");
+  EXPECT_EQ(sc.topology_seed, 42u);
+  EXPECT_EQ(sc.protocol, "LIS");
+  ASSERT_TRUE(sc.window_w.has_value());
+  EXPECT_EQ(*sc.window_w, 12);
+  EXPECT_EQ(*sc.window_r, Rat(1, 3));
+  EXPECT_EQ(*sc.rate_r, Rat(7, 10));
+  ASSERT_EQ(sc.injections.size(), 2u);
+  EXPECT_EQ(sc.injections[0].t, 1);
+  EXPECT_EQ(sc.injections[0].route,
+            (std::vector<std::string>{"r0", "r1", "r2"}));
+  EXPECT_EQ(sc.injections[0].tag, 7u);
+  EXPECT_EQ(sc.injections[0].line, 7);
+  EXPECT_EQ(sc.injections[1].tag, 0u);  // Tag defaults to 0.
+  ASSERT_EQ(sc.reroutes.size(), 1u);
+  EXPECT_EQ(sc.reroutes[0].packet_ordinal, 0u);
+  EXPECT_EQ(sc.reroutes[0].suffix, (std::vector<std::string>{"r3", "r4"}));
+}
+
+TEST(ScenarioParserTest, ProtocolDefaultsToFifo) {
+  const Scenario sc = parse_text("topology ring:3\ninject t=1 route=r0\n");
+  EXPECT_EQ(sc.protocol, "FIFO");
+}
+
+TEST(ScenarioParserTest, RoundTripsThroughToText) {
+  const std::string text =
+      "topology grid:3x3\n"
+      "protocol FTG\n"
+      "window 8 1/2\n"
+      "inject t=2 route=h0_0>h0_1 tag=3\n"
+      "reroute t=4 packet=0 suffix=d0_2\n";
+  const Scenario a = parse_text(text);
+  const Scenario b = parse_text(to_text(a));
+  EXPECT_EQ(b.topology, a.topology);
+  EXPECT_EQ(b.protocol, a.protocol);
+  EXPECT_EQ(b.window_w, a.window_w);
+  ASSERT_EQ(b.injections.size(), a.injections.size());
+  EXPECT_EQ(b.injections[0].route, a.injections[0].route);
+  EXPECT_EQ(b.injections[0].tag, a.injections[0].tag);
+  ASSERT_EQ(b.reroutes.size(), a.reroutes.size());
+  EXPECT_EQ(b.reroutes[0].suffix, a.reroutes[0].suffix);
+}
+
+TEST(ScenarioParserTest, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_text("topology ring:3\nfrobnicate x\n"),
+               PreconditionError);
+}
+
+TEST(ScenarioParserTest, RejectsMissingTopology) {
+  EXPECT_THROW(parse_text("protocol FIFO\ninject t=1 route=r0\n"),
+               PreconditionError);
+}
+
+TEST(ScenarioParserTest, RejectsMalformedInteger) {
+  EXPECT_THROW(parse_text("topology ring:3\ninject t=soon route=r0\n"),
+               PreconditionError);
+}
+
+// --- Linter: acceptance ----------------------------------------------------
+
+TEST(LintTest, AcceptsFeasibleWindowScenario) {
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "protocol FIFO\n"
+      "window 6 1/3\n"
+      "inject t=1 route=r0>r1\n"
+      "inject t=8 route=r0\n");
+  EXPECT_TRUE(rep.ok()) << to_human({rep});
+  EXPECT_EQ(rep.injections, 2u);
+  EXPECT_NE(rep.certificates.find("window"), std::string::npos);
+  EXPECT_NE(rep.certificates.find("feasible"), std::string::npos);
+}
+
+TEST(LintTest, AcceptsLegalRerouteUnderHistoricProtocol) {
+  const LintReport rep = lint_text(
+      "topology grid:3x3\n"
+      "protocol FIFO\n"
+      "inject t=1 route=h0_0>h0_1\n"
+      "reroute t=2 packet=0 suffix=d0_2\n");
+  EXPECT_TRUE(rep.ok()) << to_human({rep});
+  EXPECT_EQ(rep.reroutes, 1u);
+}
+
+// --- Linter: each malformed class ------------------------------------------
+
+TEST(LintTest, RejectsInvalidTopologySpec) {
+  const LintReport rep = lint_text("topology moebius:7\n");
+  EXPECT_TRUE(has_code(rep, "topology-invalid")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsUnknownProtocol) {
+  const LintReport rep =
+      lint_text("topology ring:3\nprotocol TELEPATHY\n");
+  EXPECT_TRUE(has_code(rep, "protocol-unknown")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsDanglingEdgeNameWithLineNumber) {
+  const LintReport rep = lint_text(
+      "topology ring:3\n"
+      "inject t=1 route=r0>r9\n");
+  EXPECT_TRUE(has_code(rep, "dangling-edge")) << to_human({rep});
+  EXPECT_EQ(line_of(rep, "dangling-edge"), 2);
+}
+
+TEST(LintTest, RejectsDiscontiguousRoute) {
+  // r0 and r2 do not share a node on ring:6.
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "inject t=1 route=r0>r2\n");
+  EXPECT_TRUE(has_code(rep, "route-not-path")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsNonSimpleRoute) {
+  // The full cycle revisits its start node: a path, but not simple (§2).
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "inject t=1 route=r0>r1>r2>r3>r4>r5\n");
+  EXPECT_TRUE(has_code(rep, "route-not-simple")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsInjectionBeforeStepOne) {
+  const LintReport rep = lint_text(
+      "topology ring:3\n"
+      "inject t=0 route=r0\n");
+  EXPECT_TRUE(has_code(rep, "inject-time-invalid")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsInvalidWindowDeclaration) {
+  const LintReport rep = lint_text(
+      "topology ring:3\n"
+      "window 0 1/2\n"
+      "inject t=1 route=r0\n");
+  EXPECT_TRUE(has_code(rep, "window-invalid")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsWindowInfeasibleScript) {
+  // Budget floor(2 * 1/2) = 1 per edge per 2-step window; two injections
+  // cross r0 at steps 1 and 2.
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "window 2 1/2\n"
+      "inject t=1 route=r0\n"
+      "inject t=2 route=r0>r1\n");
+  EXPECT_TRUE(has_code(rep, "window-infeasible")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsRateInfeasibleScript) {
+  // Interval [1, 1] allows ceil(1/2 * 1) = 1 crossing of r0, not two.
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "rate 1/2\n"
+      "inject t=1 route=r0\n"
+      "inject t=1 route=r0>r1\n");
+  EXPECT_TRUE(has_code(rep, "rate-infeasible")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsRerouteUnderNonHistoricProtocol) {
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "protocol NTG\n"
+      "inject t=1 route=r0>r1\n"
+      "reroute t=2 packet=0 suffix=r2\n");
+  EXPECT_TRUE(has_code(rep, "reroute-nonhistoric")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsRerouteOfUnknownPacket) {
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "inject t=1 route=r0>r1\n"
+      "reroute t=2 packet=5 suffix=r2\n");
+  EXPECT_TRUE(has_code(rep, "reroute-unknown-packet")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsRerouteBeforeTargetInjection) {
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "inject t=4 route=r0>r1\n"
+      "reroute t=4 packet=0 suffix=r2\n");
+  EXPECT_TRUE(has_code(rep, "reroute-too-early")) << to_human({rep});
+}
+
+TEST(LintTest, RejectsDiscontiguousRerouteSuffix) {
+  // r4's tail is node 4, which the target's route never reaches.
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "inject t=1 route=r0>r1\n"
+      "reroute t=2 packet=0 suffix=r4\n");
+  EXPECT_TRUE(has_code(rep, "reroute-discontiguous")) << to_human({rep});
+}
+
+TEST(LintTest, CollectsAllFindingsInsteadOfFailingFast) {
+  const LintReport rep = lint_text(
+      "topology ring:6\n"
+      "protocol TELEPATHY\n"
+      "inject t=0 route=r0>r9\n");
+  EXPECT_TRUE(has_code(rep, "protocol-unknown")) << to_human({rep});
+  EXPECT_TRUE(has_code(rep, "inject-time-invalid")) << to_human({rep});
+  EXPECT_TRUE(has_code(rep, "dangling-edge")) << to_human({rep});
+}
+
+TEST(LintTest, LintFileReportsUnreadablePathAsParseError) {
+  const LintReport rep = lint_file("/nonexistent/scenario.aqts");
+  EXPECT_TRUE(has_code(rep, "parse-error")) << to_human({rep});
+}
+
+// --- Gadget wiring (Definition 3.4) ----------------------------------------
+
+TEST(GadgetWiringLintTest, AcceptsBuiltChains) {
+  EXPECT_TRUE(lint_gadget_wiring(build_chain(2, 3)).empty());
+  EXPECT_TRUE(lint_gadget_wiring(build_closed_chain(3, 2)).empty());
+}
+
+TEST(GadgetWiringLintTest, RejectsTruncatedEPath) {
+  ChainedGadgets net = build_closed_chain(3, 2);
+  net.gadgets[0].e_path.pop_back();
+  const auto findings = lint_gadget_wiring(net);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings.front().code, "gadget-wiring");
+}
+
+TEST(GadgetWiringLintTest, RejectsBrokenEgressIdentification) {
+  ChainedGadgets net = build_chain(2, 3);
+  net.gadgets[1].egress = net.gadgets[1].ingress;
+  EXPECT_FALSE(lint_gadget_wiring(net).empty());
+}
+
+// --- Rendering -------------------------------------------------------------
+
+TEST(LintRenderTest, JsonCarriesVerdictCodesAndCounts) {
+  const LintReport bad = lint_text(
+      "topology ring:3\n"
+      "inject t=1 route=r0>r9\n");
+  const std::string json = to_json({bad});
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\":\"dangling-edge\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"file\":\"test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"injections\":1"), std::string::npos) << json;
+
+  const LintReport good = lint_text(
+      "topology ring:3\n"
+      "inject t=1 route=r0\n");
+  const std::string ok_json = to_json({good});
+  EXPECT_NE(ok_json.find("\"ok\":true"), std::string::npos) << ok_json;
+}
+
+TEST(LintRenderTest, HumanOutputNamesTheFindingCode) {
+  const LintReport bad = lint_text(
+      "topology ring:3\n"
+      "inject t=1 route=r0>r9\n");
+  const std::string text = to_human({bad});
+  EXPECT_NE(text.find("dangling-edge"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace aqt

@@ -104,5 +104,22 @@ TEST(Cli, UndeclaredGetThrows) {
   EXPECT_THROW((void)cli.get("ghost"), PreconditionError);
 }
 
+TEST(Cli, PositionalsCollectedWhenEnabled) {
+  Cli cli("t", "test");
+  cli.flag("format", "human", "output format");
+  cli.positionals("file...", "scenario files");
+  Args a({"a.aqts", "--format=json", "b.aqts"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(cli.get("format"), "json");
+  EXPECT_EQ(cli.positional_args(),
+            (std::vector<std::string>{"a.aqts", "b.aqts"}));
+}
+
+TEST(Cli, PositionalsRejectedWhenNotEnabled) {
+  Cli cli("t", "test");
+  Args a({"stray"});
+  EXPECT_THROW((void)cli.parse(a.argc(), a.argv()), PreconditionError);
+}
+
 }  // namespace
 }  // namespace aqt

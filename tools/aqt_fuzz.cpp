@@ -1,20 +1,32 @@
 // aqt-fuzz: randomized differential testing of the engine against the
-// independent reference simulator.
+// independent reference simulator, plus randomized validation of the
+// aqt-lint scenario checker.
 //
-// Generates random topologies, random injection scripts, and random legal
-// reroutes; runs both simulators in lockstep for every deterministic
-// protocol; and reports the first observable divergence (queue contents in
-// forwarding order, absorption counts).  Exit code 0 means no divergence.
+// Differential phase: generates random topologies, random injection
+// scripts, and random legal reroutes; runs both simulators in lockstep for
+// every deterministic protocol; and reports the first observable
+// divergence (queue contents in forwarding order, absorption counts).
 //
-//   aqt-fuzz [--trials 200] [--steps 80] [--seed 1]
+// Lint phase (--lint-trials): generates random *valid* scenarios,
+// round-trips them through the textual format, and requires the linter to
+// accept them; then applies one targeted mutation (dangling edge name,
+// non-simple route, infeasible window, reroute under a non-historic
+// protocol) and requires the linter to reject with the matching finding
+// code.  Exit code 0 means no divergence and no lint misjudgement.
+//
+//   aqt-fuzz [--trials 200] [--steps 80] [--lint-trials 100] [--seed 1]
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "aqt/core/engine.hpp"
 #include "aqt/core/protocol.hpp"
 #include "aqt/core/reference.hpp"
+#include "aqt/lint/linter.hpp"
+#include "aqt/lint/scenario.hpp"
 #include "aqt/topology/generators.hpp"
+#include "aqt/topology/spec.hpp"
 #include "aqt/util/cli.hpp"
 #include "aqt/util/rng.hpp"
 
@@ -74,12 +86,107 @@ Graph random_topology(Rng& rng) {
   }
 }
 
+bool has_code(const LintReport& rep, const std::string& code) {
+  for (const LintFinding& f : rep.findings)
+    if (f.code == code) return true;
+  return false;
+}
+
+/// Random-scenario validation of the linter: valid scenarios must round-trip
+/// through the textual format and be accepted; one targeted mutation must be
+/// rejected with the matching finding code.  Returns trials that failed.
+std::int64_t run_lint_fuzz(std::int64_t trials, Rng& master) {
+  const std::vector<std::string> specs = {"grid:3x3", "ring:6", "bidiring:4",
+                                          "torus:3x3", "lps:4x2"};
+  std::int64_t failures = 0;
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    Rng rng = master.split();
+    const std::string& spec = specs[rng.below(specs.size())];
+    const Graph g = parse_topology_spec(spec).graph;
+
+    Scenario sc;
+    sc.topology = spec;
+    sc.protocol = "FIFO";
+    Time t = 0;
+    const std::int64_t count = rng.range(1, 6);
+    for (std::int64_t i = 0; i < count; ++i) {
+      t += rng.range(1, 5);
+      ScenarioInjection inj;
+      inj.t = t;
+      for (const EdgeId e : random_route(g, rng, 4))
+        inj.route.push_back(g.edge(e).name);
+      inj.tag = static_cast<std::uint64_t>(i);
+      sc.injections.push_back(std::move(inj));
+    }
+
+    // Round-trip a known-valid scenario; the linter must accept it.
+    std::istringstream is(to_text(sc));
+    const Scenario round_tripped = parse_scenario(is, "fuzz");
+    if (!lint_scenario(round_tripped, "fuzz").ok()) {
+      std::printf("LINT FALSE POSITIVE: trial %lld rejected a valid "
+                  "scenario on %s\n",
+                  static_cast<long long>(trial), spec.c_str());
+      ++failures;
+      continue;
+    }
+
+    // One targeted mutation; the linter must reject with the right code.
+    Scenario bad = sc;
+    std::string expect1;
+    std::string expect2;  // Alternative acceptable code ("" = none).
+    switch (rng.below(4)) {
+      case 0: {  // Dangling edge name.
+        bad.injections[rng.below(bad.injections.size())].route.push_back(
+            "no_such_edge");
+        expect1 = "dangling-edge";
+        break;
+      }
+      case 1: {  // Re-crossing the first edge: non-simple or discontiguous.
+        auto& route = bad.injections[rng.below(bad.injections.size())].route;
+        route.push_back(route.front());
+        expect1 = "route-not-simple";
+        expect2 = "route-not-path";
+        break;
+      }
+      case 2: {  // Zero-budget window over a nonempty script.
+        bad.window_w = 1;
+        bad.window_r = Rat(0);
+        expect1 = "window-infeasible";
+        break;
+      }
+      default: {  // Reroute under a non-historic protocol.
+        bad.protocol = "NTG";
+        ScenarioReroute rr;
+        rr.t = bad.injections.front().t + 1;
+        rr.packet_ordinal = 0;
+        rr.suffix.push_back(bad.injections.front().route.front());
+        bad.reroutes.push_back(std::move(rr));
+        expect1 = "reroute-nonhistoric";
+        break;
+      }
+    }
+    std::istringstream bad_is(to_text(bad));
+    const LintReport rep =
+        lint_scenario(parse_scenario(bad_is, "fuzz"), "fuzz");
+    if (rep.ok() || (!has_code(rep, expect1) &&
+                     (expect2.empty() || !has_code(rep, expect2)))) {
+      std::printf("LINT FALSE NEGATIVE: trial %lld on %s expected %s%s%s\n",
+                  static_cast<long long>(trial), spec.c_str(),
+                  expect1.c_str(), expect2.empty() ? "" : " or ",
+                  expect2.c_str());
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli("aqt-fuzz", "differential fuzzing: Engine vs ReferenceSimulator");
   cli.flag("trials", "200", "random scenarios to run");
   cli.flag("steps", "80", "steps per scenario");
+  cli.flag("lint-trials", "100", "random scenarios for the aqt-lint check");
   cli.flag("seed", "1", "master seed");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -97,7 +204,11 @@ int main(int argc, char** argv) {
     const bool historic = make_protocol(proto)->is_historic();
 
     auto protocol = make_protocol(proto);
-    Engine eng(g, *protocol);
+    // The auditor re-checks every model invariant after each step, so each
+    // fuzz trial also stress-tests the invariant layer itself.
+    EngineConfig eng_cfg;
+    eng_cfg.audit_invariants = true;
+    Engine eng(g, *protocol, eng_cfg);
     ReferenceSimulator ref(g, proto);
 
     // Shared initial configuration.
@@ -177,9 +288,19 @@ int main(int argc, char** argv) {
       }
     }
   }
+  const std::int64_t lint_trials = cli.get_int("lint-trials");
+  const std::int64_t lint_failures = run_lint_fuzz(lint_trials, master);
+  if (lint_failures > 0) {
+    std::printf("aqt-fuzz: %lld of %lld lint trials misjudged\n",
+                static_cast<long long>(lint_failures),
+                static_cast<long long>(lint_trials));
+    return 1;
+  }
   std::printf("aqt-fuzz: %lld trials x %lld steps, %llu lockstep "
-              "comparisons, no divergence\n",
+              "comparisons (invariants audited), no divergence; "
+              "%lld lint trials, no misjudgement\n",
               static_cast<long long>(trials), static_cast<long long>(steps),
-              static_cast<unsigned long long>(checks));
+              static_cast<unsigned long long>(checks),
+              static_cast<long long>(lint_trials));
   return 0;
 }

@@ -1,0 +1,50 @@
+// aqt-lint: static validation of scenario specs before any simulation.
+//
+// Checks everything statically decidable about a scenario file (see
+// linter.hpp): topology parse and gadget wiring, protocol existence, route
+// resolution/contiguity/simplicity, declared (w, r) and rate-r feasibility
+// of the scripted injections (reroute suffixes charged at the target's
+// injection time), and the static Lemma 3.3 reroute preconditions.
+//
+//   aqt-lint scenario.aqts ...            # human-readable report
+//   aqt-lint --format=json scenario.aqts  # machine-readable report
+//
+// Exit codes: 0 = every scenario clean, 1 = findings, 2 = usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aqt/lint/linter.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aqt;
+  Cli cli("aqt-lint", "static scenario/topology/adversary spec checker");
+  cli.flag("format", "human", "report format: human or json");
+  cli.positionals("scenario.aqts...", "scenario files to validate");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string format = cli.get("format");
+    AQT_REQUIRE(format == "human" || format == "json",
+                "unknown --format '" << format << "' (human or json)");
+    const std::vector<std::string>& files = cli.positional_args();
+    AQT_REQUIRE(!files.empty(), "no scenario files given (see --help)");
+
+    std::vector<LintReport> reports;
+    reports.reserve(files.size());
+    bool all_ok = true;
+    for (const std::string& file : files) {
+      reports.push_back(lint_file(file));
+      all_ok = all_ok && reports.back().ok();
+    }
+    const std::string out =
+        format == "json" ? to_json(reports) : to_human(reports);
+    std::fputs(out.c_str(), stdout);
+    if (format == "json") std::fputc('\n', stdout);
+    return all_ok ? 0 : 1;
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "aqt-lint: %s\n", e.what());
+    return 2;
+  }
+}
