@@ -14,6 +14,18 @@ mkdir -p out
 
 ./build/tools/aqt-lint examples/scenarios/*.aqts | tee out/lint_output.txt
 
+# Record every example scenario (with the --replay-twice true determinism check),
+# then re-verify each recorded run offline with aqt-verify; stable runs with
+# an applicable theorem also get their certificate written next to the trace.
+mkdir -p out/traces
+for s in examples/scenarios/*.aqts; do
+  name=$(basename "$s" .aqts)
+  ./build/tools/aqt-sim --scenario "$s" \
+    --record-run "out/traces/$name.trace" --replay-twice true >/dev/null
+  ./build/tools/aqt-verify --certificate "out/traces/$name.cert" \
+    "out/traces/$name.trace"
+done 2>&1 | tee out/verify_output.txt
+
 ctest --test-dir build --output-on-failure 2>&1 | tee out/test_output.txt
 
 for b in build/bench/bench_*; do

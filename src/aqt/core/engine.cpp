@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aqt/core/invariants.hpp"
+#include "aqt/core/trace_sink.hpp"
 #include "aqt/util/check.hpp"
 
 namespace aqt {
@@ -30,6 +31,9 @@ PacketId Engine::add_initial_packet(Route route, std::uint64_t tag) {
   }
   const PacketId id = arena_.create(std::move(route), /*inject_time=*/0, tag);
   enqueue(id, /*t=*/0);
+  if (config_.record_trace)
+    config_.record_trace->record_initial(arena_[id].ordinal, tag,
+                                         arena_[id].route);
   // The initial configuration is part of the observable state at time 0.
   const EdgeId e = arena_[id].route[0];
   metrics_.observe_queue(e, buffers_[e].size());
@@ -64,6 +68,7 @@ void Engine::enqueue(PacketId id, Time t) {
 void Engine::absorb(PacketId id, Time t) {
   const Packet& p = arena_[id];
   metrics_.observe_absorb(t - p.inject_time);
+  if (config_.record_trace) config_.record_trace->record_absorb(p.ordinal);
   // Initial-configuration packets (inject_time 0) are not adversary
   // injections; rate constraints (and Observation 4.4) treat them
   // separately, so the audit records only packets injected at steps >= 1.
@@ -100,6 +105,9 @@ void Engine::apply_injection(const Injection& inj, Time t) {
   }
   const PacketId id = arena_.create(inj.route, t, inj.tag);
   enqueue(id, t);
+  if (config_.record_trace)
+    config_.record_trace->record_inject(arena_[id].ordinal, inj.tag,
+                                        arena_[id].route);
 }
 
 void Engine::step(Adversary* adversary) {
@@ -107,6 +115,7 @@ void Engine::step(Adversary* adversary) {
   stepping_started_ = true;
   if (invariants_) invariants_->begin_step();
   const Time t = ++now_;
+  if (config_.record_trace) config_.record_trace->begin_step(t);
 
   // Substep 1: every nonempty buffer sends its highest-priority packet.
   sent_.clear();
@@ -115,6 +124,8 @@ void Engine::step(Adversary* adversary) {
     Buffer& buf = buffers_[e];
     const BufferEntry entry = buf.pop_min();
     sent_.push_back(entry.packet);
+    if (config_.record_trace)
+      config_.record_trace->record_send(e, arena_[entry.packet].ordinal);
     metrics_.observe_send(e, t - arena_[entry.packet].arrival_time);
     if (buf.empty()) {
       it = active_.erase(it);
@@ -141,13 +152,21 @@ void Engine::step(Adversary* adversary) {
     adv_step_.injections.clear();
     adv_step_.reroutes.clear();
     adversary->step(t, *this, adv_step_);
-    for (const Reroute& rr : adv_step_.reroutes) apply_reroute(rr);
+    for (const Reroute& rr : adv_step_.reroutes) {
+      apply_reroute(rr);
+      if (config_.record_trace)
+        config_.record_trace->record_reroute(arena_[rr.packet].ordinal,
+                                             rr.new_suffix);
+    }
     for (const Injection& inj : adv_step_.injections)
       apply_injection(inj, t);
   }
 
   // End-of-step metrics.
   for (const EdgeId e : active_) metrics_.observe_queue(e, buffers_[e].size());
+  if (config_.record_trace)
+    for (const EdgeId e : active_)
+      config_.record_trace->record_queue_depth(e, buffers_[e].size());
   if (config_.series_stride > 0 && t % config_.series_stride == 0)
     metrics_.push_series(t, arena_.live_count(), max_queue_now());
 

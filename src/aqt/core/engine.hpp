@@ -43,6 +43,7 @@
 namespace aqt {
 
 class InvariantAuditor;
+class RunTraceSink;
 
 struct EngineConfig {
   /// Validate that every injected route is a simple directed path and that
@@ -66,6 +67,14 @@ struct EngineConfig {
   /// extra pass over the live state per step — keep on in tests and
   /// debugging runs, off in the largest benches.
   bool audit_invariants = false;
+
+  /// Borrowed evidence sink (trace_sink.hpp).  When set, the engine emits a
+  /// record for every observable event — initial packets, sends,
+  /// absorptions, reroutes, injections, end-of-step queue depths — so an
+  /// independent offline verifier (aqt-verify) can re-derive every model
+  /// rule from the recorded run.  The caller owns the sink and finalizes it
+  /// (e.g. RunTraceWriter::finish) after the run.
+  RunTraceSink* record_trace = nullptr;
 };
 
 /// The simulator.  Owns packets, buffers and metrics; borrows graph and

@@ -1,0 +1,55 @@
+// Engine-side interface for run-trace evidence recording.
+//
+// The engine emits a record for every observable event of a run — initial
+// packets, per-edge transmissions, absorptions, reroutes, injections, and
+// end-of-step queue depths — through this interface when
+// EngineConfig::record_trace is set.  The concrete writer (the versioned,
+// self-describing, content-hashed format of trace/run_trace.hpp) lives in
+// the trace layer; core only sees the pure interface so the dependency
+// stays acyclic (trace links core, never the reverse).
+//
+// Packets are identified by their creation *ordinal* (protocol-independent,
+// slot-reuse-proof), never by PacketId; edges by dense id, made portable by
+// the writer's self-describing edge table.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// Receives the engine's evidence stream.  Call order per step: begin_step,
+/// then every send (substep 1, in sending-edge order), then absorptions and
+/// reroutes/injections (substep 2, in application order), then one
+/// queue_depth per nonempty buffer.
+class RunTraceSink {
+ public:
+  virtual ~RunTraceSink() = default;
+
+  /// A packet of the initial configuration (time 0), before step 1.
+  virtual void record_initial(std::uint64_t ordinal, std::uint64_t tag,
+                              const Route& route) = 0;
+
+  virtual void begin_step(Time t) = 0;
+
+  /// Buffer of `e` forwarded the packet with creation ordinal `ordinal`.
+  virtual void record_send(EdgeId e, std::uint64_t ordinal) = 0;
+
+  /// The packet completed its route this step.
+  virtual void record_absorb(std::uint64_t ordinal) = 0;
+
+  /// The adversary replaced the packet's remaining route with `new_suffix`.
+  virtual void record_reroute(std::uint64_t ordinal,
+                              const Route& new_suffix) = 0;
+
+  /// The adversary injected a packet with this route.
+  virtual void record_inject(std::uint64_t ordinal, std::uint64_t tag,
+                             const Route& route) = 0;
+
+  /// End-of-step depth of the (nonempty) buffer of `e`.
+  virtual void record_queue_depth(EdgeId e, std::size_t depth) = 0;
+};
+
+}  // namespace aqt

@@ -1,0 +1,183 @@
+// Versioned, self-describing run traces — the evidence format aqt-verify
+// checks.
+//
+// Unlike the adversary Trace (trace.hpp), which records only what the
+// adversary *asked for*, a run trace records what the engine actually
+// *did*: the initial configuration, every per-edge transmission, every
+// absorption, every applied reroute and injection, and the end-of-step
+// depth of every nonempty buffer.  The header carries everything needed to
+// interpret the records without the originating process — format version,
+// protocol name, RNG seed, scenario digest, declared (w, r) / rate-r
+// constraints, and the full node/edge tables of the network — so a
+// verifier can rebuild the graph and re-derive every model rule from first
+// principles, sharing no step logic with the engine.
+//
+// Every line feeds a streaming FNV-1a content hash; the footer records it.
+// Two runs from the same seed must produce byte-identical traces (the
+// determinism check of aqt-sim --replay-twice), and any post-hoc tampering
+// breaks the hash.
+//
+// Line grammar (text, '\n'-terminated, '#' comments are not allowed — the
+// stream is evidence, not a document):
+//
+//   aqt-run-trace <version>
+//   protocol <NAME>
+//   seed <n>
+//   digest <hex|->              scenario-file digest ('-' when none)
+//   window <w> <r>              optional declared (w, r) constraint
+//   rate <r>                    optional declared rate-r constraint
+//   nodes <count>
+//   node <id> <name>            (count times, dense ids in order)
+//   edges <count>
+//   edge <id> <name> <tail> <head>
+//   begin
+//   P <ordinal> <tag> <e>...    initial packet (time 0) with route
+//   T <t>                       step header, t = 1, 2, ... consecutive
+//   S <e> <ordinal>             substep-1 send over edge e
+//   A <ordinal>                 absorption (route completed this step)
+//   R <ordinal> [<e>...]        applied reroute (new suffix; may be empty)
+//   J <ordinal> <tag> <e>...    applied injection with route
+//   Q <e> <depth>               end-of-step nonempty-buffer depth
+//   end <steps> <injected> <absorbed>
+//   hash <16 hex digits>
+//
+// The parser is hardened: malformed, truncated, or out-of-range input is
+// rejected with a PreconditionError naming the line — never an
+// AQT_CHECK abort — so untrusted trace files cannot take the process down.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aqt/core/graph.hpp"
+#include "aqt/core/trace_sink.hpp"
+#include "aqt/core/types.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+inline constexpr int kRunTraceVersion = 1;
+
+/// Streaming FNV-1a 64 over bytes; the run-trace content hash.
+class Fnv1a {
+ public:
+  void update(std::string_view bytes) {
+    for (const char c : bytes) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// Run-level context recorded in the trace header.
+struct RunTraceMeta {
+  std::string protocol = "FIFO";
+  std::uint64_t seed = 0;
+  /// Hex digest of the scenario file driving the run; empty when none.
+  std::string scenario_digest;
+  std::optional<std::int64_t> window_w;  ///< Declared (w, r) constraint.
+  std::optional<Rat> window_r;
+  std::optional<Rat> rate_r;  ///< Declared rate-r constraint.
+};
+
+/// Streams the evidence format to an ostream, hashing every line.  Plug
+/// into EngineConfig::record_trace; call finish() once after the run.
+class RunTraceWriter final : public RunTraceSink {
+ public:
+  /// Writes the header (including the graph tables) immediately.
+  RunTraceWriter(std::ostream& os, const Graph& graph,
+                 const RunTraceMeta& meta);
+
+  void record_initial(std::uint64_t ordinal, std::uint64_t tag,
+                      const Route& route) override;
+  void begin_step(Time t) override;
+  void record_send(EdgeId e, std::uint64_t ordinal) override;
+  void record_absorb(std::uint64_t ordinal) override;
+  void record_reroute(std::uint64_t ordinal, const Route& new_suffix) override;
+  void record_inject(std::uint64_t ordinal, std::uint64_t tag,
+                     const Route& route) override;
+  void record_queue_depth(EdgeId e, std::size_t depth) override;
+
+  /// Writes the footer (totals + content hash).  Call exactly once.
+  void finish(std::uint64_t injected, std::uint64_t absorbed);
+
+  /// Hash of everything emitted so far (the footer records this value).
+  [[nodiscard]] std::uint64_t content_hash() const { return hash_.value(); }
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  void line(const std::string& text);
+
+  std::ostream& os_;
+  Fnv1a hash_;
+  Time last_step_ = 0;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+/// One parsed record (everything after the `begin` line).
+struct RunRecord {
+  enum class Kind : std::uint8_t {
+    kInitial,  ///< P — ordinal, tag, edges (route)
+    kStep,     ///< T — t
+    kSend,     ///< S — edge, ordinal
+    kAbsorb,   ///< A — ordinal
+    kReroute,  ///< R — ordinal, edges (new suffix, possibly empty)
+    kInject,   ///< J — ordinal, tag, edges (route)
+    kQueue,    ///< Q — edge, depth
+  };
+  Kind kind = Kind::kStep;
+  Time t = 0;
+  EdgeId edge = kNoEdge;
+  std::uint64_t ordinal = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t depth = 0;
+  Route edges;
+};
+
+/// A fully parsed run trace: header, self-described network, records, and
+/// footer.  Structurally valid (ids in range, counts consistent, footer
+/// present); *semantic* validity is the verifier's job.
+struct RunTrace {
+  int version = kRunTraceVersion;
+  RunTraceMeta meta;
+
+  struct EdgeDesc {
+    std::string name;
+    NodeId tail = kNoNode;
+    NodeId head = kNoNode;
+  };
+  std::vector<std::string> node_names;
+  std::vector<EdgeDesc> edges;
+
+  std::vector<RunRecord> records;
+
+  Time steps = 0;  ///< Footer: last step number.
+  std::uint64_t injected = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t declared_hash = 0;  ///< Footer hash line.
+  std::uint64_t computed_hash = 0;  ///< Recomputed over the parsed bytes.
+};
+
+/// Parses the format.  Throws PreconditionError (with the offending line
+/// number) on malformed, truncated, or out-of-range input; never aborts.
+/// A declared-vs-computed hash mismatch is NOT an error here — the
+/// verifier reports it as a finding so tampering is diagnosed, not hidden
+/// behind a parse failure.
+RunTrace parse_run_trace(std::istream& is, const std::string& name);
+RunTrace parse_run_trace_file(const std::string& path);
+
+/// FNV-1a digest of a whole stream/file, as 16 lowercase hex digits; used
+/// for the scenario digest recorded in trace headers.
+std::string fnv1a_hex(std::istream& is);
+std::string file_digest_hex(const std::string& path);
+
+}  // namespace aqt

@@ -51,6 +51,10 @@ void Trace::save_file(const std::string& path, const Graph& graph) const {
 }
 
 Trace Trace::load(std::istream& is, const Graph& graph) {
+  // Hardened against untrusted input: every malformed, truncated, or
+  // unresolvable line is rejected with a PreconditionError naming the line
+  // — including the cases (unknown edge, time regression) that would
+  // otherwise surface as context-free errors from deeper layers.
   Trace trace;
   std::string line;
   std::size_t line_no = 0;
@@ -64,9 +68,21 @@ Trace Trace::load(std::istream& is, const Graph& graph) {
     ls >> kind >> t >> id;
     AQT_REQUIRE(ls && (kind == 'I' || kind == 'R'),
                 "malformed trace line " << line_no << ": " << line);
+    AQT_REQUIRE(t >= 0, "negative event time at line " << line_no << ": "
+                                                       << line);
+    AQT_REQUIRE(t >= trace.last_time(),
+                "time regression at line " << line_no << ": t=" << t
+                                           << " after t="
+                                           << trace.last_time());
     Route edges;
     std::string name;
-    while (ls >> name) edges.push_back(graph.edge_by_name(name));
+    while (ls >> name) {
+      const auto e = graph.find_edge(name);
+      AQT_REQUIRE(e.has_value(), "unknown edge '"
+                                     << name << "' at line " << line_no
+                                     << ": " << line);
+      edges.push_back(*e);
+    }
     if (kind == 'I') {
       AQT_REQUIRE(!edges.empty(), "injection without route at line "
                                       << line_no);

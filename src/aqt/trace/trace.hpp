@@ -60,7 +60,9 @@ class Trace {
   void save_file(const std::string& path, const Graph& graph) const;
 
   /// Parses the text format back; edge names are resolved against `graph`.
-  /// Throws PreconditionError on malformed input or unknown edges.
+  /// Hardened for untrusted input: malformed or truncated lines, unknown
+  /// edges, negative times, and time regressions all throw
+  /// PreconditionError with the offending line number (never abort).
   static Trace load(std::istream& is, const Graph& graph);
   static Trace load_file(const std::string& path, const Graph& graph);
 

@@ -1,0 +1,69 @@
+// Stability certificates — mapping a verified trace onto the paper's
+// theorems.
+//
+// Given the declared adversary constraint and the longest route d observed
+// in a verified trace, the checker decides which stability theorem (if
+// any) covers the run:
+//
+//   * Theorem 4.3 — a time-priority protocol against a (w, r) adversary
+//     with r <= 1/d is stable, and no packet waits more than ceil(w * r)
+//     steps in any buffer;
+//   * Theorem 4.1 — ANY greedy protocol against a (w, r) adversary with
+//     r <= 1/(d+1) is stable, with the same per-buffer bound;
+//   * Theorem 3.17 (witness) — when the declared rate exceeds the
+//     applicable threshold no theorem promises stability; instead the
+//     checker looks for the instability *witness* the paper's lower-bound
+//     constructions produce: monotone growth of the total backlog.
+//
+// The waiting bound is taken from src/aqt/analysis/bounds (the library's
+// statement of the theorem) and cross-checked against an independent
+// exact-rational computation here, so a bug in either side surfaces as a
+// certificate failure rather than silent agreement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aqt/core/types.hpp"
+#include "aqt/util/rational.hpp"
+#include "aqt/verify/verifier.hpp"
+
+namespace aqt {
+
+enum class CertificateKind : std::uint8_t {
+  kNone,                    ///< No theorem covers the declared constraint.
+  kGreedyStability,         ///< Theorem 4.1 (r <= 1/(d+1), any greedy).
+  kTimePriorityStability,   ///< Theorem 4.3 (r <= 1/d, time-priority).
+  kInstabilityWitness,      ///< Theorem 3.17 regime: growth witness.
+};
+
+[[nodiscard]] const char* certificate_kind_name(CertificateKind kind);
+
+/// The certificate artifact for one verified trace.  `applicable` says a
+/// theorem's hypotheses matched the declared run; `verified` additionally
+/// says the trace evidence (clean verification + observed waits or growth)
+/// is consistent with the theorem's conclusion.
+struct StabilityCertificate {
+  CertificateKind kind = CertificateKind::kNone;
+  bool applicable = false;
+  bool verified = false;
+  std::string theorem;       ///< e.g. "Theorem 4.3 (time-priority stability)"
+  std::string protocol;
+  std::int64_t w = 0;        ///< Declared window (0 for rate-only runs).
+  Rat r;                     ///< Declared rate.
+  std::int64_t d = 0;        ///< Longest observed route.
+  Rat threshold;             ///< Stability threshold for (protocol, d).
+  std::int64_t bound = 0;    ///< ceil(w * r) per-buffer waiting bound.
+  Time observed_max_wait = 0;
+  std::uint64_t trace_hash = 0;
+  std::string detail;        ///< Why (not) applicable / (not) verified.
+
+  /// Renders the certificate artifact (the text written to *.cert files).
+  [[nodiscard]] std::string text() const;
+};
+
+/// Builds the certificate for a verification report.  Pure function of the
+/// report; never throws for content reasons.
+StabilityCertificate make_stability_certificate(const VerifyReport& report);
+
+}  // namespace aqt

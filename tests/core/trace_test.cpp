@@ -72,6 +72,24 @@ TEST(Trace, LoadRejectsGarbage) {
   EXPECT_THROW((void)Trace::load(no_route, g), PreconditionError);
 }
 
+TEST(Trace, LoadRejectsNegativeAndRegressingTimes) {
+  const Graph g = make_line(2);
+  std::stringstream negative("I -1 0 l0\n");
+  EXPECT_THROW((void)Trace::load(negative, g), PreconditionError);
+  std::stringstream regressing("I 5 0 l0\nI 4 0 l0\n");
+  EXPECT_THROW((void)Trace::load(regressing, g), PreconditionError);
+}
+
+TEST(Trace, LoadRejectsTruncatedAndOverflowingFields) {
+  const Graph g = make_line(2);
+  std::stringstream half_line("I 1\n");
+  EXPECT_THROW((void)Trace::load(half_line, g), PreconditionError);
+  std::stringstream overflow("I 99999999999999999999999 0 l0\n");
+  EXPECT_THROW((void)Trace::load(overflow, g), PreconditionError);
+  std::stringstream bad_reroute("R 1\n");
+  EXPECT_THROW((void)Trace::load(bad_reroute, g), PreconditionError);
+}
+
 TEST(Trace, RecordingWrapsAnotherAdversary) {
   const Graph g = make_line(3);
   FifoProtocol fifo;

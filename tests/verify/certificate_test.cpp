@@ -1,0 +1,163 @@
+// Stability-certificate tests: theorem selection (4.3 vs 4.1 vs the 3.17
+// instability regime), the N-version cross-check of the ceil(w*r) waiting
+// bound against src/aqt/analysis/bounds, and the rendered artifact.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aqt/analysis/bounds.hpp"
+#include "aqt/verify/certificate.hpp"
+#include "golden.hpp"
+
+namespace aqt {
+namespace {
+
+using namespace verify_testing;
+
+TEST(Certificate, TimePriorityStabilityOnStableRing) {
+  // FIFO is time-priority and r = 1/3 = 1/d, so Theorem 4.3 applies and
+  // the observed waits must respect ceil(w * r).
+  const VerifyReport report = verify_text(stable_ring_trace());
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kTimePriorityStability);
+  EXPECT_TRUE(cert.applicable);
+  EXPECT_TRUE(cert.verified) << cert.detail;
+  EXPECT_NE(cert.theorem.find("4.3"), std::string::npos);
+  EXPECT_EQ(cert.w, 6);
+  EXPECT_EQ(cert.r.str(), "1/3");
+  EXPECT_EQ(cert.d, 3);
+  EXPECT_EQ(cert.threshold.str(), time_priority_threshold(3).str());
+  EXPECT_EQ(cert.bound, residence_bound(6, Rat(1, 3)));
+  EXPECT_EQ(cert.bound, 2);
+  EXPECT_LE(cert.observed_max_wait, cert.bound);
+  EXPECT_EQ(cert.trace_hash, report.trace_hash);
+}
+
+TEST(Certificate, GreedyStabilityForNonTimePriorityProtocol) {
+  // NTG is greedy but not time-priority; with d = 2 and r = 1/4 <= 1/(d+1)
+  // only Theorem 4.1 covers the run.
+  const Graph g = make_line(3);
+  RunTraceMeta meta;
+  meta.protocol = "NTG";
+  meta.window_w = 4;
+  meta.window_r = Rat(1, 4);
+  std::vector<std::pair<Time, Injection>> script;
+  for (const Time t : {1, 5, 9}) script.emplace_back(t, Injection{{0, 1}, 0});
+  const VerifyReport report =
+      verify_text(record_run(g, meta, script, 9));
+  ASSERT_TRUE(report.ok()) << codes_of(report);
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kGreedyStability);
+  EXPECT_TRUE(cert.applicable);
+  EXPECT_TRUE(cert.verified) << cert.detail;
+  EXPECT_NE(cert.theorem.find("4.1"), std::string::npos);
+  EXPECT_EQ(cert.d, 2);
+  EXPECT_EQ(cert.threshold.str(), greedy_threshold(2).str());
+  EXPECT_EQ(cert.bound, residence_bound(4, Rat(1, 4)));
+  EXPECT_EQ(cert.bound, 1);
+}
+
+TEST(Certificate, InstabilityWitnessOnGrowingBacklog) {
+  const VerifyReport report = verify_text(unstable_cross_trace());
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kInstabilityWitness);
+  EXPECT_TRUE(cert.applicable);
+  EXPECT_TRUE(cert.verified) << cert.detail;
+  EXPECT_NE(cert.theorem.find("3.17"), std::string::npos);
+  EXPECT_EQ(cert.d, 2);
+  EXPECT_EQ(cert.r.str(), "2");
+  // FIFO is time-priority, so the relevant threshold is 1/d.
+  EXPECT_EQ(cert.threshold.str(), time_priority_threshold(2).str());
+  EXPECT_NE(cert.detail.find("monotone growth"), std::string::npos);
+}
+
+TEST(Certificate, NoConstraintMeansNoCertificate) {
+  const StabilityCertificate cert =
+      make_stability_certificate(verify_text(fifo_pair_trace()));
+  EXPECT_EQ(cert.kind, CertificateKind::kNone);
+  EXPECT_FALSE(cert.applicable);
+  EXPECT_FALSE(cert.verified);
+}
+
+TEST(Certificate, WindowRateAboveEveryThresholdIsNotCovered) {
+  // r = 1/2 with d = 3 exceeds both 1/d and 1/(d+1): the run may well be
+  // stable, but no theorem promises it, so nothing is certified.
+  const VerifyReport report = verify_text(replace_first(
+      stable_ring_trace(), "window 6 1/3\n", "window 6 1/2\n"));
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kNone);
+  EXPECT_FALSE(cert.applicable);
+  EXPECT_NE(cert.detail.find("no stability theorem"), std::string::npos);
+}
+
+TEST(Certificate, RateWithinThresholdHasNothingToCertify) {
+  // A rate-only declaration below the threshold gives no ceil(w*r) bound
+  // and no instability regime: explicitly not applicable.
+  const Graph g = make_line(3);
+  RunTraceMeta meta;
+  meta.protocol = "FIFO";
+  meta.rate_r = Rat(1, 4);
+  const VerifyReport report = verify_text(record_run(
+      g, meta, {{1, Injection{{0, 1}, 0}}, {5, Injection{{0, 1}, 0}}}, 5));
+  ASSERT_TRUE(report.ok()) << codes_of(report);
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kNone);
+  EXPECT_FALSE(cert.applicable);
+}
+
+TEST(Certificate, ViolatedTraceIsNeverVerified) {
+  // Same theorem hypotheses as the clean ring run, but the evidence is
+  // tampered: applicable, yet the verdict must stay NOT-VERIFIED.
+  const VerifyReport report = verify_text(
+      replace_first(stable_ring_trace(), "Q 0 1\n", "Q 0 7\n"));
+  ASSERT_FALSE(report.ok());
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kTimePriorityStability);
+  EXPECT_TRUE(cert.applicable);
+  EXPECT_FALSE(cert.verified);
+  EXPECT_NE(cert.detail.find("violations"), std::string::npos);
+}
+
+TEST(Certificate, ShortRunCannotWitnessInstability) {
+  // Above-threshold rate but only a handful of steps: the quarter-mean
+  // growth witness refuses to certify from so little evidence.
+  const Graph g = make_line(3);
+  RunTraceMeta meta;
+  meta.protocol = "FIFO";
+  meta.rate_r = Rat(2);
+  const VerifyReport report = verify_text(record_run(
+      g, meta, {{1, Injection{{0, 1}, 0}}, {1, Injection{{0, 1}, 1}}}, 1,
+      /*drain=*/false));
+  ASSERT_TRUE(report.ok()) << codes_of(report);
+  const StabilityCertificate cert = make_stability_certificate(report);
+  EXPECT_EQ(cert.kind, CertificateKind::kInstabilityWitness);
+  EXPECT_TRUE(cert.applicable);
+  EXPECT_FALSE(cert.verified);
+  EXPECT_NE(cert.detail.find("too few steps"), std::string::npos);
+}
+
+TEST(Certificate, TextRendersTheArtifact) {
+  const StabilityCertificate cert =
+      make_stability_certificate(verify_text(stable_ring_trace()));
+  const std::string text = cert.text();
+  EXPECT_NE(text.find("-----BEGIN AQT STABILITY CERTIFICATE-----"),
+            std::string::npos);
+  EXPECT_NE(text.find("kind: time-priority-stability"), std::string::npos);
+  EXPECT_NE(text.find("verdict: VERIFIED"), std::string::npos);
+  EXPECT_NE(text.find("bound: ceil(w*r) = 2"), std::string::npos);
+  EXPECT_NE(text.find("-----END AQT STABILITY CERTIFICATE-----"),
+            std::string::npos);
+}
+
+TEST(Certificate, KindNamesAreStable) {
+  EXPECT_STREQ(certificate_kind_name(CertificateKind::kNone), "none");
+  EXPECT_STREQ(certificate_kind_name(CertificateKind::kGreedyStability),
+               "greedy-stability");
+  EXPECT_STREQ(certificate_kind_name(CertificateKind::kTimePriorityStability),
+               "time-priority-stability");
+  EXPECT_STREQ(certificate_kind_name(CertificateKind::kInstabilityWitness),
+               "instability-witness");
+}
+
+}  // namespace
+}  // namespace aqt

@@ -1,0 +1,195 @@
+// Shared golden-trace builders for the aqt-verify test suite.
+//
+// Each builder drives a real Engine with a RunTraceWriter attached and
+// returns the recorded evidence as a string; the tests then verify the
+// pristine text (must be clean) and targeted line-level tamperings of it
+// (each must trip the matching stable violation code).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/graph.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/trace/run_trace.hpp"
+#include "aqt/util/rational.hpp"
+#include "aqt/verify/verifier.hpp"
+
+namespace aqt::verify_testing {
+
+/// Injects scripted packets at fixed steps (deterministic, adaptive-free).
+class ScriptDriver final : public Adversary {
+ public:
+  std::vector<std::pair<Time, Injection>> script;
+
+  void step(Time now, const Engine&, AdversaryStep& out) override {
+    for (const auto& [t, inj] : script)
+      if (t == now) out.injections.push_back(inj);
+  }
+};
+
+/// Runs `steps` adversary steps (plus a drain unless `drain` is false)
+/// against a fresh engine/protocol and returns the recorded run trace.
+inline std::string record_run(
+    const Graph& g, const RunTraceMeta& meta,
+    const std::vector<std::pair<Time, Injection>>& script, Time steps,
+    bool drain = true, Adversary* custom = nullptr) {
+  const auto protocol = make_protocol(meta.protocol, meta.seed);
+  std::ostringstream os;
+  RunTraceWriter writer(os, g, meta);
+  EngineConfig cfg;
+  cfg.record_trace = &writer;
+  Engine eng(g, *protocol, cfg);
+  ScriptDriver driver;
+  driver.script = script;
+  eng.run(custom != nullptr ? custom : &driver, steps);
+  if (drain) eng.drain(1000);
+  writer.finish(eng.total_injected(), eng.total_absorbed());
+  return os.str();
+}
+
+inline RunTrace parse_text(const std::string& text,
+                           const std::string& label = "test") {
+  std::istringstream is(text);
+  return parse_run_trace(is, label);
+}
+
+inline VerifyReport verify_text(const std::string& text,
+                                const std::string& label = "test") {
+  return verify_run_trace(parse_text(text, label), label);
+}
+
+inline bool has_code(const VerifyReport& report, std::string_view code) {
+  for (const VerifyFinding& f : report.findings)
+    if (f.code == code) return true;
+  return false;
+}
+
+inline std::string codes_of(const VerifyReport& report) {
+  std::string out;
+  for (const VerifyFinding& f : report.findings) {
+    if (!out.empty()) out += ",";
+    out += f.code;
+  }
+  return out;
+}
+
+/// Replaces the first occurrence of `from` (must exist) with `to`.
+inline std::string replace_first(std::string text, const std::string& from,
+                                 const std::string& to) {
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "tamper pattern not found: " << from;
+  if (pos == std::string::npos) return text;
+  text.replace(pos, from.size(), to);
+  return text;
+}
+
+/// Swaps the first occurrences of two distinct lines.
+inline std::string swap_first(std::string text, const std::string& a,
+                              const std::string& b) {
+  const std::string placeholder = "\x01SWAP\x01";
+  text = replace_first(std::move(text), a, placeholder);
+  text = replace_first(std::move(text), b, a);
+  return replace_first(std::move(text), placeholder, b);
+}
+
+/// Inserts `what` immediately before the first occurrence of `anchor`.
+inline std::string insert_before(std::string text, const std::string& anchor,
+                                 const std::string& what) {
+  return replace_first(std::move(text), anchor, what + anchor);
+}
+
+// --- Golden runs ---------------------------------------------------------
+
+/// Stable (w, r) run: FIFO on ring:6, route over three edges (d = 3),
+/// injections every 3 steps under a declared (w=6, r=1/3) window — exactly
+/// the r <= 1/d regime of Theorem 4.3.
+inline std::string stable_ring_trace() {
+  const Graph g = make_ring(6);
+  RunTraceMeta meta;
+  meta.protocol = "FIFO";
+  meta.window_w = 6;
+  meta.window_r = Rat(1, 3);
+  std::vector<std::pair<Time, Injection>> script;
+  for (const Time t : {1, 4, 7, 10})
+    script.emplace_back(t, Injection{{0, 1, 2}, 0});
+  return record_run(g, meta, script, 10);
+}
+
+/// Two sources feeding one shared edge: injecting one packet per source per
+/// step doubles the load on the shared edge, so the backlog grows by one
+/// every step — the monotone-growth witness of the instability regime.
+/// Declared rate 2 is honest (the trace is feasible); it simply exceeds
+/// every stability threshold.
+inline std::string unstable_cross_trace() {
+  Graph g;
+  g.add_edge("s1", "m", "a");  // edge 0
+  g.add_edge("s2", "m", "b");  // edge 1
+  g.add_edge("m", "t", "c");   // edge 2
+  RunTraceMeta meta;
+  meta.protocol = "FIFO";
+  meta.rate_r = Rat(2);
+  std::vector<std::pair<Time, Injection>> script;
+  for (Time t = 1; t <= 60; ++t) {
+    script.emplace_back(t, Injection{{0, 2}, 0});
+    script.emplace_back(t, Injection{{1, 2}, 0});
+  }
+  return record_run(g, meta, script, 60, /*drain=*/false);
+}
+
+/// Two same-step FIFO injections contending for one buffer; the recorded
+/// send order is the arrival order, so swapping the two sends must trip
+/// the fifo-order check.
+inline std::string fifo_pair_trace() {
+  const Graph g = make_line(3);
+  RunTraceMeta meta;
+  meta.protocol = "FIFO";
+  return record_run(g, meta,
+                    {{1, Injection{{0, 1}, 0}}, {1, Injection{{0, 1}, 1}}}, 1);
+}
+
+/// Three LIS packets through one buffer with staggered injection times;
+/// swapping the second and third sends forwards a strictly younger packet
+/// past an older resident — the time-priority violation of Definition 4.2.
+inline std::string lis_triple_trace() {
+  const Graph g = make_line(3);
+  RunTraceMeta meta;
+  meta.protocol = "LIS";
+  return record_run(g, meta,
+                    {{1, Injection{{0, 1}, 0}},
+                     {1, Injection{{0, 1}, 1}},
+                     {2, Injection{{0, 1}, 2}}},
+                    2);
+}
+
+/// Reroutes the lone packet's suffix mid-flight (Lemma 3.3 style) under a
+/// historic protocol; retagging the trace's protocol as NTG (non-historic)
+/// must trip reroute-nonhistoric.
+class RerouteDriver final : public Adversary {
+ public:
+  void step(Time now, const Engine& eng, AdversaryStep& out) override {
+    if (now == 1) out.injections.push_back(Injection{{0, 1}, 0});
+    if (now == 2)
+      out.reroutes.push_back(Reroute{eng.arena().find_by_ordinal(0), {2}});
+  }
+};
+
+inline std::string reroute_trace() {
+  Graph g;
+  g.add_edge("n0", "n1", "a");  // edge 0
+  g.add_edge("n1", "n2", "b");  // edge 1
+  g.add_edge("n2", "n3", "d");  // edge 2
+  RunTraceMeta meta;
+  meta.protocol = "FIFO";
+  RerouteDriver driver;
+  return record_run(g, meta, {}, 2, /*drain=*/true, &driver);
+}
+
+}  // namespace aqt::verify_testing

@@ -1,0 +1,138 @@
+// Run-trace format tests: writer/parser round trip, content-hash and
+// byte-level determinism, and hardened rejection of malformed, truncated,
+// or hostile input (the parser must throw PreconditionError, never abort
+// or balloon memory).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aqt/util/check.hpp"
+#include "golden.hpp"
+
+namespace aqt {
+namespace {
+
+using verify_testing::fifo_pair_trace;
+using verify_testing::parse_text;
+using verify_testing::replace_first;
+using verify_testing::stable_ring_trace;
+
+TEST(RunTrace, WriterParserRoundTrip) {
+  const std::string text = stable_ring_trace();
+  const RunTrace trace = parse_text(text);
+
+  EXPECT_EQ(trace.version, kRunTraceVersion);
+  EXPECT_EQ(trace.meta.protocol, "FIFO");
+  ASSERT_TRUE(trace.meta.window_w.has_value());
+  EXPECT_EQ(*trace.meta.window_w, 6);
+  ASSERT_TRUE(trace.meta.window_r.has_value());
+  EXPECT_EQ(trace.meta.window_r->str(), "1/3");
+  EXPECT_FALSE(trace.meta.rate_r.has_value());
+
+  EXPECT_EQ(trace.node_names.size(), 6u);
+  EXPECT_EQ(trace.edges.size(), 6u);
+  EXPECT_FALSE(trace.records.empty());
+  EXPECT_EQ(trace.injected, 4u);
+  EXPECT_EQ(trace.absorbed, 4u);
+  EXPECT_GE(trace.steps, 10);
+  EXPECT_EQ(trace.declared_hash, trace.computed_hash);
+}
+
+TEST(RunTrace, RecordKindsAreAllExercised) {
+  const RunTrace trace = parse_text(stable_ring_trace());
+  bool saw_step = false, saw_send = false, saw_absorb = false,
+       saw_inject = false, saw_queue = false;
+  for (const RunRecord& rec : trace.records) {
+    switch (rec.kind) {
+      case RunRecord::Kind::kStep: saw_step = true; break;
+      case RunRecord::Kind::kSend: saw_send = true; break;
+      case RunRecord::Kind::kAbsorb: saw_absorb = true; break;
+      case RunRecord::Kind::kInject: saw_inject = true; break;
+      case RunRecord::Kind::kQueue: saw_queue = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_step && saw_send && saw_absorb && saw_inject && saw_queue);
+}
+
+TEST(RunTrace, RecordingIsByteDeterministic) {
+  const std::string first = stable_ring_trace();
+  const std::string second = stable_ring_trace();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(parse_text(first).computed_hash, parse_text(second).computed_hash);
+}
+
+TEST(RunTrace, TamperedHashParsesWithMismatch) {
+  // A wrong footer hash is a *verifier* finding, not a parse failure, so
+  // tampering is diagnosed instead of hidden behind an I/O error.
+  std::string text = stable_ring_trace();
+  const std::size_t pos = text.rfind("\nhash ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t digit = text.size() - 2;  // last hex digit before '\n'
+  text[digit] = text[digit] == '0' ? '1' : '0';
+  const RunTrace trace = parse_text(text);
+  EXPECT_NE(trace.declared_hash, trace.computed_hash);
+}
+
+TEST(RunTrace, EveryLinePrefixTruncationIsRejected) {
+  const std::string text = fifo_pair_trace();
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_GT(lines.size(), 10u);
+  for (std::size_t keep = 0; keep < lines.size(); ++keep) {
+    std::string prefix;
+    for (std::size_t i = 0; i < keep; ++i) prefix += lines[i] + "\n";
+    EXPECT_THROW(parse_text(prefix), PreconditionError)
+        << "prefix of " << keep << " lines parsed";
+  }
+}
+
+TEST(RunTrace, MidLineTruncationIsRejected) {
+  const std::string text = fifo_pair_trace();
+  for (const std::size_t cut : {text.size() / 4, text.size() / 2,
+                                text.size() - 3}) {
+    EXPECT_THROW(parse_text(text.substr(0, cut)), PreconditionError);
+  }
+}
+
+TEST(RunTrace, MalformedInputIsRejected) {
+  const std::string good = fifo_pair_trace();
+  const std::vector<std::pair<std::string, std::string>> tampers = {
+      {"aqt-run-trace 1", "aqt-rum-trace 1"},   // bad magic
+      {"aqt-run-trace 1", "aqt-run-trace 99"},  // unsupported version
+      {"T 1\n", "T -1\n"},                      // negative step time
+      {"T 2\n", "Z 2\n"},                       // unknown record kind
+      {"S 0 0\n", "S 99 0\n"},                  // edge id out of range
+      {"S 0 0\n", "S 0 18446744073709551616\n"},  // uint64 overflow
+      {"S 0 0\n", "S 0\n"},                     // missing field
+      {"J 0 0 0 1\n", "J 0 0\n"},               // injection without route
+      {"edges 3", "edges 4"},                   // edge-table count mismatch
+      {"hash ", "hash xyz-not-hex"},            // malformed footer hash
+  };
+  for (const auto& [from, to] : tampers) {
+    EXPECT_THROW(parse_text(replace_first(good, from, to)), PreconditionError)
+        << "accepted tamper: " << from << " -> " << to;
+  }
+}
+
+TEST(RunTrace, HostileHeaderCountCannotBalloonMemory) {
+  // A tampered count must fail on the missing entry lines; the clamped
+  // preallocation means this returns promptly instead of OOMing first.
+  const std::string hostile = replace_first(
+      fifo_pair_trace(), "nodes 4", "nodes 4000000000");
+  EXPECT_THROW(parse_text(hostile), PreconditionError);
+}
+
+TEST(RunTrace, Fnv1aDigestMatchesKnownVectors) {
+  std::istringstream empty("");
+  EXPECT_EQ(fnv1a_hex(empty), "cbf29ce484222325");  // FNV offset basis
+  std::istringstream a("a");
+  EXPECT_EQ(fnv1a_hex(a), "af63dc4c8601ec8c");
+}
+
+}  // namespace
+}  // namespace aqt

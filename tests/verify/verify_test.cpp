@@ -1,0 +1,229 @@
+// aqt-verify rule tests: pristine engine traces must verify clean, and
+// each targeted line-level tampering must trip the matching stable
+// violation code.  The tamperings are the PR's evidence that the verifier
+// actually re-derives the rules instead of rubber-stamping the trace.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "golden.hpp"
+
+namespace aqt {
+namespace {
+
+using namespace verify_testing;
+
+TEST(Verify, StableRingTraceIsClean) {
+  const VerifyReport report = verify_text(stable_ring_trace());
+  EXPECT_TRUE(report.ok()) << codes_of(report);
+  EXPECT_EQ(report.protocol, "FIFO");
+  EXPECT_EQ(report.injected, 4u);
+  EXPECT_EQ(report.absorbed, 4u);
+  EXPECT_EQ(report.resident, 0u);
+  EXPECT_EQ(report.observed_d, 3);
+  EXPECT_LE(report.max_wait, 2);  // ceil(w * r) = ceil(6/3)
+  EXPECT_GE(report.steps, 10);
+  EXPECT_EQ(report.occupancy.size(), static_cast<std::size_t>(report.steps));
+}
+
+TEST(Verify, UnstableCrossTraceIsCleanAndGrows) {
+  const VerifyReport report = verify_text(unstable_cross_trace());
+  EXPECT_TRUE(report.ok()) << codes_of(report);
+  EXPECT_EQ(report.observed_d, 2);
+  EXPECT_GT(report.resident, 30u);  // backlog grew ~1/step for 60 steps
+  ASSERT_GE(report.occupancy.size(), 8u);
+  EXPECT_GT(report.occupancy.back(), 2 * report.occupancy.front() + 1);
+}
+
+TEST(Verify, RerouteAndLisTracesAreClean) {
+  EXPECT_TRUE(verify_text(reroute_trace()).ok());
+  EXPECT_TRUE(verify_text(lis_triple_trace()).ok());
+  EXPECT_TRUE(verify_text(fifo_pair_trace()).ok());
+}
+
+// --- Targeted tamperings (one stable code each) --------------------------
+
+TEST(VerifyTamper, FlippedHashIsTheOnlyFinding) {
+  std::string text = stable_ring_trace();
+  const std::size_t digit = text.size() - 2;  // last hex digit of footer
+  text[digit] = text[digit] == '0' ? '1' : '0';
+  const VerifyReport report = verify_text(text);
+  ASSERT_EQ(report.findings.size(), 1u) << codes_of(report);
+  EXPECT_EQ(report.findings[0].code, "trace-hash");
+}
+
+TEST(VerifyTamper, DeletedSendBreaksWorkConservation) {
+  const VerifyReport report =
+      verify_text(replace_first(stable_ring_trace(), "S 0 0\n", ""));
+  EXPECT_TRUE(has_code(report, "work-conservation")) << codes_of(report);
+}
+
+TEST(VerifyTamper, DuplicatedSendBreaksCapacity) {
+  const VerifyReport report = verify_text(
+      replace_first(stable_ring_trace(), "S 0 0\n", "S 0 0\nS 0 0\n"));
+  EXPECT_TRUE(has_code(report, "capacity")) << codes_of(report);
+}
+
+TEST(VerifyTamper, SendOfForeignPacketIsNotResident) {
+  // Packet 3 is injected at t=10; a send of it at t=2 forwards a packet
+  // that is not in the edge's buffer (here: not even created yet).
+  const VerifyReport report =
+      verify_text(replace_first(stable_ring_trace(), "S 0 0\n", "S 0 3\n"));
+  EXPECT_TRUE(has_code(report, "send-not-resident")) << codes_of(report);
+}
+
+TEST(VerifyTamper, SwappedSendsBreakFifoOrder) {
+  const VerifyReport report = verify_text(
+      swap_first(fifo_pair_trace(), "S 0 0\n", "S 0 1\n"));
+  EXPECT_TRUE(has_code(report, "fifo-order")) << codes_of(report);
+}
+
+TEST(VerifyTamper, SwappedSendsBreakTimePriority) {
+  // Forward the step-2 injection past a step-1 resident under LIS.
+  const VerifyReport report = verify_text(
+      swap_first(lis_triple_trace(), "S 0 1\n", "S 0 2\n"));
+  EXPECT_TRUE(has_code(report, "time-priority")) << codes_of(report);
+}
+
+TEST(VerifyTamper, DiscontiguousInjectedRouteIsRejected) {
+  const VerifyReport report = verify_text(
+      replace_first(stable_ring_trace(), "J 0 0 0 1 2\n", "J 0 0 0 2 4\n"));
+  EXPECT_TRUE(has_code(report, "route-not-contiguous")) << codes_of(report);
+}
+
+TEST(VerifyTamper, CyclicInjectedRouteIsNotSimple) {
+  // The full ring revisits its start node: contiguous but not simple.
+  const VerifyReport report = verify_text(replace_first(
+      stable_ring_trace(), "J 0 0 0 1 2\n", "J 0 0 0 1 2 3 4 5\n"));
+  EXPECT_TRUE(has_code(report, "route-not-simple")) << codes_of(report);
+}
+
+TEST(VerifyTamper, DeletedAbsorptionIsMissing) {
+  const VerifyReport report =
+      verify_text(replace_first(stable_ring_trace(), "A 0\n", ""));
+  EXPECT_TRUE(has_code(report, "absorb-missing")) << codes_of(report);
+}
+
+TEST(VerifyTamper, BogusEarlyAbsorptionIsInvalid) {
+  // Claim packet 3 (not yet injected) was absorbed right after the first
+  // send — phase-legal, so the record reaches the conservation check.
+  const VerifyReport report = verify_text(
+      replace_first(stable_ring_trace(), "S 0 0\n", "S 0 0\nA 3\n"));
+  EXPECT_TRUE(has_code(report, "absorb-invalid")) << codes_of(report);
+}
+
+TEST(VerifyTamper, EditedQueueDepthIsCaught) {
+  const VerifyReport report =
+      verify_text(replace_first(stable_ring_trace(), "Q 0 1\n", "Q 0 7\n"));
+  EXPECT_TRUE(has_code(report, "queue-depth")) << codes_of(report);
+}
+
+TEST(VerifyTamper, EditedFooterTotalsMismatch) {
+  const std::string text = stable_ring_trace();
+  const std::size_t pos = text.find("\nend ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t eol = text.find('\n', pos + 1);
+  std::string tampered = text;
+  tampered.replace(pos + 1, eol - pos - 1, "end 99 99 99");
+  const VerifyReport report = verify_text(tampered);
+  EXPECT_TRUE(has_code(report, "footer-mismatch")) << codes_of(report);
+}
+
+TEST(VerifyTamper, TightenedWindowBecomesInfeasible) {
+  // Declaring (w=6, r=1/6) allows one injection per window; the run has
+  // two, so the honest trace no longer matches its claimed constraint.
+  const VerifyReport report = verify_text(replace_first(
+      stable_ring_trace(), "window 6 1/3\n", "window 6 1/6\n"));
+  EXPECT_TRUE(has_code(report, "window-infeasible")) << codes_of(report);
+}
+
+TEST(VerifyTamper, TightenedRateBecomesInfeasible) {
+  const VerifyReport report = verify_text(
+      replace_first(unstable_cross_trace(), "rate 2\n", "rate 1/2\n"));
+  EXPECT_TRUE(has_code(report, "rate-infeasible")) << codes_of(report);
+}
+
+TEST(VerifyTamper, RerouteUnderNonHistoricProtocol) {
+  const VerifyReport report = verify_text(
+      replace_first(reroute_trace(), "protocol FIFO\n", "protocol NTG\n"));
+  EXPECT_TRUE(has_code(report, "reroute-nonhistoric")) << codes_of(report);
+}
+
+TEST(VerifyTamper, DiscontiguousRerouteSuffix) {
+  const VerifyReport report = verify_text(
+      replace_first(reroute_trace(), "R 0 2\n", "R 0 0\n"));
+  EXPECT_TRUE(has_code(report, "reroute-discontiguous")) << codes_of(report);
+}
+
+TEST(VerifyTamper, UnknownProtocolIsReported) {
+  const VerifyReport report = verify_text(replace_first(
+      stable_ring_trace(), "protocol FIFO\n", "protocol BOGUS\n"));
+  EXPECT_TRUE(has_code(report, "protocol-unknown")) << codes_of(report);
+}
+
+TEST(VerifyTamper, RecordBeforeSendsBreaksSubstepOrder) {
+  // An injection record ahead of the step's sends violates the recorded
+  // substep order (sends, absorptions, adversary actions, depths).
+  const VerifyReport report = verify_text(
+      insert_before(stable_ring_trace(), "S 0 0\n", "J 9 0 0 1 2\n"));
+  EXPECT_TRUE(has_code(report, "record-order")) << codes_of(report);
+}
+
+TEST(VerifyTamper, NonDenseOrdinalIsCaught) {
+  const VerifyReport report = verify_text(
+      replace_first(stable_ring_trace(), "J 1 0 0 1 2\n", "J 5 0 0 1 2\n"));
+  EXPECT_TRUE(has_code(report, "ordinal-order")) << codes_of(report);
+}
+
+TEST(VerifyTamper, SameStepForwardBreaksSubstepSemantics) {
+  // Move the second packet's first send one step early: it then crosses
+  // in the very step it was injected, which substep semantics forbid.
+  const VerifyReport report = verify_text(
+      swap_first(lis_triple_trace(), "S 0 0\n", "S 0 2\n"));
+  EXPECT_TRUE(has_code(report, "substep-order") ||
+              has_code(report, "send-not-resident"))
+      << codes_of(report);
+}
+
+TEST(Verify, VerifyFileReportsParseErrorAsFinding) {
+  const std::string path = ::testing::TempDir() + "/truncated.trace";
+  const std::string text = stable_ring_trace();
+  {
+    std::ofstream out(path);
+    out << text.substr(0, text.size() / 2);
+  }
+  const VerifyReport report = verify_file(path);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].code, "parse-error");
+  std::remove(path.c_str());
+}
+
+TEST(Verify, ProtocolTablesClassifyIndependently) {
+  EXPECT_TRUE(verify_protocol_known("FIFO"));
+  EXPECT_TRUE(verify_protocol_known("NTG"));
+  EXPECT_FALSE(verify_protocol_known("BOGUS"));
+  EXPECT_TRUE(verify_protocol_fifo("FIFO"));
+  EXPECT_FALSE(verify_protocol_fifo("LIS"));
+  EXPECT_TRUE(verify_protocol_time_priority("FIFO"));
+  EXPECT_TRUE(verify_protocol_time_priority("LIS"));
+  EXPECT_FALSE(verify_protocol_time_priority("LIFO"));
+  EXPECT_TRUE(verify_protocol_historic("FIFO"));
+  EXPECT_FALSE(verify_protocol_historic("FTG"));
+  EXPECT_FALSE(verify_protocol_historic("NTG"));
+}
+
+TEST(Verify, ReportsRenderInBothFormats) {
+  std::vector<VerifyReport> reports = {verify_text(stable_ring_trace())};
+  const std::string human = to_human(reports);
+  EXPECT_NE(human.find("OK"), std::string::npos);
+  const std::string json = to_json(reports);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  reports[0].findings.push_back(
+      {"queue-depth", 3, 1, 0, "synthetic finding"});
+  EXPECT_NE(to_human(reports).find("queue-depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqt

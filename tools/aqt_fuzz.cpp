@@ -7,14 +7,27 @@
 // every deterministic protocol; and reports the first observable
 // divergence (queue contents in forwarding order, absorption counts).
 //
+// Every differential trial additionally records its engine run as a run
+// trace and feeds it through aqt-verify's independent model: the trial
+// fails if the N-version verifier finds any rule violation in a run the
+// lockstep comparison accepted.
+//
 // Lint phase (--lint-trials): generates random *valid* scenarios,
 // round-trips them through the textual format, and requires the linter to
 // accept them; then applies one targeted mutation (dangling edge name,
 // non-simple route, infeasible window, reroute under a non-historic
 // protocol) and requires the linter to reject with the matching finding
-// code.  Exit code 0 means no divergence and no lint misjudgement.
+// code.
 //
-//   aqt-fuzz [--trials 200] [--steps 80] [--lint-trials 100] [--seed 1]
+// Parser phase (--trace-trials): mutates known-valid run traces and
+// adversary traces (truncation, byte flips, line deletion/duplication,
+// garbage insertion) and requires both hardened parsers to either accept
+// the result or reject it with a diagnostic PreconditionError — never
+// crash, abort, or throw anything else.  Exit code 0 means no divergence,
+// no lint misjudgement, and no parser misbehaviour.
+//
+//   aqt-fuzz [--trials 200] [--steps 80] [--lint-trials 100]
+//            [--trace-trials 150] [--seed 1]
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -27,8 +40,12 @@
 #include "aqt/lint/scenario.hpp"
 #include "aqt/topology/generators.hpp"
 #include "aqt/topology/spec.hpp"
+#include "aqt/trace/run_trace.hpp"
+#include "aqt/trace/trace.hpp"
+#include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
 #include "aqt/util/rng.hpp"
+#include "aqt/verify/verifier.hpp"
 
 namespace {
 
@@ -180,6 +197,170 @@ std::int64_t run_lint_fuzz(std::int64_t trials, Rng& master) {
   return failures;
 }
 
+/// Minimal deterministic adversary for corpus generation: replays a queue
+/// of per-call injections.
+struct QueueDriver final : Adversary {
+  std::vector<Injection> pending;
+  void step(Time, const Engine&, AdversaryStep& out) override {
+    for (auto& inj : pending) out.injections.push_back(inj);
+    pending.clear();
+  }
+};
+
+/// One valid (run trace, adversary trace) pair plus the graph needed to
+/// re-parse the adversary trace.
+struct TraceCorpusEntry {
+  Graph graph;
+  std::string run_text;
+  std::string adversary_text;
+};
+
+TraceCorpusEntry make_trace_corpus_entry(const std::string& spec,
+                                         const std::string& proto,
+                                         Rng& rng) {
+  TraceCorpusEntry entry;
+  entry.graph = parse_topology_spec(spec).graph;
+  auto protocol = make_protocol(proto);
+  RunTraceMeta meta;
+  meta.protocol = proto;
+  meta.seed = 7;
+  std::ostringstream run_os;
+  RunTraceWriter writer(run_os, entry.graph, meta);
+  EngineConfig cfg;
+  cfg.record_trace = &writer;
+  Engine eng(entry.graph, *protocol, cfg);
+
+  Trace adversary_trace;
+  QueueDriver driver;
+  std::uint64_t tag = 1;
+  for (Time t = 1; t <= 12; ++t) {
+    if (rng.chance(0.7)) {
+      const Injection inj{random_route(entry.graph, rng, 3), tag++};
+      adversary_trace.record_injection(t, inj);
+      driver.pending.push_back(inj);
+    }
+    eng.step(&driver);
+  }
+  eng.drain(64);
+  writer.finish(eng.total_injected(), eng.total_absorbed());
+  entry.run_text = run_os.str();
+  std::ostringstream adv_os;
+  adversary_trace.save(adv_os, entry.graph);
+  entry.adversary_text = adv_os.str();
+  return entry;
+}
+
+std::string mutate_text(const std::string& text, Rng& rng) {
+  std::string out = text;
+  const auto split = [](const std::string& s) {
+    std::vector<std::string> lines;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    return lines;
+  };
+  const auto join = [](const std::vector<std::string>& lines) {
+    std::string s;
+    for (const std::string& l : lines) {
+      s += l;
+      s += '\n';
+    }
+    return s;
+  };
+  switch (rng.below(5)) {
+    case 0:  // Truncate mid-stream.
+      out = out.substr(0, rng.below(out.size() + 1));
+      break;
+    case 1:  // Flip one byte.
+      if (!out.empty())
+        out[rng.below(out.size())] = static_cast<char>(rng.below(256));
+      break;
+    case 2: {  // Delete a line.
+      auto lines = split(out);
+      if (!lines.empty())
+        lines.erase(lines.begin() +
+                    static_cast<std::ptrdiff_t>(rng.below(lines.size())));
+      out = join(lines);
+      break;
+    }
+    case 3: {  // Duplicate a line.
+      auto lines = split(out);
+      if (!lines.empty()) {
+        const std::size_t i = rng.below(lines.size());
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i),
+                     lines[i]);
+      }
+      out = join(lines);
+      break;
+    }
+    default: {  // Insert a garbage line.
+      auto lines = split(out);
+      lines.insert(
+          lines.begin() + static_cast<std::ptrdiff_t>(
+                              rng.below(lines.size() + 1)),
+          "Z 18446744073709551616 garbage -1");
+      out = join(lines);
+      break;
+    }
+  }
+  return out;
+}
+
+/// Hardened-parser fuzz: mutated traces must parse or be rejected with a
+/// PreconditionError — any crash, abort, or foreign exception is a
+/// failure.  Returns the number of failing trials.
+std::int64_t run_trace_fuzz(std::int64_t trials, Rng& master) {
+  std::vector<TraceCorpusEntry> corpus;
+  {
+    Rng rng = master.split();
+    corpus.push_back(make_trace_corpus_entry("ring:6", "FIFO", rng));
+    corpus.push_back(make_trace_corpus_entry("grid:3x3", "LIS", rng));
+  }
+  // The unmutated corpus must be clean: parse, verify with no findings,
+  // and round-trip through the adversary-trace loader.
+  for (const TraceCorpusEntry& entry : corpus) {
+    std::istringstream run_is(entry.run_text);
+    const VerifyReport rep =
+        verify_run_trace(parse_run_trace(run_is, "corpus"), "corpus");
+    if (!rep.ok()) {
+      std::printf("TRACE CORPUS NOT CLEAN: [%s] %s\n",
+                  rep.findings[0].code.c_str(),
+                  rep.findings[0].message.c_str());
+      return 1;
+    }
+    std::istringstream adv_is(entry.adversary_text);
+    (void)Trace::load(adv_is, entry.graph);
+  }
+
+  std::int64_t failures = 0;
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    Rng rng = master.split();
+    const TraceCorpusEntry& entry = corpus[rng.below(corpus.size())];
+    const bool run_kind = rng.chance(0.6);
+    const std::string mutated =
+        mutate_text(run_kind ? entry.run_text : entry.adversary_text, rng);
+    try {
+      if (run_kind) {
+        std::istringstream is(mutated);
+        const RunTrace tr = parse_run_trace(is, "fuzz");
+        // Whatever parses must also verify without crashing; findings are
+        // the expected outcome for a tampered trace.
+        (void)verify_run_trace(tr, "fuzz");
+      } else {
+        std::istringstream is(mutated);
+        (void)Trace::load(is, entry.graph);
+      }
+    } catch (const PreconditionError&) {
+      // The hardened-parser contract: diagnostic rejection.
+    } catch (const std::exception& e) {
+      std::printf("PARSER MISBEHAVIOUR: trial %lld threw %s\n",
+                  static_cast<long long>(trial), e.what());
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +368,8 @@ int main(int argc, char** argv) {
   cli.flag("trials", "200", "random scenarios to run");
   cli.flag("steps", "80", "steps per scenario");
   cli.flag("lint-trials", "100", "random scenarios for the aqt-lint check");
+  cli.flag("trace-trials", "150",
+           "mutated traces for the hardened-parser check");
   cli.flag("seed", "1", "master seed");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -204,10 +387,18 @@ int main(int argc, char** argv) {
     const bool historic = make_protocol(proto)->is_historic();
 
     auto protocol = make_protocol(proto);
-    // The auditor re-checks every model invariant after each step, so each
-    // fuzz trial also stress-tests the invariant layer itself.
+    // The auditor re-checks every model invariant after each step, and the
+    // whole run is recorded and fed to the N-version verifier below, so
+    // each fuzz trial stress-tests the invariant layer, the trace format,
+    // and the offline model all at once.
+    RunTraceMeta meta;
+    meta.protocol = proto;
+    meta.seed = static_cast<std::uint64_t>(trial);
+    std::ostringstream trace_os;
+    RunTraceWriter writer(trace_os, g, meta);
     EngineConfig eng_cfg;
     eng_cfg.audit_invariants = true;
+    eng_cfg.record_trace = &writer;
     Engine eng(g, *protocol, eng_cfg);
     ReferenceSimulator ref(g, proto);
 
@@ -287,6 +478,19 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+
+    writer.finish(eng.total_injected(), eng.total_absorbed());
+    std::istringstream trace_is(trace_os.str());
+    const VerifyReport vrep =
+        verify_run_trace(parse_run_trace(trace_is, "trial"), "trial");
+    if (!vrep.ok()) {
+      std::printf("TRACE VERIFICATION FAILURE: trial %lld protocol %s: "
+                  "[%s] %s\n",
+                  static_cast<long long>(trial), proto.c_str(),
+                  vrep.findings[0].code.c_str(),
+                  vrep.findings[0].message.c_str());
+      return 1;
+    }
   }
   const std::int64_t lint_trials = cli.get_int("lint-trials");
   const std::int64_t lint_failures = run_lint_fuzz(lint_trials, master);
@@ -296,11 +500,21 @@ int main(int argc, char** argv) {
                 static_cast<long long>(lint_trials));
     return 1;
   }
+  const std::int64_t trace_trials = cli.get_int("trace-trials");
+  const std::int64_t trace_failures = run_trace_fuzz(trace_trials, master);
+  if (trace_failures > 0) {
+    std::printf("aqt-fuzz: %lld of %lld trace-parser trials misbehaved\n",
+                static_cast<long long>(trace_failures),
+                static_cast<long long>(trace_trials));
+    return 1;
+  }
   std::printf("aqt-fuzz: %lld trials x %lld steps, %llu lockstep "
-              "comparisons (invariants audited), no divergence; "
-              "%lld lint trials, no misjudgement\n",
+              "comparisons (invariants audited, run traces verified), "
+              "no divergence; %lld lint trials, no misjudgement; "
+              "%lld trace-parser trials, no misbehaviour\n",
               static_cast<long long>(trials), static_cast<long long>(steps),
               static_cast<unsigned long long>(checks),
-              static_cast<long long>(lint_trials));
+              static_cast<long long>(lint_trials),
+              static_cast<long long>(trace_trials));
   return 0;
 }

@@ -1,21 +1,24 @@
 // aqt-sim: general-purpose simulation driver.
 //
-// Pick a topology, a protocol, and an adversary from the command line; run
-// for a number of steps; print the stability-relevant metrics and
-// optionally dump the occupancy time series as CSV, verify rate
-// feasibility, record the adversary schedule as a trace, or checkpoint the
-// final state.
+// Pick a topology, a protocol, and an adversary from the command line — or
+// run a .aqts scenario file verbatim; run for a number of steps; print the
+// stability-relevant metrics and optionally dump the occupancy time series
+// as CSV, verify rate feasibility, record the adversary schedule as a
+// trace, record the *engine run* as aqt-verify evidence, re-run from the
+// same seed to prove determinism, or checkpoint the final state.
 //
 // Examples:
-//   aqt-sim --topology grid:5x5 --protocol FIFO \
+//   aqt-sim --topology grid:5x5 --protocol FIFO
 //           --adversary stochastic --w 12 --r 1/4 --d 4 --steps 20000
-//   aqt-sim --topology lps:9x8 --protocol FIFO \
-//           --adversary lps --r 7/10 --iterations 3 --series out.csv
-//   aqt-sim --topology ring:16 --protocol NTG --adversary convoy \
+//   aqt-sim --scenario examples/scenarios/ring_convoy.aqts
+//           --record-run out/ring_convoy.trace --replay-twice true
+//   aqt-sim --topology ring:16 --protocol NTG --adversary convoy
 //           --w 12 --r 1/3 --steps 5000 --audit true
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "aqt/adversaries/lps.hpp"
@@ -30,15 +33,27 @@
 #include "aqt/topology/gadget.hpp"
 #include "aqt/topology/spec.hpp"
 #include "aqt/topology/generators.hpp"
+#include "aqt/trace/run_trace.hpp"
 #include "aqt/trace/trace.hpp"
 #include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
 #include "aqt/util/csv.hpp"
 #include "aqt/util/table.hpp"
+#include "aqt/verify/scenario_run.hpp"
 
 namespace {
 
 using namespace aqt;
+
+/// Swallows bytes: the determinism re-run only needs the content hash, so
+/// its trace is streamed into /dev/null-equivalent storage.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
 
 }  // namespace
 
@@ -50,6 +65,9 @@ int main(int argc, char** argv) {
   cli.flag("protocol", "FIFO", "FIFO LIFO LIS NIS FTG NTG FFS NTS RANDOM");
   cli.flag("adversary", "stochastic",
            "stochastic | hotspot | convoy | bucket | lps");
+  cli.flag("scenario", "",
+           "run this .aqts scenario (topology/protocol/script/declared "
+           "constraints come from the file)");
   cli.flag("burst", "2", "token-bucket burst b (bucket adversary)");
   cli.flag("steps", "10000", "steps to run (lps: upper cap)");
   cli.flag("w", "12", "window size (stochastic/convoy)");
@@ -61,6 +79,10 @@ int main(int argc, char** argv) {
   cli.flag("audit", "false", "verify rate feasibility post-run");
   cli.flag("series", "", "write occupancy series CSV to this path");
   cli.flag("record", "", "record the adversary schedule to this trace file");
+  cli.flag("record-run", "",
+           "record the engine run trace (aqt-verify evidence) to this file");
+  cli.flag("replay-twice", "false",
+           "run twice from the same seed and fail on run-trace divergence");
   cli.flag("checkpoint", "", "save the final state to this file");
   cli.flag("resume", "",
            "load this checkpoint before running (same topology required; "
@@ -68,54 +90,49 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  TopologySpec topo = parse_topology_spec(cli.get("topology"), seed);
-  auto protocol = make_protocol(cli.get("protocol"), seed);
-  const Rat r = cli.get_rat("r");
   const bool audit = cli.get_bool("audit");
-
-  EngineConfig ec;
-  ec.audit_rates = audit;
-  ec.series_stride = cli.get("series").empty()
-                         ? 0
-                         : std::max<Time>(1, cli.get_int("steps") / 512);
-  Engine eng(topo.graph, *protocol, ec);
-
+  const bool replay_twice = cli.get_bool("replay-twice");
+  const std::string record_run = cli.get("record-run");
   const bool resuming = !cli.get("resume").empty();
-  if (resuming) {
-    AQT_REQUIRE(!audit, "--resume requires --audit false");
-    load_checkpoint_file(eng, cli.get("resume"));
-    std::printf("resumed from %s at step %lld (%llu packets in flight)\n",
-                cli.get("resume").c_str(), static_cast<long long>(eng.now()),
-                static_cast<unsigned long long>(eng.packets_in_flight()));
-  }
+  AQT_REQUIRE(!resuming || (record_run.empty() && !replay_twice),
+              "--record-run / --replay-twice need a from-scratch run "
+              "(drop --resume)");
 
-  // Build the adversary.
-  std::unique_ptr<Adversary> adversary;
-  const std::string kind = cli.get("adversary");
-  if (kind == "stochastic" || kind == "hotspot") {
-    StochasticConfig cfg;
-    cfg.w = cli.get_int("w");
-    cfg.r = r;
-    cfg.max_route_len = cli.get_int("d");
-    cfg.seed = seed;
-    cfg.mode = kind == "hotspot" ? StochasticConfig::Mode::kHotspot
-                                 : StochasticConfig::Mode::kUniform;
-    adversary = std::make_unique<StochasticAdversary>(topo.graph, cfg);
-  } else if (kind == "bucket") {
-    BucketAdversary::Config cfg;
-    cfg.burst = cli.get_int("burst");
-    cfg.rate = r;
-    cfg.max_route_len = cli.get_int("d");
-    cfg.seed = seed;
-    adversary = std::make_unique<BucketAdversary>(topo.graph, cfg);
-  } else if (kind == "convoy") {
-    // The longest simple forward path from node 0's first out-edge.
-    Route path;
+  std::optional<ScenarioRun> srun;
+  if (!cli.get("scenario").empty())
+    srun.emplace(load_scenario_run(cli.get("scenario")));
+
+  TopologySpec topo = srun ? std::move(srun->topology)
+                           : parse_topology_spec(cli.get("topology"), seed);
+  const std::string protocol_name =
+      srun ? srun->scenario.protocol : cli.get("protocol");
+  const std::string kind = srun ? "scenario" : cli.get("adversary");
+  const Rat r = cli.get_rat("r");
+
+  // The header of any recorded run trace: declared constraints come from
+  // the scenario file, or from the (w, r)-shaped command-line adversaries.
+  RunTraceMeta meta;
+  if (srun) {
+    meta = srun->meta;
+  } else if (kind == "stochastic" || kind == "hotspot" || kind == "convoy") {
+    meta.window_w = cli.get_int("w");
+    meta.window_r = r;
+  } else if (kind == "lps") {
+    meta.rate_r = r;
+  }
+  meta.protocol = protocol_name;
+  meta.seed = seed;
+
+  // Convoy route: the longest simple forward path from node 0's first
+  // out-edge.  Depends only on the graph, so computed once even when the
+  // run is repeated for the determinism check.
+  Route convoy_path;
+  if (kind == "convoy") {
     NodeId at = 0;
     std::vector<bool> seen(topo.graph.node_count(), false);
     seen[at] = true;
     while (!topo.graph.out_edges(at).empty() &&
-           path.size() < static_cast<std::size_t>(cli.get_int("d"))) {
+           convoy_path.size() < static_cast<std::size_t>(cli.get_int("d"))) {
       EdgeId next = kNoEdge;
       for (EdgeId e : topo.graph.out_edges(at))
         if (!seen[topo.graph.head(e)]) {
@@ -123,94 +140,200 @@ int main(int argc, char** argv) {
           break;
         }
       if (next == kNoEdge) break;
-      path.push_back(next);
+      convoy_path.push_back(next);
       at = topo.graph.head(next);
       seen[at] = true;
     }
-    AQT_REQUIRE(!path.empty(), "no forward path for the convoy");
-    adversary = std::make_unique<ConvoyAdversary>(path, cli.get_int("w"), r);
-  } else if (kind == "lps") {
-    AQT_REQUIRE(topo.is_lps, "--adversary lps needs --topology lps:NxM");
-    LpsConfig cfg = make_lps_config(r);
-    cfg.enforce_s0 = false;
-    AQT_REQUIRE(cfg.n == topo.lps_net.n,
-                "topology lps:" << topo.lps_net.n << "xM does not match "
-                                << "n(" << r << ") = " << cfg.n
-                                << "; use lps:" << cfg.n << "xM");
-    if (!resuming)
-      setup_flat_queue(eng, topo.lps_net, 0, cli.get_int("s-star"));
-    adversary = std::make_unique<LpsAdversary>(topo.lps_net, cfg,
-                                               cli.get_int("iterations"));
-  } else {
-    AQT_REQUIRE(false, "unknown adversary: " << kind);
+    AQT_REQUIRE(!convoy_path.empty(), "no forward path for the convoy");
   }
 
-  // Optional trace recording.
-  Trace trace;
-  std::unique_ptr<RecordingAdversary> recorder;
-  Adversary* driver = adversary.get();
-  if (!cli.get("record").empty()) {
-    recorder = std::make_unique<RecordingAdversary>(*adversary, trace);
-    driver = recorder.get();
-  }
-
-  // Run.
-  const Time cap = cli.get_int("steps");
-  for (Time i = 0; i < cap; ++i) {
-    if (driver->finished(eng.now() + 1)) break;
-    eng.step(driver);
-  }
-
-  // Report.
-  Table t({"metric", "value"});
-  t.rowv("topology", cli.get("topology"));
-  t.rowv("protocol", cli.get("protocol"));
-  t.rowv("adversary", kind);
-  t.rowv("steps", static_cast<long long>(eng.now()));
-  t.rowv("injected", static_cast<long long>(eng.total_injected()));
-  t.rowv("absorbed", static_cast<long long>(eng.total_absorbed()));
-  t.rowv("in flight", static_cast<long long>(eng.packets_in_flight()));
-  t.rowv("max queue", static_cast<long long>(eng.metrics().max_queue_global()));
-  t.rowv("max residence",
-         static_cast<long long>(eng.metrics().max_residence_global()));
-  t.rowv("max latency", static_cast<long long>(eng.metrics().max_latency()));
-  t.rowv("mean latency", eng.metrics().mean_latency());
-  std::cout << "\n" << t;
-
-  if (ec.series_stride > 0) {
-    const auto verdict = classify_growth(eng.metrics().series());
-    std::cout << "\ngrowth verdict: " << to_string(verdict.verdict)
-              << " (late/early occupancy ratio " << verdict.ratio << ")\n";
-    CsvWriter csv(cli.get("series"), {"t", "in_flight", "max_queue"});
-    for (const auto& p : eng.metrics().series())
-      csv.rowv(static_cast<long long>(p.t),
-               static_cast<long long>(p.in_flight),
-               static_cast<long long>(p.max_queue));
-    std::cout << "series written to " << cli.get("series") << "\n";
-  }
-
-  if (audit) {
-    eng.finalize_audit();
-    RateCheckResult res;
-    if (kind == "lps") {
-      res = check_rate_r(eng.audit(), r);
-    } else if (kind == "bucket") {
-      res = check_bucket(eng.audit(), cli.get_int("burst"), r);
-    } else {
-      res = check_window(eng.audit(), cli.get_int("w"), r);
+  // Everything stateful — protocol (RANDOM carries an RNG), engine,
+  // adversary — is built fresh per run so a determinism re-run starts from
+  // the exact same state.
+  auto build_adversary = [&]() -> std::unique_ptr<Adversary> {
+    if (srun) return std::make_unique<ReplayAdversary>(srun->script);
+    if (kind == "stochastic" || kind == "hotspot") {
+      StochasticConfig cfg;
+      cfg.w = cli.get_int("w");
+      cfg.r = r;
+      cfg.max_route_len = cli.get_int("d");
+      cfg.seed = seed;
+      cfg.mode = kind == "hotspot" ? StochasticConfig::Mode::kHotspot
+                                   : StochasticConfig::Mode::kUniform;
+      return std::make_unique<StochasticAdversary>(topo.graph, cfg);
     }
-    std::cout << "\nrate feasibility: " << res.describe(topo.graph) << "\n";
-    if (!res.ok) return 1;
+    if (kind == "bucket") {
+      BucketAdversary::Config cfg;
+      cfg.burst = cli.get_int("burst");
+      cfg.rate = r;
+      cfg.max_route_len = cli.get_int("d");
+      cfg.seed = seed;
+      return std::make_unique<BucketAdversary>(topo.graph, cfg);
+    }
+    if (kind == "convoy")
+      return std::make_unique<ConvoyAdversary>(convoy_path, cli.get_int("w"),
+                                               r);
+    if (kind == "lps") {
+      AQT_REQUIRE(topo.is_lps, "--adversary lps needs --topology lps:NxM");
+      LpsConfig cfg = make_lps_config(r);
+      cfg.enforce_s0 = false;
+      AQT_REQUIRE(cfg.n == topo.lps_net.n,
+                  "topology lps:" << topo.lps_net.n << "xM does not match "
+                                  << "n(" << r << ") = " << cfg.n
+                                  << "; use lps:" << cfg.n << "xM");
+      return std::make_unique<LpsAdversary>(topo.lps_net, cfg,
+                                            cli.get_int("iterations"));
+    }
+    AQT_REQUIRE(false, "unknown adversary: " << kind);
+    return nullptr;
+  };
+
+  // One complete simulation.  `run_os`, when set, receives the run trace;
+  // the returned value is its content hash (0 without recording).  Metrics
+  // reporting and all side outputs happen only on the primary run.
+  bool audit_ok = true;
+  auto run_once = [&](std::ostream* run_os,
+                      bool primary) -> std::uint64_t {
+    auto protocol = make_protocol(protocol_name, seed);
+    EngineConfig ec;
+    ec.audit_rates = audit && primary;
+    ec.series_stride = (!primary || cli.get("series").empty())
+                           ? 0
+                           : std::max<Time>(1, cli.get_int("steps") / 512);
+    std::optional<RunTraceWriter> writer;
+    if (run_os != nullptr) writer.emplace(*run_os, topo.graph, meta);
+    ec.record_trace = writer ? &*writer : nullptr;
+    Engine eng(topo.graph, *protocol, ec);
+
+    if (resuming) {
+      AQT_REQUIRE(!audit, "--resume requires --audit false");
+      load_checkpoint_file(eng, cli.get("resume"));
+      std::printf("resumed from %s at step %lld (%llu packets in flight)\n",
+                  cli.get("resume").c_str(),
+                  static_cast<long long>(eng.now()),
+                  static_cast<unsigned long long>(eng.packets_in_flight()));
+    }
+    if (kind == "lps" && !resuming)
+      setup_flat_queue(eng, topo.lps_net, 0, cli.get_int("s-star"));
+
+    std::unique_ptr<Adversary> adversary = build_adversary();
+    Trace trace;
+    std::unique_ptr<RecordingAdversary> recorder;
+    Adversary* driver = adversary.get();
+    if (primary && !cli.get("record").empty()) {
+      recorder = std::make_unique<RecordingAdversary>(*adversary, trace);
+      driver = recorder.get();
+    }
+
+    const Time cap = cli.get_int("steps");
+    for (Time i = 0; i < cap; ++i) {
+      if (driver->finished(eng.now() + 1)) break;
+      eng.step(driver);
+    }
+    // Scenario scripts are finite: let the network empty so the recorded
+    // evidence covers every packet's full journey.
+    if (srun) eng.drain(cap);
+
+    if (writer) writer->finish(eng.total_injected(), eng.total_absorbed());
+    const std::uint64_t hash = writer ? writer->content_hash() : 0;
+    if (!primary) return hash;
+
+    Table t({"metric", "value"});
+    t.rowv("topology", srun ? srun->scenario.topology : cli.get("topology"));
+    t.rowv("protocol", protocol_name);
+    t.rowv("adversary", kind);
+    t.rowv("steps", static_cast<long long>(eng.now()));
+    t.rowv("injected", static_cast<long long>(eng.total_injected()));
+    t.rowv("absorbed", static_cast<long long>(eng.total_absorbed()));
+    t.rowv("in flight", static_cast<long long>(eng.packets_in_flight()));
+    t.rowv("max queue",
+           static_cast<long long>(eng.metrics().max_queue_global()));
+    t.rowv("max residence",
+           static_cast<long long>(eng.metrics().max_residence_global()));
+    t.rowv("max latency",
+           static_cast<long long>(eng.metrics().max_latency()));
+    t.rowv("mean latency", eng.metrics().mean_latency());
+    std::cout << "\n" << t;
+
+    if (ec.series_stride > 0) {
+      const auto verdict = classify_growth(eng.metrics().series());
+      std::cout << "\ngrowth verdict: " << to_string(verdict.verdict)
+                << " (late/early occupancy ratio " << verdict.ratio << ")\n";
+      CsvWriter csv(cli.get("series"), {"t", "in_flight", "max_queue"});
+      for (const auto& p : eng.metrics().series())
+        csv.rowv(static_cast<long long>(p.t),
+                 static_cast<long long>(p.in_flight),
+                 static_cast<long long>(p.max_queue));
+      std::cout << "series written to " << cli.get("series") << "\n";
+    }
+
+    if (audit) {
+      eng.finalize_audit();
+      RateCheckResult res;
+      if (srun) {
+        AQT_REQUIRE(srun->scenario.window_w.has_value() ||
+                        srun->scenario.rate_r.has_value(),
+                    "--audit with --scenario needs a declared window/rate "
+                    "in the scenario file");
+        if (srun->scenario.window_w.has_value())
+          res = check_window(eng.audit(), *srun->scenario.window_w,
+                             *srun->scenario.window_r);
+        else
+          res = check_rate_r(eng.audit(), *srun->scenario.rate_r);
+      } else if (kind == "lps") {
+        res = check_rate_r(eng.audit(), r);
+      } else if (kind == "bucket") {
+        res = check_bucket(eng.audit(), cli.get_int("burst"), r);
+      } else {
+        res = check_window(eng.audit(), cli.get_int("w"), r);
+      }
+      std::cout << "\nrate feasibility: " << res.describe(topo.graph)
+                << "\n";
+      audit_ok = res.ok;
+    }
+    if (!cli.get("record").empty()) {
+      trace.save_file(cli.get("record"), topo.graph);
+      std::cout << "trace (" << trace.size() << " events) written to "
+                << cli.get("record") << "\n";
+    }
+    if (!cli.get("checkpoint").empty()) {
+      AQT_REQUIRE(!audit, "checkpointing requires --audit false");
+      save_checkpoint_file(eng, cli.get("checkpoint"));
+      std::cout << "checkpoint written to " << cli.get("checkpoint") << "\n";
+    }
+    return hash;
+  };
+
+  // Primary run: to the requested file, or (when only the determinism
+  // check wants a trace) into a byte sink.
+  std::uint64_t first_hash = 0;
+  NullBuf null_buf;
+  if (!record_run.empty()) {
+    std::ofstream out(record_run);
+    AQT_REQUIRE(static_cast<bool>(out), "cannot open " << record_run);
+    first_hash = run_once(&out, /*primary=*/true);
+    std::cout << "run trace written to " << record_run << "\n";
+  } else if (replay_twice) {
+    std::ostream null_os(&null_buf);
+    first_hash = run_once(&null_os, /*primary=*/true);
+  } else {
+    run_once(nullptr, /*primary=*/true);
   }
-  if (!cli.get("record").empty()) {
-    trace.save_file(cli.get("record"), topo.graph);
-    std::cout << "trace (" << trace.size() << " events) written to "
-              << cli.get("record") << "\n";
+
+  if (replay_twice) {
+    std::ostream null_os(&null_buf);
+    const std::uint64_t second_hash = run_once(&null_os, /*primary=*/false);
+    if (first_hash != second_hash) {
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: replay from seed %llu diverged "
+                   "(trace hash %016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(first_hash),
+                   static_cast<unsigned long long>(second_hash));
+      return 1;
+    }
+    std::printf("determinism: replay matched (trace hash %016llx)\n",
+                static_cast<unsigned long long>(first_hash));
   }
-  if (!cli.get("checkpoint").empty()) {
-    AQT_REQUIRE(!audit, "checkpointing requires --audit false");
-    save_checkpoint_file(eng, cli.get("checkpoint"));
-    std::cout << "checkpoint written to " << cli.get("checkpoint") << "\n";
-  }
-  return 0;
+  return audit_ok ? 0 : 1;
 }

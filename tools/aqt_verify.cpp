@@ -1,0 +1,87 @@
+// aqt-verify: N-version offline verification of recorded engine runs.
+//
+// Takes run traces produced by `aqt-sim --record-run` (or any conforming
+// writer), replays them against an independent model that shares no step
+// logic with the engine, and re-derives every AQT rule from first
+// principles: two-substep semantics, work conservation, per-edge unit
+// capacity, FIFO/time-priority order, route contiguity, exact (w, r) /
+// rate-r feasibility, packet conservation, and content-hash integrity
+// (see verify/verifier.hpp for the full catalogue of violation codes).
+//
+// On top of the rule check it maps the run onto the paper's stability
+// theorems (4.1 greedy, 4.3 time-priority, the Theorem 3.17 instability
+// regime) and can emit the certificate artifact.
+//
+//   aqt-verify run.trace ...                 # human-readable report
+//   aqt-verify --format=json run.trace       # machine-readable report
+//   aqt-verify --certificate out.cert run.trace
+//   aqt-verify --require-certificate true stable.trace
+//
+// Exit codes: 0 = every trace clean (and certificates verified when
+// required), 1 = violations, 2 = usage error.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aqt/util/check.hpp"
+#include "aqt/util/cli.hpp"
+#include "aqt/verify/certificate.hpp"
+#include "aqt/verify/verifier.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aqt;
+  Cli cli("aqt-verify", "offline run-trace verifier and certificate checker");
+  cli.flag("format", "human", "report format: human or json");
+  cli.flag("certificate", "",
+           "write the stability certificate of the (single) trace here");
+  cli.flag("require-certificate", "false",
+           "fail unless every trace yields an applicable, verified "
+           "stability certificate");
+  cli.positionals("run.trace...", "run traces to verify");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string format = cli.get("format");
+    AQT_REQUIRE(format == "human" || format == "json",
+                "unknown --format '" << format << "' (human or json)");
+    const bool require_cert = cli.get_bool("require-certificate");
+    const std::vector<std::string>& files = cli.positional_args();
+    AQT_REQUIRE(!files.empty(), "no run traces given (see --help)");
+    AQT_REQUIRE(cli.get("certificate").empty() || files.size() == 1,
+                "--certificate expects exactly one trace");
+
+    std::vector<VerifyReport> reports;
+    std::vector<StabilityCertificate> certs;
+    reports.reserve(files.size());
+    bool all_ok = true;
+    for (const std::string& file : files) {
+      reports.push_back(verify_file(file));
+      certs.push_back(make_stability_certificate(reports.back()));
+      all_ok = all_ok && reports.back().ok();
+      if (require_cert)
+        all_ok = all_ok && certs.back().applicable && certs.back().verified;
+    }
+
+    const std::string out =
+        format == "json" ? to_json(reports) : to_human(reports);
+    std::fputs(out.c_str(), stdout);
+    if (format == "json") std::fputc('\n', stdout);
+    if (format == "human")
+      for (std::size_t i = 0; i < certs.size(); ++i)
+        if (certs[i].kind != CertificateKind::kNone || require_cert)
+          std::fputs(certs[i].text().c_str(), stdout);
+
+    if (!cli.get("certificate").empty()) {
+      std::ofstream cert_out(cli.get("certificate"));
+      AQT_REQUIRE(static_cast<bool>(cert_out),
+                  "cannot open " << cli.get("certificate"));
+      cert_out << certs.front().text();
+      std::printf("certificate written to %s\n",
+                  cli.get("certificate").c_str());
+    }
+    return all_ok ? 0 : 1;
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "aqt-verify: %s\n", e.what());
+    return 2;
+  }
+}
