@@ -3,11 +3,20 @@
 // Not a paper experiment: characterizes the engine itself so that the
 // scale of the instability runs (millions of steps, hundreds of thousands
 // of live packets) is known to be in budget.
+//
+// Besides the google-benchmark microbenchmarks, `--perf-json=PATH` (our
+// flag, stripped before google-benchmark sees argv) runs one profiled
+// reference workload — grid 8x8, stochastic (w=12, r=1/4, d=4), 20000
+// steps — and writes an aqt-metrics/1 snapshot (steps/sec, per-phase
+// breakdown, engine counters) to PATH: the BENCH_engine_perf.json artifact
+// CI tracks across commits.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
-
 #include <sstream>
+#include <string>
 
 #include "aqt/adversaries/lps.hpp"
 #include "aqt/adversaries/stochastic.hpp"
@@ -15,6 +24,10 @@
 #include "aqt/core/rate_check.hpp"
 #include "aqt/core/engine.hpp"
 #include "aqt/core/protocol.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/profiler.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/obs/snapshot.hpp"
 #include "aqt/topology/gadget.hpp"
 #include "aqt/topology/generators.hpp"
 
@@ -164,6 +177,52 @@ void BM_CheckpointRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointRoundtrip)->Unit(benchmark::kMicrosecond);
 
+/// The profiled reference workload behind --perf-json: a medium grid under
+/// the standard stochastic (w, r) adversary, long enough for steady-state
+/// throughput, with the step-phase profiler attached.
+void write_perf_json(const std::string& path) {
+  const Graph g = make_grid(8, 8);
+  FifoProtocol fifo;
+  obs::StepProfiler profiler;
+  EngineConfig eng_cfg;
+  eng_cfg.profile = &profiler;
+  Engine eng(g, fifo, eng_cfg);
+  StochasticConfig cfg;
+  cfg.w = 12;
+  cfg.r = Rat(1, 4);
+  cfg.max_route_len = 4;
+  cfg.seed = 1;
+  StochasticAdversary adv(g, cfg);
+  eng.run(&adv, 20000);
+
+  obs::MetricRegistry registry;
+  obs::collect_engine_metrics(eng, registry);
+  obs::collect_profile_metrics(profiler, registry);
+  obs::write_file(path, obs::to_json(registry, "bench_e12_engine_perf"));
+  std::printf("perf snapshot (%.0f steps/sec) written to %s\n",
+              profiler.report().steps_per_second(), path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --perf-json flag before google-benchmark parses argv (it
+  // rejects flags it does not know).
+  std::string perf_json;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf-json=", 12) == 0)
+      perf_json = argv[i] + 12;
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!perf_json.empty()) write_perf_json(perf_json);
+  return 0;
+}

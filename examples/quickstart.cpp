@@ -2,6 +2,7 @@
 // traffic, and read the stability-relevant metrics.
 //
 //   ./quickstart [--protocol FIFO] [--steps 2000] [--w 12] [--r 1/4]
+//                [--metrics-out metrics.json]
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -9,6 +10,9 @@
 #include "aqt/adversaries/stochastic.hpp"
 #include "aqt/analysis/bounds.hpp"
 #include "aqt/core/simulation.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/obs/snapshot.hpp"
 #include "aqt/topology/generators.hpp"
 #include "aqt/util/cli.hpp"
 #include "aqt/util/table.hpp"
@@ -21,6 +25,8 @@ int main(int argc, char** argv) {
   cli.flag("w", "12", "adversary window size");
   cli.flag("r", "1/4", "adversary rate (rational)");
   cli.flag("seed", "1", "traffic seed");
+  cli.flag("metrics-out", "",
+           "write a JSON metrics snapshot (aqt-metrics/1) to this path");
   if (!cli.parse(argc, argv)) return 0;
 
   // A 4x4 grid: 16 switches, 24 unit-capacity links.
@@ -57,6 +63,15 @@ int main(int argc, char** argv) {
             << t << "\nlatency distribution: "
             << sim.engine().metrics().latency_histogram().summary()
             << "\n\n";
+
+  if (!cli.get("metrics-out").empty()) {
+    obs::MetricRegistry registry;
+    obs::collect_engine_metrics(sim.engine(), registry);
+    obs::write_file(cli.get("metrics-out"),
+                    obs::to_json(registry, "quickstart"));
+    std::printf("metrics snapshot written to %s\n",
+                cli.get("metrics-out").c_str());
+  }
 
   if (traffic.r <= greedy_threshold(traffic.max_route_len) &&
       s.max_residence > bound) {

@@ -10,19 +10,27 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 
-mkdir -p out
+mkdir -p out out/metrics
 
 ./build/tools/aqt-lint examples/scenarios/*.aqts | tee out/lint_output.txt
 
 # Record every example scenario (with the --replay-twice true determinism check),
 # then re-verify each recorded run offline with aqt-verify; stable runs with
 # an applicable theorem also get their certificate written next to the trace.
+# Each scenario also drops its metrics snapshot (JSON + Prometheus + CSV) and
+# packet-lifecycle event stream into out/metrics/.
 mkdir -p out/traces
 for s in examples/scenarios/*.aqts; do
   name=$(basename "$s" .aqts)
   ./build/tools/aqt-sim --scenario "$s" \
-    --record-run "out/traces/$name.trace" --replay-twice true >/dev/null
+    --record-run "out/traces/$name.trace" --replay-twice true \
+    --profile true \
+    --metrics-out "out/metrics/$name.metrics.json" \
+    --metrics-prom "out/metrics/$name.prom" \
+    --metrics-csv "out/metrics/$name.metrics.csv" \
+    --events "out/metrics/$name.events.jsonl" >/dev/null
   ./build/tools/aqt-verify --certificate "out/traces/$name.cert" \
+    --metrics-out "out/metrics/$name.verify.json" \
     "out/traces/$name.trace"
 done 2>&1 | tee out/verify_output.txt
 
@@ -30,10 +38,17 @@ ctest --test-dir build --output-on-failure 2>&1 | tee out/test_output.txt
 
 for b in build/bench/bench_*; do
   echo "=== $(basename "$b") ==="
-  "$b"
+  if [ "$(basename "$b")" = "bench_e12_engine_perf" ]; then
+    # The engine-perf bench also writes a machine-readable perf snapshot used
+    # to track steps/sec across commits.
+    "$b" --perf-json=out/metrics/BENCH_engine_perf.json
+  else
+    "$b"
+  fi
 done 2>&1 | tee out/bench_output.txt
 
-./build/tools/aqt-fuzz --trials 200 --steps 80 | tee out/fuzz_output.txt
+./build/tools/aqt-fuzz --trials 200 --steps 80 \
+  --metrics-out out/metrics/fuzz.metrics.json | tee out/fuzz_output.txt
 
 for e in build/examples/*; do
   [ -f "$e" ] && [ -x "$e" ] || continue  # skip CMake's own directories

@@ -10,7 +10,9 @@ namespace aqt {
 namespace {
 
 constexpr const char* kMagic = "AQT-CHECKPOINT";
-constexpr int kVersion = 1;
+// Version 2: metrics carry step/occupancy totals and the queue-depth and
+// residence histograms (observability layer).
+constexpr int kVersion = 2;
 
 /// FNV-1a over edge names: ties a checkpoint to an identically-built graph.
 std::uint64_t graph_checksum(const Graph& g) {

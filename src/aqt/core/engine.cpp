@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "aqt/core/invariants.hpp"
+#include "aqt/core/obs_sink.hpp"
 #include "aqt/core/trace_sink.hpp"
 #include "aqt/util/check.hpp"
+
+namespace {
+
+/// RAII phase bracket: near-zero when the sink is null (one branch at each
+/// end), and exception-safe so a throwing adversary cannot leave a phase
+/// open.
+class PhaseScope {
+ public:
+  PhaseScope(aqt::StepPhaseSink* sink, aqt::StepPhase phase)
+      : sink_(sink), phase_(phase) {
+    if (sink_ != nullptr) sink_->begin_phase(phase_);
+  }
+  ~PhaseScope() {
+    if (sink_ != nullptr) sink_->end_phase(phase_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  aqt::StepPhaseSink* sink_;
+  aqt::StepPhase phase_;
+};
+
+}  // namespace
 
 namespace aqt {
 
@@ -34,6 +59,9 @@ PacketId Engine::add_initial_packet(Route route, std::uint64_t tag) {
   if (config_.record_trace)
     config_.record_trace->record_initial(arena_[id].ordinal, tag,
                                          arena_[id].route);
+  if (config_.record_events)
+    config_.record_events->on_inject(0, arena_[id].ordinal, tag,
+                                     arena_[id].route, /*initial=*/true);
   // The initial configuration is part of the observable state at time 0.
   const EdgeId e = arena_[id].route[0];
   metrics_.observe_queue(e, buffers_[e].size());
@@ -69,6 +97,8 @@ void Engine::absorb(PacketId id, Time t) {
   const Packet& p = arena_[id];
   metrics_.observe_absorb(t - p.inject_time);
   if (config_.record_trace) config_.record_trace->record_absorb(p.ordinal);
+  if (config_.record_events)
+    config_.record_events->on_absorb(t, p.ordinal, t - p.inject_time);
   // Initial-configuration packets (inject_time 0) are not adversary
   // injections; rate constraints (and Observation 4.4) treat them
   // separately, so the audit records only packets injected at steps >= 1.
@@ -108,6 +138,9 @@ void Engine::apply_injection(const Injection& inj, Time t) {
   if (config_.record_trace)
     config_.record_trace->record_inject(arena_[id].ordinal, inj.tag,
                                         arena_[id].route);
+  if (config_.record_events)
+    config_.record_events->on_inject(t, arena_[id].ordinal, inj.tag,
+                                     arena_[id].route, /*initial=*/false);
 }
 
 void Engine::step(Adversary* adversary) {
@@ -115,40 +148,53 @@ void Engine::step(Adversary* adversary) {
   stepping_started_ = true;
   if (invariants_) invariants_->begin_step();
   const Time t = ++now_;
+  if (config_.profile) config_.profile->begin_step(t);
   if (config_.record_trace) config_.record_trace->begin_step(t);
 
   // Substep 1: every nonempty buffer sends its highest-priority packet.
-  sent_.clear();
-  for (auto it = active_.begin(); it != active_.end();) {
-    const EdgeId e = *it;
-    Buffer& buf = buffers_[e];
-    const BufferEntry entry = buf.pop_min();
-    sent_.push_back(entry.packet);
-    if (config_.record_trace)
-      config_.record_trace->record_send(e, arena_[entry.packet].ordinal);
-    metrics_.observe_send(e, t - arena_[entry.packet].arrival_time);
-    if (buf.empty()) {
-      it = active_.erase(it);
-    } else {
-      ++it;
+  {
+    PhaseScope phase(config_.profile, StepPhase::kTransmit);
+    sent_.clear();
+    for (auto it = active_.begin(); it != active_.end();) {
+      const EdgeId e = *it;
+      Buffer& buf = buffers_[e];
+      const BufferEntry entry = buf.pop_min();
+      sent_.push_back(entry.packet);
+      if (config_.record_trace)
+        config_.record_trace->record_send(e, arena_[entry.packet].ordinal);
+      if (config_.record_events) {
+        const Packet& p = arena_[entry.packet];
+        config_.record_events->on_send(t, e, p.ordinal, p.hop,
+                                       t - p.arrival_time);
+      }
+      metrics_.observe_send(e, t - arena_[entry.packet].arrival_time);
+      if (buf.empty()) {
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
   // Substep 2a: deliveries, in sending-edge order (sent_ is already ordered
   // by edge id because active_ iterates in increasing order).
-  for (const PacketId id : sent_) {
-    Packet& p = arena_[id];
-    ++p.hop;
-    if (p.hop == p.route.size()) {
-      absorb(id, t);
-    } else {
-      enqueue(id, t);
+  {
+    PhaseScope phase(config_.profile, StepPhase::kAbsorb);
+    for (const PacketId id : sent_) {
+      Packet& p = arena_[id];
+      ++p.hop;
+      if (p.hop == p.route.size()) {
+        absorb(id, t);
+      } else {
+        enqueue(id, t);
+      }
     }
   }
 
   // Substep 2b: the adversary observes the post-delivery state and issues
   // reroutes (applied first) and injections.
   if (adversary != nullptr) {
+    PhaseScope phase(config_.profile, StepPhase::kInject);
     adv_step_.injections.clear();
     adv_step_.reroutes.clear();
     adversary->step(t, *this, adv_step_);
@@ -163,14 +209,23 @@ void Engine::step(Adversary* adversary) {
   }
 
   // End-of-step metrics.
-  for (const EdgeId e : active_) metrics_.observe_queue(e, buffers_[e].size());
-  if (config_.record_trace)
+  {
+    PhaseScope phase(config_.profile, StepPhase::kRecord);
     for (const EdgeId e : active_)
-      config_.record_trace->record_queue_depth(e, buffers_[e].size());
-  if (config_.series_stride > 0 && t % config_.series_stride == 0)
-    metrics_.push_series(t, arena_.live_count(), max_queue_now());
+      metrics_.observe_queue(e, buffers_[e].size());
+    metrics_.observe_step(arena_.live_count());
+    if (config_.record_trace)
+      for (const EdgeId e : active_)
+        config_.record_trace->record_queue_depth(e, buffers_[e].size());
+    if (config_.series_stride > 0 && t % config_.series_stride == 0)
+      metrics_.push_series(t, arena_.live_count(), max_queue_now());
+  }
 
-  if (invariants_) invariants_->end_step(sent_);
+  if (invariants_) {
+    PhaseScope phase(config_.profile, StepPhase::kAudit);
+    invariants_->end_step(sent_);
+  }
+  if (config_.profile) config_.profile->end_step();
 }
 
 void Engine::run(Adversary* adversary, Time count) {

@@ -43,7 +43,9 @@
 namespace aqt {
 
 class InvariantAuditor;
+class PacketEventSink;
 class RunTraceSink;
+class StepPhaseSink;
 
 struct EngineConfig {
   /// Validate that every injected route is a simple directed path and that
@@ -75,6 +77,20 @@ struct EngineConfig {
   /// rule from the recorded run.  The caller owns the sink and finalizes it
   /// (e.g. RunTraceWriter::finish) after the run.
   RunTraceSink* record_trace = nullptr;
+
+  /// Borrowed step-phase profiler (obs_sink.hpp).  When set, the engine
+  /// reports the boundaries of every substep (transmit, absorb, inject,
+  /// record, audit) so the obs layer's StepProfiler can wall-clock them.
+  /// Null (the default) costs one branch per phase boundary — near-zero,
+  /// guarded by the tests/obs overhead test.  Observers are write-only:
+  /// profiling never changes a run.
+  StepPhaseSink* profile = nullptr;
+
+  /// Borrowed packet-lifecycle sink (obs_sink.hpp).  When set, the engine
+  /// reports every injection, per-hop send, and absorption — the stream the
+  /// obs layer's JsonlEventWriter turns into machine-readable JSONL.
+  /// Write-only, like `profile`.
+  PacketEventSink* record_events = nullptr;
 };
 
 /// The simulator.  Owns packets, buffers and metrics; borrows graph and

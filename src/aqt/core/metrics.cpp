@@ -17,6 +17,7 @@ void Metrics::observe_queue(EdgeId e, std::size_t count) {
   const auto c = static_cast<std::uint64_t>(count);
   if (c > max_queue_[e]) max_queue_[e] = c;
   if (c > max_queue_g_) max_queue_g_ = c;
+  queue_hist_.add(static_cast<std::int64_t>(count));
 }
 
 void Metrics::observe_send(EdgeId e, Time residence) {
@@ -24,6 +25,7 @@ void Metrics::observe_send(EdgeId e, Time residence) {
   ++sends_per_edge_[e];
   if (residence > max_res_[e]) max_res_[e] = residence;
   if (residence > max_res_g_) max_res_g_ = residence;
+  residence_hist_.add(residence);
 }
 
 void Metrics::observe_absorb(Time latency) {
@@ -31,6 +33,12 @@ void Metrics::observe_absorb(Time latency) {
   latency_sum_ += static_cast<std::uint64_t>(latency);
   max_latency_ = std::max(max_latency_, latency);
   latency_hist_.add(latency);
+}
+
+void Metrics::observe_step(std::uint64_t in_flight) {
+  ++steps_;
+  occupancy_sum_ += in_flight;
+  occupancy_peak_ = std::max(occupancy_peak_, in_flight);
 }
 
 void Metrics::push_series(Time t, std::uint64_t in_flight,
@@ -41,14 +49,19 @@ void Metrics::push_series(Time t, std::uint64_t in_flight,
 void Metrics::save(std::ostream& os) const {
   os << "metrics " << max_queue_.size() << ' ' << max_queue_g_ << ' '
      << max_res_g_ << ' ' << sends_ << ' ' << absorbed_ << ' '
-     << max_latency_ << ' ' << latency_sum_ << '\n';
+     << max_latency_ << ' ' << latency_sum_ << ' ' << steps_ << ' '
+     << occupancy_sum_ << ' ' << occupancy_peak_ << '\n';
   for (std::size_t e = 0; e < max_queue_.size(); ++e) {
     if (max_queue_[e] == 0 && max_res_[e] == 0 && sends_per_edge_[e] == 0)
       continue;
     os << "mq " << e << ' ' << max_queue_[e] << ' ' << max_res_[e] << ' '
        << sends_per_edge_[e] << '\n';
   }
+  // Three histogram sections in fixed order: latency, queue depth,
+  // residence (checkpoint format version 2).
   latency_hist_.save(os);
+  queue_hist_.save(os);
+  residence_hist_.save(os);
   os << "series " << series_.size() << '\n';
   for (const SeriesPoint& p : series_)
     os << p.t << ' ' << p.in_flight << ' ' << p.max_queue << '\n';
@@ -58,7 +71,8 @@ void Metrics::load(std::istream& is) {
   std::string word;
   std::size_t edges = 0;
   is >> word >> edges >> max_queue_g_ >> max_res_g_ >> sends_ >> absorbed_ >>
-      max_latency_ >> latency_sum_;
+      max_latency_ >> latency_sum_ >> steps_ >> occupancy_sum_ >>
+      occupancy_peak_;
   AQT_REQUIRE(is && word == "metrics", "malformed metrics section");
   AQT_REQUIRE(edges == max_queue_.size(),
               "metrics edge count mismatch: checkpoint has "
@@ -69,10 +83,12 @@ void Metrics::load(std::istream& is) {
     AQT_REQUIRE(is && e < edges, "bad metrics edge index");
     is >> max_queue_[e] >> max_res_[e] >> sends_per_edge_[e];
   }
-  // The mq loop stops on the first non-"mq" word, which is the histogram
-  // tag; its body follows.
+  // The mq loop stops on the first non-"mq" word, which is the first
+  // histogram tag; its body and the two further sections follow.
   AQT_REQUIRE(is && word == "hist", "missing histogram section");
   latency_hist_.load_body(is);
+  queue_hist_.load(is);
+  residence_hist_.load(is);
   is >> word;
   AQT_REQUIRE(is && word == "series", "missing series section");
   std::size_t count = 0;

@@ -4,7 +4,14 @@
 // link buffers?", and the stability theorems of §4 bound the time a packet
 // spends in any single buffer by ceil(w*r).  Metrics therefore track, per
 // edge and globally: maximum queue size, maximum buffer residence, plus
-// totals and an optionally subsampled time series of system occupancy.
+// totals, distributions (queue depth, residence, latency), per-step system
+// occupancy, and an optionally subsampled time series.  The obs layer
+// (aqt/obs) turns this into a named MetricRegistry for export.
+//
+// Empty-denominator convention (shared with util/stats and util/histogram):
+// every mean/ratio accessor returns exactly 0.0 — never NaN or Inf — when
+// nothing has been observed, so exporters and downstream arithmetic need no
+// special-casing and machine-readable output stays finite.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +43,10 @@ class Metrics {
   /// Record an absorption with end-to-end latency.
   void observe_absorb(Time latency);
 
+  /// Record the end of one engine step with `in_flight` live packets — the
+  /// per-step occupancy feed for window-occupancy statistics.
+  void observe_step(std::uint64_t in_flight);
+
   /// Append a time series point (caller controls sampling cadence).
   void push_series(Time t, std::uint64_t in_flight, std::uint64_t max_queue);
 
@@ -61,6 +72,28 @@ class Metrics {
   [[nodiscard]] const Histogram& latency_histogram() const {
     return latency_hist_;
   }
+  /// Distribution of end-of-step nonempty-buffer depths (log buckets).
+  [[nodiscard]] const Histogram& queue_depth_histogram() const {
+    return queue_hist_;
+  }
+  /// Distribution of single-buffer residence times over all sends.
+  [[nodiscard]] const Histogram& residence_histogram() const {
+    return residence_hist_;
+  }
+
+  /// Steps observed via observe_step (the engine calls it once per step).
+  [[nodiscard]] std::uint64_t steps_observed() const { return steps_; }
+  /// Mean per-step system occupancy (live packets); 0 before any step.
+  [[nodiscard]] double mean_occupancy() const {
+    return steps_ == 0 ? 0.0
+                       : static_cast<double>(occupancy_sum_) /
+                             static_cast<double>(steps_);
+  }
+  /// Largest per-step system occupancy observed; 0 before any step.
+  [[nodiscard]] std::uint64_t peak_occupancy() const {
+    return occupancy_peak_;
+  }
+
   [[nodiscard]] const std::vector<SeriesPoint>& series() const {
     return series_;
   }
@@ -79,7 +112,12 @@ class Metrics {
   std::uint64_t absorbed_ = 0;
   Time max_latency_ = 0;
   std::uint64_t latency_sum_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t occupancy_sum_ = 0;
+  std::uint64_t occupancy_peak_ = 0;
   Histogram latency_hist_;
+  Histogram queue_hist_;
+  Histogram residence_hist_;
   std::vector<SeriesPoint> series_;
 };
 

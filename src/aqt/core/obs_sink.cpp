@@ -1,0 +1,21 @@
+#include "aqt/core/obs_sink.hpp"
+
+namespace aqt {
+
+const char* to_string(StepPhase phase) {
+  switch (phase) {
+    case StepPhase::kTransmit:
+      return "transmit";
+    case StepPhase::kAbsorb:
+      return "absorb";
+    case StepPhase::kInject:
+      return "inject";
+    case StepPhase::kRecord:
+      return "record";
+    case StepPhase::kAudit:
+      return "audit";
+  }
+  return "?";
+}
+
+}  // namespace aqt

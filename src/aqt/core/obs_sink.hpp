@@ -1,0 +1,78 @@
+// Engine-side interfaces for the observability layer (aqt/obs).
+//
+// Two borrowed sinks, following the pattern of trace_sink.hpp: core defines
+// the pure interfaces and calls them when configured; the concrete
+// implementations (the wall-clock step-phase profiler and the JSONL
+// packet-lifecycle event writer) live in the obs layer, which links core —
+// never the reverse.  Both sinks are write-only observers: they may not
+// influence the simulation, so enabling them must never change a run
+// (aqt-fuzz cross-checks this by comparing run-trace content hashes with
+// observability on and off).
+//
+// When a sink pointer is null the per-step cost is one predictable branch
+// per call site — the "near-zero when off" contract the profiler-overhead
+// test in tests/obs enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// The engine's substeps, in execution order within one step.  kTransmit is
+/// substep 1 (every nonempty buffer sends), kAbsorb is substep 2a
+/// (deliveries: absorptions and re-enqueues), kInject is substep 2b (the
+/// adversary's reroutes and injections), kRecord covers end-of-step metric
+/// and trace recording, and kAudit is the optional invariant re-derivation.
+enum class StepPhase : std::uint8_t {
+  kTransmit = 0,
+  kAbsorb = 1,
+  kInject = 2,
+  kRecord = 3,
+  kAudit = 4,
+};
+
+inline constexpr std::size_t kStepPhaseCount = 5;
+
+/// Stable lower-case phase names ("transmit", "absorb", "inject", "record",
+/// "audit") — used as metric labels and in exported schemas.
+const char* to_string(StepPhase phase);
+
+/// Receives phase boundaries from the engine.  Call order per step:
+/// begin_step, then begin_phase/end_phase pairs in phase order (a phase with
+/// nothing to do may be skipped), then end_step.
+class StepPhaseSink {
+ public:
+  virtual ~StepPhaseSink() = default;
+
+  virtual void begin_step(Time t) = 0;
+  virtual void begin_phase(StepPhase phase) = 0;
+  virtual void end_phase(StepPhase phase) = 0;
+  virtual void end_step() = 0;
+};
+
+/// Receives the packet lifecycle: injection (initial configuration or
+/// adversary), every per-hop transmission, and absorption.  Packets are
+/// identified by creation ordinal (protocol-independent, slot-reuse-proof),
+/// exactly as in run traces.
+class PacketEventSink {
+ public:
+  virtual ~PacketEventSink() = default;
+
+  /// A packet entered the network: `initial` distinguishes the time-0
+  /// initial configuration from adversary injections (t >= 1).
+  virtual void on_inject(Time t, std::uint64_t ordinal, std::uint64_t tag,
+                         const Route& route, bool initial) = 0;
+
+  /// The buffer of `e` forwarded the packet; `hop` is the 0-based index of
+  /// `e` in its route, `residence` the steps spent waiting in e's buffer.
+  virtual void on_send(Time t, EdgeId e, std::uint64_t ordinal,
+                       std::size_t hop, Time residence) = 0;
+
+  /// The packet completed its route; `latency` is end-to-end in steps.
+  virtual void on_absorb(Time t, std::uint64_t ordinal, Time latency) = 0;
+};
+
+}  // namespace aqt

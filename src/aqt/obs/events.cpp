@@ -1,0 +1,290 @@
+#include "aqt/obs/events.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Strict single-line parser for the event grammar: one flat JSON object
+/// whose values are strings, integers, booleans, or arrays of strings.
+class LineParser {
+ public:
+  LineParser(const std::string& line, const std::string& where)
+      : s_(line), where_(where) {}
+
+  void fail(const std::string& what) const {
+    AQT_REQUIRE(false, "" << where_ << ": " << what << " at byte " << pos_);
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of line");
+    return s_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool at_end() const { return pos_ >= s_.size(); }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4U;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          if (code > 0xff) fail("non-latin \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  std::int64_t int_value() {
+    const bool neg = consume('-');
+    if (peek() < '0' || peek() > '9') fail("expected digit");
+    std::uint64_t v = 0;
+    while (!at_end() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      const auto digit = static_cast<std::uint64_t>(take() - '0');
+      if (v > (UINT64_MAX - digit) / 10) fail("integer overflow");
+      v = v * 10 + digit;
+    }
+    if (neg) {
+      if (v > 9223372036854775808ULL) fail("integer overflow");
+      return -static_cast<std::int64_t>(v);
+    }
+    if (v > INT64_MAX) fail("integer overflow");
+    return static_cast<std::int64_t>(v);
+  }
+
+  bool bool_value() {
+    if (consume('t')) {
+      expect('r');
+      expect('u');
+      expect('e');
+      return true;
+    }
+    expect('f');
+    expect('a');
+    expect('l');
+    expect('s');
+    expect('e');
+    return false;
+  }
+
+  std::vector<std::string> string_array() {
+    expect('[');
+    std::vector<std::string> out;
+    if (consume(']')) return out;
+    for (;;) {
+      out.push_back(string_value());
+      if (consume(']')) return out;
+      expect(',');
+    }
+  }
+
+ private:
+  const std::string& s_;
+  const std::string& where_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t as_u64(std::int64_t v, LineParser& p, const char* key) {
+  if (v < 0) p.fail(std::string("negative value for ") + key);
+  return static_cast<std::uint64_t>(v);
+}
+
+ObsEvent parse_line(const std::string& line, const std::string& where) {
+  LineParser p(line, where);
+  ObsEvent ev;
+  bool have_ev = false;
+  std::string kind;
+  p.expect('{');
+  for (;;) {
+    const std::string key = p.string_value();
+    p.expect(':');
+    if (key == "ev") {
+      kind = p.string_value();
+      have_ev = true;
+    } else if (key == "t") {
+      ev.t = p.int_value();
+    } else if (key == "packet") {
+      ev.packet = as_u64(p.int_value(), p, "packet");
+    } else if (key == "tag") {
+      ev.tag = as_u64(p.int_value(), p, "tag");
+    } else if (key == "initial") {
+      ev.initial = p.bool_value();
+    } else if (key == "route") {
+      ev.route = p.string_array();
+    } else if (key == "edge") {
+      ev.edge = p.string_value();
+    } else if (key == "hop") {
+      ev.hop = as_u64(p.int_value(), p, "hop");
+    } else if (key == "residence") {
+      ev.residence = p.int_value();
+    } else if (key == "latency") {
+      ev.latency = p.int_value();
+    } else if (key == "name") {
+      ev.name = p.string_value();
+    } else {
+      p.fail("unknown key '" + key + "'");
+    }
+    if (p.consume('}')) break;
+    p.expect(',');
+  }
+  if (!p.at_end()) p.fail("trailing bytes after object");
+  if (!have_ev) p.fail("missing \"ev\" key");
+  if (kind == "inject") {
+    ev.kind = ObsEvent::Kind::kInject;
+    if (ev.route.empty()) p.fail("inject without route");
+  } else if (kind == "send") {
+    ev.kind = ObsEvent::Kind::kSend;
+    if (ev.edge.empty()) p.fail("send without edge");
+  } else if (kind == "absorb") {
+    ev.kind = ObsEvent::Kind::kAbsorb;
+  } else if (kind == "milestone") {
+    ev.kind = ObsEvent::Kind::kMilestone;
+    if (ev.name.empty()) p.fail("milestone without name");
+  } else {
+    p.fail("unknown event kind '" + kind + "'");
+  }
+  return ev;
+}
+
+}  // namespace
+
+JsonlEventWriter::JsonlEventWriter(std::ostream& os, const Graph& graph)
+    : os_(os), graph_(graph) {}
+
+void JsonlEventWriter::on_inject(Time t, std::uint64_t ordinal,
+                                 std::uint64_t tag, const Route& route,
+                                 bool initial) {
+  os_ << "{\"ev\":\"inject\",\"t\":" << t << ",\"packet\":" << ordinal
+      << ",\"tag\":" << tag << ",\"initial\":" << (initial ? "true" : "false")
+      << ",\"route\":[";
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << '"' << json_escape(graph_.edge(route[i]).name) << '"';
+  }
+  os_ << "]}\n";
+  ++lines_;
+}
+
+void JsonlEventWriter::on_send(Time t, EdgeId e, std::uint64_t ordinal,
+                               std::size_t hop, Time residence) {
+  os_ << "{\"ev\":\"send\",\"t\":" << t << ",\"packet\":" << ordinal
+      << ",\"edge\":\"" << json_escape(graph_.edge(e).name)
+      << "\",\"hop\":" << hop << ",\"residence\":" << residence << "}\n";
+  ++lines_;
+}
+
+void JsonlEventWriter::on_absorb(Time t, std::uint64_t ordinal, Time latency) {
+  os_ << "{\"ev\":\"absorb\",\"t\":" << t << ",\"packet\":" << ordinal
+      << ",\"latency\":" << latency << "}\n";
+  ++lines_;
+}
+
+void JsonlEventWriter::milestone(Time t, const std::string& name) {
+  os_ << "{\"ev\":\"milestone\",\"t\":" << t << ",\"name\":\""
+      << json_escape(name) << "\"}\n";
+  ++lines_;
+}
+
+std::vector<ObsEvent> parse_jsonl_events(std::istream& is,
+                                         const std::string& name) {
+  std::vector<ObsEvent> events;
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    events.push_back(
+        parse_line(line, name + ":" + std::to_string(lineno)));
+  }
+  return events;
+}
+
+}  // namespace aqt::obs

@@ -1,0 +1,44 @@
+// Machine-readable exporters for the MetricRegistry.
+//
+// Three formats, one schema, shared by every tool (aqt-sim --metrics-out,
+// aqt-verify/--lint/--fuzz --metrics-out, examples, the perf bench):
+//
+//  * to_prometheus: the Prometheus text exposition format (version 0.0.4).
+//    Counters/gauges are single samples; histograms expand into cumulative
+//    `_bucket{le="..."}` samples (the log-bucket upper bounds), `_sum`, and
+//    `_count`, so any Prometheus scraper or promtool ingests them directly.
+//  * to_json: one snapshot object, schema "aqt-metrics/1":
+//      {"schema":"aqt-metrics/1","tool":"...",
+//       "metrics":[{"name":...,"type":...,"help":...,"label_key":...,
+//                   "values":[{"label":...,...}]}]}
+//    Counter values are integers; gauges doubles; histograms expand into
+//    {count,sum,min,max,mean,p50,p90,p99}.  Family and cell order is
+//    registration order, so output is deterministic and golden-testable.
+//  * to_csv: long format with the fixed header
+//    `name,label,type,field,value` — one row per scalar, histograms
+//    exploded into their summary fields.
+//
+// All formats obey the empty-denominator convention (core/metrics.hpp):
+// means and rates of nothing are 0, never NaN/Inf, so every emitted number
+// is finite.
+#pragma once
+
+#include <string>
+
+#include "aqt/obs/registry.hpp"
+
+namespace aqt::obs {
+
+std::string to_prometheus(const MetricRegistry& registry);
+
+/// `tool` names the producer ("aqt-sim", "bench_e12_engine_perf", ...).
+std::string to_json(const MetricRegistry& registry, const std::string& tool);
+
+std::string to_csv(const MetricRegistry& registry);
+
+/// Writes `text` to `path` (creating/truncating); throws PreconditionError
+/// when the file cannot be opened.  Convenience for the tools' --metrics-*
+/// flags.
+void write_file(const std::string& path, const std::string& text);
+
+}  // namespace aqt::obs

@@ -1,0 +1,66 @@
+#include "aqt/obs/profiler.hpp"
+
+#include <cstdio>
+
+namespace aqt::obs {
+
+void StepProfiler::begin_step(Time) {
+  step_start_ = Clock::now();
+  in_step_ = true;
+}
+
+void StepProfiler::begin_phase(StepPhase) { phase_start_ = Clock::now(); }
+
+void StepProfiler::end_phase(StepPhase phase) {
+  const auto elapsed = Clock::now() - phase_start_;
+  PhaseStats& ps = phases_[static_cast<std::size_t>(phase)];
+  ++ps.calls;
+  ps.nanos += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+void StepProfiler::end_step() {
+  if (!in_step_) return;
+  in_step_ = false;
+  const auto elapsed = Clock::now() - step_start_;
+  const auto nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  ++steps_;
+  total_step_nanos_ += nanos;
+  step_nanos_.add(static_cast<std::int64_t>(nanos));
+}
+
+StepProfiler::Report StepProfiler::report() const {
+  Report rep;
+  rep.steps = steps_;
+  rep.total_step_nanos = total_step_nanos_;
+  rep.phases = phases_;
+  return rep;
+}
+
+std::string StepProfiler::summary() const {
+  const Report rep = report();
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "profile: %llu steps in %.3fs (%.0f steps/sec)\n",
+                static_cast<unsigned long long>(rep.steps),
+                rep.wall_seconds(), rep.steps_per_second());
+  out += buf;
+  for (std::size_t i = 0; i < kStepPhaseCount; ++i) {
+    const PhaseStats& ps = rep.phases[i];
+    const double share =
+        rep.total_step_nanos == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(ps.nanos) /
+                  static_cast<double>(rep.total_step_nanos);
+    std::snprintf(buf, sizeof buf, "  %-8s %12.6fs  %5.1f%%  (%llu calls)\n",
+                  to_string(static_cast<StepPhase>(i)), ps.seconds(), share,
+                  static_cast<unsigned long long>(ps.calls));
+    out += buf;
+  }
+  out += "  per-step wall: " + step_nanos_.summary() + " (ns)\n";
+  return out;
+}
+
+}  // namespace aqt::obs

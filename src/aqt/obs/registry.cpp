@@ -1,0 +1,101 @@
+#include "aqt/obs/registry.hpp"
+
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto is_lower = [](char c) { return c >= 'a' && c <= 'z'; };
+  const auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+  if (!is_lower(name.front()) && name.front() != '_') return false;
+  for (const char c : name)
+    if (!is_lower(c) && !is_digit(c) && c != '_') return false;
+  return true;
+}
+
+}  // namespace
+
+void Counter::set(std::uint64_t value) {
+  AQT_REQUIRE(value >= value_, "counter moved backwards: " << value_ << " -> "
+                                                           << value);
+  value_ = value;
+}
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+MetricRegistry::Cell& MetricRegistry::cell(const std::string& name,
+                                           const std::string& help,
+                                           MetricType type,
+                                           const std::string& label_key,
+                                           const std::string& label) {
+  AQT_REQUIRE(valid_metric_name(name),
+              "invalid metric name '" << name << "' ([a-z_][a-z0-9_]*)");
+  AQT_REQUIRE(label_key.empty() == label.empty(),
+              "metric '" << name
+                         << "': label_key and label must be given together");
+  for (Family& fam : families_) {
+    if (fam.name != name) continue;
+    AQT_REQUIRE(fam.type == type, "metric '" << name << "' registered as "
+                                             << to_string(fam.type)
+                                             << ", requested as "
+                                             << to_string(type));
+    AQT_REQUIRE(fam.label_key == label_key,
+                "metric '" << name << "' label key mismatch: '"
+                           << fam.label_key << "' vs '" << label_key << "'");
+    for (Cell& c : fam.cells)
+      if (c.label == label) return c;
+    fam.cells.emplace_back();
+    fam.cells.back().label = label;
+    return fam.cells.back();
+  }
+  families_.emplace_back();
+  Family& fam = families_.back();
+  fam.name = name;
+  fam.help = help;
+  fam.label_key = label_key;
+  fam.type = type;
+  fam.cells.emplace_back();
+  fam.cells.back().label = label;
+  return fam.cells.back();
+}
+
+Counter& MetricRegistry::counter(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& label_key,
+                                 const std::string& label) {
+  return cell(name, help, MetricType::kCounter, label_key, label).counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, const std::string& help,
+                             const std::string& label_key,
+                             const std::string& label) {
+  return cell(name, help, MetricType::kGauge, label_key, label).gauge;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& label_key,
+                                     const std::string& label) {
+  return cell(name, help, MetricType::kHistogram, label_key, label).histogram;
+}
+
+const MetricRegistry::Family* MetricRegistry::find(
+    const std::string& name) const {
+  for (const Family& fam : families_)
+    if (fam.name == name) return &fam;
+  return nullptr;
+}
+
+}  // namespace aqt::obs

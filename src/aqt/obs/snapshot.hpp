@@ -1,0 +1,46 @@
+// Bridges engine state into the MetricRegistry.
+//
+// collect_engine_metrics maps one Engine's Metrics — the quantities the
+// paper's stability question is about — onto registry names:
+//
+//   aqt_steps_total, aqt_injected_total, aqt_absorbed_total, aqt_sends_total
+//   aqt_in_flight, aqt_max_queue_packets           (Q_i bound, paper §1)
+//   aqt_max_residence_steps                        (vs ceil(w*r), Thm 4.1)
+//   aqt_max_latency_steps, aqt_mean_latency_steps
+//   aqt_injection_rate_per_step, aqt_absorption_rate_per_step
+//   aqt_mean_occupancy_packets, aqt_peak_occupancy_packets
+//   histograms: aqt_latency_steps, aqt_queue_depth_packets,
+//               aqt_residence_steps
+//   per-edge (label edge="..."): aqt_edge_max_queue_packets,
+//               aqt_edge_max_residence_steps, aqt_edge_sends_total
+//
+// collect_profile_metrics adds the StepProfiler's wall-clock view:
+//   aqt_profile_steps_total, aqt_profile_wall_seconds,
+//   aqt_profile_steps_per_second,
+//   aqt_profile_phase_seconds{phase=...}, aqt_profile_phase_calls{phase=...},
+//   aqt_profile_step_nanos (histogram)
+//
+// Both are additive: call them on one registry to get a combined snapshot,
+// then hand it to export.hpp.  docs/MODEL.md maps these names back to the
+// paper's quantities.
+#pragma once
+
+namespace aqt {
+class Engine;
+}
+
+namespace aqt::obs {
+
+class MetricRegistry;
+class StepProfiler;
+
+/// Populates `registry` from `engine`'s metrics.  Per-edge families only get
+/// cells for edges with activity (nonzero max queue / sends), keeping big
+/// sparse topologies exportable.
+void collect_engine_metrics(const Engine& engine, MetricRegistry& registry);
+
+/// Populates `registry` from a profiler's report.
+void collect_profile_metrics(const StepProfiler& profiler,
+                             MetricRegistry& registry);
+
+}  // namespace aqt::obs

@@ -4,6 +4,9 @@
 // bucket 0 holding {0, 1}.  Constant memory, O(1) insert, and quantile
 // estimates good to a factor of two — the right fidelity for tail-latency
 // reporting in benches.
+//
+// Empty-denominator convention (see core/metrics.hpp): with no samples,
+// mean()/min()/max()/quantile() all return 0 — never NaN or Inf.
 #pragma once
 
 #include <array>
@@ -20,10 +23,20 @@ class Histogram {
   void add(std::int64_t value);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] std::int64_t min() const { return count_ ? min_ : 0; }
   [[nodiscard]] std::int64_t max() const { return count_ ? max_ : 0; }
   [[nodiscard]] double mean() const {
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Raw count in bucket `b` (for exporters; 0 <= b < kBuckets).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b];
+  }
+  /// Inclusive upper bound of bucket `b` (1, 3, 7, 15, ...).
+  [[nodiscard]] static std::int64_t bucket_upper_bound(std::size_t b) {
+    return bucket_upper(b);
   }
 
   /// Upper bound of the bucket containing the q-quantile (0 < q <= 1);

@@ -1,5 +1,9 @@
 // Streaming summary statistics (Welford's algorithm) for multi-seed
 // experiment sweeps.
+//
+// Empty-denominator convention (see core/metrics.hpp): with no samples,
+// mean()/variance()/stddev()/min()/max() all return 0.0 — never NaN or
+// Inf — so downstream arithmetic and exporters need no special-casing.
 #pragma once
 
 #include <cstdint>

@@ -48,6 +48,42 @@ TEST(Metrics, LatencyStatistics) {
   EXPECT_DOUBLE_EQ(m.mean_latency(), 5.0);
 }
 
+TEST(Metrics, EmptyDenominatorConvention) {
+  // The repo-wide convention (documented in metrics.hpp): every mean/ratio
+  // accessor of an untouched Metrics returns exactly 0.0, never NaN/Inf.
+  const Metrics m(3);
+  EXPECT_EQ(m.mean_latency(), 0.0);
+  EXPECT_EQ(m.mean_occupancy(), 0.0);
+  EXPECT_EQ(m.peak_occupancy(), 0u);
+  EXPECT_EQ(m.steps_observed(), 0u);
+  EXPECT_EQ(m.latency_histogram().mean(), 0.0);
+  EXPECT_EQ(m.queue_depth_histogram().mean(), 0.0);
+  EXPECT_EQ(m.residence_histogram().mean(), 0.0);
+}
+
+TEST(Metrics, OccupancyStatistics) {
+  Metrics m(1);
+  m.observe_step(4);
+  m.observe_step(10);
+  m.observe_step(1);
+  EXPECT_EQ(m.steps_observed(), 3u);
+  EXPECT_DOUBLE_EQ(m.mean_occupancy(), 5.0);
+  EXPECT_EQ(m.peak_occupancy(), 10u);
+}
+
+TEST(Metrics, DistributionsFedByObservations) {
+  Metrics m(2);
+  m.observe_queue(0, 3);
+  m.observe_queue(1, 5);
+  m.observe_send(0, 2);
+  m.observe_absorb(7);
+  EXPECT_EQ(m.queue_depth_histogram().count(), 2u);
+  EXPECT_DOUBLE_EQ(m.queue_depth_histogram().mean(), 4.0);
+  EXPECT_EQ(m.residence_histogram().count(), 1u);
+  EXPECT_EQ(m.residence_histogram().max(), 2);
+  EXPECT_EQ(m.latency_histogram().count(), 1u);
+}
+
 TEST(Metrics, SeriesAppends) {
   Metrics m(1);
   m.push_series(10, 100, 50);

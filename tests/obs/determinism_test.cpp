@@ -1,0 +1,95 @@
+// Observer-effect guard: attaching the full observability stack (step-phase
+// profiler + JSONL event stream + metrics collection) to a run must leave
+// the recorded run trace byte-identical — same FNV-1a content hash — to a
+// bare run.  This is the unit-test twin of `aqt-fuzz --obs-trials`.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/obs/events.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/profiler.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/obs/snapshot.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/trace/run_trace.hpp"
+
+namespace aqt::obs {
+namespace {
+
+struct RunResult {
+  std::uint64_t trace_hash = 0;
+  std::string trace_text;
+};
+
+RunResult run_workload(const Graph& g, bool observed) {
+  auto protocol = make_protocol("NTG", 3);
+  RunTraceMeta meta;
+  meta.protocol = "NTG";
+  meta.seed = 3;
+  std::ostringstream trace_os;
+  RunTraceWriter writer(trace_os, g, meta);
+  StepProfiler profiler;
+  std::ostringstream events_os;
+  JsonlEventWriter events(events_os, g);
+  EngineConfig cfg;
+  cfg.record_trace = &writer;
+  cfg.audit_invariants = true;
+  if (observed) {
+    cfg.profile = &profiler;
+    cfg.record_events = &events;
+  }
+  Engine eng(g, *protocol, cfg);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 10;
+  adv_cfg.r = Rat(1, 3);
+  adv_cfg.max_route_len = 4;
+  adv_cfg.seed = 3;
+  StochasticAdversary adv(g, adv_cfg);
+  eng.run(&adv, 400);
+  writer.finish(eng.total_injected(), eng.total_absorbed());
+
+  if (observed) {
+    // Collecting a snapshot must also be side-effect free on the engine.
+    MetricRegistry reg;
+    collect_engine_metrics(eng, reg);
+    collect_profile_metrics(profiler, reg);
+    EXPECT_GT(profiler.report().steps, 0u);
+    EXPECT_GT(events.lines_written(), 0u);
+  }
+  return {writer.content_hash(), trace_os.str()};
+}
+
+TEST(ObserverEffect, FullObsStackLeavesRunTraceByteIdentical) {
+  for (const auto& g : {make_grid(4, 4), make_bidirectional_ring(5)}) {
+    const RunResult bare = run_workload(g, false);
+    const RunResult observed = run_workload(g, true);
+    EXPECT_EQ(bare.trace_hash, observed.trace_hash);
+    EXPECT_EQ(bare.trace_text, observed.trace_text);
+  }
+}
+
+TEST(ObserverEffect, SnapshotCollectionIsRepeatable) {
+  const Graph g = make_grid(3, 3);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 8;
+  adv_cfg.r = Rat(1, 4);
+  adv_cfg.max_route_len = 3;
+  adv_cfg.seed = 2;
+  StochasticAdversary adv(g, adv_cfg);
+  eng.run(&adv, 100);
+
+  MetricRegistry a;
+  MetricRegistry b;
+  collect_engine_metrics(eng, a);
+  collect_engine_metrics(eng, b);
+  EXPECT_EQ(to_json(a, "t"), to_json(b, "t"));
+}
+
+}  // namespace
+}  // namespace aqt::obs

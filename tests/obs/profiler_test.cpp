@@ -1,0 +1,129 @@
+#include "aqt/obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt::obs {
+namespace {
+
+TEST(Profiler, EmptyReportFollowsZeroConvention) {
+  const StepProfiler profiler;
+  const StepProfiler::Report rep = profiler.report();
+  EXPECT_EQ(rep.steps, 0u);
+  EXPECT_EQ(rep.total_step_nanos, 0u);
+  EXPECT_EQ(rep.steps_per_second(), 0.0);
+  EXPECT_EQ(rep.wall_seconds(), 0.0);
+  for (const auto& ps : rep.phases) {
+    EXPECT_EQ(ps.calls, 0u);
+    EXPECT_EQ(ps.nanos, 0u);
+  }
+}
+
+TEST(Profiler, CountsEngineStepsAndPhases) {
+  const Graph g = make_grid(3, 3);
+  FifoProtocol fifo;
+  StepProfiler profiler;
+  EngineConfig cfg;
+  cfg.profile = &profiler;
+  Engine eng(g, fifo, cfg);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 8;
+  adv_cfg.r = Rat(1, 4);
+  adv_cfg.max_route_len = 3;
+  adv_cfg.seed = 5;
+  StochasticAdversary adv(g, adv_cfg);
+  eng.run(&adv, 50);
+
+  const StepProfiler::Report rep = profiler.report();
+  EXPECT_EQ(rep.steps, 50u);
+  EXPECT_EQ(profiler.step_nanos_histogram().count(), 50u);
+  EXPECT_GT(rep.total_step_nanos, 0u);
+  EXPECT_GT(rep.steps_per_second(), 0.0);
+  // One transmit/absorb/record bracket per step; inject only while the
+  // adversary drives; audit off in this config.
+  EXPECT_EQ(rep.phases[static_cast<std::size_t>(StepPhase::kTransmit)].calls,
+            50u);
+  EXPECT_EQ(rep.phases[static_cast<std::size_t>(StepPhase::kAbsorb)].calls,
+            50u);
+  EXPECT_EQ(rep.phases[static_cast<std::size_t>(StepPhase::kInject)].calls,
+            50u);
+  EXPECT_EQ(rep.phases[static_cast<std::size_t>(StepPhase::kRecord)].calls,
+            50u);
+  EXPECT_EQ(rep.phases[static_cast<std::size_t>(StepPhase::kAudit)].calls,
+            0u);
+
+  const std::string text = profiler.summary();
+  EXPECT_NE(text.find("50 steps"), std::string::npos);
+  EXPECT_NE(text.find("transmit"), std::string::npos);
+}
+
+TEST(Profiler, AuditPhaseBracketedWhenAuditingIsOn) {
+  const Graph g = make_ring(5);
+  FifoProtocol fifo;
+  StepProfiler profiler;
+  EngineConfig cfg;
+  cfg.profile = &profiler;
+  cfg.audit_invariants = true;
+  Engine eng(g, fifo, cfg);
+  eng.add_initial_packet({0, 1, 2});
+  eng.drain(16);
+  EXPECT_GT(profiler.report()
+                .phases[static_cast<std::size_t>(StepPhase::kAudit)]
+                .calls,
+            0u);
+}
+
+/// The ISSUE's overhead guard: a run with the profiler detached must not be
+/// slower than 2x the profiled run's step time... and, more importantly,
+/// profiling itself must cost less than 2x the bare run.  Wall-clock tests
+/// are noisy, so measure a real workload (median of 5) and assert only the
+/// generous documented bound.
+TEST(Profiler, OffIsCheap) {
+  const Graph g = make_grid(6, 6);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 12;
+  adv_cfg.r = Rat(1, 4);
+  adv_cfg.max_route_len = 4;
+  adv_cfg.seed = 9;
+  constexpr Time kSteps = 3000;
+
+  const auto run_nanos = [&](bool profiled) {
+    FifoProtocol fifo;
+    StepProfiler profiler;
+    EngineConfig cfg;
+    if (profiled) cfg.profile = &profiler;
+    Engine eng(g, fifo, cfg);
+    StochasticAdversary adv(g, adv_cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.run(&adv, kSteps);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+        .count();
+  };
+
+  const auto median_of_5 = [&](bool profiled) {
+    std::array<long long, 5> times{};
+    for (auto& t : times) t = run_nanos(profiled);
+    std::sort(times.begin(), times.end());
+    return times[2];
+  };
+
+  run_nanos(false);  // Warm caches before measuring.
+  const long long off = median_of_5(false);
+  const long long on = median_of_5(true);
+  EXPECT_GT(off, 0);
+  // Enabling the profiler (two clock reads per phase) stays under 2x.
+  EXPECT_LT(static_cast<double>(on), 2.0 * static_cast<double>(off))
+      << "profiler on: " << on << "ns, off: " << off << "ns";
+}
+
+}  // namespace
+}  // namespace aqt::obs

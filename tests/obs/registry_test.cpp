@@ -1,0 +1,105 @@
+#include "aqt/obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+namespace {
+
+TEST(Registry, CounterSemantics) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("aqt_test_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.set(9);
+  EXPECT_EQ(c.value(), 9u);
+  // Counters are monotone: moving backwards is a precondition error.
+  EXPECT_THROW(c.set(3), PreconditionError);
+}
+
+TEST(Registry, GaugeMovesFreely) {
+  MetricRegistry reg;
+  Gauge& g = reg.gauge("aqt_test_gauge", "help");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(Registry, HistogramCellIsTheSharedHistogram) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("aqt_test_steps", "help");
+  h.add(3);
+  h.add(5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Registry, SameNameAndLabelReturnsSameCell) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("aqt_x_total", "help", "edge", "e0");
+  a.inc(7);
+  Counter& b = reg.counter("aqt_x_total", "help", "edge", "e0");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+  // A different label is a new cell in the same family.
+  Counter& c = reg.counter("aqt_x_total", "help", "edge", "e1");
+  EXPECT_NE(&a, &c);
+  ASSERT_EQ(reg.families().size(), 1u);
+  EXPECT_EQ(reg.families()[0].cells.size(), 2u);
+}
+
+TEST(Registry, TypeMismatchRejected) {
+  MetricRegistry reg;
+  reg.counter("aqt_x_total", "help");
+  EXPECT_THROW(reg.gauge("aqt_x_total", "help"), PreconditionError);
+  EXPECT_THROW(reg.histogram("aqt_x_total", "help"), PreconditionError);
+}
+
+TEST(Registry, LabelKeyMismatchRejected) {
+  MetricRegistry reg;
+  reg.counter("aqt_x_total", "help", "edge", "e0");
+  EXPECT_THROW(reg.counter("aqt_x_total", "help", "phase", "inject"),
+               PreconditionError);
+  // label_key and label must be given together.
+  EXPECT_THROW(reg.counter("aqt_y_total", "help", "edge", ""),
+               PreconditionError);
+  EXPECT_THROW(reg.counter("aqt_z_total", "help", "", "e0"),
+               PreconditionError);
+}
+
+TEST(Registry, InvalidNamesRejected) {
+  MetricRegistry reg;
+  EXPECT_THROW(reg.counter("", "help"), PreconditionError);
+  EXPECT_THROW(reg.counter("9starts_with_digit", "help"), PreconditionError);
+  EXPECT_THROW(reg.counter("has-dash", "help"), PreconditionError);
+  EXPECT_THROW(reg.counter("HasUpper", "help"), PreconditionError);
+  EXPECT_NO_THROW(reg.counter("_ok_name_2", "help"));
+}
+
+TEST(Registry, IterationIsRegistrationOrder) {
+  MetricRegistry reg;
+  reg.gauge("aqt_b", "help");
+  reg.counter("aqt_a_total", "help");
+  reg.histogram("aqt_c_steps", "help");
+  ASSERT_EQ(reg.families().size(), 3u);
+  EXPECT_EQ(reg.families()[0].name, "aqt_b");
+  EXPECT_EQ(reg.families()[1].name, "aqt_a_total");
+  EXPECT_EQ(reg.families()[2].name, "aqt_c_steps");
+}
+
+TEST(Registry, FindLooksUpWithoutRegistering) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.find("aqt_missing"), nullptr);
+  reg.counter("aqt_present_total", "help");
+  const MetricRegistry::Family* fam = reg.find("aqt_present_total");
+  ASSERT_NE(fam, nullptr);
+  EXPECT_EQ(fam->type, MetricType::kCounter);
+  EXPECT_EQ(reg.families().size(), 1u);
+}
+
+}  // namespace
+}  // namespace aqt::obs

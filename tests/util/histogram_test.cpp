@@ -123,5 +123,36 @@ TEST(Histogram, LargeValues) {
   EXPECT_GE(h.quantile(1.0), (std::int64_t{1} << 40));
 }
 
+TEST(Histogram, EmptyDenominatorConvention) {
+  // With no samples every accessor is exactly 0 — never NaN or Inf (the
+  // repo-wide convention documented in core/metrics.hpp).
+  const Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.sum(), 0.0);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.min(), 0);
+  EXPECT_EQ(empty.max(), 0);
+  EXPECT_EQ(empty.quantile(0.5), 0);
+  EXPECT_EQ(empty.quantile(1.0), 0);
+}
+
+TEST(Histogram, BucketAccessorsMatchCumulativeCount) {
+  Histogram h;
+  h.add(1);
+  h.add(2);
+  h.add(5);
+  h.add(100);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    total += h.bucket_count(b);
+    if (b > 0)
+      EXPECT_GT(Histogram::bucket_upper_bound(b),
+                Histogram::bucket_upper_bound(b - 1));
+  }
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 1);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 3);
+}
+
 }  // namespace
 }  // namespace aqt

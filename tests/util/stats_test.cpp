@@ -61,6 +61,23 @@ TEST(Stats, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(Stats, EmptyDenominatorConvention) {
+  // With no samples every accessor is exactly 0.0 — never NaN or Inf (the
+  // repo-wide convention documented in core/metrics.hpp).
+  const StatAccumulator empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.variance(), 0.0);
+  EXPECT_EQ(empty.stddev(), 0.0);
+  EXPECT_EQ(empty.min(), 0.0);
+  EXPECT_EQ(empty.max(), 0.0);
+  // One sample: variance (n-1 denominator) is still 0, not NaN.
+  StatAccumulator one;
+  one.add(42.0);
+  EXPECT_EQ(one.variance(), 0.0);
+  EXPECT_EQ(one.stddev(), 0.0);
+}
+
 TEST(Stats, MergeWithEmpty) {
   StatAccumulator a;
   a.add(1.0);

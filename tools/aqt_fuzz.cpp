@@ -23,11 +23,18 @@
 // adversary traces (truncation, byte flips, line deletion/duplication,
 // garbage insertion) and requires both hardened parsers to either accept
 // the result or reject it with a diagnostic PreconditionError — never
-// crash, abort, or throw anything else.  Exit code 0 means no divergence,
-// no lint misjudgement, and no parser misbehaviour.
+// crash, abort, or throw anything else.
+//
+// Observer-effect phase (--obs-trials): runs the same scripted trial twice
+// — once bare, once with the full observability stack attached (step-phase
+// profiler + JSONL event stream) — and requires byte-identical run traces
+// (same content hash).  Observation must never perturb a run.
+//
+// Exit code 0 means no divergence, no lint misjudgement, no parser
+// misbehaviour, and no observer effect.
 //
 //   aqt-fuzz [--trials 200] [--steps 80] [--lint-trials 100]
-//            [--trace-trials 150] [--seed 1]
+//            [--trace-trials 150] [--obs-trials 40] [--seed 1]
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -38,6 +45,10 @@
 #include "aqt/core/reference.hpp"
 #include "aqt/lint/linter.hpp"
 #include "aqt/lint/scenario.hpp"
+#include "aqt/obs/events.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/profiler.hpp"
+#include "aqt/obs/registry.hpp"
 #include "aqt/topology/generators.hpp"
 #include "aqt/topology/spec.hpp"
 #include "aqt/trace/run_trace.hpp"
@@ -361,6 +372,74 @@ std::int64_t run_trace_fuzz(std::int64_t trials, Rng& master) {
   return failures;
 }
 
+/// Runs one scripted trial and returns the run-trace content hash.  With
+/// `observed`, the full observability stack — step-phase profiler and JSONL
+/// event stream — is attached; the hash must not change.
+std::uint64_t scripted_run_hash(const Graph& g, const std::string& proto,
+                                const std::vector<std::vector<Injection>>& script,
+                                bool observed) {
+  auto protocol = make_protocol(proto);
+  RunTraceMeta meta;
+  meta.protocol = proto;
+  meta.seed = 11;
+  std::ostringstream trace_os;
+  RunTraceWriter writer(trace_os, g, meta);
+  obs::StepProfiler profiler;
+  std::ostringstream events_os;
+  obs::JsonlEventWriter events(events_os, g);
+  EngineConfig cfg;
+  cfg.record_trace = &writer;
+  if (observed) {
+    cfg.profile = &profiler;
+    cfg.record_events = &events;
+  }
+  Engine eng(g, *protocol, cfg);
+  QueueDriver driver;
+  for (const auto& step_inj : script) {
+    driver.pending = step_inj;
+    eng.step(&driver);
+  }
+  eng.drain(256);
+  writer.finish(eng.total_injected(), eng.total_absorbed());
+  if (observed)
+    AQT_CHECK(events.lines_written() > 0 || eng.total_injected() == 0,
+              "observed run emitted no events");
+  return writer.content_hash();
+}
+
+/// Observer-effect fuzz: enabling the observability stack must leave the
+/// recorded run byte-identical.  Returns the number of failing trials.
+std::int64_t run_obs_fuzz(std::int64_t trials, Rng& master) {
+  std::int64_t failures = 0;
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    Rng rng = master.split();
+    const Graph g = random_topology(rng);
+    const std::vector<std::string> protocols = {"FIFO", "LIFO", "LIS", "NTG"};
+    const std::string proto = protocols[rng.below(protocols.size())];
+    std::vector<std::vector<Injection>> script;
+    std::uint64_t tag = 1;
+    const Time steps = rng.range(10, 40);
+    for (Time t = 0; t < steps; ++t) {
+      std::vector<Injection> step_inj;
+      const std::int64_t count = rng.range(0, 2);
+      for (std::int64_t i = 0; i < count; ++i)
+        step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
+      script.push_back(std::move(step_inj));
+    }
+    const std::uint64_t bare = scripted_run_hash(g, proto, script, false);
+    const std::uint64_t observed = scripted_run_hash(g, proto, script, true);
+    if (bare != observed) {
+      std::printf("OBSERVER EFFECT: trial %lld protocol %s trace hash "
+                  "%016llx (bare) vs %016llx (observed)\n",
+                  static_cast<long long>(trial), proto.c_str(),
+                  static_cast<unsigned long long>(bare),
+                  static_cast<unsigned long long>(observed));
+      ++failures;
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -370,7 +449,12 @@ int main(int argc, char** argv) {
   cli.flag("lint-trials", "100", "random scenarios for the aqt-lint check");
   cli.flag("trace-trials", "150",
            "mutated traces for the hardened-parser check");
+  cli.flag("obs-trials", "40",
+           "paired runs for the observer-effect check (obs on vs off)");
   cli.flag("seed", "1", "master seed");
+  cli.flag("metrics-out", "",
+           "write a JSON metrics snapshot (aqt-metrics/1) of the fuzz "
+           "campaign to this path");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::int64_t trials = cli.get_int("trials");
@@ -508,13 +592,46 @@ int main(int argc, char** argv) {
                 static_cast<long long>(trace_trials));
     return 1;
   }
+  const std::int64_t obs_trials = cli.get_int("obs-trials");
+  const std::int64_t obs_failures = run_obs_fuzz(obs_trials, master);
+  if (obs_failures > 0) {
+    std::printf("aqt-fuzz: %lld of %lld observer-effect trials perturbed "
+                "the run\n",
+                static_cast<long long>(obs_failures),
+                static_cast<long long>(obs_trials));
+    return 1;
+  }
+
+  if (!cli.get("metrics-out").empty()) {
+    obs::MetricRegistry reg;
+    reg.counter("aqt_fuzz_differential_trials_total",
+                "Engine-vs-reference lockstep trials")
+        .set(static_cast<std::uint64_t>(trials));
+    reg.counter("aqt_fuzz_lockstep_checks_total",
+                "Per-step snapshot comparisons")
+        .set(checks);
+    reg.counter("aqt_fuzz_lint_trials_total", "Random aqt-lint trials")
+        .set(static_cast<std::uint64_t>(lint_trials));
+    reg.counter("aqt_fuzz_trace_trials_total",
+                "Mutated-trace hardened-parser trials")
+        .set(static_cast<std::uint64_t>(trace_trials));
+    reg.counter("aqt_fuzz_obs_trials_total", "Observer-effect paired runs")
+        .set(static_cast<std::uint64_t>(obs_trials));
+    reg.gauge("aqt_fuzz_ok", "1 when every phase passed, else 0").set(1.0);
+    obs::write_file(cli.get("metrics-out"), obs::to_json(reg, "aqt-fuzz"));
+    std::printf("metrics snapshot written to %s\n",
+                cli.get("metrics-out").c_str());
+  }
+
   std::printf("aqt-fuzz: %lld trials x %lld steps, %llu lockstep "
               "comparisons (invariants audited, run traces verified), "
               "no divergence; %lld lint trials, no misjudgement; "
-              "%lld trace-parser trials, no misbehaviour\n",
+              "%lld trace-parser trials, no misbehaviour; "
+              "%lld observer-effect trials, traces byte-identical\n",
               static_cast<long long>(trials), static_cast<long long>(steps),
               static_cast<unsigned long long>(checks),
               static_cast<long long>(lint_trials),
-              static_cast<long long>(trace_trials));
+              static_cast<long long>(trace_trials),
+              static_cast<long long>(obs_trials));
   return 0;
 }

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "aqt/lint/linter.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/registry.hpp"
 #include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
 
@@ -22,6 +24,9 @@ int main(int argc, char** argv) {
   using namespace aqt;
   Cli cli("aqt-lint", "static scenario/topology/adversary spec checker");
   cli.flag("format", "human", "report format: human or json");
+  cli.flag("metrics-out", "",
+           "write a JSON metrics snapshot (aqt-metrics/1) of the lint batch "
+           "to this path");
   cli.positionals("scenario.aqts...", "scenario files to validate");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -42,6 +47,36 @@ int main(int argc, char** argv) {
         format == "json" ? to_json(reports) : to_human(reports);
     std::fputs(out.c_str(), stdout);
     if (format == "json") std::fputc('\n', stdout);
+
+    if (!cli.get("metrics-out").empty()) {
+      obs::MetricRegistry reg;
+      std::uint64_t findings = 0;
+      std::uint64_t injections = 0;
+      std::uint64_t reroutes = 0;
+      for (const LintReport& rep : reports) {
+        findings += rep.findings.size();
+        injections += rep.injections;
+        reroutes += rep.reroutes;
+        reg.counter("aqt_lint_file_findings_total", "Findings per scenario",
+                    "scenario", rep.file)
+            .set(rep.findings.size());
+      }
+      reg.counter("aqt_lint_scenarios_total", "Scenario files linted")
+          .set(reports.size());
+      reg.counter("aqt_lint_findings_total", "Findings across all scenarios")
+          .set(findings);
+      reg.counter("aqt_lint_injections_total",
+                  "Scripted injections across all scenarios")
+          .set(injections);
+      reg.counter("aqt_lint_reroutes_total",
+                  "Scripted reroutes across all scenarios")
+          .set(reroutes);
+      reg.gauge("aqt_lint_ok", "1 when every scenario is clean, else 0")
+          .set(all_ok ? 1.0 : 0.0);
+      obs::write_file(cli.get("metrics-out"), obs::to_json(reg, "aqt-lint"));
+      std::printf("metrics snapshot written to %s\n",
+                  cli.get("metrics-out").c_str());
+    }
     return all_ok ? 0 : 1;
   } catch (const PreconditionError& e) {
     std::fprintf(stderr, "aqt-lint: %s\n", e.what());

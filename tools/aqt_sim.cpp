@@ -14,6 +14,7 @@
 //           --record-run out/ring_convoy.trace --replay-twice true
 //   aqt-sim --topology ring:16 --protocol NTG --adversary convoy
 //           --w 12 --r 1/3 --steps 5000 --audit true
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,6 +31,11 @@
 #include "aqt/core/protocol.hpp"
 #include "aqt/core/rate_check.hpp"
 #include "aqt/core/stability.hpp"
+#include "aqt/obs/events.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/profiler.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/obs/snapshot.hpp"
 #include "aqt/topology/gadget.hpp"
 #include "aqt/topology/spec.hpp"
 #include "aqt/topology/generators.hpp"
@@ -87,6 +93,16 @@ int main(int argc, char** argv) {
   cli.flag("resume", "",
            "load this checkpoint before running (same topology required; "
            "the adversary starts fresh on the restored state)");
+  cli.flag("metrics-out", "", "write a JSON metrics snapshot to this path");
+  cli.flag("metrics-prom", "",
+           "write the metrics in Prometheus text exposition to this path");
+  cli.flag("metrics-csv", "", "write the metrics as CSV to this path");
+  cli.flag("events", "",
+           "write the packet-lifecycle JSONL event stream to this path");
+  cli.flag("profile", "false",
+           "time engine substeps and print a per-phase breakdown");
+  cli.flag("progress", "0",
+           "print a heartbeat line to stderr every N steps (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -203,6 +219,23 @@ int main(int argc, char** argv) {
     std::optional<RunTraceWriter> writer;
     if (run_os != nullptr) writer.emplace(*run_os, topo.graph, meta);
     ec.record_trace = writer ? &*writer : nullptr;
+
+    // Observability (primary run only, so the determinism re-run measures
+    // nothing twice).  Both sinks are write-only: enabling them cannot
+    // change the run (aqt-fuzz --obs-trials checks exactly that).
+    std::optional<obs::StepProfiler> profiler;
+    if (primary && cli.get_bool("profile")) profiler.emplace();
+    ec.profile = profiler ? &*profiler : nullptr;
+    std::ofstream events_os;
+    std::optional<obs::JsonlEventWriter> events;
+    if (primary && !cli.get("events").empty()) {
+      events_os.open(cli.get("events"), std::ios::trunc);
+      AQT_REQUIRE(static_cast<bool>(events_os),
+                  "cannot open " << cli.get("events"));
+      events.emplace(events_os, topo.graph);
+    }
+    ec.record_events = events ? &*events : nullptr;
+
     Engine eng(topo.graph, *protocol, ec);
 
     if (resuming) {
@@ -225,14 +258,42 @@ int main(int argc, char** argv) {
       driver = recorder.get();
     }
 
+    const Time progress_every = primary ? cli.get_int("progress") : 0;
+    auto last_beat = std::chrono::steady_clock::now();
+    Time last_beat_step = 0;
+
+    if (events) events->milestone(eng.now(), "run-begin");
     const Time cap = cli.get_int("steps");
     for (Time i = 0; i < cap; ++i) {
       if (driver->finished(eng.now() + 1)) break;
       eng.step(driver);
+      if (progress_every > 0 && eng.now() % progress_every == 0) {
+        const auto now_tp = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(now_tp - last_beat).count();
+        const double sps =
+            secs > 0.0
+                ? static_cast<double>(eng.now() - last_beat_step) / secs
+                : 0.0;
+        std::fprintf(stderr,
+                     "progress: step %lld  in-flight %llu  max-queue %llu  "
+                     "%.0f steps/sec\n",
+                     static_cast<long long>(eng.now()),
+                     static_cast<unsigned long long>(eng.packets_in_flight()),
+                     static_cast<unsigned long long>(
+                         eng.metrics().max_queue_global()),
+                     sps);
+        last_beat = now_tp;
+        last_beat_step = eng.now();
+      }
     }
     // Scenario scripts are finite: let the network empty so the recorded
     // evidence covers every packet's full journey.
-    if (srun) eng.drain(cap);
+    if (srun) {
+      if (events) events->milestone(eng.now(), "drain-begin");
+      eng.drain(cap);
+    }
+    if (events) events->milestone(eng.now(), "run-end");
 
     if (writer) writer->finish(eng.total_injected(), eng.total_absorbed());
     const std::uint64_t hash = writer ? writer->content_hash() : 0;
@@ -254,6 +315,28 @@ int main(int argc, char** argv) {
            static_cast<long long>(eng.metrics().max_latency()));
     t.rowv("mean latency", eng.metrics().mean_latency());
     std::cout << "\n" << t;
+
+    if (profiler) std::cout << "\n" << profiler->summary();
+    if (events)
+      std::cout << "events (" << events->lines_written()
+                << " lines) written to " << cli.get("events") << "\n";
+
+    if (!cli.get("metrics-out").empty() || !cli.get("metrics-prom").empty() ||
+        !cli.get("metrics-csv").empty()) {
+      obs::MetricRegistry registry;
+      obs::collect_engine_metrics(eng, registry);
+      if (profiler) obs::collect_profile_metrics(*profiler, registry);
+      if (!cli.get("metrics-out").empty()) {
+        obs::write_file(cli.get("metrics-out"),
+                        obs::to_json(registry, "aqt-sim"));
+        std::cout << "metrics snapshot written to " << cli.get("metrics-out")
+                  << "\n";
+      }
+      if (!cli.get("metrics-prom").empty())
+        obs::write_file(cli.get("metrics-prom"), obs::to_prometheus(registry));
+      if (!cli.get("metrics-csv").empty())
+        obs::write_file(cli.get("metrics-csv"), obs::to_csv(registry));
+    }
 
     if (ec.series_stride > 0) {
       const auto verdict = classify_growth(eng.metrics().series());

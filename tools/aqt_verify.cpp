@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/registry.hpp"
 #include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
 #include "aqt/verify/certificate.hpp"
@@ -38,6 +40,9 @@ int main(int argc, char** argv) {
   cli.flag("require-certificate", "false",
            "fail unless every trace yields an applicable, verified "
            "stability certificate");
+  cli.flag("metrics-out", "",
+           "write a JSON metrics snapshot (aqt-metrics/1) of the "
+           "verification batch to this path");
   cli.positionals("run.trace...", "run traces to verify");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -70,6 +75,39 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < certs.size(); ++i)
         if (certs[i].kind != CertificateKind::kNone || require_cert)
           std::fputs(certs[i].text().c_str(), stdout);
+
+    if (!cli.get("metrics-out").empty()) {
+      obs::MetricRegistry reg;
+      std::uint64_t findings = 0;
+      std::uint64_t certs_verified = 0;
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        findings += reports[i].findings.size();
+        if (certs[i].applicable && certs[i].verified) ++certs_verified;
+        const std::string& file = reports[i].file;
+        reg.counter("aqt_verify_trace_steps_total", "Steps verified per trace",
+                    "trace", file)
+            .set(static_cast<std::uint64_t>(reports[i].steps));
+        reg.counter("aqt_verify_trace_findings_total",
+                    "Rule violations per trace", "trace", file)
+            .set(reports[i].findings.size());
+        reg.gauge("aqt_verify_trace_max_wait_steps",
+                  "Max per-buffer waiting time per trace", "trace", file)
+            .set(static_cast<double>(reports[i].max_wait));
+      }
+      reg.counter("aqt_verify_traces_total", "Run traces verified")
+          .set(reports.size());
+      reg.counter("aqt_verify_findings_total",
+                  "Rule violations across all traces")
+          .set(findings);
+      reg.counter("aqt_verify_certificates_verified_total",
+                  "Applicable stability certificates that verified")
+          .set(certs_verified);
+      reg.gauge("aqt_verify_ok", "1 when every trace is clean, else 0")
+          .set(all_ok ? 1.0 : 0.0);
+      obs::write_file(cli.get("metrics-out"), obs::to_json(reg, "aqt-verify"));
+      std::printf("metrics snapshot written to %s\n",
+                  cli.get("metrics-out").c_str());
+    }
 
     if (!cli.get("certificate").empty()) {
       std::ofstream cert_out(cli.get("certificate"));
