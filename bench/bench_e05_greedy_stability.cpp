@@ -8,11 +8,16 @@
 #include "aqt/analysis/bounds.hpp"
 #include "aqt/experiments/sweep.hpp"
 #include "aqt/topology/generators.hpp"
+#include "aqt/util/cli.hpp"
 #include "aqt/util/csv.hpp"
 #include "aqt/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqt;
+  Cli cli("bench_e05_greedy_stability",
+          "E5: greedy stability sweep (Theorem 4.1)");
+  add_jobs_flag(cli, "0");
+  if (!cli.parse(argc, argv)) return 0;
   const std::int64_t d = 3;
   const std::int64_t w = 4 * (d + 1);
   const Rat r(1, d + 1);
@@ -45,7 +50,7 @@ int main() {
             << ", " << cfg.steps << " steps x " << cfg.seeds.size()
             << " seeds per cell\n\n";
 
-  const auto cells = run_sweep(cfg, /*threads=*/0);
+  const auto cells = run_sweep(cfg, get_jobs(cli));
   const auto aggregates = aggregate_sweep(cells);
 
   Table t({"protocol", "network", "injected", "worst queue",

@@ -13,11 +13,16 @@
 #include "aqt/core/protocol.hpp"
 #include "aqt/experiments/sweep.hpp"
 #include "aqt/topology/generators.hpp"
+#include "aqt/util/cli.hpp"
 #include "aqt/util/csv.hpp"
 #include "aqt/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqt;
+  Cli cli("bench_e06_timepriority_stability",
+          "E6: time-priority stability sweep (Theorem 4.3)");
+  add_jobs_flag(cli, "0");
+  if (!cli.parse(argc, argv)) return 0;
   const std::int64_t d = 4;
   const std::int64_t w = 4 * d;
   const Rat r(1, d);
@@ -42,7 +47,7 @@ int main() {
             << ", w = " << w << ", r = 1/d = " << r << ", bound = " << bound
             << "\n\n";
 
-  const auto cells = run_sweep(cfg, /*threads=*/0);
+  const auto cells = run_sweep(cfg, get_jobs(cli));
   const auto aggregates = aggregate_sweep(cells);
 
   Table t({"protocol", "time-priority", "network", "residence worst",

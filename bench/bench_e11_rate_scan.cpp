@@ -8,15 +8,25 @@
 // infinite at and below 1/2, exploding as r approaches 1/2 from above
 // (which is why the paper's S0 = Theta(eps^-1 log 1/eps)).
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "aqt/adversaries/lps.hpp"
 #include "aqt/analysis/lps_math.hpp"
 #include "aqt/core/protocol.hpp"
+#include "aqt/runner/pool.hpp"
+#include "aqt/runner/run_spec.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/cli.hpp"
 #include "aqt/util/csv.hpp"
 #include "aqt/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqt;
+  Cli cli("bench_e11_rate_scan",
+          "E11: per-gadget gain scan across the 1/2 threshold");
+  add_jobs_flag(cli, "0");
+  if (!cli.parse(argc, argv)) return 0;
   std::cout << "E11: rate scan -- per-gadget gain across the 1/2 "
                "threshold\n\n";
 
@@ -34,24 +44,54 @@ int main() {
     csv.rowv(r.str(), -1, sup, 0.0, 0.0, -1, -1);
   }
 
-  for (const auto& r : {Rat(51, 100), Rat(11, 20), Rat(3, 5), Rat(13, 20),
-                        Rat(7, 10), Rat(3, 4), Rat(4, 5)}) {
+  // One measured hand-off per rate, each an independent RunSpec cell on
+  // the deterministic run-pool (results come back in rate order).
+  const std::int64_t S = 1500;
+  const std::vector<Rat> rates = {Rat(51, 100), Rat(11, 20), Rat(3, 5),
+                                  Rat(13, 20),  Rat(7, 10),  Rat(3, 4),
+                                  Rat(4, 5)};
+  std::vector<RunSpec> specs;
+  specs.reserve(rates.size());
+  for (const Rat& r : rates) {
     LpsConfig cfg = make_lps_config(r);
     cfg.enforce_s0 = false;
+    // The chain is shared by the recipe, setup, adversary, and collector
+    // closures; the shared_ptr keeps it alive for the spec's lifetime.
+    auto net = std::make_shared<const ChainedGadgets>(build_chain(cfg.n, 2));
+    RunSpec spec;
+    spec.name = "lps-handoff/r=" + r.str();
+    spec.topology = {"chain_n" + std::to_string(cfg.n),
+                     [net] { return net->graph; }};
+    spec.protocol = "FIFO";
+    spec.adversary = [net, cfg](const Graph&, std::uint64_t) {
+      return std::make_unique<LpsHandoff>(*net, cfg, 0);
+    };
+    spec.steps = 2000000;  // Cap only; the hand-off phase finishes itself.
+    spec.setup = [net, S](Engine& eng, const Graph&) {
+      setup_gadget_invariant(eng, *net, 0, S);
+    };
+    spec.collect = [net](const Engine& eng, const Adversary*,
+                         RunResult& result) {
+      result.extra["s_out"] =
+          static_cast<double>(inspect_gadget(eng, *net, 1).S());
+    };
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<RunResult> results = run_all(specs, get_jobs(cli));
+
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const Rat& r = rates[i];
+    const RunResult& res = results[i];
+    AQT_REQUIRE(res.ok(), "cell " << res.name << " failed: " << res.error);
+    const LpsConfig cfg = [&] {
+      LpsConfig c = make_lps_config(r);
+      c.enforce_s0 = false;
+      return c;
+    }();
     const double rd = r.to_double();
     const double exact_gain = lps_gadget_gain(rd, cfg.n);
-
-    // One measured hand-off at moderate S.
-    const std::int64_t S = 1500;
-    const ChainedGadgets net = build_chain(cfg.n, 2);
-    FifoProtocol fifo;
-    Engine eng(net.graph, fifo);
-    setup_gadget_invariant(eng, net, 0, S);
-    LpsHandoff phase(net, cfg, 0);
-    while (!phase.finished(eng.now() + 1)) eng.step(&phase);
     const double measured =
-        static_cast<double>(inspect_gadget(eng, net, 1).S()) /
-        static_cast<double>(S);
+        res.extra.at("s_out") / static_cast<double>(S);
 
     const std::int64_t m_exact = lps_empirical_min_M(rd, cfg.n);
     const std::int64_t m_paper = lps_min_M(cfg.eps());

@@ -12,11 +12,13 @@
 // CI tracks across commits.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "aqt/adversaries/lps.hpp"
 #include "aqt/adversaries/stochastic.hpp"
@@ -24,6 +26,8 @@
 #include "aqt/core/rate_check.hpp"
 #include "aqt/core/engine.hpp"
 #include "aqt/core/protocol.hpp"
+#include "aqt/experiments/sweep.hpp"
+#include "aqt/runner/pool.hpp"
 #include "aqt/obs/export.hpp"
 #include "aqt/obs/profiler.hpp"
 #include "aqt/obs/registry.hpp"
@@ -185,7 +189,7 @@ void write_perf_json(const std::string& path) {
   FifoProtocol fifo;
   obs::StepProfiler profiler;
   EngineConfig eng_cfg;
-  eng_cfg.profile = &profiler;
+  eng_cfg.sinks.profile = &profiler;
   Engine eng(g, fifo, eng_cfg);
   StochasticConfig cfg;
   cfg.w = 12;
@@ -198,6 +202,54 @@ void write_perf_json(const std::string& path) {
   obs::MetricRegistry registry;
   obs::collect_engine_metrics(eng, registry);
   obs::collect_profile_metrics(profiler, registry);
+
+  // Parallel-speedup datapoint: the same miniature E5-style sweep (rings
+  // under the standard (w, r) stochastic adversary) timed serially and on
+  // the full run-pool.  On a single hardware thread the ratio is ~1; CI
+  // runners with >= 4 cores should see a clear multiple.
+  {
+    SweepConfig sweep;
+    sweep.protocols = {"FIFO", "NTG"};
+    for (const std::int64_t n : {8, 12, 16})
+      sweep.topologies.push_back(
+          {"ring:" + std::to_string(n),
+           [n] { return make_ring(n); }});
+    sweep.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    sweep.steps = 4000;
+    sweep.traffic.w = 12;
+    sweep.traffic.r = Rat(1, 4);
+    sweep.traffic.max_route_len = 4;
+    sweep.audit = false;
+    const std::vector<RunSpec> specs = sweep_specs(sweep);
+    const unsigned hw = resolve_jobs(0);
+    const auto timed = [&](unsigned jobs) {
+      const auto begin = std::chrono::steady_clock::now();
+      const std::vector<RunResult> results = run_all(specs, jobs);
+      const auto end = std::chrono::steady_clock::now();
+      for (const RunResult& r : results)
+        if (!r.ok())
+          std::fprintf(stderr, "speedup sweep cell %s failed: %s\n",
+                       r.name.c_str(), r.error.c_str());
+      return std::chrono::duration<double>(end - begin).count();
+    };
+    const double serial_secs = timed(1);
+    const double parallel_secs = timed(hw);
+    const double speedup =
+        parallel_secs > 0.0 ? serial_secs / parallel_secs : 1.0;
+    registry
+        .gauge("aqt_runner_parallel_speedup",
+               "Serial / parallel wall-clock ratio of the reference sweep "
+               "on the run-pool")
+        .set(speedup);
+    registry
+        .gauge("aqt_runner_parallel_jobs",
+               "Worker threads used for the parallel leg")
+        .set(static_cast<double>(hw));
+    std::printf("run-pool speedup: %.2fx on %u worker(s) "
+                "(%.3fs serial, %.3fs parallel, %zu cells)\n",
+                speedup, hw, serial_secs, parallel_secs, specs.size());
+  }
+
   obs::write_file(path, obs::to_json(registry, "bench_e12_engine_perf"));
   std::printf("perf snapshot (%.0f steps/sec) written to %s\n",
               profiler.report().steps_per_second(), path.c_str());

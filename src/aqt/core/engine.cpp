@@ -40,6 +40,13 @@ Engine::Engine(const Graph& graph, const Protocol& protocol,
       config_(config),
       buffers_(graph.edge_count()),
       metrics_(graph.edge_count()) {
+  // Fold the deprecated per-sink fields into the EngineSinks aggregate so
+  // the step loop only ever consults config_.sinks.
+  if (config_.sinks.trace == nullptr) config_.sinks.trace = config_.record_trace;
+  if (config_.sinks.profile == nullptr)
+    config_.sinks.profile = config_.profile;
+  if (config_.sinks.events == nullptr)
+    config_.sinks.events = config_.record_events;
   if (config_.audit_rates) audit_.emplace(graph.edge_count());
   if (config_.audit_invariants)
     invariants_ = std::make_unique<InvariantAuditor>(*this);
@@ -56,11 +63,11 @@ PacketId Engine::add_initial_packet(Route route, std::uint64_t tag) {
   }
   const PacketId id = arena_.create(std::move(route), /*inject_time=*/0, tag);
   enqueue(id, /*t=*/0);
-  if (config_.record_trace)
-    config_.record_trace->record_initial(arena_[id].ordinal, tag,
+  if (config_.sinks.trace)
+    config_.sinks.trace->record_initial(arena_[id].ordinal, tag,
                                          arena_[id].route);
-  if (config_.record_events)
-    config_.record_events->on_inject(0, arena_[id].ordinal, tag,
+  if (config_.sinks.events)
+    config_.sinks.events->on_inject(0, arena_[id].ordinal, tag,
                                      arena_[id].route, /*initial=*/true);
   // The initial configuration is part of the observable state at time 0.
   const EdgeId e = arena_[id].route[0];
@@ -96,9 +103,9 @@ void Engine::enqueue(PacketId id, Time t) {
 void Engine::absorb(PacketId id, Time t) {
   const Packet& p = arena_[id];
   metrics_.observe_absorb(t - p.inject_time);
-  if (config_.record_trace) config_.record_trace->record_absorb(p.ordinal);
-  if (config_.record_events)
-    config_.record_events->on_absorb(t, p.ordinal, t - p.inject_time);
+  if (config_.sinks.trace) config_.sinks.trace->record_absorb(p.ordinal);
+  if (config_.sinks.events)
+    config_.sinks.events->on_absorb(t, p.ordinal, t - p.inject_time);
   // Initial-configuration packets (inject_time 0) are not adversary
   // injections; rate constraints (and Observation 4.4) treat them
   // separately, so the audit records only packets injected at steps >= 1.
@@ -135,11 +142,11 @@ void Engine::apply_injection(const Injection& inj, Time t) {
   }
   const PacketId id = arena_.create(inj.route, t, inj.tag);
   enqueue(id, t);
-  if (config_.record_trace)
-    config_.record_trace->record_inject(arena_[id].ordinal, inj.tag,
+  if (config_.sinks.trace)
+    config_.sinks.trace->record_inject(arena_[id].ordinal, inj.tag,
                                         arena_[id].route);
-  if (config_.record_events)
-    config_.record_events->on_inject(t, arena_[id].ordinal, inj.tag,
+  if (config_.sinks.events)
+    config_.sinks.events->on_inject(t, arena_[id].ordinal, inj.tag,
                                      arena_[id].route, /*initial=*/false);
 }
 
@@ -148,23 +155,23 @@ void Engine::step(Adversary* adversary) {
   stepping_started_ = true;
   if (invariants_) invariants_->begin_step();
   const Time t = ++now_;
-  if (config_.profile) config_.profile->begin_step(t);
-  if (config_.record_trace) config_.record_trace->begin_step(t);
+  if (config_.sinks.profile) config_.sinks.profile->begin_step(t);
+  if (config_.sinks.trace) config_.sinks.trace->begin_step(t);
 
   // Substep 1: every nonempty buffer sends its highest-priority packet.
   {
-    PhaseScope phase(config_.profile, StepPhase::kTransmit);
+    PhaseScope phase(config_.sinks.profile, StepPhase::kTransmit);
     sent_.clear();
     for (auto it = active_.begin(); it != active_.end();) {
       const EdgeId e = *it;
       Buffer& buf = buffers_[e];
       const BufferEntry entry = buf.pop_min();
       sent_.push_back(entry.packet);
-      if (config_.record_trace)
-        config_.record_trace->record_send(e, arena_[entry.packet].ordinal);
-      if (config_.record_events) {
+      if (config_.sinks.trace)
+        config_.sinks.trace->record_send(e, arena_[entry.packet].ordinal);
+      if (config_.sinks.events) {
         const Packet& p = arena_[entry.packet];
-        config_.record_events->on_send(t, e, p.ordinal, p.hop,
+        config_.sinks.events->on_send(t, e, p.ordinal, p.hop,
                                        t - p.arrival_time);
       }
       metrics_.observe_send(e, t - arena_[entry.packet].arrival_time);
@@ -179,7 +186,7 @@ void Engine::step(Adversary* adversary) {
   // Substep 2a: deliveries, in sending-edge order (sent_ is already ordered
   // by edge id because active_ iterates in increasing order).
   {
-    PhaseScope phase(config_.profile, StepPhase::kAbsorb);
+    PhaseScope phase(config_.sinks.profile, StepPhase::kAbsorb);
     for (const PacketId id : sent_) {
       Packet& p = arena_[id];
       ++p.hop;
@@ -194,14 +201,14 @@ void Engine::step(Adversary* adversary) {
   // Substep 2b: the adversary observes the post-delivery state and issues
   // reroutes (applied first) and injections.
   if (adversary != nullptr) {
-    PhaseScope phase(config_.profile, StepPhase::kInject);
+    PhaseScope phase(config_.sinks.profile, StepPhase::kInject);
     adv_step_.injections.clear();
     adv_step_.reroutes.clear();
     adversary->step(t, *this, adv_step_);
     for (const Reroute& rr : adv_step_.reroutes) {
       apply_reroute(rr);
-      if (config_.record_trace)
-        config_.record_trace->record_reroute(arena_[rr.packet].ordinal,
+      if (config_.sinks.trace)
+        config_.sinks.trace->record_reroute(arena_[rr.packet].ordinal,
                                              rr.new_suffix);
     }
     for (const Injection& inj : adv_step_.injections)
@@ -210,22 +217,22 @@ void Engine::step(Adversary* adversary) {
 
   // End-of-step metrics.
   {
-    PhaseScope phase(config_.profile, StepPhase::kRecord);
+    PhaseScope phase(config_.sinks.profile, StepPhase::kRecord);
     for (const EdgeId e : active_)
       metrics_.observe_queue(e, buffers_[e].size());
     metrics_.observe_step(arena_.live_count());
-    if (config_.record_trace)
+    if (config_.sinks.trace)
       for (const EdgeId e : active_)
-        config_.record_trace->record_queue_depth(e, buffers_[e].size());
+        config_.sinks.trace->record_queue_depth(e, buffers_[e].size());
     if (config_.series_stride > 0 && t % config_.series_stride == 0)
       metrics_.push_series(t, arena_.live_count(), max_queue_now());
   }
 
   if (invariants_) {
-    PhaseScope phase(config_.profile, StepPhase::kAudit);
+    PhaseScope phase(config_.sinks.profile, StepPhase::kAudit);
     invariants_->end_step(sent_);
   }
-  if (config_.profile) config_.profile->end_step();
+  if (config_.sinks.profile) config_.sinks.profile->end_step();
 }
 
 void Engine::run(Adversary* adversary, Time count) {

@@ -47,6 +47,35 @@ class PacketEventSink;
 class RunTraceSink;
 class StepPhaseSink;
 
+/// The engine's borrowed observer sinks, passed as one unit.  Every member
+/// is optional (null = off) and write-only: observers never change a run
+/// (aqt-fuzz --obs-trials proves it).  The caller owns each sink and must
+/// keep it alive for the engine's lifetime; sinks are engine-local, so two
+/// engines running concurrently must not share one sink instance.
+/// (The fourth observer, the step-level invariant auditor, is engine-owned
+/// and stays a value knob: EngineConfig::audit_invariants.)
+struct EngineSinks {
+  /// Run-trace evidence writer (trace_sink.hpp).  When set, the engine
+  /// emits a record for every observable event — initial packets, sends,
+  /// absorptions, reroutes, injections, end-of-step queue depths — so an
+  /// independent offline verifier (aqt-verify) can re-derive every model
+  /// rule from the recorded run.  The caller finalizes it (e.g.
+  /// RunTraceWriter::finish) after the run.
+  RunTraceSink* trace = nullptr;
+
+  /// Step-phase profiler (obs_sink.hpp).  When set, the engine reports the
+  /// boundaries of every substep (transmit, absorb, inject, record, audit)
+  /// so the obs layer's StepProfiler can wall-clock them.  Null costs one
+  /// branch per phase boundary — near-zero, guarded by the tests/obs
+  /// overhead test.
+  StepPhaseSink* profile = nullptr;
+
+  /// Packet-lifecycle sink (obs_sink.hpp).  When set, the engine reports
+  /// every injection, per-hop send, and absorption — the stream the obs
+  /// layer's JsonlEventWriter turns into machine-readable JSONL.
+  PacketEventSink* events = nullptr;
+};
+
 struct EngineConfig {
   /// Validate that every injected route is a simple directed path and that
   /// every reroute splices into one.  Cheap; keep on except in the very
@@ -70,26 +99,15 @@ struct EngineConfig {
   /// debugging runs, off in the largest benches.
   bool audit_invariants = false;
 
-  /// Borrowed evidence sink (trace_sink.hpp).  When set, the engine emits a
-  /// record for every observable event — initial packets, sends,
-  /// absorptions, reroutes, injections, end-of-step queue depths — so an
-  /// independent offline verifier (aqt-verify) can re-derive every model
-  /// rule from the recorded run.  The caller owns the sink and finalizes it
-  /// (e.g. RunTraceWriter::finish) after the run.
+  /// All borrowed observer sinks, as one aggregate (see EngineSinks).
+  EngineSinks sinks;
+
+  /// DEPRECATED thin aliases of `sinks.trace` / `sinks.profile` /
+  /// `sinks.events`, kept for this release so existing callers keep
+  /// compiling; the engine folds any nonnull value into `sinks` at
+  /// construction (sinks.* wins when both are set).  New code sets `sinks`.
   RunTraceSink* record_trace = nullptr;
-
-  /// Borrowed step-phase profiler (obs_sink.hpp).  When set, the engine
-  /// reports the boundaries of every substep (transmit, absorb, inject,
-  /// record, audit) so the obs layer's StepProfiler can wall-clock them.
-  /// Null (the default) costs one branch per phase boundary — near-zero,
-  /// guarded by the tests/obs overhead test.  Observers are write-only:
-  /// profiling never changes a run.
   StepPhaseSink* profile = nullptr;
-
-  /// Borrowed packet-lifecycle sink (obs_sink.hpp).  When set, the engine
-  /// reports every injection, per-hop send, and absorption — the stream the
-  /// obs layer's JsonlEventWriter turns into machine-readable JSONL.
-  /// Write-only, like `profile`.
   PacketEventSink* record_events = nullptr;
 };
 

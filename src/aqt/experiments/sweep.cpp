@@ -1,93 +1,82 @@
 #include "aqt/experiments/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "aqt/core/protocol.hpp"
-#include "aqt/core/rate_check.hpp"
+#include "aqt/runner/pool.hpp"
 #include "aqt/util/check.hpp"
 
 namespace aqt {
-namespace {
 
-struct CellSpec {
-  const std::string* protocol;
-  const TopologyRecipe* topology;
-  std::uint64_t seed;
-};
-
-SweepCell run_cell(const SweepConfig& config, const CellSpec& spec) {
-  const Graph graph = spec.topology->build();
-  auto protocol = make_protocol(*spec.protocol, spec.seed);
-  EngineConfig ec;
-  ec.audit_rates = config.audit;
-  Engine eng(graph, *protocol, ec);
-  if (config.setup) config.setup(eng, graph);
-
-  StochasticConfig traffic = config.traffic;
-  traffic.seed = spec.seed;
-  StochasticAdversary adv(graph, traffic);
-  eng.run(&adv, config.steps);
-
-  SweepCell cell;
-  cell.protocol = *spec.protocol;
-  cell.topology = spec.topology->name;
-  cell.seed = spec.seed;
-  cell.injected = eng.total_injected();
-  cell.max_queue = eng.metrics().max_queue_global();
-  cell.max_residence = eng.metrics().max_residence_global();
-  cell.longest_route = adv.longest_route();
-  if (config.audit) {
-    eng.finalize_audit();
-    cell.traffic_feasible =
-        check_window(eng.audit(), traffic.w, traffic.r).ok;
-  }
-  return cell;
-}
-
-}  // namespace
-
-std::vector<SweepCell> run_sweep(const SweepConfig& config,
-                                 unsigned threads) {
+std::vector<RunSpec> sweep_specs(const SweepConfig& config) {
   AQT_REQUIRE(!config.protocols.empty(), "sweep needs protocols");
   AQT_REQUIRE(!config.topologies.empty(), "sweep needs topologies");
   AQT_REQUIRE(!config.seeds.empty(), "sweep needs seeds");
   AQT_REQUIRE(config.steps >= 1, "sweep needs steps >= 1");
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
 
-  // Enumerate cells up front so results land in deterministic order.
-  std::vector<CellSpec> specs;
-  for (const auto& protocol_name : config.protocols)
-    for (const auto& recipe : config.topologies)
-      for (const std::uint64_t seed : config.seeds)
-        specs.push_back(CellSpec{&protocol_name, &recipe, seed});
-
-  std::vector<SweepCell> cells(specs.size());
-  if (threads <= 1 || specs.size() <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i)
-      cells[i] = run_cell(config, specs[i]);
-    return cells;
-  }
-
-  // Work-stealing over a shared atomic index: cells are fully independent
-  // (own graph, engine, adversary), so no further synchronization is
-  // needed; each worker writes only its own result slots.
-  std::atomic<std::size_t> next{0};
-  const unsigned workers =
-      std::min<unsigned>(threads, static_cast<unsigned>(specs.size()));
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= specs.size()) return;
-        cells[i] = run_cell(config, specs[i]);
+  std::vector<RunSpec> specs;
+  specs.reserve(config.protocols.size() * config.topologies.size() *
+                config.seeds.size());
+  for (const auto& protocol_name : config.protocols) {
+    for (const auto& recipe : config.topologies) {
+      for (const std::uint64_t seed : config.seeds) {
+        RunSpec spec;
+        spec.topology = recipe;
+        spec.protocol = protocol_name;
+        spec.seed = seed;
+        spec.steps = config.steps;
+        spec.setup = config.setup;
+        // The per-cell seed overrides traffic.seed (see SweepConfig): the
+        // factory receives the cell seed, so the same spec list is safe to
+        // execute from any pool worker.
+        const StochasticConfig traffic = config.traffic;
+        spec.adversary = [traffic](const Graph& graph, std::uint64_t s) {
+          StochasticConfig cell_traffic = traffic;
+          cell_traffic.seed = s;
+          return std::make_unique<StochasticAdversary>(graph, cell_traffic);
+        };
+        if (config.audit) {
+          spec.audit_w = config.traffic.w;
+          spec.audit_r = config.traffic.r;
+        }
+        spec.collect = [](const Engine&, const Adversary* adv,
+                          RunResult& result) {
+          const auto* stochastic =
+              dynamic_cast<const StochasticAdversary*>(adv);
+          if (stochastic != nullptr)
+            result.extra["longest_route"] =
+                static_cast<double>(stochastic->longest_route());
+        };
+        specs.push_back(std::move(spec));
       }
-    });
+    }
   }
-  for (auto& t : pool) t.join();
+  return specs;
+}
+
+std::vector<SweepCell> run_sweep(const SweepConfig& config,
+                                 unsigned threads) {
+  const std::vector<RunSpec> specs = sweep_specs(config);
+  const std::vector<RunResult> results = run_all(specs, threads);
+
+  std::vector<SweepCell> cells(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    AQT_REQUIRE(r.ok(), "sweep cell " << r.name << " failed: " << r.error);
+    SweepCell& cell = cells[i];
+    cell.protocol = r.protocol;
+    cell.topology = r.topology;
+    cell.seed = r.seed;
+    cell.injected = r.injected;
+    cell.max_queue = r.max_queue;
+    cell.max_residence = r.max_residence;
+    const auto longest = r.extra.find("longest_route");
+    cell.longest_route =
+        longest == r.extra.end()
+            ? 0
+            : static_cast<std::int64_t>(longest->second);
+    cell.traffic_feasible = r.feasible;
+  }
   return cells;
 }
 

@@ -15,16 +15,14 @@
 #include "aqt/adversaries/stochastic.hpp"
 #include "aqt/core/engine.hpp"
 #include "aqt/core/types.hpp"
+#include "aqt/runner/run_spec.hpp"
 #include "aqt/util/rational.hpp"
 #include "aqt/util/stats.hpp"
 
 namespace aqt {
 
-/// A named topology recipe (rebuilt per run so cells are independent).
-struct TopologyRecipe {
-  std::string name;
-  std::function<Graph()> build;
-};
+// TopologyRecipe now lives in runner/run_spec.hpp (the sweep is one client
+// of the unified RunSpec API) and is re-exported here unchanged.
 
 struct SweepConfig {
   std::vector<std::string> protocols;
@@ -32,7 +30,12 @@ struct SweepConfig {
   std::vector<std::uint64_t> seeds;
   Time steps = 1000;
 
-  /// Traffic shape; the per-cell seed overrides traffic.seed.
+  /// Traffic shape.  Seed semantics: `traffic.seed` is a placeholder that
+  /// is ALWAYS overridden per cell — cell (protocol, topology, seed) runs
+  /// its adversary (and any seeded protocol) with that cell's entry from
+  /// `seeds`, never with traffic.seed.  Two configs differing only in
+  /// traffic.seed therefore produce identical sweeps (pinned by
+  /// tests/experiments/sweep_test.cpp).
   StochasticConfig traffic;
 
   /// Optional initial configuration applied to every engine before the run
@@ -66,12 +69,19 @@ struct SweepAggregate {
   bool all_feasible = true;
 };
 
-/// Runs every (protocol, topology, seed) cell.  Throws only on
-/// configuration errors; traffic infeasibility is reported per cell.
-/// `threads` > 1 runs cells concurrently (they are fully independent:
-/// each builds its own graph, engine, and adversary); results are returned
-/// in deterministic (protocol, topology, seed) order regardless of the
-/// thread count.  threads == 0 uses the hardware concurrency.
+/// Expands a sweep into its RunSpec cells, one per (protocol, topology,
+/// seed) in deterministic order — the runner-API form of the sweep, for
+/// callers that want to pool sweep cells together with other work.
+std::vector<RunSpec> sweep_specs(const SweepConfig& config);
+
+/// Runs every (protocol, topology, seed) cell through the deterministic
+/// run-pool (runner/pool.hpp).  Throws only on configuration errors (a
+/// cell-level failure surfaces as a PreconditionError naming the cell);
+/// traffic infeasibility is reported per cell.  `threads` > 1 runs cells
+/// concurrently (they are fully independent: each builds its own graph,
+/// engine, and adversary); results are returned in deterministic
+/// (protocol, topology, seed) order regardless of the thread count.
+/// threads == 0 uses the hardware concurrency.
 std::vector<SweepCell> run_sweep(const SweepConfig& config,
                                  unsigned threads = 1);
 

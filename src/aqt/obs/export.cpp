@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "aqt/util/check.hpp"
@@ -239,6 +240,25 @@ void write_file(const std::string& path, const std::string& text) {
   os << text;
   os.flush();
   AQT_REQUIRE(static_cast<bool>(os), "write failed: " << path);
+}
+
+void export_cli_metrics(const Cli& cli, const MetricRegistry& registry,
+                        const std::string& tool) {
+  const std::string json_path = cli.get("metrics-out");
+  const std::string prom_path = cli.get("metrics-prom");
+  const std::string csv_path = cli.get("metrics-csv");
+  if (!json_path.empty()) {
+    write_file(json_path, to_json(registry, tool));
+    std::cout << "metrics snapshot written to " << json_path << "\n";
+  }
+  if (!prom_path.empty()) {
+    write_file(prom_path, to_prometheus(registry));
+    std::cout << "metrics (prometheus) written to " << prom_path << "\n";
+  }
+  if (!csv_path.empty()) {
+    write_file(csv_path, to_csv(registry));
+    std::cout << "metrics (csv) written to " << csv_path << "\n";
+  }
 }
 
 }  // namespace aqt::obs

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "aqt/obs/registry.hpp"
+#include "aqt/util/cli.hpp"
 
 namespace aqt::obs {
 
@@ -40,5 +41,12 @@ std::string to_csv(const MetricRegistry& registry);
 /// when the file cannot be opened.  Convenience for the tools' --metrics-*
 /// flags.
 void write_file(const std::string& path, const std::string& text);
+
+/// Honors the shared --metrics-out / --metrics-prom / --metrics-csv flags
+/// (declared via aqt::add_metrics_flags): writes each requested export of
+/// `registry`, printing one confirmation line per file.  No-op when none of
+/// the flags were given, so every tool can call it unconditionally.
+void export_cli_metrics(const Cli& cli, const MetricRegistry& registry,
+                        const std::string& tool);
 
 }  // namespace aqt::obs

@@ -1,5 +1,7 @@
 #include "aqt/obs/registry.hpp"
 
+#include <algorithm>
+
 #include "aqt/util/check.hpp"
 
 namespace aqt::obs {
@@ -89,6 +91,25 @@ Histogram& MetricRegistry::histogram(const std::string& name,
                                      const std::string& label_key,
                                      const std::string& label) {
   return cell(name, help, MetricType::kHistogram, label_key, label).histogram;
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  for (const Family& fam : other.families_) {
+    for (const Cell& src : fam.cells) {
+      Cell& dst = cell(fam.name, fam.help, fam.type, fam.label_key, src.label);
+      switch (fam.type) {
+        case MetricType::kCounter:
+          dst.counter.inc(src.counter.value());
+          break;
+        case MetricType::kGauge:
+          dst.gauge.set(std::max(dst.gauge.value(), src.gauge.value()));
+          break;
+        case MetricType::kHistogram:
+          dst.histogram.merge(src.histogram);
+          break;
+      }
+    }
+  }
 }
 
 const MetricRegistry::Family* MetricRegistry::find(

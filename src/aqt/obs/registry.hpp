@@ -100,6 +100,16 @@ class MetricRegistry {
   /// Lookup without registering; nullptr when absent.
   [[nodiscard]] const Family* find(const std::string& name) const;
 
+  /// Folds another registry into this one, family by family and cell by
+  /// cell (matched by name/label; absent ones are created in `other`'s
+  /// registration order).  Counters add, gauges keep the maximum (every
+  /// gauge in this codebase is a peak or a 0/1 flag), histograms merge
+  /// bucket-wise.  Merging is commutative over integer-valued inputs, so a
+  /// run pool can merge its per-worker registries after the barrier and get
+  /// the same snapshot regardless of which worker ran which cell.  Throws
+  /// PreconditionError on a type or label-key mismatch.
+  void merge_from(const MetricRegistry& other);
+
  private:
   Cell& cell(const std::string& name, const std::string& help,
              MetricType type, const std::string& label_key,

@@ -1,0 +1,146 @@
+#include "aqt/runner/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+namespace {
+
+/// Chunk size for the shared-index queue: large enough that workers do not
+/// contend on the atomic for tiny cells, small enough that a slow cell at
+/// the end cannot leave workers idle behind a big chunk.
+std::size_t chunk_size(std::size_t count, unsigned workers) {
+  const std::size_t target = count / (static_cast<std::size_t>(workers) * 8);
+  return std::clamp<std::size_t>(target, 1, 32);
+}
+
+}  // namespace
+
+unsigned resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<std::string> parallel_for_each(
+    std::size_t count, unsigned jobs,
+    const std::function<void(std::size_t)>& body) {
+  AQT_REQUIRE(body != nullptr, "parallel_for_each needs a body");
+  std::vector<std::string> errors(count);
+  const auto guarded = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+    } catch (...) {
+      errors[i] = "unknown exception";
+    }
+  };
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_jobs(jobs), std::max<std::size_t>(count, 1)));
+  if (workers <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) guarded(i);
+    return errors;
+  }
+
+  // Chunked work stealing over a shared atomic index: each worker grabs
+  // the next chunk of indices; items are fully independent, so no further
+  // synchronization is needed — each index is processed exactly once and
+  // every output slot is written by exactly one worker.
+  const std::size_t chunk = chunk_size(count, workers);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= count) return;
+        const std::size_t end = std::min(count, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) guarded(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return errors;
+}
+
+RunPoolReport run_pool(const std::vector<RunSpec>& specs, unsigned jobs) {
+  RunPoolReport report;
+  report.results.resize(specs.size());
+
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      resolve_jobs(jobs), std::max<std::size_t>(specs.size(), 1)));
+
+  // One registry per worker, indexed by worker id; cells update only their
+  // worker's instance, so no locking, and the post-barrier merge is
+  // commutative (counters add, gauges max) — the merged snapshot is
+  // byte-identical no matter which worker ran which cell.
+  std::vector<obs::MetricRegistry> worker_metrics(workers);
+  const auto count_cell = [](obs::MetricRegistry& reg, const RunResult& r) {
+    reg.counter("aqt_runner_cells_total", "Cells executed by the pool").inc();
+    reg.counter("aqt_runner_cell_errors_total",
+                "Cells that ended in an error RunResult")
+        .inc(r.ok() ? 0 : 1);
+    reg.counter("aqt_runner_steps_total", "Engine steps across all cells")
+        .inc(static_cast<std::uint64_t>(r.steps_run));
+    reg.counter("aqt_runner_injected_total",
+                "Packets injected across all cells")
+        .inc(r.injected);
+    reg.counter("aqt_runner_absorbed_total",
+                "Packets absorbed across all cells")
+        .inc(r.absorbed);
+    obs::Gauge& peak = reg.gauge("aqt_runner_max_queue_packets",
+                                 "Largest queue observed by any cell");
+    peak.set(std::max(peak.value(), static_cast<double>(r.max_queue)));
+    reg.histogram("aqt_runner_cell_residence_steps",
+                  "Per-cell max residence distribution")
+        .add(static_cast<std::int64_t>(r.max_residence));
+  };
+
+  if (workers <= 1 || specs.size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      report.results[i] = execute_run(specs[i]);
+      report.results[i].index = i;
+      count_cell(worker_metrics[0], report.results[i]);
+    }
+  } else {
+    const std::size_t chunk = chunk_size(specs.size(), workers);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (;;) {
+          const std::size_t begin =
+              next.fetch_add(chunk, std::memory_order_relaxed);
+          if (begin >= specs.size()) return;
+          const std::size_t end = std::min(specs.size(), begin + chunk);
+          for (std::size_t i = begin; i < end; ++i) {
+            report.results[i] = execute_run(specs[i]);
+            report.results[i].index = i;
+            count_cell(worker_metrics[w], report.results[i]);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  report.jobs_used = workers;
+  for (const obs::MetricRegistry& reg : worker_metrics)
+    report.metrics.merge_from(reg);
+  return report;
+}
+
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned jobs) {
+  return run_pool(specs, jobs).results;
+}
+
+}  // namespace aqt

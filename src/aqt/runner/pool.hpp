@@ -1,0 +1,63 @@
+// Deterministic parallel run-pool.
+//
+// Executes a batch of independent work items on a fixed set of worker
+// threads over a chunked work-stealing queue, with three guarantees the
+// repo's experiments need:
+//
+//  * byte-identical-to-serial results: every item's outcome depends only
+//    on the item (cells build their own graph/engine/adversary and derive
+//    their RNG from the cell seed — no shared mutable state), and results
+//    are returned in submission order, so CSV/JSON outputs do not change
+//    with --jobs;
+//  * containment: an exception escaping one item becomes that item's error
+//    string; the other items still complete;
+//  * deterministic observability: per-worker MetricRegistry instances are
+//    merged after the barrier with commutative operations (counters add,
+//    gauges max), so the pool's own metrics are also jobs-invariant.
+//
+// Parallelism is strictly *across* runs.  A single step's two-substep
+// order (engine.hpp header contract) is never threaded.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aqt/obs/registry.hpp"
+#include "aqt/runner/run_spec.hpp"
+
+namespace aqt {
+
+/// Resolves a --jobs value: 0 means all hardware threads (at least 1).
+[[nodiscard]] unsigned resolve_jobs(unsigned jobs);
+
+/// Runs body(0..count-1), each index exactly once, on `jobs` workers
+/// (resolved via resolve_jobs).  Returns one string per index: empty when
+/// body(i) returned normally, the exception's what() when it threw.  The
+/// call itself only throws on setup errors (never mid-batch).  `body` must
+/// be safe to call concurrently for distinct indices.
+std::vector<std::string> parallel_for_each(
+    std::size_t count, unsigned jobs,
+    const std::function<void(std::size_t)>& body);
+
+/// A pool batch's outcome: per-spec results in submission order plus the
+/// pool's own merged metric snapshot (aqt_runner_* families).
+struct RunPoolReport {
+  std::vector<RunResult> results;
+  /// Merged per-worker aqt_runner_* families.  Deliberately contains only
+  /// jobs-invariant values (no worker ids, no wall-clock timings), so its
+  /// JSON export is byte-identical across --jobs settings.
+  obs::MetricRegistry metrics;
+  unsigned jobs_used = 1;
+};
+
+/// Executes every spec through execute_run on `jobs` workers.  Results
+/// land in submission order; a failing cell yields an error RunResult.
+RunPoolReport run_pool(const std::vector<RunSpec>& specs, unsigned jobs);
+
+/// Convenience when the pool metrics are not needed.
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned jobs);
+
+}  // namespace aqt

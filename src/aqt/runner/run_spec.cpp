@@ -1,0 +1,151 @@
+#include "aqt/runner/run_spec.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "aqt/core/protocol.hpp"
+#include "aqt/core/rate_check.hpp"
+#include "aqt/obs/snapshot.hpp"
+#include "aqt/trace/run_trace.hpp"
+#include "aqt/trace/trace.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/rng.hpp"
+
+namespace aqt {
+namespace {
+
+/// Swallows bytes: trace-hash runs only need the streaming content hash,
+/// so the trace itself goes into /dev/null-equivalent storage.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+void run_cell(const RunSpec& spec, RunResult& result) {
+  AQT_REQUIRE(spec.topology.build != nullptr,
+              "RunSpec '" << result.name << "' has no topology recipe");
+  AQT_REQUIRE(spec.steps >= 1,
+              "RunSpec '" << result.name << "' needs steps >= 1");
+  EngineConfig ec = spec.engine;
+  AQT_REQUIRE(ec.sinks.trace == nullptr && ec.sinks.profile == nullptr &&
+                  ec.sinks.events == nullptr && ec.record_trace == nullptr &&
+                  ec.profile == nullptr && ec.record_events == nullptr,
+              "RunSpec carries value configuration only; observer sinks are "
+              "created per cell by the runner");
+
+  const Graph graph = spec.topology.build();
+  // The adversary factory receives spec.seed verbatim; the protocol gets a
+  // mixed stream so a stateful protocol (RANDOM) never shares the
+  // adversary's RNG sequence.
+  auto protocol = make_protocol(spec.protocol, mix_seed(spec.seed, 1));
+
+  const bool want_audit = spec.audit_w.has_value() || spec.audit_r.has_value();
+  AQT_REQUIRE(!spec.audit_w.has_value() || spec.audit_r.has_value(),
+              "RunSpec audit_w needs audit_r");
+  if (want_audit) ec.audit_rates = true;
+  if (spec.artifacts.growth && ec.series_stride == 0)
+    ec.series_stride = std::max<Time>(1, spec.steps / 512);
+
+  NullBuf null_buf;
+  std::ostream null_os(&null_buf);
+  std::optional<RunTraceWriter> writer;
+  if (spec.artifacts.trace_hash) {
+    RunTraceMeta meta;
+    meta.protocol = spec.protocol;
+    meta.seed = spec.seed;
+    if (spec.audit_w.has_value()) {
+      meta.window_w = *spec.audit_w;
+      meta.window_r = *spec.audit_r;
+    } else if (spec.audit_r.has_value()) {
+      meta.rate_r = *spec.audit_r;
+    }
+    writer.emplace(null_os, graph, meta);
+    ec.sinks.trace = &*writer;
+  }
+
+  Engine eng(graph, *protocol, ec);
+  if (spec.setup) spec.setup(eng, graph);
+
+  std::unique_ptr<Adversary> adversary;
+  if (spec.adversary) adversary = spec.adversary(graph, spec.seed);
+
+  for (Time i = 0; i < spec.steps; ++i) {
+    if (spec.stop_when_finished && adversary != nullptr &&
+        adversary->finished(eng.now() + 1))
+      break;
+    eng.step(adversary.get());
+  }
+  if (spec.drain_after) eng.drain(spec.drain_cap);
+  if (writer) writer->finish(eng.total_injected(), eng.total_absorbed());
+
+  result.steps_run = eng.now();
+  result.injected = eng.total_injected();
+  result.absorbed = eng.total_absorbed();
+  result.in_flight = eng.packets_in_flight();
+  result.max_queue = eng.metrics().max_queue_global();
+  result.max_residence = eng.metrics().max_residence_global();
+  result.max_latency = eng.metrics().max_latency();
+  if (writer) result.trace_hash = writer->content_hash();
+
+  if (spec.artifacts.growth) {
+    const GrowthReport growth = classify_growth(eng.metrics().series());
+    result.verdict = growth.verdict;
+    result.growth_ratio = growth.ratio;
+  }
+  if (want_audit) {
+    eng.finalize_audit();
+    result.feasible =
+        spec.audit_w.has_value()
+            ? check_window(eng.audit(), *spec.audit_w, *spec.audit_r).ok
+            : check_rate_r(eng.audit(), *spec.audit_r).ok;
+  }
+  if (spec.artifacts.metrics)
+    obs::collect_engine_metrics(eng, result.metrics);
+  if (spec.collect) spec.collect(eng, adversary.get(), result);
+}
+
+}  // namespace
+
+RunResult execute_run(const RunSpec& spec) {
+  RunResult result;
+  result.name = spec.name.empty()
+                    ? spec.protocol + "/" + spec.topology.name + "/" +
+                          std::to_string(spec.seed)
+                    : spec.name;
+  result.protocol = spec.protocol;
+  result.topology = spec.topology.name;
+  result.seed = spec.seed;
+  try {
+    run_cell(spec, result);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+RunSpec make_scripted_spec(std::string name, Graph graph,
+                           std::string protocol, Trace script, Time horizon) {
+  // The graph and script outlive every per-cell replay through shared
+  // ownership captured in the recipe/factory closures.
+  auto shared_graph = std::make_shared<Graph>(std::move(graph));
+  auto shared_script = std::make_shared<Trace>(std::move(script));
+  RunSpec spec;
+  spec.name = name;
+  spec.topology.name = std::move(name);
+  spec.topology.build = [shared_graph] { return *shared_graph; };
+  spec.protocol = std::move(protocol);
+  spec.adversary = [shared_script](const Graph&, std::uint64_t) {
+    return std::make_unique<ReplayAdversary>(*shared_script);
+  };
+  spec.steps = std::max<Time>(1, horizon);
+  spec.drain_after = true;
+  spec.artifacts.trace_hash = true;
+  return spec;
+}
+
+}  // namespace aqt

@@ -1,0 +1,168 @@
+// The unified run-construction API: one explicit recipe (RunSpec) for a
+// single independent simulation cell, and one explicit outcome (RunResult).
+//
+// Every workload in this repo — the §4 stability sweeps, the r = 1/2 + ε
+// instability scans, fuzz trials, scenario batches, benches — is a bag of
+// independent cells of the same shape: build a topology, make a protocol,
+// make an adversary, run N steps, read the stability-relevant numbers.
+// RunSpec factors that implicit per-tool tuple into one value type so the
+// deterministic parallel pool (pool.hpp) can execute any of them, and so a
+// cell's identity (protocol, topology, seed, steps) is explicit in one
+// place instead of being re-spelled by every tool.
+//
+// Cells are self-contained by construction: the topology is a *recipe*
+// (rebuilt per run), the adversary a *factory* (instantiated per run), and
+// the engine/protocol are created inside execute_run — no shared mutable
+// state exists between two executing cells, which is what makes the pool's
+// byte-identical-to-serial guarantee possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/stability.hpp"
+#include "aqt/core/types.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/util/rational.hpp"
+
+namespace aqt {
+
+class Trace;
+
+/// A named topology recipe (rebuilt per run so cells are independent).
+struct TopologyRecipe {
+  std::string name;
+  std::function<Graph()> build;
+};
+
+/// Which optional artifacts a run should produce (each costs something, so
+/// they are opt-in; the always-on scalars in RunResult are free).
+struct RunArtifacts {
+  /// Fill RunResult::metrics with the engine's aqt_* metric snapshot
+  /// (obs/snapshot.hpp names).
+  bool metrics = false;
+
+  /// Record the full run trace (into a byte sink) and keep its FNV-1a
+  /// content hash in RunResult::trace_hash — the cheapest way to prove two
+  /// runs observably identical.
+  bool trace_hash = false;
+
+  /// Subsample the occupancy series and classify growth
+  /// (RunResult::verdict); stride comes from engine.series_stride, or
+  /// steps/512 when that is 0.
+  bool growth = false;
+};
+
+struct RunResult;
+
+/// Builds a fresh adversary for one cell.  `seed` is the cell seed, so
+/// stochastic adversaries are reproducible per cell regardless of which
+/// pool worker runs it.  A null factory runs the engine with no injections.
+using AdversaryFactory = std::function<std::unique_ptr<Adversary>(
+    const Graph& graph, std::uint64_t seed)>;
+
+/// Everything needed to run one independent simulation cell.
+struct RunSpec {
+  /// Display identity; when empty, "protocol/topology/seed" is used.
+  std::string name;
+
+  TopologyRecipe topology;
+  std::string protocol = "FIFO";  ///< A make_protocol name.
+  AdversaryFactory adversary;
+  std::uint64_t seed = 1;
+  Time steps = 1000;
+
+  /// Stop early once the adversary reports finished() (scripted/phase
+  /// adversaries); unbounded adversaries never finish, so this is safe on.
+  bool stop_when_finished = true;
+
+  /// After the main loop, run with no injections until the network empties
+  /// (finite scripts: evidence then covers every packet's full journey).
+  bool drain_after = false;
+  Time drain_cap = 4096;  ///< Step cap for the drain phase.
+
+  /// Value-only engine knobs (validate_routes, audit_rates, series_stride,
+  /// audit_invariants).  Borrowed observer sinks must be null: per-cell
+  /// sinks are created inside execute_run, never shared across cells —
+  /// execute_run rejects a spec whose sinks are set.
+  EngineConfig engine;
+
+  /// Post-run traffic-feasibility audit: with both audit_w and audit_r,
+  /// the exact (w, r) window check; with only audit_r, the rate-r check.
+  /// Either forces engine.audit_rates on.  Result in RunResult::feasible.
+  std::optional<std::int64_t> audit_w;
+  std::optional<Rat> audit_r;
+
+  /// Optional initial configuration applied before step 1 (e.g. the
+  /// S-initial-configuration of Corollaries 4.5/4.6).
+  std::function<void(Engine&, const Graph&)> setup;
+
+  /// Optional post-run extractor for cell-specific numbers (gadget sizes,
+  /// longest routes, ...); fills RunResult::extra.  `adversary` may be null
+  /// when the spec had no factory.
+  std::function<void(const Engine&, const Adversary* adversary, RunResult&)>
+      collect;
+
+  RunArtifacts artifacts;
+};
+
+/// One cell's outcome.  `error` empty means the run completed; on failure
+/// the scalar fields hold whatever was known at the point of failure.
+struct RunResult {
+  std::size_t index = 0;  ///< Submission order within a pool batch.
+  std::string name;
+  std::string protocol;
+  std::string topology;
+  std::uint64_t seed = 0;
+
+  Time steps_run = 0;  ///< Steps actually executed (incl. drain).
+  std::uint64_t injected = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t max_queue = 0;
+  Time max_residence = 0;
+  Time max_latency = 0;
+
+  /// Growth classification of the occupancy series (artifacts.growth);
+  /// kUndecided when the series was not requested.
+  GrowthVerdict verdict = GrowthVerdict::kUndecided;
+  double growth_ratio = 0.0;
+
+  /// Post-run audit outcome; true when no audit was requested.
+  bool feasible = true;
+
+  /// FNV-1a content hash of the run trace (artifacts.trace_hash); 0 when
+  /// not requested.
+  std::uint64_t trace_hash = 0;
+
+  /// Engine metric snapshot (artifacts.metrics); empty when not requested.
+  obs::MetricRegistry metrics;
+
+  /// Cell-specific numbers from RunSpec::collect.
+  std::map<std::string, double> extra;
+
+  std::string error;  ///< Empty = success.
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Runs one cell start to finish.  Never throws: any exception the cell
+/// raises (bad topology recipe, unknown protocol, adversary precondition)
+/// is contained in RunResult::error, so one failing cell cannot take down
+/// a batch.
+RunResult execute_run(const RunSpec& spec);
+
+/// A RunSpec that replays a recorded adversary script (scenario runs,
+/// aqt-sim --batch): runs `horizon` steps (stopping early when the script
+/// is exhausted), then drains, with the trace hash recorded.  The trace is
+/// shared by reference into the factory, so the returned spec owns it.
+RunSpec make_scripted_spec(std::string name, Graph graph,
+                           std::string protocol, Trace script, Time horizon);
+
+}  // namespace aqt

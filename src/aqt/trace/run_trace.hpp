@@ -89,7 +89,7 @@ struct RunTraceMeta {
 };
 
 /// Streams the evidence format to an ostream, hashing every line.  Plug
-/// into EngineConfig::record_trace; call finish() once after the run.
+/// into EngineConfig::sinks.trace; call finish() once after the run.
 class RunTraceWriter final : public RunTraceSink {
  public:
   /// Writes the header (including the graph tables) immediately.

@@ -73,11 +73,31 @@ std::string Cli::get(const std::string& name) const {
 }
 
 std::int64_t Cli::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  std::int64_t out = 0;
+  try {
+    out = std::stoll(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  AQT_REQUIRE(pos == v.size() && !v.empty(),
+              "flag --" << name << " needs an integer, got '" << v << "'");
+  return out;
 }
 
 double Cli::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  AQT_REQUIRE(pos == v.size() && !v.empty(),
+              "flag --" << name << " needs a number, got '" << v << "'");
+  return out;
 }
 
 bool Cli::get_bool(const std::string& name) const {
@@ -87,6 +107,37 @@ bool Cli::get_bool(const std::string& name) const {
 
 Rat Cli::get_rat(const std::string& name) const {
   return Rat::parse(get(name));
+}
+
+Cli& add_jobs_flag(Cli& cli, const std::string& def) {
+  return cli.flag("jobs", def,
+                  "worker threads for independent runs (0 = all hardware "
+                  "threads); results are byte-identical for any value");
+}
+
+Cli& add_seed_flag(Cli& cli, const std::string& def) {
+  return cli.flag("seed", def, "rng seed (non-negative)");
+}
+
+Cli& add_metrics_flags(Cli& cli) {
+  cli.flag("metrics-out", "",
+           "write a JSON metrics snapshot (aqt-metrics/1) to this path");
+  cli.flag("metrics-prom", "",
+           "write the metrics in Prometheus text exposition to this path");
+  cli.flag("metrics-csv", "", "write the metrics as CSV to this path");
+  return cli;
+}
+
+unsigned get_jobs(const Cli& cli) {
+  const std::int64_t jobs = cli.get_int("jobs");
+  AQT_REQUIRE(jobs >= 0, "--jobs must be >= 0, got " << jobs);
+  return static_cast<unsigned>(jobs);
+}
+
+std::uint64_t get_seed(const Cli& cli) {
+  const std::int64_t seed = cli.get_int("seed");
+  AQT_REQUIRE(seed >= 0, "--seed must be >= 0, got " << seed);
+  return static_cast<std::uint64_t>(seed);
 }
 
 }  // namespace aqt

@@ -60,4 +60,27 @@ class Cli {
   std::vector<std::string> positionals_;
 };
 
+// --- Flags shared across the aqt tools --------------------------------------
+//
+// Every tool that supports one of these concerns declares it through the
+// helpers below, so the flag spells, documents, defaults, and errors
+// identically in aqt-sim, aqt-verify, aqt-lint, and aqt-fuzz (and any
+// bench that grows a command line).
+
+/// Declares `--jobs` (worker threads; 0 = all hardware threads).
+Cli& add_jobs_flag(Cli& cli, const std::string& def = "1");
+
+/// Declares `--seed` with the given default.
+Cli& add_seed_flag(Cli& cli, const std::string& def = "1");
+
+/// Declares `--metrics-out` (JSON snapshot), `--metrics-prom` (Prometheus
+/// text exposition), and `--metrics-csv`.
+Cli& add_metrics_flags(Cli& cli);
+
+/// Reads a declared --jobs value; rejects negatives with the shared error.
+[[nodiscard]] unsigned get_jobs(const Cli& cli);
+
+/// Reads a declared --seed value; rejects negatives with the shared error.
+[[nodiscard]] std::uint64_t get_seed(const Cli& cli);
+
 }  // namespace aqt

@@ -22,6 +22,18 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Two SplitMix64 rounds over (seed, stream): the first whitens the raw
+  // seed, the second folds the stream index in; a final round separates
+  // streams that differ only in high bits.
+  std::uint64_t x = seed;
+  std::uint64_t z = splitmix64(x);
+  x ^= stream * 0xd1342543de82ef95ULL;
+  z ^= splitmix64(x);
+  x = z;
+  return splitmix64(x);
+}
+
 void Rng::reseed(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

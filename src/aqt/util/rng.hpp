@@ -12,6 +12,14 @@
 
 namespace aqt {
 
+/// Deterministic seed derivation for independent parallel substreams: mixes
+/// a master seed with a stream index (cell number, trial number, worker id)
+/// through two SplitMix64 rounds.  The result depends only on the inputs —
+/// never on scheduling — so a work pool that hands cell k to any worker
+/// still gives cell k the same RNG, and nearby stream indices yield
+/// uncorrelated seeds.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
 class Rng {
  public:

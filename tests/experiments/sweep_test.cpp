@@ -130,5 +130,39 @@ TEST(Sweep, AuditCanBeDisabled) {
   for (const auto& c : cells) EXPECT_TRUE(c.traffic_feasible);  // Default.
 }
 
+TEST(Sweep, PerCellSeedOverridesTrafficSeed) {
+  // SweepConfig::traffic.seed is a placeholder: every cell runs with its
+  // entry from `seeds`, so two configs differing ONLY in traffic.seed must
+  // produce identical sweeps (the documented seed semantics).
+  SweepConfig a = small_config();
+  a.traffic.seed = 12345;
+  SweepConfig b = small_config();
+  b.traffic.seed = 99999;
+  const auto cells_a = run_sweep(a);
+  const auto cells_b = run_sweep(b);
+  ASSERT_EQ(cells_a.size(), cells_b.size());
+  for (std::size_t i = 0; i < cells_a.size(); ++i) {
+    EXPECT_EQ(cells_a[i].seed, cells_b[i].seed) << i;
+    EXPECT_EQ(cells_a[i].injected, cells_b[i].injected) << i;
+    EXPECT_EQ(cells_a[i].max_queue, cells_b[i].max_queue) << i;
+    EXPECT_EQ(cells_a[i].max_residence, cells_b[i].max_residence) << i;
+    EXPECT_EQ(cells_a[i].longest_route, cells_b[i].longest_route) << i;
+  }
+}
+
+TEST(Sweep, SweepSpecsExposeCellsInDeterministicOrder) {
+  const SweepConfig cfg = small_config();
+  const std::vector<RunSpec> specs = sweep_specs(cfg);
+  ASSERT_EQ(specs.size(), 8u);
+  // protocol-major, then topology, then seed — the documented cell order.
+  EXPECT_EQ(specs[0].protocol, "FIFO");
+  EXPECT_EQ(specs[0].topology.name, "grid3x3");
+  EXPECT_EQ(specs[0].seed, 1u);
+  EXPECT_EQ(specs[1].seed, 2u);
+  EXPECT_EQ(specs[2].topology.name, "ring8");
+  EXPECT_EQ(specs[4].protocol, "NTG");
+  for (const RunSpec& s : specs) EXPECT_EQ(s.steps, cfg.steps);
+}
+
 }  // namespace
 }  // namespace aqt

@@ -36,11 +36,11 @@ RunResult run_workload(const Graph& g, bool observed) {
   std::ostringstream events_os;
   JsonlEventWriter events(events_os, g);
   EngineConfig cfg;
-  cfg.record_trace = &writer;
+  cfg.sinks.trace = &writer;
   cfg.audit_invariants = true;
   if (observed) {
-    cfg.profile = &profiler;
-    cfg.record_events = &events;
+    cfg.sinks.profile = &profiler;
+    cfg.sinks.events = &events;
   }
   Engine eng(g, *protocol, cfg);
   StochasticConfig adv_cfg;

@@ -32,7 +32,7 @@ TEST(Profiler, CountsEngineStepsAndPhases) {
   FifoProtocol fifo;
   StepProfiler profiler;
   EngineConfig cfg;
-  cfg.profile = &profiler;
+  cfg.sinks.profile = &profiler;
   Engine eng(g, fifo, cfg);
   StochasticConfig adv_cfg;
   adv_cfg.w = 8;
@@ -70,7 +70,7 @@ TEST(Profiler, AuditPhaseBracketedWhenAuditingIsOn) {
   FifoProtocol fifo;
   StepProfiler profiler;
   EngineConfig cfg;
-  cfg.profile = &profiler;
+  cfg.sinks.profile = &profiler;
   cfg.audit_invariants = true;
   Engine eng(g, fifo, cfg);
   eng.add_initial_packet({0, 1, 2});
@@ -99,7 +99,7 @@ TEST(Profiler, OffIsCheap) {
     FifoProtocol fifo;
     StepProfiler profiler;
     EngineConfig cfg;
-    if (profiled) cfg.profile = &profiler;
+    if (profiled) cfg.sinks.profile = &profiler;
     Engine eng(g, fifo, cfg);
     StochasticAdversary adv(g, adv_cfg);
     const auto t0 = std::chrono::steady_clock::now();

@@ -115,6 +115,36 @@ TEST(Cli, PositionalsCollectedWhenEnabled) {
             (std::vector<std::string>{"a.aqts", "b.aqts"}));
 }
 
+TEST(Cli, NumericFlagsRejectGarbageWithCleanError) {
+  // A typo'd numeric value must surface as the usage-error contract
+  // (PreconditionError -> exit 2), never a raw stoll exception.
+  Cli cli("t", "test");
+  add_jobs_flag(cli);
+  add_seed_flag(cli);
+  cli.flag("ratio", "1.5", "a double flag");
+  Args a({"--jobs", "notanumber", "--seed", "7x", "--ratio", "fast"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_THROW((void)get_jobs(cli), PreconditionError);
+  EXPECT_THROW((void)cli.get_int("seed"), PreconditionError);
+  EXPECT_THROW((void)cli.get_double("ratio"), PreconditionError);
+}
+
+TEST(Cli, SharedJobsAndSeedFlagsParseAndRangeCheck) {
+  Cli cli("t", "test");
+  add_jobs_flag(cli);
+  add_seed_flag(cli);
+  Args a({"--jobs", "4", "--seed", "9"});
+  ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+  EXPECT_EQ(get_jobs(cli), 4u);
+  EXPECT_EQ(get_seed(cli), 9u);
+  Cli neg("t", "test");
+  add_jobs_flag(neg);
+  add_seed_flag(neg);
+  Args b({"--jobs", "-3"});
+  ASSERT_TRUE(neg.parse(b.argc(), b.argv()));
+  EXPECT_THROW((void)get_jobs(neg), PreconditionError);
+}
+
 TEST(Cli, PositionalsRejectedWhenNotEnabled) {
   Cli cli("t", "test");
   Args a({"stray"});

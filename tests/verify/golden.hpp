@@ -45,7 +45,7 @@ inline std::string record_run(
   std::ostringstream os;
   RunTraceWriter writer(os, g, meta);
   EngineConfig cfg;
-  cfg.record_trace = &writer;
+  cfg.sinks.trace = &writer;
   Engine eng(g, *protocol, cfg);
   ScriptDriver driver;
   driver.script = script;

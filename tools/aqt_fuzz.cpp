@@ -33,8 +33,13 @@
 // Exit code 0 means no divergence, no lint misjudgement, no parser
 // misbehaviour, and no observer effect.
 //
+// The differential and observer-effect phases honor --jobs: trials are
+// independent cells (each derives its RNG from a pre-split per-trial
+// stream), executed through the deterministic run-pool primitives, so the
+// output and verdict are byte-identical for any --jobs value.
+//
 //   aqt-fuzz [--trials 200] [--steps 80] [--lint-trials 100]
-//            [--trace-trials 150] [--obs-trials 40] [--seed 1]
+//            [--trace-trials 150] [--obs-trials 40] [--seed 1] [--jobs 4]
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -49,6 +54,7 @@
 #include "aqt/obs/export.hpp"
 #include "aqt/obs/profiler.hpp"
 #include "aqt/obs/registry.hpp"
+#include "aqt/runner/pool.hpp"
 #include "aqt/topology/generators.hpp"
 #include "aqt/topology/spec.hpp"
 #include "aqt/trace/run_trace.hpp"
@@ -238,7 +244,7 @@ TraceCorpusEntry make_trace_corpus_entry(const std::string& spec,
   std::ostringstream run_os;
   RunTraceWriter writer(run_os, entry.graph, meta);
   EngineConfig cfg;
-  cfg.record_trace = &writer;
+  cfg.sinks.trace = &writer;
   Engine eng(entry.graph, *protocol, cfg);
 
   Trace adversary_trace;
@@ -388,10 +394,10 @@ std::uint64_t scripted_run_hash(const Graph& g, const std::string& proto,
   std::ostringstream events_os;
   obs::JsonlEventWriter events(events_os, g);
   EngineConfig cfg;
-  cfg.record_trace = &writer;
+  cfg.sinks.trace = &writer;
   if (observed) {
-    cfg.profile = &profiler;
-    cfg.record_events = &events;
+    cfg.sinks.profile = &profiler;
+    cfg.sinks.events = &events;
   }
   Engine eng(g, *protocol, cfg);
   QueueDriver driver;
@@ -408,36 +414,183 @@ std::uint64_t scripted_run_hash(const Graph& g, const std::string& proto,
 }
 
 /// Observer-effect fuzz: enabling the observability stack must leave the
-/// recorded run byte-identical.  Returns the number of failing trials.
-std::int64_t run_obs_fuzz(std::int64_t trials, Rng& master) {
+/// recorded run byte-identical.  Trials run on `jobs` workers (per-trial
+/// RNG streams are pre-split serially, so the verdict is jobs-invariant);
+/// failures print after the batch, in trial order.  Returns the number of
+/// failing trials.
+std::int64_t run_obs_fuzz(std::int64_t trials, Rng& master, unsigned jobs) {
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(trials));
+  for (std::int64_t trial = 0; trial < trials; ++trial)
+    streams.push_back(master.split());
+
+  std::vector<std::string> messages(streams.size());
+  const std::vector<std::string> errors = parallel_for_each(
+      streams.size(), jobs, [&](std::size_t trial) {
+        Rng rng = streams[trial];
+        const Graph g = random_topology(rng);
+        const std::vector<std::string> protocols = {"FIFO", "LIFO", "LIS",
+                                                    "NTG"};
+        const std::string proto = protocols[rng.below(protocols.size())];
+        std::vector<std::vector<Injection>> script;
+        std::uint64_t tag = 1;
+        const Time steps = rng.range(10, 40);
+        for (Time t = 0; t < steps; ++t) {
+          std::vector<Injection> step_inj;
+          const std::int64_t count = rng.range(0, 2);
+          for (std::int64_t i = 0; i < count; ++i)
+            step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
+          script.push_back(std::move(step_inj));
+        }
+        const std::uint64_t bare = scripted_run_hash(g, proto, script, false);
+        const std::uint64_t observed =
+            scripted_run_hash(g, proto, script, true);
+        if (bare != observed) {
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "OBSERVER EFFECT: trial %lld protocol %s trace hash "
+                        "%016llx (bare) vs %016llx (observed)",
+                        static_cast<long long>(trial), proto.c_str(),
+                        static_cast<unsigned long long>(bare),
+                        static_cast<unsigned long long>(observed));
+          messages[trial] = buf;
+        }
+      });
+
   std::int64_t failures = 0;
-  for (std::int64_t trial = 0; trial < trials; ++trial) {
-    Rng rng = master.split();
-    const Graph g = random_topology(rng);
-    const std::vector<std::string> protocols = {"FIFO", "LIFO", "LIS", "NTG"};
-    const std::string proto = protocols[rng.below(protocols.size())];
-    std::vector<std::vector<Injection>> script;
-    std::uint64_t tag = 1;
-    const Time steps = rng.range(10, 40);
-    for (Time t = 0; t < steps; ++t) {
-      std::vector<Injection> step_inj;
-      const std::int64_t count = rng.range(0, 2);
-      for (std::int64_t i = 0; i < count; ++i)
-        step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
-      script.push_back(std::move(step_inj));
-    }
-    const std::uint64_t bare = scripted_run_hash(g, proto, script, false);
-    const std::uint64_t observed = scripted_run_hash(g, proto, script, true);
-    if (bare != observed) {
-      std::printf("OBSERVER EFFECT: trial %lld protocol %s trace hash "
-                  "%016llx (bare) vs %016llx (observed)\n",
-                  static_cast<long long>(trial), proto.c_str(),
-                  static_cast<unsigned long long>(bare),
-                  static_cast<unsigned long long>(observed));
-      ++failures;
-    }
+  for (std::size_t trial = 0; trial < messages.size(); ++trial) {
+    if (!errors[trial].empty()) messages[trial] = errors[trial];
+    if (messages[trial].empty()) continue;
+    std::printf("%s\n", messages[trial].c_str());
+    ++failures;
   }
   return failures;
+}
+
+/// One engine-vs-reference lockstep trial's outcome.
+struct TrialOutcome {
+  std::uint64_t checks = 0;  ///< Per-step snapshot comparisons made.
+  std::string message;       ///< Nonempty = failure description.
+};
+
+/// One differential trial: random topology/protocol/script, engine and
+/// reference stepped in lockstep with invariants audited, the recorded run
+/// fed through the N-version verifier.  Self-contained (owns its RNG and
+/// all state), so trials run on any pool worker with identical results.
+TrialOutcome run_differential_trial(Rng rng, std::int64_t trial,
+                                    Time steps) {
+  static const std::vector<std::string> protocols = {
+      "FIFO", "LIFO", "LIS", "NIS", "FTG", "NTG", "FFS", "NTS"};
+  TrialOutcome out;
+  const Graph g = random_topology(rng);
+  const std::string proto = protocols[rng.below(protocols.size())];
+  const bool historic = make_protocol(proto)->is_historic();
+
+  auto protocol = make_protocol(proto);
+  // The auditor re-checks every model invariant after each step, and the
+  // whole run is recorded and fed to the N-version verifier below, so
+  // each fuzz trial stress-tests the invariant layer, the trace format,
+  // and the offline model all at once.
+  RunTraceMeta meta;
+  meta.protocol = proto;
+  meta.seed = static_cast<std::uint64_t>(trial);
+  std::ostringstream trace_os;
+  RunTraceWriter writer(trace_os, g, meta);
+  EngineConfig eng_cfg;
+  eng_cfg.audit_invariants = true;
+  eng_cfg.sinks.trace = &writer;
+  Engine eng(g, *protocol, eng_cfg);
+  ReferenceSimulator ref(g, proto);
+
+  // Shared initial configuration.
+  const std::int64_t initial = rng.range(0, 6);
+  for (std::int64_t i = 0; i < initial; ++i) {
+    const Route route = random_route(g, rng, 4);
+    eng.add_initial_packet(route, static_cast<std::uint64_t>(1000 + i));
+    ref.add_initial_packet(route, static_cast<std::uint64_t>(1000 + i));
+  }
+
+  struct Driver final : Adversary {
+    std::vector<Injection> injections;
+    std::vector<Reroute> reroutes;
+    void step(Time, const Engine&, AdversaryStep& out_step) override {
+      for (auto& inj : injections) out_step.injections.push_back(inj);
+      for (auto& rr : reroutes) out_step.reroutes.push_back(rr);
+      injections.clear();
+      reroutes.clear();
+    }
+  } driver;
+
+  std::uint64_t tag = 1;
+  for (Time t = 1; t <= steps; ++t) {
+    // Random injections.
+    std::vector<Injection> step_inj;
+    const std::int64_t count = rng.range(0, 2);
+    for (std::int64_t i = 0; i < count; ++i)
+      step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
+    driver.injections = step_inj;
+
+    // Occasionally one random legal reroute (historic protocols only):
+    // pick a buffered packet that is not a buffer front.
+    std::vector<ReferenceSimulator::RefReroute> ref_rr;
+    if (historic && rng.chance(0.3)) {
+      std::vector<PacketId> candidates;
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        bool first = true;
+        for (const BufferEntry& be : eng.buffer(e)) {
+          if (!first) candidates.push_back(be.packet);
+          first = false;
+        }
+      }
+      if (!candidates.empty()) {
+        const PacketId id = candidates[rng.below(candidates.size())];
+        const Packet& p = eng.packet(id);
+        std::vector<bool> used(g.node_count(), false);
+        for (std::size_t h = 0; h <= p.hop; ++h) {
+          used[g.tail(p.route[h])] = true;
+          used[g.head(p.route[h])] = true;
+        }
+        Route suffix;
+        NodeId at = g.head(p.route[p.hop]);
+        for (int len = 0; len < 3; ++len) {
+          Route options;
+          for (EdgeId e : g.out_edges(at))
+            if (!used[g.head(e)]) options.push_back(e);
+          if (options.empty()) break;
+          const EdgeId pick = options[rng.below(options.size())];
+          suffix.push_back(pick);
+          at = g.head(pick);
+          used[at] = true;
+        }
+        driver.reroutes.push_back(Reroute{id, suffix});
+        ref_rr.push_back(ReferenceSimulator::RefReroute{p.ordinal, suffix});
+      }
+    }
+
+    eng.step(&driver);
+    ref.step(step_inj, ref_rr);
+    ++out.checks;
+    if (!equal(engine_snapshot(eng), ref.snapshot())) {
+      std::ostringstream msg;
+      msg << "DIVERGENCE: trial " << trial << " protocol " << proto
+          << " step " << t;
+      out.message = msg.str();
+      return out;
+    }
+  }
+
+  writer.finish(eng.total_injected(), eng.total_absorbed());
+  std::istringstream trace_is(trace_os.str());
+  const VerifyReport vrep =
+      verify_run_trace(parse_run_trace(trace_is, "trial"), "trial");
+  if (!vrep.ok()) {
+    std::ostringstream msg;
+    msg << "TRACE VERIFICATION FAILURE: trial " << trial << " protocol "
+        << proto << ": [" << vrep.findings[0].code << "] "
+        << vrep.findings[0].message;
+    out.message = msg.str();
+  }
+  return out;
 }
 
 }  // namespace
@@ -451,131 +604,42 @@ int main(int argc, char** argv) {
            "mutated traces for the hardened-parser check");
   cli.flag("obs-trials", "40",
            "paired runs for the observer-effect check (obs on vs off)");
-  cli.flag("seed", "1", "master seed");
-  cli.flag("metrics-out", "",
-           "write a JSON metrics snapshot (aqt-metrics/1) of the fuzz "
-           "campaign to this path");
+  add_seed_flag(cli);
+  add_jobs_flag(cli);
+  add_metrics_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const std::int64_t trials = cli.get_int("trials");
   const Time steps = cli.get_int("steps");
-  Rng master(static_cast<std::uint64_t>(cli.get_int("seed")));
-  const std::vector<std::string> protocols = {"FIFO", "LIFO", "LIS", "NIS",
-                                              "FTG", "NTG", "FFS", "NTS"};
+  const unsigned jobs = get_jobs(cli);
+  Rng master(get_seed(cli));
 
+  // Differential phase on the run-pool: per-trial RNG streams are split
+  // off the master serially (so the streams do not depend on --jobs), then
+  // the self-contained trials execute on the worker pool.  Failures print
+  // after the batch in trial order.
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(trials));
+  for (std::int64_t trial = 0; trial < trials; ++trial)
+    streams.push_back(master.split());
+  std::vector<TrialOutcome> outcomes(streams.size());
+  const std::vector<std::string> trial_errors = parallel_for_each(
+      streams.size(), jobs, [&](std::size_t i) {
+        outcomes[i] = run_differential_trial(
+            streams[i], static_cast<std::int64_t>(i), steps);
+      });
   std::uint64_t checks = 0;
-  for (std::int64_t trial = 0; trial < trials; ++trial) {
-    Rng rng = master.split();
-    const Graph g = random_topology(rng);
-    const std::string proto = protocols[rng.below(protocols.size())];
-    const bool historic = make_protocol(proto)->is_historic();
-
-    auto protocol = make_protocol(proto);
-    // The auditor re-checks every model invariant after each step, and the
-    // whole run is recorded and fed to the N-version verifier below, so
-    // each fuzz trial stress-tests the invariant layer, the trace format,
-    // and the offline model all at once.
-    RunTraceMeta meta;
-    meta.protocol = proto;
-    meta.seed = static_cast<std::uint64_t>(trial);
-    std::ostringstream trace_os;
-    RunTraceWriter writer(trace_os, g, meta);
-    EngineConfig eng_cfg;
-    eng_cfg.audit_invariants = true;
-    eng_cfg.record_trace = &writer;
-    Engine eng(g, *protocol, eng_cfg);
-    ReferenceSimulator ref(g, proto);
-
-    // Shared initial configuration.
-    const std::int64_t initial = rng.range(0, 6);
-    for (std::int64_t i = 0; i < initial; ++i) {
-      const Route route = random_route(g, rng, 4);
-      eng.add_initial_packet(route, static_cast<std::uint64_t>(1000 + i));
-      ref.add_initial_packet(route, static_cast<std::uint64_t>(1000 + i));
-    }
-
-    struct Driver final : Adversary {
-      std::vector<Injection> injections;
-      std::vector<Reroute> reroutes;
-      void step(Time, const Engine&, AdversaryStep& out) override {
-        for (auto& inj : injections) out.injections.push_back(inj);
-        for (auto& rr : reroutes) out.reroutes.push_back(rr);
-        injections.clear();
-        reroutes.clear();
-      }
-    } driver;
-
-    std::uint64_t tag = 1;
-    for (Time t = 1; t <= steps; ++t) {
-      // Random injections.
-      std::vector<Injection> step_inj;
-      const std::int64_t count = rng.range(0, 2);
-      for (std::int64_t i = 0; i < count; ++i)
-        step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
-      driver.injections = step_inj;
-
-      // Occasionally one random legal reroute (historic protocols only):
-      // pick a buffered packet that is not a buffer front.
-      std::vector<ReferenceSimulator::RefReroute> ref_rr;
-      if (historic && rng.chance(0.3)) {
-        std::vector<PacketId> candidates;
-        for (EdgeId e = 0; e < g.edge_count(); ++e) {
-          bool first = true;
-          for (const BufferEntry& be : eng.buffer(e)) {
-            if (!first) candidates.push_back(be.packet);
-            first = false;
-          }
-        }
-        if (!candidates.empty()) {
-          const PacketId id = candidates[rng.below(candidates.size())];
-          const Packet& p = eng.packet(id);
-          std::vector<bool> used(g.node_count(), false);
-          for (std::size_t h = 0; h <= p.hop; ++h) {
-            used[g.tail(p.route[h])] = true;
-            used[g.head(p.route[h])] = true;
-          }
-          Route suffix;
-          NodeId at = g.head(p.route[p.hop]);
-          for (int len = 0; len < 3; ++len) {
-            Route options;
-            for (EdgeId e : g.out_edges(at))
-              if (!used[g.head(e)]) options.push_back(e);
-            if (options.empty()) break;
-            const EdgeId pick = options[rng.below(options.size())];
-            suffix.push_back(pick);
-            at = g.head(pick);
-            used[at] = true;
-          }
-          driver.reroutes.push_back(Reroute{id, suffix});
-          ref_rr.push_back(
-              ReferenceSimulator::RefReroute{p.ordinal, suffix});
-        }
-      }
-
-      eng.step(&driver);
-      ref.step(step_inj, ref_rr);
-      ++checks;
-      if (!equal(engine_snapshot(eng), ref.snapshot())) {
-        std::printf("DIVERGENCE: trial %lld protocol %s step %lld\n",
-                    static_cast<long long>(trial), proto.c_str(),
-                    static_cast<long long>(t));
-        return 1;
-      }
-    }
-
-    writer.finish(eng.total_injected(), eng.total_absorbed());
-    std::istringstream trace_is(trace_os.str());
-    const VerifyReport vrep =
-        verify_run_trace(parse_run_trace(trace_is, "trial"), "trial");
-    if (!vrep.ok()) {
-      std::printf("TRACE VERIFICATION FAILURE: trial %lld protocol %s: "
-                  "[%s] %s\n",
-                  static_cast<long long>(trial), proto.c_str(),
-                  vrep.findings[0].code.c_str(),
-                  vrep.findings[0].message.c_str());
-      return 1;
+  bool diverged = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    checks += outcomes[i].checks;
+    const std::string& msg =
+        trial_errors[i].empty() ? outcomes[i].message : trial_errors[i];
+    if (!msg.empty()) {
+      std::printf("%s\n", msg.c_str());
+      diverged = true;
     }
   }
+  if (diverged) return 1;
   const std::int64_t lint_trials = cli.get_int("lint-trials");
   const std::int64_t lint_failures = run_lint_fuzz(lint_trials, master);
   if (lint_failures > 0) {
@@ -593,7 +657,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::int64_t obs_trials = cli.get_int("obs-trials");
-  const std::int64_t obs_failures = run_obs_fuzz(obs_trials, master);
+  const std::int64_t obs_failures = run_obs_fuzz(obs_trials, master, jobs);
   if (obs_failures > 0) {
     std::printf("aqt-fuzz: %lld of %lld observer-effect trials perturbed "
                 "the run\n",
@@ -602,7 +666,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!cli.get("metrics-out").empty()) {
+  if (!cli.get("metrics-out").empty() || !cli.get("metrics-prom").empty() ||
+      !cli.get("metrics-csv").empty()) {
     obs::MetricRegistry reg;
     reg.counter("aqt_fuzz_differential_trials_total",
                 "Engine-vs-reference lockstep trials")
@@ -618,9 +683,7 @@ int main(int argc, char** argv) {
     reg.counter("aqt_fuzz_obs_trials_total", "Observer-effect paired runs")
         .set(static_cast<std::uint64_t>(obs_trials));
     reg.gauge("aqt_fuzz_ok", "1 when every phase passed, else 0").set(1.0);
-    obs::write_file(cli.get("metrics-out"), obs::to_json(reg, "aqt-fuzz"));
-    std::printf("metrics snapshot written to %s\n",
-                cli.get("metrics-out").c_str());
+    obs::export_cli_metrics(cli, reg, "aqt-fuzz");
   }
 
   std::printf("aqt-fuzz: %lld trials x %lld steps, %llu lockstep "

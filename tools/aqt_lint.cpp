@@ -17,6 +17,7 @@
 #include "aqt/lint/linter.hpp"
 #include "aqt/obs/export.hpp"
 #include "aqt/obs/registry.hpp"
+#include "aqt/runner/pool.hpp"
 #include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
 
@@ -24,9 +25,8 @@ int main(int argc, char** argv) {
   using namespace aqt;
   Cli cli("aqt-lint", "static scenario/topology/adversary spec checker");
   cli.flag("format", "human", "report format: human or json");
-  cli.flag("metrics-out", "",
-           "write a JSON metrics snapshot (aqt-metrics/1) of the lint batch "
-           "to this path");
+  add_jobs_flag(cli);
+  add_metrics_flags(cli);
   cli.positionals("scenario.aqts...", "scenario files to validate");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -36,19 +36,25 @@ int main(int argc, char** argv) {
     const std::vector<std::string>& files = cli.positional_args();
     AQT_REQUIRE(!files.empty(), "no scenario files given (see --help)");
 
-    std::vector<LintReport> reports;
-    reports.reserve(files.size());
+    // Scenarios lint independently on the run-pool workers; reports land
+    // in argument order, so the output never depends on --jobs.
+    std::vector<LintReport> reports(files.size());
+    const std::vector<std::string> errors = parallel_for_each(
+        files.size(), get_jobs(cli),
+        [&](std::size_t i) { reports[i] = lint_file(files[i]); });
     bool all_ok = true;
-    for (const std::string& file : files) {
-      reports.push_back(lint_file(file));
-      all_ok = all_ok && reports.back().ok();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      AQT_REQUIRE(errors[i].empty(), "" << errors[i]);
+      all_ok = all_ok && reports[i].ok();
     }
     const std::string out =
         format == "json" ? to_json(reports) : to_human(reports);
     std::fputs(out.c_str(), stdout);
     if (format == "json") std::fputc('\n', stdout);
 
-    if (!cli.get("metrics-out").empty()) {
+    if (!cli.get("metrics-out").empty() ||
+        !cli.get("metrics-prom").empty() ||
+        !cli.get("metrics-csv").empty()) {
       obs::MetricRegistry reg;
       std::uint64_t findings = 0;
       std::uint64_t injections = 0;
@@ -73,9 +79,7 @@ int main(int argc, char** argv) {
           .set(reroutes);
       reg.gauge("aqt_lint_ok", "1 when every scenario is clean, else 0")
           .set(all_ok ? 1.0 : 0.0);
-      obs::write_file(cli.get("metrics-out"), obs::to_json(reg, "aqt-lint"));
-      std::printf("metrics snapshot written to %s\n",
-                  cli.get("metrics-out").c_str());
+      obs::export_cli_metrics(cli, reg, "aqt-lint");
     }
     return all_ok ? 0 : 1;
   } catch (const PreconditionError& e) {

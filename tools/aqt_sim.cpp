@@ -14,13 +14,17 @@
 //           --record-run out/ring_convoy.trace --replay-twice true
 //   aqt-sim --topology ring:16 --protocol NTG --adversary convoy
 //           --w 12 --r 1/3 --steps 5000 --audit true
+//   aqt-sim --batch examples/scenarios --jobs 4
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "aqt/adversaries/lps.hpp"
 #include "aqt/adversaries/bucket.hpp"
@@ -36,6 +40,8 @@
 #include "aqt/obs/profiler.hpp"
 #include "aqt/obs/registry.hpp"
 #include "aqt/obs/snapshot.hpp"
+#include "aqt/runner/pool.hpp"
+#include "aqt/runner/run_spec.hpp"
 #include "aqt/topology/gadget.hpp"
 #include "aqt/topology/spec.hpp"
 #include "aqt/topology/generators.hpp"
@@ -61,9 +67,72 @@ class NullBuf final : public std::streambuf {
   }
 };
 
+/// --batch <dir>: run every .aqts scenario in the directory through the
+/// deterministic run-pool, honoring --jobs.  The summary table is in sorted
+/// filename order (submission order), so output is byte-identical for any
+/// --jobs value.
+int run_batch(const Cli& cli) {
+  namespace fs = std::filesystem;
+  const std::string dir = cli.get("batch");
+  AQT_REQUIRE(fs::is_directory(dir), "--batch needs a directory: " << dir);
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".aqts")
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  AQT_REQUIRE(!files.empty(), "no .aqts scenarios in " << dir);
+
+  const bool audit = cli.get_bool("audit");
+  const Time cap = cli.get_int("steps");
+  std::vector<RunSpec> specs;
+  specs.reserve(files.size());
+  for (const fs::path& path : files) {
+    ScenarioRun srun = load_scenario_run(path.string());
+    const Time horizon = std::max<Time>(cap, srun.last_event + 1);
+    RunSpec spec =
+        make_scripted_spec(path.stem().string(), srun.topology.graph,
+                           srun.scenario.protocol, std::move(srun.script),
+                           horizon);
+    if (audit) {
+      AQT_REQUIRE(srun.scenario.window_w.has_value() ||
+                      srun.scenario.rate_r.has_value(),
+                  "--audit needs a declared window/rate in "
+                      << path.string());
+      if (srun.scenario.window_w.has_value()) {
+        spec.audit_w = *srun.scenario.window_w;
+        spec.audit_r = *srun.scenario.window_r;
+      } else {
+        spec.audit_r = *srun.scenario.rate_r;
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  const RunPoolReport report = run_pool(specs, get_jobs(cli));
+  Table t({"scenario", "protocol", "steps", "injected", "absorbed",
+           "max queue", "max residence", "feasible", "trace hash",
+           "status"});
+  bool all_ok = true;
+  for (const RunResult& r : report.results) {
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(r.trace_hash));
+    t.rowv(r.name, r.protocol, static_cast<long long>(r.steps_run),
+           static_cast<long long>(r.injected),
+           static_cast<long long>(r.absorbed),
+           static_cast<long long>(r.max_queue),
+           static_cast<long long>(r.max_residence), r.feasible, hash,
+           r.ok() ? std::string("ok") : r.error);
+    all_ok = all_ok && r.ok() && r.feasible;
+  }
+  std::cout << t << "batch: " << report.results.size() << " scenario(s)\n";
+  obs::export_cli_metrics(cli, report.metrics, "aqt-sim");
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run_main(int argc, char** argv) {
   Cli cli("aqt-sim", "adversarial queuing simulation driver");
   cli.flag("topology", "grid:4x4",
            "line:N ring:N bidiring:N grid:RxC torus:RxC tree:D hypercube:D "
@@ -74,6 +143,10 @@ int main(int argc, char** argv) {
   cli.flag("scenario", "",
            "run this .aqts scenario (topology/protocol/script/declared "
            "constraints come from the file)");
+  cli.flag("batch", "",
+           "run every .aqts scenario in this directory through the "
+           "deterministic run-pool (honors --jobs; summary in filename "
+           "order)");
   cli.flag("burst", "2", "token-bucket burst b (bucket adversary)");
   cli.flag("steps", "10000", "steps to run (lps: upper cap)");
   cli.flag("w", "12", "window size (stochastic/convoy)");
@@ -81,7 +154,8 @@ int main(int argc, char** argv) {
   cli.flag("d", "4", "max route length (stochastic)");
   cli.flag("iterations", "3", "outer iterations (lps)");
   cli.flag("s-star", "1200", "initial flat queue (lps)");
-  cli.flag("seed", "1", "rng seed");
+  add_seed_flag(cli);
+  add_jobs_flag(cli);
   cli.flag("audit", "false", "verify rate feasibility post-run");
   cli.flag("series", "", "write occupancy series CSV to this path");
   cli.flag("record", "", "record the adversary schedule to this trace file");
@@ -93,10 +167,7 @@ int main(int argc, char** argv) {
   cli.flag("resume", "",
            "load this checkpoint before running (same topology required; "
            "the adversary starts fresh on the restored state)");
-  cli.flag("metrics-out", "", "write a JSON metrics snapshot to this path");
-  cli.flag("metrics-prom", "",
-           "write the metrics in Prometheus text exposition to this path");
-  cli.flag("metrics-csv", "", "write the metrics as CSV to this path");
+  add_metrics_flags(cli);
   cli.flag("events", "",
            "write the packet-lifecycle JSONL event stream to this path");
   cli.flag("profile", "false",
@@ -105,7 +176,9 @@ int main(int argc, char** argv) {
            "print a heartbeat line to stderr every N steps (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
-  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (!cli.get("batch").empty()) return run_batch(cli);
+
+  const std::uint64_t seed = get_seed(cli);
   const bool audit = cli.get_bool("audit");
   const bool replay_twice = cli.get_bool("replay-twice");
   const std::string record_run = cli.get("record-run");
@@ -218,14 +291,14 @@ int main(int argc, char** argv) {
                            : std::max<Time>(1, cli.get_int("steps") / 512);
     std::optional<RunTraceWriter> writer;
     if (run_os != nullptr) writer.emplace(*run_os, topo.graph, meta);
-    ec.record_trace = writer ? &*writer : nullptr;
+    ec.sinks.trace = writer ? &*writer : nullptr;
 
     // Observability (primary run only, so the determinism re-run measures
     // nothing twice).  Both sinks are write-only: enabling them cannot
     // change the run (aqt-fuzz --obs-trials checks exactly that).
     std::optional<obs::StepProfiler> profiler;
     if (primary && cli.get_bool("profile")) profiler.emplace();
-    ec.profile = profiler ? &*profiler : nullptr;
+    ec.sinks.profile = profiler ? &*profiler : nullptr;
     std::ofstream events_os;
     std::optional<obs::JsonlEventWriter> events;
     if (primary && !cli.get("events").empty()) {
@@ -234,7 +307,7 @@ int main(int argc, char** argv) {
                   "cannot open " << cli.get("events"));
       events.emplace(events_os, topo.graph);
     }
-    ec.record_events = events ? &*events : nullptr;
+    ec.sinks.events = events ? &*events : nullptr;
 
     Engine eng(topo.graph, *protocol, ec);
 
@@ -326,16 +399,7 @@ int main(int argc, char** argv) {
       obs::MetricRegistry registry;
       obs::collect_engine_metrics(eng, registry);
       if (profiler) obs::collect_profile_metrics(*profiler, registry);
-      if (!cli.get("metrics-out").empty()) {
-        obs::write_file(cli.get("metrics-out"),
-                        obs::to_json(registry, "aqt-sim"));
-        std::cout << "metrics snapshot written to " << cli.get("metrics-out")
-                  << "\n";
-      }
-      if (!cli.get("metrics-prom").empty())
-        obs::write_file(cli.get("metrics-prom"), obs::to_prometheus(registry));
-      if (!cli.get("metrics-csv").empty())
-        obs::write_file(cli.get("metrics-csv"), obs::to_csv(registry));
+      obs::export_cli_metrics(cli, registry, "aqt-sim");
     }
 
     if (ec.series_stride > 0) {
@@ -419,4 +483,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(first_hash));
   }
   return audit_ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "aqt-sim: %s\n", e.what());
+    return 2;
+  }
 }

@@ -26,6 +26,7 @@
 
 #include "aqt/obs/export.hpp"
 #include "aqt/obs/registry.hpp"
+#include "aqt/runner/pool.hpp"
 #include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
 #include "aqt/verify/certificate.hpp"
@@ -40,9 +41,8 @@ int main(int argc, char** argv) {
   cli.flag("require-certificate", "false",
            "fail unless every trace yields an applicable, verified "
            "stability certificate");
-  cli.flag("metrics-out", "",
-           "write a JSON metrics snapshot (aqt-metrics/1) of the "
-           "verification batch to this path");
+  add_jobs_flag(cli);
+  add_metrics_flags(cli);
   cli.positionals("run.trace...", "run traces to verify");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -55,16 +55,21 @@ int main(int argc, char** argv) {
     AQT_REQUIRE(cli.get("certificate").empty() || files.size() == 1,
                 "--certificate expects exactly one trace");
 
-    std::vector<VerifyReport> reports;
-    std::vector<StabilityCertificate> certs;
-    reports.reserve(files.size());
+    // Traces verify independently on the run-pool workers; reports land in
+    // argument order, so the output never depends on --jobs.
+    std::vector<VerifyReport> reports(files.size());
+    std::vector<StabilityCertificate> certs(files.size());
+    const std::vector<std::string> errors = parallel_for_each(
+        files.size(), get_jobs(cli), [&](std::size_t i) {
+          reports[i] = verify_file(files[i]);
+          certs[i] = make_stability_certificate(reports[i]);
+        });
     bool all_ok = true;
-    for (const std::string& file : files) {
-      reports.push_back(verify_file(file));
-      certs.push_back(make_stability_certificate(reports.back()));
-      all_ok = all_ok && reports.back().ok();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      AQT_REQUIRE(errors[i].empty(), "" << errors[i]);
+      all_ok = all_ok && reports[i].ok();
       if (require_cert)
-        all_ok = all_ok && certs.back().applicable && certs.back().verified;
+        all_ok = all_ok && certs[i].applicable && certs[i].verified;
     }
 
     const std::string out =
@@ -76,7 +81,9 @@ int main(int argc, char** argv) {
         if (certs[i].kind != CertificateKind::kNone || require_cert)
           std::fputs(certs[i].text().c_str(), stdout);
 
-    if (!cli.get("metrics-out").empty()) {
+    if (!cli.get("metrics-out").empty() ||
+        !cli.get("metrics-prom").empty() ||
+        !cli.get("metrics-csv").empty()) {
       obs::MetricRegistry reg;
       std::uint64_t findings = 0;
       std::uint64_t certs_verified = 0;
@@ -104,9 +111,7 @@ int main(int argc, char** argv) {
           .set(certs_verified);
       reg.gauge("aqt_verify_ok", "1 when every trace is clean, else 0")
           .set(all_ok ? 1.0 : 0.0);
-      obs::write_file(cli.get("metrics-out"), obs::to_json(reg, "aqt-verify"));
-      std::printf("metrics snapshot written to %s\n",
-                  cli.get("metrics-out").c_str());
+      obs::export_cli_metrics(cli, reg, "aqt-verify");
     }
 
     if (!cli.get("certificate").empty()) {
