@@ -9,11 +9,14 @@
 // reference workload — grid 8x8, stochastic (w=12, r=1/4, d=4), 20000
 // steps — and writes an aqt-metrics/1 snapshot (steps/sec, per-phase
 // breakdown, engine counters) to PATH: the BENCH_engine_perf.json artifact
-// CI tracks across commits.
+// CI tracks across commits.  `--perf-jobs=N` (also stripped) pins the
+// worker count of the parallel-speedup leg; CI passes its core count so
+// aqt_runner_parallel_speedup is measured on a real multi-core pool.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <sstream>
@@ -184,7 +187,7 @@ BENCHMARK(BM_CheckpointRoundtrip)->Unit(benchmark::kMicrosecond);
 /// The profiled reference workload behind --perf-json: a medium grid under
 /// the standard stochastic (w, r) adversary, long enough for steady-state
 /// throughput, with the step-phase profiler attached.
-void write_perf_json(const std::string& path) {
+void write_perf_json(const std::string& path, unsigned perf_jobs) {
   const Graph g = make_grid(8, 8);
   FifoProtocol fifo;
   obs::StepProfiler profiler;
@@ -221,7 +224,10 @@ void write_perf_json(const std::string& path) {
     sweep.traffic.max_route_len = 4;
     sweep.audit = false;
     const std::vector<RunSpec> specs = sweep_specs(sweep);
-    const unsigned hw = resolve_jobs(0);
+    // --perf-jobs pins the parallel leg's worker count (CI passes the
+    // runner's core count so the recorded datapoint is a real multi-core
+    // measurement); 0 falls back to the detected hardware concurrency.
+    const unsigned hw = perf_jobs == 0 ? resolve_jobs(0) : perf_jobs;
     const auto timed = [&](unsigned jobs) {
       const auto begin = std::chrono::steady_clock::now();
       const std::vector<RunResult> results = run_all(specs, jobs);
@@ -258,13 +264,16 @@ void write_perf_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our --perf-json flag before google-benchmark parses argv (it
-  // rejects flags it does not know).
+  // Strip our --perf-json/--perf-jobs flags before google-benchmark
+  // parses argv (it rejects flags it does not know).
   std::string perf_json;
+  unsigned perf_jobs = 0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--perf-json=", 12) == 0)
       perf_json = argv[i] + 12;
+    else if (std::strncmp(argv[i], "--perf-jobs=", 12) == 0)
+      perf_jobs = static_cast<unsigned>(std::strtoul(argv[i] + 12, nullptr, 10));
     else
       argv[kept++] = argv[i];
   }
@@ -275,6 +284,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (!perf_json.empty()) write_perf_json(perf_json);
+  if (!perf_json.empty()) write_perf_json(perf_json, perf_jobs);
   return 0;
 }

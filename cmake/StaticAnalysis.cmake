@@ -27,3 +27,30 @@ if(AQT_ANALYZE)
       CACHE STRING "clang-tidy command line prefix" FORCE)
   message(STATUS "aqt: clang-tidy analysis enabled (${AQT_CLANG_TIDY_EXE})")
 endif()
+
+# cppcheck wiring (AQT_CPPCHECK).
+#
+# With AQT_CPPCHECK=ON every TU is additionally run through cppcheck via
+# CMAKE_CXX_CPPCHECK.  Unlike the clang-tidy gate this is advisory: CI
+# runs it as a soft (continue-on-error) step, so findings are visible in
+# the log without blocking merges while the rule set settles.  Known
+# acceptable patterns are silenced centrally in
+# cmake/cppcheck-suppressions.txt rather than with inline comments.
+#
+# Same no-silent-skip policy as AQT_ANALYZE: requesting cppcheck without
+# the binary is a hard configure error.
+option(AQT_CPPCHECK "Run cppcheck over every TU (advisory)" OFF)
+
+if(AQT_CPPCHECK)
+  find_program(AQT_CPPCHECK_EXE NAMES cppcheck
+               DOC "cppcheck executable used when AQT_CPPCHECK=ON")
+  if(NOT AQT_CPPCHECK_EXE)
+    message(FATAL_ERROR
+        "AQT_CPPCHECK=ON but cppcheck was not found; install cppcheck "
+        "or set AQT_CPPCHECK_EXE")
+  endif()
+  set(CMAKE_CXX_CPPCHECK
+      "${AQT_CPPCHECK_EXE};--enable=warning,performance,portability;--inline-suppr;--suppressions-list=${CMAKE_CURRENT_LIST_DIR}/cppcheck-suppressions.txt;--error-exitcode=1;--inconclusive"
+      CACHE STRING "cppcheck command line prefix" FORCE)
+  message(STATUS "aqt: cppcheck analysis enabled (${AQT_CPPCHECK_EXE})")
+endif()

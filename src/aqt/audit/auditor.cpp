@@ -1,0 +1,963 @@
+#include "aqt/audit/auditor.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "aqt/audit/lexer.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt::audit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule pack and layering model.
+
+const std::vector<RuleInfo> kRules = {
+    {"AUD001", "banned nondeterminism API (rand/random_device/time/"
+               "system_clock/argless engine seed) outside seed plumbing"},
+    {"AUD002", "iteration over an unordered container (unspecified order)"},
+    {"AUD003", "mutable global / non-const static state in engine, runner, "
+               "or obs code"},
+    {"AUD004", "pointer-keyed ordered container (address-dependent order)"},
+    {"AUD005", "float accumulation in a cross-worker merge path"},
+    {"AUD006", "banned #include / layering violation"},
+    {"AUD007", "malformed aqt-audit directive"},
+};
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : kRules)
+    if (id == r.id) return true;
+  return false;
+}
+
+/// Which aqt modules each layer may #include.  Mirrors (the transitive
+/// closure of) the target_link_libraries graph in src/aqt/*/CMakeLists.txt;
+/// a new module must be registered here before anything may include it.
+const std::map<std::string, std::set<std::string>>& layer_allowed() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"util", {"util"}},
+      {"core", {"core", "util"}},
+      {"obs", {"obs", "core", "util"}},
+      {"trace", {"trace", "core", "util"}},
+      {"topology", {"topology", "core", "util"}},
+      {"analysis", {"analysis", "trace", "core", "util"}},
+      {"adversaries",
+       {"adversaries", "analysis", "topology", "trace", "core", "util"}},
+      {"runner", {"runner", "trace", "obs", "core", "util"}},
+      {"lint", {"lint", "topology", "core", "util"}},
+      {"verify",
+       {"verify", "lint", "analysis", "trace", "topology", "core", "util"}},
+      {"experiments",
+       {"experiments", "adversaries", "runner", "analysis", "topology",
+        "trace", "obs", "core", "util"}},
+      {"audit", {"audit", "util"}},
+  };
+  return kAllowed;
+}
+
+// ---------------------------------------------------------------------------
+// Directive parsing: allow(...) suppressions and context(...) overrides
+// introduced by the marker (the literal "aqt-audit" followed by ':').
+
+struct Allow {
+  std::string rule;
+  int line = 0;       ///< Line the directive suppresses.
+};
+
+struct Directives {
+  std::vector<Allow> allows;
+  FileContext context;
+  bool context_overridden = false;
+  std::vector<AuditFinding> findings;  ///< AUD007 problems.
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+/// True when the physical line holds nothing but the comment (so an allow
+/// directive written above the offending line applies to the next line).
+bool comment_only_line(const std::vector<std::string>& lines, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return false;
+  const std::string before =
+      trim(lines[static_cast<std::size_t>(line) - 1]);
+  return before.rfind("//", 0) == 0 || before.rfind("/*", 0) == 0 ||
+         before.rfind("*", 0) == 0;
+}
+
+/// Applies a context name; returns false for unknown names.
+bool apply_context_name(const std::string& name, FileContext& ctx) {
+  if (name == "merge") {
+    ctx.merge_path = true;
+    return true;
+  }
+  if (name == "seed-plumbing") {
+    ctx.seed_plumbing = true;
+    return true;
+  }
+  if (name == "engine") {  // Alias: state-sensitive without naming a layer.
+    ctx.state_sensitive = true;
+    return true;
+  }
+  if (name == "none") {
+    ctx = FileContext{};
+    return true;
+  }
+  if (layer_allowed().count(name) != 0 || name == "top") {
+    ctx.layer = name;
+    ctx.state_sensitive =
+        name == "core" || name == "runner" || name == "obs";
+    return true;
+  }
+  return false;
+}
+
+void parse_directive(const std::string& body, int line,
+                     const std::vector<std::string>& lines, Directives& out) {
+  auto bad = [&](const std::string& why) {
+    out.findings.push_back(AuditFinding{
+        "AUD007", line,
+        "malformed aqt-audit directive: " + why +
+            " (expected 'aqt-audit: allow(AUDNNN) -- reason' or "
+            "'aqt-audit: context(name,...)')"});
+  };
+  const std::string text = trim(body);
+  if (text.rfind("allow(", 0) == 0) {
+    const auto close = text.find(')');
+    if (close == std::string::npos) {
+      bad("unclosed allow(");
+      return;
+    }
+    const std::string rule = text.substr(6, close - 6);
+    if (!known_rule(rule)) {
+      bad("unknown rule id '" + rule + "'");
+      return;
+    }
+    const std::string rest = trim(text.substr(close + 1));
+    if (rest.rfind("--", 0) != 0 || trim(rest.substr(2)).empty()) {
+      bad("allow(" + rule + ") without a '-- reason' justification");
+      return;
+    }
+    Allow a;
+    a.rule = rule;
+    a.line = comment_only_line(lines, line) ? line + 1 : line;
+    out.allows.push_back(std::move(a));
+    return;
+  }
+  if (text.rfind("context(", 0) == 0) {
+    const auto close = text.find(')');
+    if (close == std::string::npos || !trim(text.substr(close + 1)).empty()) {
+      bad("context(...) must close the directive");
+      return;
+    }
+    std::string names = text.substr(8, close - 8);
+    std::size_t start = 0;
+    while (start <= names.size()) {
+      const auto comma = names.find(',', start);
+      const std::string name = trim(names.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start));
+      if (name.empty() || !apply_context_name(name, out.context))
+        bad("unknown context name '" + name + "'");
+      else
+        out.context_overridden = true;
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return;
+  }
+  bad("unrecognized directive '" + text.substr(0, 32) + "'");
+}
+
+Directives collect_directives(const ScannedSource& src,
+                              const FileContext& path_ctx) {
+  Directives out;
+  out.context = path_ctx;
+  for (const Comment& c : src.comments) {
+    const auto at = c.text.find("aqt-audit:");
+    if (at == std::string::npos) continue;
+    // Only an allow/context clause after the marker is a directive; the
+    // marker in prose ("the aqt-audit: ... grammar") stays prose.  A
+    // malformed clause body (unknown rule, missing reason, unclosed
+    // paren) is still AUD007 because parse_directive sees it.
+    const std::string body = trim(c.text.substr(at + 10));
+    if (body.rfind("allow", 0) != 0 && body.rfind("context", 0) != 0)
+      continue;
+    parse_directive(body, c.line, src.lines, out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier &&
+         t[i].text == text;
+}
+bool is_punct(const Tokens& t, std::size_t i, char c) {
+  return i < t.size() && t[i].kind == Token::Kind::kPunct &&
+         t[i].text.size() == 1 && t[i].text[0] == c;
+}
+bool any_ident(const Tokens& t, std::size_t i,
+               const std::set<std::string>& names) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier &&
+         names.count(t[i].text) != 0;
+}
+
+/// Index just past a balanced <...> starting at `open` (which must be '<');
+/// returns `open` when not a '<'.  Bounded: runs off the end gracefully.
+std::size_t skip_template_args(const Tokens& t, std::size_t open) {
+  if (!is_punct(t, open, '<')) return open;
+  int depth = 0;
+  std::size_t i = open;
+  while (i < t.size()) {
+    if (is_punct(t, i, '<')) ++depth;
+    if (is_punct(t, i, '>')) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    ++i;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+
+class Auditor {
+ public:
+  Auditor(const ScannedSource& src, FileContext ctx)
+      : src_(src), ctx_(std::move(ctx)) {}
+
+  std::vector<AuditFinding> run() {
+    scan_declarations();
+    if (!ctx_.seed_plumbing) rule_aud001();
+    rule_aud002();
+    if (ctx_.state_sensitive) rule_aud003();
+    rule_aud004();
+    if (ctx_.merge_path) rule_aud005();
+    rule_aud006();
+    return std::move(findings_);
+  }
+
+ private:
+  void add(const char* rule, int line, std::string message) {
+    AuditFinding f;
+    f.rule = rule;
+    f.line = line;
+    f.message = std::move(message);
+    if (line >= 1 && static_cast<std::size_t>(line) <= src_.lines.size())
+      f.line_hash =
+          line_content_hash(src_.lines[static_cast<std::size_t>(line) - 1]);
+    findings_.push_back(std::move(f));
+  }
+
+  /// One pass recording identifiers declared with an unordered container
+  /// type (AUD002) or a floating-point type (AUD005).  Purely local and
+  /// heuristic — member declarations in the same file are covered, which
+  /// matches how the repo keeps implementation classes in one TU.
+  void scan_declarations() {
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (any_ident(t, i, kUnordered)) {
+        std::size_t j = skip_template_args(t, i + 1);
+        while (is_punct(t, j, '&') || is_punct(t, j, '*')) ++j;
+        if (j < t.size() && t[j].kind == Token::Kind::kIdentifier)
+          unordered_idents_.insert(t[j].text);
+      }
+      if ((is_ident(t, i, "double") || is_ident(t, i, "float")) &&
+          i + 1 < t.size() && t[i + 1].kind == Token::Kind::kIdentifier)
+        float_idents_.insert(t[i + 1].text);
+    }
+  }
+
+  void rule_aud001() {
+    // Identifier-shaped tokens that are nondeterministic wherever they
+    // appear in code (string literals were already stripped).
+    static const std::set<std::string> kBannedAlways = {
+        "rand",       "srand",     "srandom",   "drand48",
+        "lrand48",    "mrand48",   "random_device", "system_clock",
+        "high_resolution_clock",   "gettimeofday",  "localtime",
+        "gmtime",     "asctime",   "getenv"};
+    // Callable names too common to ban as bare identifiers: only the
+    // call form `time(...)` / `clock(...)` / `random(...)` is flagged,
+    // and not as a member (`x.time(...)`) or non-std qualification.
+    static const std::set<std::string> kBannedCalls = {"time", "clock",
+                                                       "random"};
+    static const std::set<std::string> kEngines = {
+        "mt19937",       "mt19937_64",   "minstd_rand", "minstd_rand0",
+        "default_random_engine",         "ranlux24_base",
+        "ranlux48_base", "ranlux24",     "ranlux48",    "knuth_b"};
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (any_ident(t, i, kBannedAlways)) {
+        add("AUD001", t[i].line,
+            "nondeterministic API '" + t[i].text +
+                "': all randomness/time must flow through explicitly "
+                "seeded aqt::Rng / steady_clock (see util/rng.hpp)");
+        continue;
+      }
+      if (any_ident(t, i, kBannedCalls) && is_punct(t, i + 1, '(')) {
+        const bool member = i > 0 && (is_punct(t, i - 1, '.') ||
+                                      is_punct(t, i - 1, '>'));
+        const bool qualified = i > 1 && is_punct(t, i - 1, ':') &&
+                               is_punct(t, i - 2, ':');
+        const bool std_qualified =
+            qualified && i > 2 && is_ident(t, i - 3, "std");
+        // `long time(long t)` is a declaration, not a call: a call never
+        // directly follows a bare identifier except expression keywords.
+        static const std::set<std::string> kExprKeywords = {
+            "return", "throw", "else", "do", "case", "goto",
+            "co_return", "co_yield", "co_await"};
+        const bool declaration =
+            i > 0 && t[i - 1].kind == Token::Kind::kIdentifier &&
+            kExprKeywords.count(t[i - 1].text) == 0;
+        if (!member && !declaration && (!qualified || std_qualified))
+          add("AUD001", t[i].line,
+              "call of nondeterministic '" + t[i].text +
+                  "()': wall-clock and libc randomness are banned outside "
+                  "the seed-plumbing allowlist");
+        continue;
+      }
+      if (any_ident(t, i, kEngines)) {
+        // `std::mt19937 rng;` / `rng{}` / `rng()` — default (argless)
+        // seeding is the hazard; an explicit seed argument passes.
+        std::size_t j = i + 1;
+        if (j < t.size() && t[j].kind == Token::Kind::kIdentifier) ++j;
+        const bool argless =
+            is_punct(t, j, ';') || is_punct(t, j, ',') ||
+            (is_punct(t, j, '{') && is_punct(t, j + 1, '}')) ||
+            (is_punct(t, j, '(') && is_punct(t, j + 1, ')'));
+        if (argless)
+          add("AUD001", t[i].line,
+              "std engine '" + t[i].text +
+                  "' constructed without an explicit seed: default seeds "
+                  "are implementation-defined and unreplayable");
+      }
+    }
+  }
+
+  void rule_aud002() {
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      // Range-for over a tracked unordered container:
+      //   for ( <decl> : <single-identifier> )
+      if (is_ident(t, i, "for") && is_punct(t, i + 1, '(')) {
+        int depth = 0;
+        std::size_t colon = 0;
+        for (std::size_t j = i + 1; j < t.size() && j < i + 64; ++j) {
+          if (is_punct(t, j, '(')) ++depth;
+          if (is_punct(t, j, ')')) {
+            --depth;
+            if (depth == 0) break;
+          }
+          if (depth == 1 && is_punct(t, j, ':') && !is_punct(t, j + 1, ':') &&
+              !is_punct(t, j - 1, ':')) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != 0 && colon + 2 < t.size() &&
+            t[colon + 1].kind == Token::Kind::kIdentifier &&
+            is_punct(t, colon + 2, ')') &&
+            unordered_idents_.count(t[colon + 1].text) != 0)
+          add("AUD002", t[i].line,
+              "iteration over unordered container '" + t[colon + 1].text +
+                  "' has unspecified order; sort the keys first, or "
+                  "justify with allow(AUD002) if the reduction is "
+                  "commutative");
+      }
+      // Explicit iterator walk: tracked.begin() / cbegin().
+      if (t[i].kind == Token::Kind::kIdentifier &&
+          unordered_idents_.count(t[i].text) != 0 &&
+          is_punct(t, i + 1, '.') &&
+          (is_ident(t, i + 2, "begin") || is_ident(t, i + 2, "cbegin")) &&
+          is_punct(t, i + 3, '('))
+        add("AUD002", t[i].line,
+            "iterator walk over unordered container '" + t[i].text +
+                "' has unspecified order; sort the keys first, or justify "
+                "with allow(AUD002) if the traversal is order-insensitive");
+    }
+  }
+
+  void rule_aud003() {
+    static const std::set<std::string> kConstish = {"const", "constexpr",
+                                                    "constinit", "consteval"};
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const bool is_static = is_ident(t, i, "static");
+      const bool is_tls = is_ident(t, i, "thread_local");
+      if (!is_static && !is_tls) continue;
+      // Scan to the first structural token.  '(' first => a function
+      // declaration (fine); const/constexpr anywhere before the
+      // terminator => immutable (fine); otherwise mutable static state.
+      bool constish = false;
+      char terminator = 0;
+      int line = t[i].line;
+      for (std::size_t j = i + 1; j < t.size() && j < i + 48; ++j) {
+        if (any_ident(t, j, kConstish)) constish = true;
+        if (is_ident(t, j, "thread_local")) continue;  // static thread_local
+        if (is_punct(t, j, '<')) {
+          j = skip_template_args(t, j) - 1;
+          continue;
+        }
+        if (is_punct(t, j, ';') || is_punct(t, j, '=') ||
+            is_punct(t, j, '(') || is_punct(t, j, '{')) {
+          terminator = t[j].text[0];
+          break;
+        }
+      }
+      if (constish || terminator == '(' || terminator == 0) continue;
+      add("AUD003", line,
+          std::string(is_tls ? "thread_local" : "static") +
+              " mutable state in engine/runner/obs code: shared-state "
+              "TSan cannot prove safe, and run-to-run leakage that breaks "
+              "replayability; make it const, or pass state explicitly");
+    }
+  }
+
+  void rule_aud004() {
+    static const std::set<std::string> kOrdered = {
+        "map", "set", "multimap", "multiset", "priority_queue", "less",
+        "greater"};
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!any_ident(t, i, kOrdered) || !is_punct(t, i + 1, '<')) continue;
+      // Pointer in the *first* template argument (the ordering key).
+      int depth = 0;
+      bool pointer_key = false;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (is_punct(t, j, '<')) ++depth;
+        if (is_punct(t, j, '>')) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (depth == 1 && is_punct(t, j, ',')) break;
+        if (depth >= 1 && is_punct(t, j, '*')) pointer_key = true;
+      }
+      if (pointer_key)
+        add("AUD004", t[i].line,
+            "'" + t[i].text +
+                "' keyed/ordered by a raw pointer: iteration and "
+                "comparison order depend on allocation addresses, which "
+                "differ across runs; key by a stable id instead");
+    }
+  }
+
+  void rule_aud005() {
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Token::Kind::kIdentifier ||
+          float_idents_.count(t[i].text) == 0)
+        continue;
+      const bool compound = is_punct(t, i + 1, '+') && is_punct(t, i + 2, '=');
+      const bool rebind = is_punct(t, i + 1, '=') && !is_punct(t, i + 2, '=') &&
+                          is_ident(t, i + 2, t[i].text.c_str()) &&
+                          is_punct(t, i + 3, '+');
+      if (compound || rebind)
+        add("AUD005", t[i].line,
+            "float accumulation into '" + t[i].text +
+                "' on a cross-worker merge path: addition order changes "
+                "the result across --jobs; merge in a fixed "
+                "(submission-order) loop or accumulate integers");
+    }
+  }
+
+  void rule_aud006() {
+    const auto& allowed = layer_allowed();
+    for (const PreprocessorLine& pp : src_.preprocessor) {
+      const std::string text = trim(pp.text);
+      if (text.rfind("include", 0) != 0) continue;
+      const auto open = text.find('"');
+      if (open == std::string::npos) continue;  // <system> includes: free.
+      const auto close = text.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string path = text.substr(open + 1, close - open - 1);
+      if (path.rfind("tools/", 0) == 0) {
+        add("AUD006", pp.line,
+            "#include \"" + path +
+                "\": tool sources are program entry points, never a "
+                "library surface");
+        continue;
+      }
+      if (path.rfind("aqt/", 0) != 0) continue;
+      const auto slash = path.find('/', 4);
+      if (slash == std::string::npos) continue;
+      const std::string target = path.substr(4, slash - 4);
+      if (allowed.count(target) == 0) {
+        add("AUD006", pp.line,
+            "#include \"" + path + "\": module '" + target +
+                "' is not registered in the layering map (auditor.cpp); "
+                "register new modules there with their dependencies");
+        continue;
+      }
+      if (ctx_.layer == "top") continue;  // tools/tests/bench: free.
+      const auto it = allowed.find(ctx_.layer);
+      if (it != allowed.end() && it->second.count(target) == 0)
+        add("AUD006", pp.line,
+            "#include \"" + path + "\": layer '" + ctx_.layer +
+                "' must not depend on '" + target +
+                "' (dependency order in src/aqt/*/CMakeLists.txt)");
+    }
+  }
+
+  const ScannedSource& src_;
+  FileContext ctx_;
+  std::set<std::string> unordered_idents_;
+  std::set<std::string> float_idents_;
+  std::vector<AuditFinding> findings_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_pack() { return kRules; }
+
+std::uint64_t line_content_hash(const std::string& line) {
+  const std::string text = trim(line);
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+FileContext classify_path(const std::string& path) {
+  FileContext ctx;
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  const auto at = p.find("src/aqt/");
+  if (at != std::string::npos) {
+    const std::size_t begin = at + 8;
+    const auto slash = p.find('/', begin);
+    if (slash != std::string::npos) {
+      const std::string layer = p.substr(begin, slash - begin);
+      if (layer_allowed().count(layer) != 0) {
+        ctx.layer = layer;
+        ctx.state_sensitive =
+            layer == "core" || layer == "runner" || layer == "obs";
+      }
+    }
+  }
+  if (p.find("runner/pool.") != std::string::npos ||
+      p.find("obs/registry.") != std::string::npos)
+    ctx.merge_path = true;
+  if (p.find("util/rng.") != std::string::npos) ctx.seed_plumbing = true;
+  return ctx;
+}
+
+AuditReport audit_source(std::string file, const std::string& text) {
+  AuditReport rep;
+  const ScannedSource src = scan_source(text);
+  Directives dir = collect_directives(src, classify_path(file));
+  rep.file = std::move(file);
+
+  std::vector<AuditFinding> findings = Auditor(src, dir.context).run();
+  for (AuditFinding& f : dir.findings) findings.push_back(std::move(f));
+
+  // Apply allow() suppressions (AUD007 findings are never suppressible —
+  // a malformed directive must not silence itself).
+  std::vector<AuditFinding> kept;
+  kept.reserve(findings.size());
+  for (AuditFinding& f : findings) {
+    const bool allowed =
+        f.rule != "AUD007" &&
+        std::any_of(dir.allows.begin(), dir.allows.end(),
+                    [&f](const Allow& a) {
+                      return a.rule == f.rule && a.line == f.line;
+                    });
+    if (!allowed) kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const AuditFinding& a, const AuditFinding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  rep.findings = std::move(kept);
+  return rep;
+}
+
+AuditReport audit_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AQT_REQUIRE(in.good(), "cannot open source file: " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return audit_source(path, buf.str());
+}
+
+// --- Baseline ---------------------------------------------------------------
+
+std::vector<BaselineEntry> parse_baseline(std::istream& is,
+                                          const std::string& name) {
+  std::vector<BaselineEntry> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    const auto tab1 = text.find('\t');
+    const auto tab2 =
+        tab1 == std::string::npos ? std::string::npos
+                                  : text.find('\t', tab1 + 1);
+    AQT_REQUIRE(tab2 != std::string::npos,
+                "baseline " << name << ":" << lineno
+                            << ": expected RULE<TAB>file<TAB>hash");
+    BaselineEntry e;
+    e.rule = text.substr(0, tab1);
+    AQT_REQUIRE(known_rule(e.rule), "baseline "
+                                        << name << ":" << lineno
+                                        << ": unknown rule id '" << e.rule
+                                        << "'");
+    e.file = text.substr(tab1 + 1, tab2 - tab1 - 1);
+    const std::string hex = trim(text.substr(tab2 + 1));
+    AQT_REQUIRE(!hex.empty() && hex.size() <= 16,
+                "baseline " << name << ":" << lineno << ": bad hash '" << hex
+                            << "'");
+    std::uint64_t h = 0;
+    for (const char c : hex) {
+      int digit = 0;
+      if (c >= '0' && c <= '9')
+        digit = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        digit = c - 'a' + 10;
+      else
+        AQT_REQUIRE(false, "baseline " << name << ":" << lineno
+                                       << ": bad hash '" << hex << "'");
+      h = (h << 4U) | static_cast<std::uint64_t>(digit);
+    }
+    e.line_hash = h;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<BaselineEntry> load_baseline_file(const std::string& path) {
+  std::ifstream in(path);
+  AQT_REQUIRE(in.good(), "cannot open baseline file: " << path);
+  return parse_baseline(in, path);
+}
+
+namespace {
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+}  // namespace
+
+std::string to_baseline(const std::vector<AuditReport>& reports) {
+  std::ostringstream os;
+  os << "# aqt-audit baseline: grandfathered findings (RULE\\tfile\\thash "
+        "of the trimmed offending line).\n"
+     << "# Regenerate with `aqt-audit --update-baseline ...`; this file "
+        "should only ever shrink.\n";
+  for (const AuditReport& rep : reports)
+    for (const AuditFinding& f : rep.findings)
+      os << f.rule << '\t' << rep.file << '\t' << hash_hex(f.line_hash)
+         << '\n';
+  return os.str();
+}
+
+BaselineApplied apply_baseline(std::vector<AuditReport>& reports,
+                               const std::vector<BaselineEntry>& baseline) {
+  BaselineApplied result;
+  // Multiset of unconsumed entries keyed by rule+file+hash.
+  std::map<std::string, std::size_t> budget;
+  auto key = [](const std::string& rule, const std::string& file,
+                std::uint64_t hash) {
+    return rule + '\t' + file + '\t' + hash_hex(hash);
+  };
+  for (const BaselineEntry& e : baseline)
+    ++budget[key(e.rule, e.file, e.line_hash)];
+  for (AuditReport& rep : reports) {
+    std::vector<AuditFinding> kept;
+    kept.reserve(rep.findings.size());
+    for (AuditFinding& f : rep.findings) {
+      const auto it = budget.find(key(f.rule, rep.file, f.line_hash));
+      if (it != budget.end() && it->second > 0) {
+        --it->second;
+        ++result.suppressed;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+    rep.findings = std::move(kept);
+  }
+  for (const BaselineEntry& e : baseline) {
+    auto& remaining = budget[key(e.rule, e.file, e.line_hash)];
+    if (remaining > 0) {
+      --remaining;
+      result.stale.push_back(e);
+    }
+  }
+  return result;
+}
+
+// --- Rendering --------------------------------------------------------------
+
+std::string to_human(const std::vector<AuditReport>& reports) {
+  std::ostringstream os;
+  std::size_t total = 0;
+  for (const AuditReport& rep : reports) {
+    if (rep.ok()) continue;
+    total += rep.findings.size();
+    for (const AuditFinding& f : rep.findings)
+      os << rep.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+         << "\n";
+  }
+  if (total == 0)
+    os << "aqt-audit: " << reports.size() << " file"
+       << (reports.size() == 1 ? "" : "s") << " clean\n";
+  else
+    os << "aqt-audit: " << total << " finding" << (total == 1 ? "" : "s")
+       << " in " << reports.size() << " file"
+       << (reports.size() == 1 ? "" : "s") << "\n";
+  return os.str();
+}
+
+std::string to_json(const std::vector<AuditReport>& reports) {
+  std::ostringstream os;
+  bool all_ok = true;
+  for (const AuditReport& rep : reports) all_ok = all_ok && rep.ok();
+  os << "{\"tool\":\"aqt-audit\",\"ok\":" << (all_ok ? "true" : "false")
+     << ",\"reports\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const AuditReport& rep = reports[i];
+    if (i) os << ",";
+    os << "{\"file\":\"" << json_escape(rep.file) << "\","
+       << "\"ok\":" << (rep.ok() ? "true" : "false") << ",\"findings\":[";
+    for (std::size_t j = 0; j < rep.findings.size(); ++j) {
+      const AuditFinding& f = rep.findings[j];
+      if (j) os << ",";
+      os << "{\"rule\":\"" << json_escape(f.rule) << "\",\"line\":" << f.line
+         << ",\"message\":\"" << json_escape(f.message) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// --- Hardened JSON re-parser ------------------------------------------------
+//
+// Strict recursive-descent over exactly the grammar to_json emits — the
+// same discipline as obs/events.cpp's LineParser: position-attributed
+// PreconditionError on any malformation, never a crash or a hang.
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& where)
+      : s_(text), where_(where) {}
+
+  void fail(const std::string& what) const {
+    AQT_REQUIRE(false, "" << where_ << ": " << what << " at byte " << pos_);
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool at_end() const { return pos_ >= s_.size(); }
+
+  void key(const char* name) {
+    const std::string k = string_value();
+    if (k != name) fail("expected key '" + std::string(name) + "', got '" +
+                        k + "'");
+    expect(':');
+  }
+
+  std::string string_value() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4U;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          if (code > 0xff) fail("non-latin \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::int64_t int_value() {
+    const bool neg = consume('-');
+    if (peek() < '0' || peek() > '9') fail("expected digit");
+    std::int64_t v = 0;
+    while (!at_end() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      if (v > (INT64_MAX - 9) / 10) fail("integer overflow");
+      v = v * 10 + (take() - '0');
+    }
+    return neg ? -v : v;
+  }
+
+  bool bool_value() {
+    if (consume('t')) {
+      expect('r');
+      expect('u');
+      expect('e');
+      return true;
+    }
+    expect('f');
+    expect('a');
+    expect('l');
+    expect('s');
+    expect('e');
+    return false;
+  }
+
+ private:
+  const std::string& s_;
+  const std::string& where_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<AuditReport> parse_audit_json(const std::string& text,
+                                          const std::string& name) {
+  JsonParser p(text, name);
+  p.expect('{');
+  p.key("tool");
+  const std::string tool = p.string_value();
+  if (tool != "aqt-audit") p.fail("tool is '" + tool + "', not 'aqt-audit'");
+  p.expect(',');
+  p.key("ok");
+  const bool ok = p.bool_value();
+  p.expect(',');
+  p.key("reports");
+  p.expect('[');
+  std::vector<AuditReport> reports;
+  bool all_ok = true;
+  if (!p.consume(']')) {
+    for (;;) {
+      AuditReport rep;
+      p.expect('{');
+      p.key("file");
+      rep.file = p.string_value();
+      p.expect(',');
+      p.key("ok");
+      const bool rep_ok = p.bool_value();
+      p.expect(',');
+      p.key("findings");
+      p.expect('[');
+      if (!p.consume(']')) {
+        for (;;) {
+          AuditFinding f;
+          p.expect('{');
+          p.key("rule");
+          f.rule = p.string_value();
+          if (!known_rule(f.rule)) p.fail("unknown rule '" + f.rule + "'");
+          p.expect(',');
+          p.key("line");
+          const std::int64_t line = p.int_value();
+          if (line < 0 || line > INT32_MAX) p.fail("line out of range");
+          f.line = static_cast<int>(line);
+          p.expect(',');
+          p.key("message");
+          f.message = p.string_value();
+          p.expect('}');
+          rep.findings.push_back(std::move(f));
+          if (p.consume(']')) break;
+          p.expect(',');
+        }
+      }
+      p.expect('}');
+      if (rep_ok != rep.ok()) p.fail("report ok flag contradicts findings");
+      all_ok = all_ok && rep.ok();
+      reports.push_back(std::move(rep));
+      if (p.consume(']')) break;
+      p.expect(',');
+    }
+  }
+  p.expect('}');
+  if (!p.at_end()) p.fail("trailing bytes after document");
+  if (ok != all_ok) p.fail("document ok flag contradicts reports");
+  return reports;
+}
+
+}  // namespace aqt::audit

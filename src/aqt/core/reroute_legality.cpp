@@ -31,9 +31,11 @@ RerouteLegalityReport RerouteLegalityChecker::check_and_apply(
   for (const Reroute& rr : batch) {
     const Packet& p = engine.packet(rr.packet);
     std::unordered_set<EdgeId> dedup(p.route.begin(), p.route.end());
+    // aqt-audit: allow(AUD002) -- per-edge count increments commute
     for (EdgeId e : dedup) ++edge_count[e];
   }
   const bool common =
+      // aqt-audit: allow(AUD002) -- existence check, order-insensitive
       std::any_of(edge_count.begin(), edge_count.end(),
                   [&](const auto& kv) { return kv.second == batch.size(); });
   if (!common) {

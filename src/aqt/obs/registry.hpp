@@ -35,6 +35,7 @@ namespace aqt::obs {
 /// Monotone event count.
 class Counter {
  public:
+  // aqt-audit: allow(AUD005) -- integer counter: uint64 addition is exact
   void inc(std::uint64_t delta = 1) { value_ += delta; }
   /// Sets an absolute value; must not go backwards (counters are monotone).
   void set(std::uint64_t value);

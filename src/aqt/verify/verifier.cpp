@@ -497,6 +497,7 @@ class Verifier {
 
   void check_residents() {
     rep_.resident = live_;
+    // aqt-audit: allow(AUD002) -- max reductions commute over packets_
     for (const auto& [ord, p] : packets_) {
       rep_.observed_d = std::max(
           rep_.observed_d, static_cast<std::int64_t>(p.route.size()));
@@ -515,6 +516,7 @@ class Verifier {
     if (!has_window && !tr_.meta.rate_r.has_value()) return;
 
     std::vector<std::vector<Time>> times(tr_.edges.size());
+    // aqt-audit: allow(AUD002) -- per-edge time lists are sorted below
     for (const auto& [ord, p] : packets_) {
       if (p.inject < 1) continue;
       for (const EdgeId e : p.route)

@@ -1,0 +1,383 @@
+// Tests for the aqt-audit determinism analyzer: the token scanner's
+// soundness obligations (comments/strings never reach the code stream),
+// every AUD rule against known-bad and near-miss corpus files, directive
+// suppression semantics, the baseline round-trip, and the hardened JSON
+// round-trip shared with the other CI-facing tools.
+#include "aqt/audit/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/lexer.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt::audit {
+namespace {
+
+std::string corpus(const std::string& name) {
+  return std::string(AQT_SOURCE_DIR) + "/tests/audit/corpus/" + name;
+}
+
+bool has_rule(const AuditReport& rep, const std::string& rule) {
+  return std::any_of(
+      rep.findings.begin(), rep.findings.end(),
+      [&rule](const AuditFinding& f) { return f.rule == rule; });
+}
+
+bool only_rule(const AuditReport& rep, const std::string& rule) {
+  return !rep.findings.empty() &&
+         std::all_of(
+             rep.findings.begin(), rep.findings.end(),
+             [&rule](const AuditFinding& f) { return f.rule == rule; });
+}
+
+// --- Lexer soundness -------------------------------------------------------
+
+TEST(AuditLexerTest, CommentsAndStringsNeverReachTheCodeStream) {
+  const ScannedSource src = scan_source(
+      "// rand in a comment\n"
+      "const char* msg = \"rand() and time() here\";\n"
+      "/* rand\n   rand */ int x = 1;\n");
+  for (const Token& t : src.tokens) EXPECT_NE(t.text, "rand") << t.line;
+  ASSERT_GE(src.comments.size(), 2u);
+  EXPECT_EQ(src.comments[0].line, 1);
+}
+
+TEST(AuditLexerTest, RawStringsAreExcluded) {
+  const ScannedSource src =
+      scan_source("auto s = R\"(rand() inside raw)\";\nint after = 2;\n");
+  for (const Token& t : src.tokens) EXPECT_NE(t.text, "rand");
+  // The token after the raw string still carries the right line.
+  bool saw_after = false;
+  for (const Token& t : src.tokens)
+    if (t.text == "after") {
+      saw_after = true;
+      EXPECT_EQ(t.line, 2);
+    }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(AuditLexerTest, PreprocessorContinuationsAreHonoured) {
+  const ScannedSource src =
+      scan_source("#include \\\n  \"aqt/core/engine.hpp\"\nint x;\n");
+  ASSERT_EQ(src.preprocessor.size(), 1u);
+  EXPECT_NE(src.preprocessor[0].text.find("aqt/core/engine.hpp"),
+            std::string::npos);
+}
+
+TEST(AuditLexerTest, UnterminatedConstructsStillTerminate) {
+  // Hardened-parser obligation: any byte sequence terminates.
+  EXPECT_NO_THROW(scan_source("/* never closed"));
+  EXPECT_NO_THROW(scan_source("auto s = R\"(never closed"));
+  EXPECT_NO_THROW(scan_source("auto s = \"never closed\n"));
+}
+
+// --- Path classification ---------------------------------------------------
+
+TEST(AuditContextTest, ClassifiesRepoPaths) {
+  const FileContext core = classify_path("src/aqt/core/engine.cpp");
+  EXPECT_EQ(core.layer, "core");
+  EXPECT_TRUE(core.state_sensitive);
+  EXPECT_FALSE(core.merge_path);
+  EXPECT_FALSE(core.seed_plumbing);
+
+  const FileContext pool = classify_path("src/aqt/runner/pool.cpp");
+  EXPECT_EQ(pool.layer, "runner");
+  EXPECT_TRUE(pool.merge_path);
+
+  const FileContext rng = classify_path("src/aqt/util/rng.hpp");
+  EXPECT_TRUE(rng.seed_plumbing);
+  EXPECT_FALSE(rng.state_sensitive);
+
+  const FileContext tool = classify_path("tools/aqt_sim.cpp");
+  EXPECT_EQ(tool.layer, "top");
+  EXPECT_FALSE(tool.state_sensitive);
+}
+
+// --- Rules, unit-level -----------------------------------------------------
+
+TEST(AuditRulesTest, Aud001SeedPlumbingIsExempt) {
+  const std::string body = "unsigned seed() { std::random_device rd; "
+                           "return rd(); }\n";
+  EXPECT_TRUE(has_rule(audit_source("src/aqt/core/x.cpp", body), "AUD001"));
+  EXPECT_TRUE(audit_source("src/aqt/util/rng.cpp", body).ok());
+}
+
+TEST(AuditRulesTest, Aud001DeclarationIsNotACall) {
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "struct W { long time() const; };\nnamespace s { long clock(int); }\n");
+  EXPECT_TRUE(rep.ok()) << to_human({rep});
+}
+
+TEST(AuditRulesTest, Aud003AppliesOnlyToStateSensitiveLayers) {
+  const std::string body = "int f() { static int n = 0; return ++n; }\n";
+  EXPECT_TRUE(has_rule(audit_source("src/aqt/runner/x.cpp", body), "AUD003"));
+  // analysis is not engine/runner/obs: the same code passes there.
+  EXPECT_TRUE(audit_source("src/aqt/analysis/x.cpp", body).ok());
+}
+
+TEST(AuditRulesTest, Aud005AppliesOnlyToMergePaths) {
+  const std::string body =
+      "double sum(double acc, double x) { acc += x; return acc; }\n";
+  EXPECT_TRUE(has_rule(audit_source("src/aqt/runner/pool.cpp", body),
+                       "AUD005"));
+  EXPECT_TRUE(audit_source("src/aqt/core/engine.cpp", body).ok());
+}
+
+TEST(AuditRulesTest, Aud006ToolsAndTestsAreUnrestricted) {
+  const std::string body = "#include \"aqt/runner/pool.hpp\"\n";
+  EXPECT_TRUE(has_rule(audit_source("src/aqt/core/x.cpp", body), "AUD006"));
+  EXPECT_TRUE(audit_source("tools/aqt_x.cpp", body).ok());
+  EXPECT_TRUE(audit_source("tests/runner/x_test.cpp", body).ok());
+}
+
+TEST(AuditRulesTest, FindingsAreSortedByLineThenRule) {
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "#include \"aqt/runner/pool.hpp\"\nint f() { return rand(); }\n");
+  ASSERT_EQ(rep.findings.size(), 2u);
+  EXPECT_EQ(rep.findings[0].rule, "AUD006");
+  EXPECT_EQ(rep.findings[1].rule, "AUD001");
+  EXPECT_LT(rep.findings[0].line, rep.findings[1].line);
+}
+
+// --- Directives ------------------------------------------------------------
+
+TEST(AuditDirectiveTest, AllowSuppressesSameLine) {
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "int f() { return rand(); }  "
+      "// aqt-audit: allow(AUD001) -- test fixture\n");
+  EXPECT_TRUE(rep.ok()) << to_human({rep});
+}
+
+TEST(AuditDirectiveTest, CommentOnlyLineSuppressesNextLine) {
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "// aqt-audit: allow(AUD001) -- test fixture\n"
+      "int f() { return rand(); }\n");
+  EXPECT_TRUE(rep.ok()) << to_human({rep});
+}
+
+TEST(AuditDirectiveTest, WrongRuleOrWrongLineDoesNotSuppress) {
+  // allow(AUD004) cannot absolve an AUD001 finding...
+  EXPECT_TRUE(has_rule(
+      audit_source("src/aqt/core/x.cpp",
+                   "int f() { return rand(); }  "
+                   "// aqt-audit: allow(AUD004) -- wrong rule\n"),
+      "AUD001"));
+  // ...and an allow two lines above the finding is out of range.
+  EXPECT_TRUE(has_rule(
+      audit_source("src/aqt/core/x.cpp",
+                   "// aqt-audit: allow(AUD001) -- too far away\n"
+                   "\n"
+                   "int f() { return rand(); }\n"),
+      "AUD001"));
+}
+
+TEST(AuditDirectiveTest, Aud007IsNeverSuppressible) {
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "// aqt-audit: allow(AUD007) -- hush\n"
+      "// aqt-audit: allow(AUD999) -- malformed on purpose\n");
+  EXPECT_TRUE(has_rule(rep, "AUD007"));
+}
+
+TEST(AuditDirectiveTest, MarkerInProseIsIgnored) {
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "// See docs for the aqt-audit: rule table and workflow.\n"
+      "int f(int x) { return x; }\n");
+  EXPECT_TRUE(rep.ok()) << to_human({rep});
+}
+
+TEST(AuditDirectiveTest, ContextOverridesPathClassification) {
+  // tests/ paths are unrestricted by default; context(core) re-imposes
+  // the core layering rules — this is how the corpus files work.
+  const std::string body =
+      "// aqt-audit: context(core)\n#include \"aqt/runner/pool.hpp\"\n";
+  EXPECT_TRUE(has_rule(audit_source("tests/fixture/x.cpp", body), "AUD006"));
+}
+
+// --- Corpus ----------------------------------------------------------------
+
+TEST(AuditCorpusTest, EveryBadFileIsDetectedByExactlyItsRule) {
+  for (const RuleInfo& rule : rule_pack()) {
+    std::string low = rule.id;
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    const AuditReport rep = audit_file(corpus(low + "_bad.cpp"));
+    EXPECT_TRUE(only_rule(rep, rule.id))
+        << rule.id << " corpus file: " << to_human({rep});
+  }
+}
+
+TEST(AuditCorpusTest, EveryGoodFileIsClean) {
+  for (const RuleInfo& rule : rule_pack()) {
+    std::string low = rule.id;
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    const AuditReport rep = audit_file(corpus(low + "_good.cpp"));
+    EXPECT_TRUE(rep.ok()) << rule.id
+                          << " near-miss file: " << to_human({rep});
+  }
+}
+
+TEST(AuditCorpusTest, MetaEveryPackRuleHasCorpusCoverage) {
+  // The pack is the single source of truth: a rule added without corpus
+  // coverage fails here, not silently.
+  std::set<std::string> covered;
+  for (const RuleInfo& rule : rule_pack()) {
+    std::string low = rule.id;
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (const AuditFinding& f : audit_file(corpus(low + "_bad.cpp")).findings)
+      covered.insert(f.rule);
+  }
+  for (const RuleInfo& rule : rule_pack())
+    EXPECT_EQ(covered.count(rule.id), 1u) << rule.id << " has no corpus hit";
+}
+
+TEST(AuditCorpusTest, UnreadableFileIsAHardError) {
+  EXPECT_THROW(audit_file(corpus("no_such_file.cpp")), PreconditionError);
+}
+
+// --- JSON round-trip (hardened-parser discipline) --------------------------
+
+std::vector<AuditReport> corpus_reports() {
+  std::vector<AuditReport> reports;
+  for (const RuleInfo& rule : rule_pack()) {
+    std::string low = rule.id;
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    reports.push_back(audit_file(corpus(low + "_bad.cpp")));
+    reports.push_back(audit_file(corpus(low + "_good.cpp")));
+  }
+  return reports;
+}
+
+TEST(AuditJsonTest, RoundTripsThroughTheHardenedParser) {
+  const std::vector<AuditReport> reports = corpus_reports();
+  const std::vector<AuditReport> back =
+      parse_audit_json(to_json(reports), "round-trip");
+  ASSERT_EQ(back.size(), reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(back[i].file, reports[i].file);
+    ASSERT_EQ(back[i].findings.size(), reports[i].findings.size());
+    for (std::size_t j = 0; j < reports[i].findings.size(); ++j) {
+      EXPECT_EQ(back[i].findings[j].rule, reports[i].findings[j].rule);
+      EXPECT_EQ(back[i].findings[j].line, reports[i].findings[j].line);
+      EXPECT_EQ(back[i].findings[j].message, reports[i].findings[j].message);
+    }
+  }
+}
+
+TEST(AuditJsonTest, MalformedInputThrowsNeverCrashes) {
+  const char* bad[] = {
+      "",
+      "null",
+      "{",
+      "{\"tool\":\"aqt-audit\"}",
+      "{\"tool\":\"other\",\"ok\":true,\"reports\":[]}",
+      "{\"tool\":\"aqt-audit\",\"ok\":true,\"reports\":[]} trailing",
+      "{\"tool\":\"aqt-audit\",\"ok\":\"yes\",\"reports\":[]}",
+      "{\"tool\":\"aqt-audit\",\"ok\":true,\"reports\":[{\"file\":\"f\"}]}",
+      "{\"tool\":\"aqt-audit\",\"ok\":true,\"reports\":[{\"file\":\"f\","
+      "\"ok\":true,\"findings\":[{\"rule\":\"AUD001\",\"line\":true,"
+      "\"message\":\"m\"}]}]}",
+  };
+  for (const char* text : bad)
+    EXPECT_THROW(parse_audit_json(text, "t"), PreconditionError) << text;
+}
+
+TEST(AuditJsonTest, OkFlagMustMatchTheFindings) {
+  // A report that claims ok but carries findings (or vice versa) is a
+  // forged document, not a formatting quirk.
+  EXPECT_THROW(
+      parse_audit_json(
+          "{\"tool\":\"aqt-audit\",\"ok\":true,\"reports\":[{\"file\":\"f\","
+          "\"ok\":true,\"findings\":[{\"rule\":\"AUD001\",\"line\":1,"
+          "\"message\":\"m\"}]}]}",
+          "t"),
+      PreconditionError);
+}
+
+// --- Baseline --------------------------------------------------------------
+
+TEST(AuditBaselineTest, ParsesCommentsAndEntries) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "AUD001\tsrc/aqt/core/x.cpp\tdeadbeef00000001\n");
+  const std::vector<BaselineEntry> entries = parse_baseline(in, "t");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "AUD001");
+  EXPECT_EQ(entries[0].file, "src/aqt/core/x.cpp");
+  EXPECT_EQ(entries[0].line_hash, 0xdeadbeef00000001ull);
+}
+
+TEST(AuditBaselineTest, MalformedBaselineThrows) {
+  const char* bad[] = {
+      "AUD001\tonly-two-fields\n",
+      "AUD001\tf\tnot-hex\n",
+      "NOPE9\tf\tdeadbeef00000001\n",
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(parse_baseline(in, "t"), PreconditionError) << text;
+  }
+}
+
+TEST(AuditBaselineTest, RoundTripAndMultisetSemantics) {
+  std::vector<AuditReport> reports = {
+      audit_file(corpus("aud004_bad.cpp"))};
+  ASSERT_EQ(reports[0].findings.size(), 3u);
+
+  std::istringstream in(to_baseline(reports));
+  std::vector<BaselineEntry> entries = parse_baseline(in, "t");
+  ASSERT_EQ(entries.size(), 3u);
+
+  // A full baseline absolves everything, nothing is stale.
+  std::vector<AuditReport> full = reports;
+  BaselineApplied applied = apply_baseline(full, entries);
+  EXPECT_EQ(applied.suppressed, 3u);
+  EXPECT_TRUE(applied.stale.empty());
+  EXPECT_TRUE(full[0].ok());
+
+  // Two findings on identical source lines share one content hash; one
+  // baseline entry absolves exactly one of them (multiset, not set,
+  // semantics).
+  std::vector<AuditReport> twins = {
+      audit_source("src/aqt/core/x.cpp",
+                   "std::map<Node*, int> idx;\nstd::map<Node*, int> idx;\n")};
+  ASSERT_EQ(twins[0].findings.size(), 2u);
+  ASSERT_EQ(twins[0].findings[0].line_hash, twins[0].findings[1].line_hash);
+  std::vector<BaselineEntry> one = {BaselineEntry{
+      "AUD004", twins[0].file, twins[0].findings[0].line_hash}};
+  applied = apply_baseline(twins, one);
+  EXPECT_EQ(applied.suppressed, 1u);
+  EXPECT_EQ(twins[0].findings.size(), 1u);
+
+  // An entry for a fixed finding comes back as stale.
+  std::vector<AuditReport> clean = {audit_file(corpus("aud004_good.cpp"))};
+  applied = apply_baseline(clean, one);
+  EXPECT_EQ(applied.suppressed, 0u);
+  ASSERT_EQ(applied.stale.size(), 1u);
+  EXPECT_EQ(applied.stale[0].rule, "AUD004");
+}
+
+TEST(AuditBaselineTest, LineHashIgnoresIndentationDrift) {
+  EXPECT_EQ(line_content_hash("  total += x;"),
+            line_content_hash("\ttotal += x;   "));
+  EXPECT_NE(line_content_hash("total += x;"),
+            line_content_hash("total += y;"));
+}
+
+}  // namespace
+}  // namespace aqt::audit

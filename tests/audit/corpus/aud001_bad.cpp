@@ -1,0 +1,28 @@
+// Corpus: AUD001 positives — every nondeterminism API the rule bans.
+// Never compiled; scanned by audit_test.cpp and the meta-test.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int roll_dice() {
+  return rand() % 6;  // libc PRNG, unseeded and process-global
+}
+
+unsigned entropy() {
+  std::random_device rd;  // hardware/OS entropy: unreplayable by design
+  return rd();
+}
+
+long stamp() {
+  return time(nullptr);  // wall clock leaks into run output
+}
+
+double wall_seconds() {
+  auto t = std::chrono::system_clock::now();  // wall clock again
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+int default_seeded() {
+  std::mt19937 gen;  // argless: seed is implementation-defined
+  return static_cast<int>(gen());
+}

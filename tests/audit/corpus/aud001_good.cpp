@@ -1,0 +1,31 @@
+// Corpus: AUD001 near-misses — looks adjacent to the banned set but is
+// deterministic, so none of these lines may be flagged.
+#include <chrono>
+#include <random>
+
+struct Stopwatch {
+  long time() const { return 0; }   // member named 'time': not libc time()
+  long clock() const { return 0; }  // member named 'clock'
+};
+
+namespace sim {
+long time(long t) { return t; }  // project-qualified, not std::
+}  // namespace sim
+
+long virtual_now(const Stopwatch& w) {
+  return w.time() + w.clock() + sim::time(3);
+}
+
+int seeded_roll(unsigned seed) {
+  std::mt19937 gen(seed);  // explicit seed: replayable
+  std::mt19937_64 wide{seed};
+  return static_cast<int>(gen() + wide());
+}
+
+long monotonic_ticks() {
+  // steady_clock is the allowed clock: monotonic, never rendered into
+  // run artifacts as an absolute time.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int timer_count(int timers) { return timers; }  // 'timer...' identifiers

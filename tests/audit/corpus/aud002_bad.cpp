@@ -1,0 +1,20 @@
+// Corpus: AUD002 positives — iterating unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int total_queue(const std::unordered_map<int, int>& by_edge) {
+  std::unordered_map<int, int> queue_len = by_edge;
+  int total = 0;
+  for (const auto& [edge, len] : queue_len)  // unspecified order
+    total += len * static_cast<int>(queue_len.size());
+  return total;
+}
+
+std::vector<int> snapshot(const std::unordered_set<int>& live_set) {
+  std::unordered_set<int> live = live_set;
+  std::vector<int> out;
+  for (auto it = live.begin(); it != live.end(); ++it)  // iterator walk
+    out.push_back(*it);
+  return out;
+}

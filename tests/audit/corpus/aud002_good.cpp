@@ -1,0 +1,30 @@
+// Corpus: AUD002 near-misses — unordered containers used for lookup
+// only, sorted walks, and an explicitly justified commutative reduction.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int lookup_only(const std::unordered_map<int, int>& by_edge, int e) {
+  std::unordered_map<int, int> queue_len = by_edge;
+  const auto it = queue_len.find(e);  // find/count: no iteration order
+  return it == queue_len.end() ? static_cast<int>(queue_len.count(e))
+                               : it->second;
+}
+
+std::vector<int> sorted_keys(const std::unordered_map<int, int>& m) {
+  std::unordered_map<int, int> copy = m;
+  std::vector<int> keys;
+  keys.reserve(copy.size());
+  // aqt-audit: allow(AUD002) -- keys are sorted before any output
+  for (const auto& [k, v] : copy) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+int ordered_walk(const std::map<int, int>& stable) {
+  std::map<int, int> by_id = stable;
+  int sum = 0;
+  for (const auto& [k, v] : by_id) sum += v;  // std::map: defined order
+  return sum;
+}

@@ -1,0 +1,20 @@
+// Corpus: AUD003 positives — mutable static state in state-sensitive
+// (engine/runner/obs) code.
+// aqt-audit: context(engine)
+#include <cstdint>
+#include <vector>
+
+static std::uint64_t g_step_counter = 0;  // mutable file-scope static
+
+int cached_cost(int edge) {
+  static std::vector<int> cache;  // survives across runs under one process
+  if (cache.empty()) cache.resize(1024, -1);
+  return cache[static_cast<std::size_t>(edge)];
+}
+
+int next_ticket() {
+  static int ticket = 0;  // mutable function-local static
+  return ++ticket;
+}
+
+thread_local int tls_scratch = 0;  // per-thread state: jobs-dependent

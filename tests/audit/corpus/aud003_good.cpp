@@ -1,0 +1,17 @@
+// Corpus: AUD003 near-misses — statics that are immutable or are
+// function declarations, in state-sensitive code.
+// aqt-audit: context(engine)
+#include <array>
+
+static const int kMaxRetries = 3;          // const: fine
+static constexpr double kLoadFactor = 0.75;  // constexpr: fine
+static constexpr std::array<int, 3> kPhases = {1, 2, 3};
+
+static int clamp_cost(int c);  // static function declaration: fine
+
+static int clamp_cost(int c) {
+  static constexpr int kCeiling = 100;  // local, still constexpr
+  return c > kCeiling ? kCeiling : c;
+}
+
+int no_statics_here(int x) { return clamp_cost(x) + kMaxRetries; }

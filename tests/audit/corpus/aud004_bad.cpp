@@ -1,0 +1,14 @@
+// Corpus: AUD004 positives — ordered containers keyed by raw pointers.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> degree_by_node;        // address-ordered iteration
+std::set<const Node*> visited;              // same hazard, const pointer
+
+int count_visited(const std::set<const Node*>& v) {
+  return static_cast<int>(v.size());
+}

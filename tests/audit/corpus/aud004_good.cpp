@@ -1,0 +1,19 @@
+// Corpus: AUD004 near-misses — ordered containers with stable keys;
+// pointers only appear in mapped values, never as the ordering key.
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+struct Node {
+  int id;
+};
+
+std::map<int, Node*> node_by_id;              // pointer value: fine
+std::map<std::string, int> degree_by_name;    // string key: stable
+std::set<std::pair<int, int>> edge_pairs;     // value keys: stable
+
+int lookup(const std::map<int, Node*>& m, int id) {
+  const auto it = m.find(id);
+  return it == m.end() ? -1 : it->second->id;
+}

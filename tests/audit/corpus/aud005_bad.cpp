@@ -1,0 +1,19 @@
+// Corpus: AUD005 positives — float accumulation on a cross-worker merge
+// path, where addition order follows worker scheduling.
+// aqt-audit: context(merge)
+#include <vector>
+
+struct WorkerResult {
+  double latency_sum;
+};
+
+double merged_latency(const std::vector<WorkerResult>& results) {
+  double total = 0.0;
+  for (const WorkerResult& r : results) total += r.latency_sum;  // +=
+  return total;
+}
+
+double running_mean(double mean, double sample) {
+  mean = mean + sample;  // rebind form of the same accumulation
+  return mean / 2.0;
+}

@@ -1,0 +1,26 @@
+// Corpus: AUD005 near-misses — merge-path code that stays exact:
+// integer accumulation, max-merges, and plain (non-accumulating) stores.
+// aqt-audit: context(merge)
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct WorkerResult {
+  std::uint64_t events;
+  double peak;
+};
+
+std::uint64_t merged_events(const std::vector<WorkerResult>& results) {
+  std::uint64_t total = 0;
+  for (const WorkerResult& r : results) total += r.events;  // exact
+  return total;
+}
+
+double merged_peak(const std::vector<WorkerResult>& results) {
+  double peak = 0.0;
+  for (const WorkerResult& r : results)
+    peak = std::max(peak, r.peak);  // max commutes exactly, even on floats
+  return peak;
+}
+
+void store(double* slot, double value) { *slot = value; }  // plain store

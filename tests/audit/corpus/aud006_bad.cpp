@@ -1,0 +1,10 @@
+// Corpus: AUD006 positives — layering violations from the core layer,
+// which may depend only on core and util.
+// aqt-audit: context(core)
+#include "aqt/core/engine.hpp"
+#include "aqt/obs/registry.hpp"    // core must not know the obs layer
+#include "aqt/runner/pool.hpp"     // nor the runner
+#include "aqt/zzz_new_module/api.hpp"  // unregistered module
+#include "tools/aqt_sim.cpp"       // tools are never a library surface
+
+int uses_everything() { return 0; }

@@ -1,0 +1,11 @@
+// Corpus: AUD006 near-misses — includes the core layer is allowed:
+// itself, util, and any system header.
+// aqt-audit: context(core)
+#include <algorithm>
+#include <vector>
+
+#include "aqt/core/engine.hpp"
+#include "aqt/core/packet.hpp"
+#include "aqt/util/check.hpp"
+
+int uses_allowed_layers() { return 0; }

@@ -1,0 +1,15 @@
+// Corpus: AUD007 positives — malformed audit directives.  Each comment
+// below contains the directive marker with a broken clause.
+#include <vector>
+
+// aqt-audit: allow(AUD999) -- such a rule does not exist
+int unknown_rule() { return 0; }
+
+// aqt-audit: allow(AUD001)
+int missing_reason() { return 0; }
+
+// aqt-audit: allow(AUD001 -- never closed the paren
+int unclosed_paren() { return 0; }
+
+// aqt-audit: context(warp-drive)
+int unknown_context() { return 0; }

@@ -1,0 +1,15 @@
+// Corpus: AUD007 near-misses — the directive marker in prose (no
+// allow/context clause) is documentation, not a directive; and a valid
+// allow clause both parses and suppresses its finding.
+//
+// See docs/TOOLS.md for the aqt-audit: rule table and baseline workflow.
+#include <map>
+
+struct Node {
+  int id;
+};
+
+// aqt-audit: allow(AUD004) -- scratch index, never iterated or exported
+std::map<Node*, int> scratch_index;
+
+int lookup(int id) { return id; }

@@ -1,0 +1,172 @@
+// aqt-audit: determinism & concurrency static analysis of the AQT
+// sources themselves.
+//
+// Tokenizes every given C++ file (directories are walked recursively) and
+// enforces the project's replayability rule pack (AUD001..AUD007, see
+// src/aqt/audit/auditor.hpp): banned nondeterminism APIs, unordered
+// iteration on output paths, mutable statics in engine/runner/obs code,
+// pointer-keyed ordered containers, unordered float merges, layering
+// violations, and malformed justification comments.
+//
+//   aqt-audit src tools tests                  # human-readable report
+//   aqt-audit --format=json src                # machine-readable report
+//   aqt-audit --baseline=tests/audit/baseline.txt src tools tests
+//   aqt-audit --update-baseline=true --baseline=... src tools tests
+//
+// Directories named 'corpus' are skipped (tests/audit/corpus holds
+// deliberately-bad snippets); name such files explicitly to audit them.
+// Exit codes: 0 = no unbaselined finding, 1 = findings, 2 = usage error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/auditor.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/runner/pool.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/cli.hpp"
+
+namespace {
+
+bool audited_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".cxx";
+}
+
+bool skipped_dir(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  return name == "corpus" || name == ".git" || name == "out" ||
+         name.rfind("build", 0) == 0;
+}
+
+/// Expands files/directories into a sorted, deduplicated file list so the
+/// report order never depends on filesystem enumeration order.
+std::vector<std::string> collect_files(const std::vector<std::string>& args) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    const fs::path p(arg);
+    AQT_REQUIRE(fs::exists(p), "no such file or directory: " << arg);
+    if (!fs::is_directory(p)) {
+      files.push_back(p.generic_string());
+      continue;
+    }
+    fs::recursive_directory_iterator it(p), end;
+    while (it != end) {
+      if (it->is_directory() && skipped_dir(it->path())) {
+        it.disable_recursion_pending();
+        ++it;
+        continue;
+      }
+      if (it->is_regular_file() && audited_extension(it->path()))
+        files.push_back(it->path().generic_string());
+      ++it;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aqt;
+  Cli cli("aqt-audit",
+          "determinism & concurrency static analyzer for the AQT sources");
+  cli.flag("format", "human", "report format: human or json");
+  cli.flag("baseline", "",
+           "baseline file of grandfathered findings (empty = none)");
+  cli.flag("update-baseline", "false",
+           "rewrite --baseline with the current findings and exit 0");
+  add_jobs_flag(cli);
+  add_metrics_flags(cli);
+  cli.positionals("path...", "source files or directories to audit");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string format = cli.get("format");
+    AQT_REQUIRE(format == "human" || format == "json",
+                "unknown --format '" << format << "' (human or json)");
+    const std::vector<std::string> files =
+        collect_files(cli.positional_args());
+    AQT_REQUIRE(!files.empty(), "no auditable sources given (see --help)");
+
+    // Files audit independently on the run-pool workers; reports land in
+    // sorted-path order, so the output never depends on --jobs.
+    std::vector<audit::AuditReport> reports(files.size());
+    const std::vector<std::string> errors = parallel_for_each(
+        files.size(), get_jobs(cli),
+        [&](std::size_t i) { reports[i] = audit::audit_file(files[i]); });
+    for (const std::string& err : errors)
+      AQT_REQUIRE(err.empty(), "" << err);
+
+    const std::string baseline_path = cli.get("baseline");
+    if (cli.get_bool("update-baseline")) {
+      AQT_REQUIRE(!baseline_path.empty(),
+                  "--update-baseline needs --baseline=FILE");
+      std::ofstream out(baseline_path);
+      AQT_REQUIRE(out.good(),
+                  "cannot write baseline file: " << baseline_path);
+      out << audit::to_baseline(reports);
+      std::size_t total = 0;
+      for (const audit::AuditReport& rep : reports)
+        total += rep.findings.size();
+      std::fprintf(stderr, "aqt-audit: baselined %zu finding%s to %s\n",
+                   total, total == 1 ? "" : "s", baseline_path.c_str());
+      return 0;
+    }
+
+    audit::BaselineApplied applied;
+    if (!baseline_path.empty())
+      applied = audit::apply_baseline(
+          reports, audit::load_baseline_file(baseline_path));
+    for (const audit::BaselineEntry& e : applied.stale)
+      std::fprintf(stderr,
+                   "aqt-audit: stale baseline entry (fixed? remove it): "
+                   "%s %s\n",
+                   e.rule.c_str(), e.file.c_str());
+
+    bool all_ok = true;
+    for (const audit::AuditReport& rep : reports)
+      all_ok = all_ok && rep.ok();
+    const std::string out = format == "json" ? audit::to_json(reports)
+                                             : audit::to_human(reports);
+    std::fputs(out.c_str(), stdout);
+    if (format == "json") std::fputc('\n', stdout);
+
+    if (!cli.get("metrics-out").empty() || !cli.get("metrics-prom").empty() ||
+        !cli.get("metrics-csv").empty()) {
+      obs::MetricRegistry reg;
+      std::uint64_t findings = 0;
+      for (const audit::RuleInfo& rule : audit::rule_pack()) {
+        std::uint64_t per_rule = 0;
+        for (const audit::AuditReport& rep : reports)
+          for (const audit::AuditFinding& f : rep.findings)
+            if (f.rule == rule.id) ++per_rule;
+        findings += per_rule;
+        reg.counter("aqt_audit_rule_findings_total", "Findings per rule",
+                    "rule", rule.id)
+            .set(per_rule);
+      }
+      reg.counter("aqt_audit_files_total", "Source files audited")
+          .set(reports.size());
+      reg.counter("aqt_audit_findings_total", "Unbaselined findings")
+          .set(findings);
+      reg.counter("aqt_audit_baselined_total",
+                  "Findings absolved by the baseline")
+          .set(applied.suppressed);
+      reg.gauge("aqt_audit_ok", "1 when every file is clean, else 0")
+          .set(all_ok ? 1.0 : 0.0);
+      obs::export_cli_metrics(cli, reg, "aqt-audit");
+    }
+    return all_ok ? 0 : 1;
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "aqt-audit: %s\n", e.what());
+    return 2;
+  }
+}
