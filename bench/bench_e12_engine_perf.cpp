@@ -11,7 +11,10 @@
 // breakdown, engine counters) to PATH: the BENCH_engine_perf.json artifact
 // CI tracks across commits.  `--perf-jobs=N` (also stripped) pins the
 // worker count of the parallel-speedup leg; CI passes its core count so
-// aqt_runner_parallel_speedup is measured on a real multi-core pool.
+// aqt_runner_parallel_speedup is measured on a real multi-core pool.  The
+// snapshot also carries aqt_audit_selfhost_seconds — the wall-clock of a
+// full repo self-audit on 4 workers, gated below 10 s in CI so the
+// analyzer's own cost stays bounded as rules accrete.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -25,6 +28,7 @@
 
 #include "aqt/adversaries/lps.hpp"
 #include "aqt/adversaries/stochastic.hpp"
+#include "aqt/audit/auditor.hpp"
 #include "aqt/core/checkpoint.hpp"
 #include "aqt/core/rate_check.hpp"
 #include "aqt/core/engine.hpp"
@@ -254,6 +258,43 @@ void write_perf_json(const std::string& path, unsigned perf_jobs) {
     std::printf("run-pool speedup: %.2fx on %u worker(s) "
                 "(%.3fs serial, %.3fs parallel, %zu cells)\n",
                 speedup, hw, serial_secs, parallel_secs, specs.size());
+  }
+
+  // aqt-audit selfhost datapoint: wall-clock of the full repo self-audit
+  // (the same parallel per-file phase + serial cross-TU finalize the CI
+  // audit-selfhost step runs), pinned to 4 workers so the number is
+  // comparable across runners.  CI gates this below 10 seconds.
+  {
+    const std::string root(AQT_SOURCE_DIR);
+    const std::vector<std::string> files = audit::collect_audit_files(
+        {root + "/src", root + "/tools", root + "/tests"});
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<audit::AuditUnit> units(files.size());
+    parallel_for_each(
+        files.size(), 4,
+        [&](std::size_t i) {  // aqt-audit: allow(AUD010) -- joins on return
+          // aqt-audit: allow(AUD008) -- slot i has exactly one writer
+          units[i] = audit::audit_unit_file(files[i]);
+        });
+    const std::vector<audit::AuditReport> reports =
+        audit::finalize_project(std::move(units));
+    const auto end = std::chrono::steady_clock::now();
+    const double selfhost_secs =
+        std::chrono::duration<double>(end - begin).count();
+    std::size_t findings = 0;
+    for (const audit::AuditReport& r : reports) findings += r.findings.size();
+    registry
+        .gauge("aqt_audit_selfhost_seconds",
+               "Wall-clock of the full repo self-audit (parallel unit "
+               "phase on 4 workers + serial finalize)")
+        .set(selfhost_secs);
+    registry
+        .gauge("aqt_audit_selfhost_files",
+               "Sources covered by the selfhost audit datapoint")
+        .set(static_cast<double>(files.size()));
+    std::printf("audit selfhost: %zu files, %zu finding(s), %.3fs on 4 "
+                "workers\n",
+                files.size(), findings, selfhost_secs);
   }
 
   obs::write_file(path, obs::to_json(registry, "bench_e12_engine_perf"));

@@ -31,15 +31,14 @@ endif()
 # cppcheck wiring (AQT_CPPCHECK).
 #
 # With AQT_CPPCHECK=ON every TU is additionally run through cppcheck via
-# CMAKE_CXX_CPPCHECK.  Unlike the clang-tidy gate this is advisory: CI
-# runs it as a soft (continue-on-error) step, so findings are visible in
-# the log without blocking merges while the rule set settles.  Known
-# acceptable patterns are silenced centrally in
+# CMAKE_CXX_CPPCHECK.  Like the clang-tidy gate this is blocking: CI
+# fails on any unsuppressed finding (--error-exitcode=1).  Known
+# acceptable patterns are silenced centrally, with a justification, in
 # cmake/cppcheck-suppressions.txt rather than with inline comments.
 #
 # Same no-silent-skip policy as AQT_ANALYZE: requesting cppcheck without
 # the binary is a hard configure error.
-option(AQT_CPPCHECK "Run cppcheck over every TU (advisory)" OFF)
+option(AQT_CPPCHECK "Run cppcheck over every TU (blocking in CI)" OFF)
 
 if(AQT_CPPCHECK)
   find_program(AQT_CPPCHECK_EXE NAMES cppcheck

@@ -27,7 +27,28 @@
 //           including layer must not depend on (core must never include
 //           runner/obs/tools);
 //   AUD007  malformed audit directives (the justification comment
-//           grammar below is itself checked).
+//           grammar below is itself checked), and allow() clauses that
+//           suppress nothing (unused suppressions rot);
+//   AUD008  shared mutable state written inside a worker/thread lambda
+//           with an empty lockset (the Eraser-style race pass, built on
+//           the symbol/flow layer in symbols.hpp/flow.hpp);
+//   AUD009  lock-order inconsistency: two mutexes acquired in both
+//           orders anywhere in the cross-TU call graph;
+//   AUD010  by-reference or pointer capture escaping into a deferred
+//           callable (std::thread, pool submission, stored
+//           std::function) — a lifetime hazard even when synchronized;
+//   AUD011  call-graph layering: a function whose transitive callees
+//           reach a layer the calling file must not depend on
+//           (supersedes AUD006's include-only view, which remains as
+//           the fast pre-check);
+//   AUD012  container mutation while an iterator/range-for over the
+//           same container is live (iterator invalidation).
+//
+// AUD001–AUD008, AUD010, and AUD012 are per-file; AUD009 and AUD011
+// need every file's symbols at once, so the project entry points below
+// (audit_unit + finalize_project) split the work into a parallel
+// per-file phase and a serial cross-TU phase — the tool stays
+// byte-identical for any --jobs.
 //
 // Justified exceptions are line comments of the form
 //
@@ -51,6 +72,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,11 +120,50 @@ FileContext classify_path(const std::string& path);
 
 /// Audits source text under the path-derived (or directive-overridden)
 /// context.  Content problems become findings, never exceptions.
+/// Equivalent to a single-file project: finalize_project({unit}).
 AuditReport audit_source(std::string file, const std::string& text);
 
 /// Reads and audits a file; I/O errors throw PreconditionError (the tool
 /// reports them as a hard error — an unreadable source is not "clean").
 AuditReport audit_file(const std::string& path);
+
+/// True when `path` names an auditable source: .cpp/.hpp/.cc/.h/.cxx and
+/// not inside a corpus/ directory (corpus files are deliberately dirty).
+bool auditable_source_path(const std::string& path);
+
+/// Expands files/directories into the sorted, deduplicated list of
+/// auditable sources beneath them, skipping corpus/, .git/, out/ and
+/// build*/ directories.  Sorted so report order never depends on
+/// filesystem enumeration order.  Shared by the CLI tool and the
+/// selfhost perf bench; nonexistent roots throw PreconditionError.
+std::vector<std::string> collect_audit_files(
+    const std::vector<std::string>& roots);
+
+// --- Project (cross-TU) audit ----------------------------------------------
+
+struct FileSemantics;  // Internal per-file payload (auditor.cpp).
+
+/// One file's scanned, symbol-resolved, per-file-rule-checked state.
+/// Units are independent — computing them is the parallel phase.
+struct AuditUnit {
+  std::string file;
+  std::shared_ptr<FileSemantics> sem;
+};
+
+/// Runs the per-file phase: lexing, symbols, lock flow, call extraction,
+/// rules AUD001–AUD008, AUD010, AUD012, and directive parsing.
+AuditUnit audit_unit(std::string file, const std::string& text);
+
+/// audit_unit over a file's contents; I/O errors throw PreconditionError.
+AuditUnit audit_unit_file(const std::string& path);
+
+/// The serial cross-TU phase: merges every unit's call slice into one
+/// call graph, runs AUD009 (lock order) and AUD011 (call-graph
+/// layering), applies allow() suppressions, reports unused allows as
+/// AUD007, and returns one sorted report per unit (sorted by file).
+/// Deterministic: output depends only on the set of units, not on the
+/// order they were computed in.
+std::vector<AuditReport> finalize_project(std::vector<AuditUnit> units);
 
 // --- Baseline (grandfathered findings) -------------------------------------
 
@@ -137,15 +198,21 @@ BaselineApplied apply_baseline(std::vector<AuditReport>& reports,
 // --- Rendering -------------------------------------------------------------
 
 std::string to_human(const std::vector<AuditReport>& reports);
-std::string to_json(const std::vector<AuditReport>& reports);
+
+/// JSON rendering.  `stale` lists baseline entries that matched nothing
+/// (a distinct top-level field so CI can gate on them without scraping
+/// stderr); pass {} when no baseline was applied.
+std::string to_json(const std::vector<AuditReport>& reports,
+                    const std::vector<BaselineEntry>& stale = {});
 
 /// Re-parses to_json output with the same hardened-parser discipline as
 /// the event/trace readers: strict grammar, PreconditionError (never a
 /// crash) on any malformation.  Exists so CI pipelines — and the
 /// round-trip meta-test — can consume audit reports without trusting
-/// them.
-std::vector<AuditReport> parse_audit_json(const std::string& text,
-                                          const std::string& name);
+/// them.  When `stale_out` is non-null it receives the "stale" field.
+std::vector<AuditReport> parse_audit_json(
+    const std::string& text, const std::string& name,
+    std::vector<BaselineEntry>* stale_out = nullptr);
 
 /// FNV-1a 64 of the trimmed text — exposed for baseline tooling/tests.
 std::uint64_t line_content_hash(const std::string& line);

@@ -1,0 +1,400 @@
+#include "aqt/audit/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "aqt/audit/token_util.hpp"
+
+namespace aqt::audit {
+namespace {
+
+// Identifiers that look like calls but never are.
+const std::set<std::string>& non_call_keywords() {
+  static const std::set<std::string> kNot = {
+      "if",       "for",       "while",    "switch",   "catch",
+      "return",   "sizeof",    "alignof",  "decltype", "typeid",
+      "new",      "delete",    "throw",    "noexcept", "static_assert",
+      "assert",   "alignas",   "co_await", "co_return", "co_yield",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+      "defined",  "requires",  "explicit", "operator",
+  };
+  return kNot;
+}
+
+// Keywords after which an identifier-then-paren is an expression (call),
+// not a declaration.
+const std::set<std::string>& expr_keywords() {
+  static const std::set<std::string> kExpr = {
+      "return", "throw", "else", "do", "case", "goto",
+      "co_return", "co_yield", "co_await", "and", "or", "not",
+  };
+  return kExpr;
+}
+
+std::string join_path(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "::" + b;
+}
+
+}  // namespace
+
+std::vector<CallSite> extract_calls(const ScannedSource& src,
+                                    const SymbolTable& table) {
+  const Tokens& t = src.tokens;
+  std::vector<CallSite> out;
+
+  // Scope index -> function index, for caller attribution.
+  std::map<int, int> fn_of_scope;
+  for (std::size_t f = 0; f < table.functions.size(); ++f)
+    fn_of_scope[table.functions[f].scope] = static_cast<int>(f);
+
+  std::size_t i = 0;
+  while (i < t.size()) {
+    if (!is_any_ident(t, i)) {
+      ++i;
+      continue;
+    }
+    // Member access: `x.f(` / `x->f(` — unresolvable, skip the name.
+    if (i > 0 && (is_punct(t, i - 1, '.') ||
+                  (i > 1 && is_punct(t, i - 1, '>') &&
+                   is_punct(t, i - 2, '-')))) {
+      ++i;
+      continue;
+    }
+    // Mid-chain: `a::b` with the cursor on b is handled from a.
+    if (i > 1 && is_punct(t, i - 1, ':') && is_punct(t, i - 2, ':')) {
+      ++i;
+      continue;
+    }
+    if (non_call_keywords().count(t[i].text) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Collect the qualified chain a::b::c.
+    std::vector<std::size_t> parts = {i};
+    std::size_t j = i;
+    while (is_punct(t, j + 1, ':') && is_punct(t, j + 2, ':') &&
+           is_any_ident(t, j + 3)) {
+      j += 3;
+      parts.push_back(j);
+    }
+    const std::size_t chain_end = j;
+
+    // std:: and gtest-style testing:: calls never resolve in-repo.
+    if (t[parts[0]].text == "std" || t[parts[0]].text == "testing") {
+      i = chain_end + 1;
+      continue;
+    }
+
+    std::size_t after = chain_end + 1;
+    const std::size_t tmpl = skip_template_args(t, after);
+    if (tmpl != after) after = tmpl;
+    if (!is_punct(t, after, '(')) {
+      i = chain_end + 1;
+      continue;
+    }
+    // Declaration shape `Type name(` — the previous token is an
+    // identifier that is not an expression keyword, or a type-ish
+    // punctuation ('>' of a template, '&', '*').
+    if (i > 0) {
+      const Token& p = t[i - 1];
+      if (p.kind == Token::Kind::kIdentifier &&
+          expr_keywords().count(p.text) == 0) {
+        i = chain_end + 1;
+        continue;
+      }
+      if (p.kind == Token::Kind::kPunct && p.text.size() == 1 &&
+          (p.text[0] == '>' || p.text[0] == '&' || p.text[0] == '*' ||
+           p.text[0] == '~')) {
+        i = chain_end + 1;
+        continue;
+      }
+    }
+    // A variable in scope: functor call or ctor-style init, not a
+    // resolvable function call.
+    if (parts.size() == 1 &&
+        table.lookup(t[parts[0]].text, parts[0]) != nullptr) {
+      i = chain_end + 1;
+      continue;
+    }
+
+    // Caller: nearest enclosing function body (lambdas attribute to the
+    // function that created them; file-scope initializers are dropped).
+    int caller = -1;
+    for (int s = table.scope_at(parts.back()); s >= 0;
+         s = table.scopes[s].parent) {
+      if (table.scopes[s].kind == ScopeInfo::Kind::kFunction) {
+        auto it = fn_of_scope.find(s);
+        if (it != fn_of_scope.end()) caller = it->second;
+        break;
+      }
+    }
+    if (caller < 0) {
+      i = chain_end + 1;
+      continue;
+    }
+
+    CallSite site;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      if (p != 0) site.written += "::";
+      site.written += t[parts[p]].text;
+    }
+    site.caller = caller;
+    site.token = parts.back();
+    site.line = t[parts.back()].line;
+    out.push_back(std::move(site));
+    i = chain_end + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU aggregation.
+
+namespace {
+
+std::string def_path(const FileCallInfo::Def& d) {
+  const std::string& ctx = d.class_name.empty() ? d.qualifier : d.class_name;
+  return join_path(join_path(d.name_space, ctx), d.name);
+}
+
+std::string def_key(const FileCallInfo& f, const FileCallInfo::Def& d) {
+  const std::string path = def_path(d);
+  return d.file_local ? f.file + "@" + path : path;
+}
+
+}  // namespace
+
+CallGraph::CallGraph(std::vector<FileCallInfo> files)
+    : files_(std::move(files)) {
+  // Deterministic node ids: sort files by path (callers pass them sorted,
+  // but do not rely on it).
+  std::sort(files_.begin(), files_.end(),
+            [](const FileCallInfo& a, const FileCallInfo& b) {
+              return a.file < b.file;
+            });
+  auto intern = [&](const std::string& key,
+                    const std::string& display) -> int {
+    auto it = id_by_key_.find(key);
+    if (it != id_by_key_.end()) return it->second;
+    const int id = static_cast<int>(nodes_.size());
+    id_by_key_.emplace(key, id);
+    nodes_.push_back(Node{});
+    nodes_.back().display = display;
+    return id;
+  };
+  for (const FileCallInfo& f : files_) {
+    for (const FileCallInfo::Def& d : f.defs) {
+      const int id = intern(def_key(f, d), def_path(d));
+      nodes_[static_cast<std::size_t>(id)].layers.insert(f.layer);
+      for (const auto& [mutex, line] : d.acquires)
+        nodes_[static_cast<std::size_t>(id)].acquires.push_back(
+            {mutex, {f.file, line}});
+    }
+  }
+  for (const FileCallInfo& f : files_) {
+    for (const FileCallInfo::Call& c : f.calls) {
+      const int callee = resolve(f, c);
+      if (callee < 0) continue;
+      if (c.caller < 0 || c.caller >= static_cast<int>(f.defs.size()))
+        continue;
+      auto it = id_by_key_.find(
+          def_key(f, f.defs[static_cast<std::size_t>(c.caller)]));
+      if (it == id_by_key_.end()) continue;
+      nodes_[static_cast<std::size_t>(it->second)].out.insert(callee);
+    }
+  }
+  // Transitive layer closure, to a fixed point (handles cycles).
+  for (Node& n : nodes_) n.reach = n.layers;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Node& n : nodes_) {
+      for (const int callee : n.out) {
+        for (const std::string& l : nodes_[static_cast<std::size_t>(callee)]
+                                        .reach) {
+          if (n.reach.insert(l).second) changed = true;
+        }
+      }
+    }
+  }
+}
+
+int CallGraph::resolve(const FileCallInfo& f,
+                       const FileCallInfo::Call& c) const {
+  if (c.caller < 0 || c.caller >= static_cast<int>(f.defs.size())) return -1;
+  const FileCallInfo::Def& caller =
+      f.defs[static_cast<std::size_t>(c.caller)];
+
+  std::string written = c.written;
+  bool absolute = false;
+  if (written.rfind("::", 0) == 0) {
+    absolute = true;
+    written = written.substr(2);
+  }
+
+  // Candidate full paths, most-specific first.
+  std::vector<std::string> candidates;
+  if (!absolute) {
+    const std::string& cls =
+        caller.class_name.empty() ? caller.qualifier : caller.class_name;
+    if (!cls.empty())
+      candidates.push_back(
+          join_path(join_path(caller.name_space, cls), written));
+    std::string ns = caller.name_space;
+    for (;;) {
+      candidates.push_back(join_path(ns, written));
+      if (ns.empty()) break;
+      const std::size_t sep = ns.rfind("::");
+      ns = sep == std::string::npos ? "" : ns.substr(0, sep);
+    }
+  } else {
+    candidates.push_back(written);
+  }
+
+  // First tier that has a definition wins; within a tier, a file-local
+  // definition in the calling file shadows the global one.
+  for (const std::string& path : candidates) {
+    auto local = id_by_key_.find(f.file + "@" + path);
+    if (local != id_by_key_.end()) return local->second;
+    auto global = id_by_key_.find(path);
+    if (global != id_by_key_.end()) return global->second;
+  }
+  return -1;
+}
+
+std::string CallGraph::witness_path(int from, const std::string& layer) const {
+  // BFS to the nearest node whose own layers contain `layer`; edges are
+  // iterated in sorted (std::set) order, so the witness is deterministic.
+  std::vector<int> parent(nodes_.size(), -2);
+  std::deque<int> queue;
+  queue.push_back(from);
+  parent[static_cast<std::size_t>(from)] = -1;
+  int hit = -1;
+  while (!queue.empty() && hit < 0) {
+    const int n = queue.front();
+    queue.pop_front();
+    if (nodes_[static_cast<std::size_t>(n)].layers.count(layer) != 0) {
+      hit = n;
+      break;
+    }
+    for (const int next : nodes_[static_cast<std::size_t>(n)].out) {
+      if (parent[static_cast<std::size_t>(next)] != -2) continue;
+      parent[static_cast<std::size_t>(next)] = n;
+      queue.push_back(next);
+    }
+  }
+  if (hit < 0) return nodes_[static_cast<std::size_t>(from)].display;
+  std::vector<int> chain;
+  for (int n = hit; n != -1; n = parent[static_cast<std::size_t>(n)])
+    chain.push_back(n);
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += nodes_[static_cast<std::size_t>(*it)].display;
+  }
+  return out;
+}
+
+std::vector<CallGraph::Violation> CallGraph::layering_violations(
+    const std::function<bool(const std::string&, const std::string&)>&
+        allowed) const {
+  std::vector<Violation> out;
+  for (const FileCallInfo& f : files_) {
+    if (f.layer == "top") continue;
+    for (const FileCallInfo::Call& c : f.calls) {
+      const int callee = resolve(f, c);
+      if (callee < 0) continue;
+      const Node& target = nodes_[static_cast<std::size_t>(callee)];
+      std::string bad;
+      for (const std::string& l : target.reach) {
+        if (l == "top") continue;  // Headerless test helpers: not a layer.
+        if (!allowed(f.layer, l)) {
+          bad = l;
+          break;  // reach is sorted (std::set) — first is deterministic.
+        }
+      }
+      if (bad.empty()) continue;
+      Violation v;
+      v.file = f.file;
+      v.line = c.line;
+      v.caller = c.caller >= 0 &&
+                         c.caller < static_cast<int>(f.defs.size())
+                     ? def_path(f.defs[static_cast<std::size_t>(c.caller)])
+                     : "";
+      v.callee = target.display;
+      v.bad_layer = bad;
+      v.path = witness_path(callee, bad);
+      out.push_back(std::move(v));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a,
+                                       const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.callee != b.callee) return a.callee < b.callee;
+    return a.bad_layer < b.bad_layer;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Violation& a, const Violation& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.callee == b.callee &&
+                                 a.bad_layer == b.bad_layer;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<CallGraph::OrderEdge> CallGraph::propagated_order_edges() const {
+  std::vector<OrderEdge> out;
+  // Transitive acquisition sets, to a fixed point.
+  std::vector<std::set<std::string>> acq(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n)
+    for (const auto& a : nodes_[n].acquires) acq[n].insert(a.first);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      for (const int callee : nodes_[n].out) {
+        for (const std::string& m : acq[static_cast<std::size_t>(callee)]) {
+          if (acq[n].insert(m).second) changed = true;
+        }
+      }
+    }
+  }
+
+  for (const FileCallInfo& f : files_) {
+    for (const FileCallInfo::Call& c : f.calls) {
+      if (c.held.empty()) continue;
+      const int callee = resolve(f, c);
+      if (callee < 0) continue;
+      for (const std::string& h : c.held) {
+        for (const std::string& m : acq[static_cast<std::size_t>(callee)]) {
+          if (m == h) continue;
+          OrderEdge e;
+          e.first = h;
+          e.second = m;
+          e.file = f.file;
+          e.line = c.line;
+          out.push_back(std::move(e));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OrderEdge& a, const OrderEdge& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.second != b.second) return a.second < b.second;
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return out;
+}
+
+}  // namespace aqt::audit

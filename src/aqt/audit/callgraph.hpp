@@ -1,0 +1,141 @@
+// Cross-TU call graph for the aqt-audit semantic layer.
+//
+// AUD006 checks layering at the #include level — a fast, local check
+// that cannot see a violation routed through an *indirect* call (core
+// calls a helper declared in an innocent header whose definition calls
+// into runner).  This module builds a real call graph from the symbol
+// tables of every audited file and resolves call sites with C++-shaped
+// name lookup:
+//
+//   * definitions are nodes, keyed by their full path
+//     (`namespace::Class::name`); out-of-line member definitions unify
+//     with their in-class declarations via the written qualifier;
+//     file-local definitions (anonymous namespace, static, macro-shaped
+//     pseudo-functions like TEST bodies) are confined to their file;
+//   * a call `runner_detail::submit_shard(...)` from a function in
+//     namespace `aqt` resolves through the enclosing namespaces
+//     innermost-out, trying the caller's class members first —
+//     the first tier with a definition wins;
+//   * method calls through an object (`x.f()`) and calls into `std::`
+//     are not resolved (documented false-negative class: virtual
+//     dispatch and callbacks are invisible to this graph).
+//
+// On the graph, AUD011 asks reachability: the set of layers a function
+// can reach transitively must be allowed for the calling file's layer.
+// AUD009 uses the same graph to propagate lock acquisition: a call made
+// while holding mutex A orders A before everything the callee's
+// transitive closure acquires.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aqt/audit/lexer.hpp"
+#include "aqt/audit/symbols.hpp"
+
+namespace aqt::audit {
+
+/// One call site found in a file, before cross-TU resolution.
+struct CallSite {
+  std::string written;   ///< As written: "helper", "runner_detail::submit".
+  int caller = -1;       ///< Index into the file's SymbolTable::functions.
+  std::size_t token = 0; ///< Token index of the (last) callee identifier.
+  int line = 0;
+};
+
+/// Extracts resolvable call sites (free and namespace-qualified calls;
+/// method calls and std:: are skipped).  Total: any input terminates.
+std::vector<CallSite> extract_calls(const ScannedSource& src,
+                                    const SymbolTable& table);
+
+/// The per-file slice handed to the cross-TU aggregation.
+struct FileCallInfo {
+  std::string file;
+  std::string layer;  ///< From FileContext (possibly directive-overridden).
+
+  struct Def {
+    std::string name;        ///< Unqualified.
+    std::string qualifier;   ///< Written Class:: qualifier, if any.
+    std::string name_space;  ///< "aqt::runner_detail".
+    std::string class_name;  ///< In-class definitions only.
+    bool file_local = false;
+    int line = 0;
+    /// Mutexes this body acquires directly: (canonical name, line).
+    std::vector<std::pair<std::string, int>> acquires;
+  };
+
+  struct Call {
+    std::string written;
+    int caller = -1;  ///< Index into defs.
+    int line = 0;
+    std::vector<std::string> held;  ///< Locks held at the call site.
+  };
+
+  std::vector<Def> defs;
+  std::vector<Call> calls;
+};
+
+/// The resolved, merged multi-file call graph.
+class CallGraph {
+ public:
+  explicit CallGraph(std::vector<FileCallInfo> files);
+
+  /// One AUD011 finding site: a call whose transitive reachability
+  /// includes a layer the calling file must not depend on.
+  struct Violation {
+    std::string file;
+    int line = 0;
+    std::string caller;     ///< Display name of the calling function.
+    std::string callee;     ///< Display name of the resolved callee.
+    std::string bad_layer;  ///< The forbidden layer reached.
+    std::string path;       ///< "a -> b -> c" witness chain.
+  };
+
+  /// All layering violations under `allowed(from_layer, to_layer)`.
+  /// Files in layer "top" (tools/tests/bench) are exempt.  Output is
+  /// deterministic: sorted by (file, line, callee, bad_layer).
+  [[nodiscard]] std::vector<Violation> layering_violations(
+      const std::function<bool(const std::string&, const std::string&)>&
+          allowed) const;
+
+  /// One observed acquisition order: `first` was held while `second` was
+  /// acquired — directly, or transitively through a call made with
+  /// `first` held.
+  struct OrderEdge {
+    std::string first;
+    std::string second;
+    std::string file;  ///< Representative site establishing the order.
+    int line = 0;
+  };
+
+  /// Order edges contributed by call propagation (a call made while
+  /// holding A orders A before every mutex the callee's closure
+  /// acquires).  Direct same-body nestings are the caller's business —
+  /// they need no graph.  Deterministic order.
+  [[nodiscard]] std::vector<OrderEdge> propagated_order_edges() const;
+
+ private:
+  struct Node {
+    std::string display;           ///< Full path for messages.
+    std::set<std::string> layers;  ///< Layers of the defining files.
+    std::set<int> out;             ///< Resolved callee node ids.
+    /// Direct acquisitions of every merged definition: (mutex, file, line).
+    std::vector<std::pair<std::string, std::pair<std::string, int>>> acquires;
+    std::set<std::string> reach;  ///< Transitive layer closure (built once).
+  };
+  [[nodiscard]] int resolve(const FileCallInfo& f,
+                            const FileCallInfo::Call& c) const;
+  [[nodiscard]] std::string witness_path(int from,
+                                         const std::string& layer) const;
+
+  std::vector<FileCallInfo> files_;
+  std::vector<Node> nodes_;
+  std::map<std::string, int> id_by_key_;
+};
+
+}  // namespace aqt::audit

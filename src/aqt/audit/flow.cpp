@@ -1,0 +1,239 @@
+#include "aqt/audit/flow.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/token_util.hpp"
+
+namespace aqt::audit {
+namespace {
+
+bool is_guard_type(const std::string& type_text) {
+  return type_text.find("lock_guard") != std::string::npos ||
+         type_text.find("unique_lock") != std::string::npos ||
+         type_text.find("scoped_lock") != std::string::npos ||
+         type_text.find("shared_lock") != std::string::npos;
+}
+
+/// Token index of the end of the function/lambda/file region containing
+/// `i` — the horizon past which a manual lock cannot plausibly be held.
+std::size_t body_horizon(const SymbolTable& table, std::size_t i) {
+  for (int s = table.scope_at(i); s >= 0; s = table.scopes[s].parent) {
+    const ScopeInfo& sc = table.scopes[s];
+    if (sc.kind == ScopeInfo::Kind::kFunction ||
+        sc.kind == ScopeInfo::Kind::kLambda)
+      return sc.body_end;
+  }
+  return table.scopes.empty() ? i : table.scopes[0].body_end;
+}
+
+class FlowBuilder {
+ public:
+  FlowBuilder(const ScannedSource& src, const SymbolTable& table,
+              const std::string& file_label)
+      : t_(src.tokens), table_(table), label_(file_label) {}
+
+  LockFlow run() {
+    for (const auto& v : table_.vars) {
+      if (is_guard_type(v.type_text)) add_guard(v);
+    }
+    scan_manual_locks();
+    std::sort(flow_.intervals.begin(), flow_.intervals.end(),
+              [](const LockInterval& a, const LockInterval& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                if (a.end != b.end) return a.end < b.end;
+                return a.mutex < b.mutex;
+              });
+    return std::move(flow_);
+  }
+
+ private:
+  /// Parses the constructor arguments of a guard declaration and emits
+  /// intervals for each named mutex.
+  void add_guard(const VarDecl& guard) {
+    std::size_t open = guard.name_token + 1;
+    if (!is_punct(t_, open, '(') && !is_punct(t_, open, '{')) return;
+    const char open_c = t_[open].text[0];
+    const char close_c = open_c == '(' ? ')' : '}';
+    std::size_t close = skip_balanced(t_, open, open_c, close_c);
+    if (close == open) return;
+
+    bool deferred = false;
+    std::vector<std::string> mutexes;
+    std::size_t j = open + 1;
+    while (j + 1 < close) {
+      std::size_t arg_end = j;
+      int depth = 0;
+      while (arg_end + 1 < close) {
+        if (is_punct(t_, arg_end, '(') || is_punct(t_, arg_end, '[') ||
+            is_punct(t_, arg_end, '{'))
+          ++depth;
+        if (is_punct(t_, arg_end, ')') || is_punct(t_, arg_end, ']') ||
+            is_punct(t_, arg_end, '}'))
+          --depth;
+        if (depth == 0 && is_punct(t_, arg_end, ',')) break;
+        ++arg_end;
+      }
+      std::string id;
+      bool is_defer = false;
+      resolve_arg(j, arg_end, id, is_defer);
+      if (is_defer)
+        deferred = true;
+      else if (!id.empty())
+        mutexes.push_back(id);
+      j = arg_end + 1;
+    }
+    if (mutexes.empty()) return;
+
+    const std::size_t scope_end =
+        guard.scope >= 0 &&
+                guard.scope < static_cast<int>(table_.scopes.size())
+            ? table_.scopes[guard.scope].body_end
+            : t_.size();
+
+    // lock()/unlock() events on the guard within its scope.
+    std::vector<std::pair<std::size_t, bool>> events;  // (token, is_lock)
+    for (std::size_t k = close; k < scope_end && k + 3 < t_.size(); ++k) {
+      if (!is_ident(t_, k, guard.name.c_str())) continue;
+      if (!is_punct(t_, k + 1, '.')) continue;
+      if (!is_punct(t_, k + 3, '(')) continue;
+      if (is_ident(t_, k + 2, "lock"))
+        events.emplace_back(k, true);
+      else if (is_ident(t_, k + 2, "unlock"))
+        events.emplace_back(k, false);
+    }
+
+    bool held = !deferred;
+    std::size_t held_since = guard.name_token;
+    for (const auto& [tok, is_lock] : events) {
+      if (is_lock && !held) {
+        held = true;
+        held_since = tok;
+      } else if (!is_lock && held) {
+        emit(mutexes, held_since, tok, guard.line);
+        held = false;
+      }
+    }
+    if (held) emit(mutexes, held_since, scope_end, guard.line);
+  }
+
+  void emit(const std::vector<std::string>& mutexes, std::size_t begin,
+            std::size_t end, int line) {
+    for (const auto& m : mutexes) {
+      LockInterval iv;
+      iv.mutex = m;
+      iv.begin = begin;
+      iv.end = end;
+      iv.line = line;
+      flow_.intervals.push_back(iv);
+    }
+  }
+
+  /// Resolves a guard constructor argument [begin, end] to a canonical
+  /// mutex identity.  `std::defer_lock` and friends set `is_defer`.
+  void resolve_arg(std::size_t begin, std::size_t end, std::string& id,
+                   bool& is_defer) {
+    std::size_t last_ident = t_.size();
+    for (std::size_t k = begin; k <= end && k < t_.size(); ++k) {
+      if (!is_any_ident(t_, k)) continue;
+      const std::string& s = t_[k].text;
+      if (s == "defer_lock" || s == "adopt_lock" || s == "try_to_lock") {
+        is_defer = s != "adopt_lock";
+        return;
+      }
+      if (s == "std") continue;
+      last_ident = k;
+    }
+    if (last_ident >= t_.size()) return;
+    const VarDecl* decl = table_.lookup(t_[last_ident].text, last_ident);
+    if (decl != nullptr && decl->is_mutex) {
+      id = canonical_mutex_name(*decl, table_, label_);
+      return;
+    }
+    // Unresolvable: keep a file-tagged textual identity so two guards on
+    // the same unknown expression still correlate within the file.
+    std::string text;
+    for (std::size_t k = begin; k <= end && k < t_.size(); ++k)
+      text += t_[k].text;
+    id = label_ + "@expr:" + text;
+  }
+
+  /// Finds manual `m.lock()` / `m.unlock()` on mutex-typed variables.
+  void scan_manual_locks() {
+    for (std::size_t k = 0; k + 3 < t_.size(); ++k) {
+      if (!is_any_ident(t_, k)) continue;
+      if (!is_punct(t_, k + 1, '.')) continue;
+      if (!is_ident(t_, k + 2, "lock")) continue;
+      if (!is_punct(t_, k + 3, '(')) continue;
+      // `x.lock()` — only mutex-typed x; guards were handled above.
+      const VarDecl* decl = table_.lookup(t_[k].text, k);
+      if (decl == nullptr || !decl->is_mutex) continue;
+      const std::size_t horizon = body_horizon(table_, k);
+      std::size_t release = horizon;
+      for (std::size_t u = k + 4; u + 3 < t_.size() && u < horizon; ++u) {
+        if (is_any_ident(t_, u) && t_[u].text == t_[k].text &&
+            is_punct(t_, u + 1, '.') && is_ident(t_, u + 2, "unlock") &&
+            is_punct(t_, u + 3, '(')) {
+          release = u;
+          break;
+        }
+      }
+      LockInterval iv;
+      iv.mutex = canonical_mutex_name(*decl, table_, label_);
+      iv.begin = k;
+      iv.end = release;
+      iv.line = t_[k].line;
+      flow_.intervals.push_back(iv);
+    }
+  }
+
+  const Tokens& t_;
+  const SymbolTable& table_;
+  const std::string& label_;
+  LockFlow flow_;
+};
+
+}  // namespace
+
+std::vector<std::string> LockFlow::held_at(std::size_t i) const {
+  std::set<std::string> held;
+  for (const auto& iv : intervals) {
+    if (iv.begin <= i && i < iv.end) held.insert(iv.mutex);
+  }
+  return {held.begin(), held.end()};
+}
+
+bool LockFlow::any_held_at(std::size_t i) const {
+  for (const auto& iv : intervals) {
+    if (iv.begin <= i && i < iv.end) return true;
+  }
+  return false;
+}
+
+std::string canonical_mutex_name(const VarDecl& decl, const SymbolTable& table,
+                                 const std::string& file_label) {
+  const ScopeInfo& sc = table.scopes[decl.scope];
+  if (sc.kind == ScopeInfo::Kind::kClass) {
+    std::string cls = sc.name.empty() ? "(anon-class)" : sc.name;
+    return cls + "::" + decl.name;
+  }
+  if (sc.kind == ScopeInfo::Kind::kNamespace || sc.kind == ScopeInfo::Kind::kFile) {
+    const bool file_local = sc.anonymous_namespace ||
+                            (decl.is_static &&
+                             sc.kind == ScopeInfo::Kind::kFile);
+    std::string ns = table.namespace_of(decl.scope);
+    std::string base = ns.empty() ? decl.name : ns + "::" + decl.name;
+    return file_local ? file_label + "@" + base : base;
+  }
+  // Function-local mutex: unique per declaring scope.
+  return file_label + "@scope" + std::to_string(decl.scope) + ":" + decl.name;
+}
+
+LockFlow compute_lock_flow(const ScannedSource& src, const SymbolTable& table,
+                           const std::string& file_label) {
+  return FlowBuilder(src, table, file_label).run();
+}
+
+}  // namespace aqt::audit

@@ -1,0 +1,67 @@
+// Intraprocedural lock flow for the aqt-audit semantic layer.
+//
+// Computes, for every token position in a file, which mutexes are held
+// there — the *lockset*.  The model is Eraser-flavoured but purely
+// lexical-structural:
+//
+//   * a guard declaration (std::lock_guard / unique_lock / scoped_lock /
+//     shared_lock) acquires the mutexes named in its constructor
+//     arguments from the declaration to the end of its enclosing scope;
+//   * `std::defer_lock` suppresses the initial acquisition; a subsequent
+//     `guard.lock()` starts it, `guard.unlock()` ends it (re-lockable);
+//   * a manual `m.lock()` on a mutex-typed variable holds until the
+//     matching `m.unlock()` in the same function, conservatively until
+//     the end of the function body when no unlock is found.
+//
+// Mutex *identity* is canonical: `Class::member` for members,
+// `ns::name` for globals in named namespaces, and a file-tagged label
+// for anything file-local, so identities aggregate correctly across
+// translation units (AUD009) without colliding.
+//
+// Known false negatives, by design (documented in docs/TOOLS.md): locks
+// through `auto`-typed guards, guards stored in containers, mutexes
+// reached through pointers, and conditional acquisition — all degrade to
+// "not held", which biases AUD008 toward reporting and AUD009 toward
+// silence, never toward a bogus lock-order pair.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/lexer.hpp"
+#include "aqt/audit/symbols.hpp"
+
+namespace aqt::audit {
+
+/// One span of tokens during which a mutex is held.
+struct LockInterval {
+  std::string mutex;        ///< Canonical identity (see header comment).
+  std::size_t begin = 0;    ///< First token at which the lock is held.
+  std::size_t end = 0;      ///< First token at which it is no longer held.
+  int line = 0;             ///< Acquisition line (for findings).
+};
+
+/// The lock flow of one file.
+struct LockFlow {
+  std::vector<LockInterval> intervals;
+
+  /// Sorted canonical names of every mutex held at token `i`.
+  [[nodiscard]] std::vector<std::string> held_at(std::size_t i) const;
+
+  /// True when any lock is held at token `i`.
+  [[nodiscard]] bool any_held_at(std::size_t i) const;
+};
+
+/// Canonical cross-TU identity for a mutex-typed declaration.
+/// `file_label` tags file-local and function-local names so they never
+/// merge with another TU's.
+std::string canonical_mutex_name(const VarDecl& decl,
+                                 const SymbolTable& table,
+                                 const std::string& file_label);
+
+/// Computes the lock flow.  Total: any input terminates.
+LockFlow compute_lock_flow(const ScannedSource& src, const SymbolTable& table,
+                           const std::string& file_label);
+
+}  // namespace aqt::audit

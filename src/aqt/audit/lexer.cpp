@@ -95,13 +95,31 @@ ScannedSource scan_source(const std::string& text) {
     }
     at_line_start = false;
 
-    // Line comment.
+    // Line comment.  A backslash-newline splice extends it onto the next
+    // physical line (phase-2 line splicing happens before comment
+    // recognition); the spliced text stays one Comment on the first line.
     if (ch == '/' && c.peek(1) == '/') {
       const int line = c.line();
       c.take();
       c.take();
       std::string body;
-      while (!c.done() && c.peek() != '\n') body += c.take();
+      while (!c.done()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          c.take();
+          c.take();
+          body += ' ';
+          continue;
+        }
+        if (c.peek() == '\\' && c.peek(1) == '\r' && c.peek(2) == '\n') {
+          c.take();
+          c.take();
+          c.take();
+          body += ' ';
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        body += c.take();
+      }
       out.comments.push_back(Comment{std::move(body), line});
       continue;
     }
@@ -132,10 +150,10 @@ ScannedSource scan_source(const std::string& text) {
       continue;
     }
 
-    // Raw string literal R"delim( ... )delim" — skipped entirely.
-    if (ch == 'R' && c.peek(1) == '"') {
-      c.take();
-      c.take();
+    // Raw string literal [prefix]R"delim( ... )delim" — skipped entirely,
+    // custom delimiters honoured.  Escapes do NOT apply inside.
+    const auto skip_raw_string = [&c]() {
+      c.take();  // the opening '"'
       std::string delim;
       while (!c.done() && c.peek() != '(' && delim.size() < 16)
         delim += c.take();
@@ -148,6 +166,10 @@ ScannedSource scan_source(const std::string& text) {
           window.erase(window.begin());
         if (window == close) break;
       }
+    };
+    if (ch == 'R' && c.peek(1) == '"') {
+      c.take();  // 'R'
+      skip_raw_string();
       continue;
     }
 
@@ -165,11 +187,18 @@ ScannedSource scan_source(const std::string& text) {
       continue;
     }
 
-    // Identifier / keyword.
+    // Identifier / keyword.  An encoding-prefixed raw string (u8R"…",
+    // uR"…", UR"…", LR"…") scans as an identifier first; divert it to the
+    // raw-string skip so its contents never reach the code stream.
     if (ident_start(ch)) {
       const int line = c.line();
       std::string word;
       while (!c.done() && ident_cont(c.peek())) word += c.take();
+      if (c.peek() == '"' &&
+          (word == "u8R" || word == "uR" || word == "UR" || word == "LR")) {
+        skip_raw_string();
+        continue;
+      }
       out.tokens.push_back(Token{Token::Kind::kIdentifier, std::move(word),
                                  line});
       continue;

@@ -1,0 +1,1034 @@
+#include "aqt/audit/symbols.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/token_util.hpp"
+
+namespace aqt::audit {
+namespace {
+
+// Identifiers that can never start or continue a declaration's type.
+const std::set<std::string>& decl_stoppers() {
+  static const std::set<std::string> kStop = {
+      "return",   "if",        "else",      "for",          "while",
+      "do",       "switch",    "case",      "default",      "break",
+      "continue", "goto",      "new",       "delete",       "throw",
+      "try",      "catch",     "using",     "typedef",      "friend",
+      "public",   "private",   "protected", "template",     "namespace",
+      "class",    "struct",    "union",     "enum",         "operator",
+      "sizeof",   "alignof",   "decltype",  "static_assert", "co_return",
+      "co_yield", "co_await",  "requires",  "concept",      "asm",
+      "typename", "this",      "true",      "false",        "nullptr",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+  };
+  return kStop;
+}
+
+const std::set<std::string>& decl_qualifiers() {
+  static const std::set<std::string> kQual = {
+      "static",   "thread_local", "inline",  "constexpr", "consteval",
+      "constinit", "const",       "mutable", "extern",    "volatile",
+      "explicit", "virtual",      "register",
+  };
+  return kQual;
+}
+
+// Callee names that defer a lambda argument onto another thread of
+// execution.  parallel_for_each is this repo's pool primitive; the rest
+// cover the common executor/pool vocabulary so future shard hand-off
+// code is born covered.
+const std::set<std::string>& deferred_callees() {
+  static const std::set<std::string> kDeferred = {
+      "parallel_for_each", "submit", "enqueue", "post",
+      "spawn",             "dispatch", "async", "defer",
+  };
+  return kDeferred;
+}
+
+const std::set<std::string>& insertion_callees() {
+  static const std::set<std::string> kInsert = {
+      "emplace_back", "push_back", "emplace", "insert",
+  };
+  return kInsert;
+}
+
+bool all_caps_name(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+bool type_contains(const std::string& type_text, const char* needle) {
+  return type_text.find(needle) != std::string::npos;
+}
+
+/// One "chunk" of a declaration: a (possibly qualified, possibly
+/// templated) identifier such as `std::vector<int>` or `unsigned`.
+struct TypeChunk {
+  std::string text;
+  bool plain = false;  ///< Unqualified, untemplated — a candidate name.
+  std::size_t name_token = 0;  ///< Token index of the last identifier.
+};
+
+class Builder {
+ public:
+  explicit Builder(const ScannedSource& src) : src_(src), t_(src.tokens) {
+    ScopeInfo file;
+    file.kind = ScopeInfo::Kind::kFile;
+    file.parent = -1;
+    file.body_begin = 0;
+    file.body_end = t_.size();
+    table_.scopes.push_back(file);
+    stack_.push_back(0);
+  }
+
+  SymbolTable run() {
+    const std::size_t n = t_.size();
+    bool stmt_start = true;
+    std::size_t i = 0;
+    while (i < n) {
+      const Token& tok = t_[i];
+      if (tok.kind == Token::Kind::kPunct && tok.text.size() == 1) {
+        const char c = tok.text[0];
+        if (c == '{') {
+          push_scope(ScopeInfo::Kind::kBlock, "", i + 1);
+          ++i;
+          stmt_start = true;
+          continue;
+        }
+        if (c == '}') {
+          pop_scope(i);
+          ++i;
+          stmt_start = true;
+          continue;
+        }
+        if (c == ';') {
+          ++i;
+          stmt_start = true;
+          continue;
+        }
+        if (c == '[') {
+          std::size_t next = try_lambda(i);
+          if (next != i) {
+            i = next;
+            stmt_start = true;
+            continue;
+          }
+          ++i;
+          stmt_start = false;
+          continue;
+        }
+        ++i;
+        stmt_start = false;
+        continue;
+      }
+
+      if (tok.kind == Token::Kind::kIdentifier) {
+        if (tok.text == "namespace") {
+          std::size_t next = handle_namespace(i);
+          if (next != i) {
+            i = next;
+            stmt_start = true;
+            continue;
+          }
+        } else if (tok.text == "class" || tok.text == "struct" ||
+                   tok.text == "union") {
+          std::size_t next = handle_class(i);
+          if (next != i) {
+            i = next;
+            stmt_start = true;
+            continue;
+          }
+        } else if (tok.text == "enum") {
+          i = skip_enum(i);
+          stmt_start = true;
+          continue;
+        } else if (tok.text == "template") {
+          // Skip the parameter list so `class`/`typename` inside it do
+          // not read as class heads; a bare `template` (member
+          // disambiguator) just steps past the keyword.
+          std::size_t adv = skip_template_args(t_, i + 1);
+          i = adv != i + 1 ? adv : i + 1;
+          stmt_start = true;
+          continue;
+        } else if (tok.text == "using" || tok.text == "typedef" ||
+                   tok.text == "friend" || tok.text == "static_assert") {
+          i = skip_to_semi(i);
+          stmt_start = true;
+          continue;
+        } else if (stmt_start) {
+          const ScopeInfo::Kind k = table_.scopes[stack_.back()].kind;
+          const bool decl_scope = k == ScopeInfo::Kind::kFile ||
+                                  k == ScopeInfo::Kind::kNamespace ||
+                                  k == ScopeInfo::Kind::kClass;
+          if (decl_scope) {
+            std::size_t next = try_function(i);
+            if (next != i) {
+              i = next;
+              stmt_start = true;
+              continue;
+            }
+          }
+          std::size_t next = try_var_decl(i);
+          if (next != i) {
+            i = next;
+            stmt_start = false;  // Continue scanning the initializer.
+            continue;
+          }
+        }
+        ++i;
+        stmt_start = false;
+        continue;
+      }
+
+      ++i;
+      stmt_start = false;
+    }
+    while (stack_.size() > 1) pop_scope(n);
+    table_.scopes[0].body_end = n;
+    classify_lambda_sinks();
+    return std::move(table_);
+  }
+
+ private:
+  // -- scope machinery ----------------------------------------------------
+
+  int push_scope(ScopeInfo::Kind kind, const std::string& name,
+                 std::size_t body_begin, bool anon_ns = false) {
+    ScopeInfo s;
+    s.kind = kind;
+    s.parent = stack_.back();
+    s.name = name;
+    s.body_begin = body_begin;
+    s.body_end = t_.size();
+    s.anonymous_namespace = anon_ns;
+    table_.scopes.push_back(s);
+    int idx = static_cast<int>(table_.scopes.size()) - 1;
+    stack_.push_back(idx);
+    return idx;
+  }
+
+  void pop_scope(std::size_t close_token) {
+    if (stack_.size() <= 1) return;  // Stray '}' — stay at file scope.
+    table_.scopes[stack_.back()].body_end = close_token;
+    int scope = stack_.back();
+    stack_.pop_back();
+    // Function bodies record their end for the call graph.
+    for (auto& f : table_.functions) {
+      if (f.scope == scope) f.body_end = close_token;
+    }
+    for (auto& l : table_.lambdas) {
+      if (l.scope == scope) l.body_end = close_token;
+    }
+  }
+
+  std::size_t skip_to_semi(std::size_t i) {
+    int depth = 0;
+    while (i < t_.size()) {
+      if (is_punct(t_, i, '{')) ++depth;
+      if (is_punct(t_, i, '}')) {
+        if (depth == 0) return i;  // Let the main loop close the scope.
+        --depth;
+      }
+      if (is_punct(t_, i, ';') && depth == 0) return i + 1;
+      ++i;
+    }
+    return i;
+  }
+
+  std::size_t skip_enum(std::size_t i) {
+    // enum [class|struct] Name [: underlying] { ... } | ;
+    std::size_t j = i + 1;
+    while (j < t_.size() && !is_punct(t_, j, '{') && !is_punct(t_, j, ';'))
+      ++j;
+    if (is_punct(t_, j, '{')) return skip_balanced(t_, j, '{', '}');
+    return j;  // ';' or EOF; main loop consumes it.
+  }
+
+  // -- namespace / class --------------------------------------------------
+
+  std::size_t handle_namespace(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    bool anon = true;
+    while (is_any_ident(t_, j)) {
+      if (!name.empty()) name += "::";
+      name += t_[j].text;
+      anon = false;
+      ++j;
+      if (is_punct(t_, j, ':') && is_punct(t_, j + 1, ':')) {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (is_punct(t_, j, '=')) return i;  // namespace alias; not a scope.
+    if (!is_punct(t_, j, '{')) return i;
+    push_scope(ScopeInfo::Kind::kNamespace, name, j + 1, anon);
+    return j + 1;
+  }
+
+  std::size_t handle_class(std::size_t i) {
+    std::size_t j = i + 1;
+    // Attributes / alignas between the keyword and the name.
+    while (is_punct(t_, j, '[')) j = skip_balanced(t_, j, '[', ']');
+    if (is_ident(t_, j, "alignas") && is_punct(t_, j + 1, '('))
+      j = skip_balanced(t_, j + 1, '(', ')');
+    if (!is_any_ident(t_, j)) {
+      // Anonymous struct/union { ... }.
+      if (is_punct(t_, j, '{')) {
+        push_scope(ScopeInfo::Kind::kClass, "", j + 1);
+        return j + 1;
+      }
+      return i;
+    }
+    std::string name = t_[j].text;
+    ++j;
+    j = skip_template_args(t_, j);
+    // Scan the base-clause (': public Foo<T>, ...') to the body.  Any
+    // ';', '=' or '(' first means forward declaration / variable / cast.
+    while (j < t_.size()) {
+      if (is_punct(t_, j, '{')) {
+        push_scope(ScopeInfo::Kind::kClass, name, j + 1);
+        return j + 1;
+      }
+      if (is_punct(t_, j, ';') || is_punct(t_, j, '=') ||
+          is_punct(t_, j, ')'))
+        return i;
+      if (is_punct(t_, j, '(')) return i;
+      if (is_punct(t_, j, '<')) {
+        std::size_t adv = skip_template_args(t_, j);
+        j = adv == j ? j + 1 : adv;
+        continue;
+      }
+      ++j;
+    }
+    return i;
+  }
+
+  // -- declarations -------------------------------------------------------
+
+  /// Parses one qualified, possibly templated identifier chunk at `j`.
+  /// Returns false when `j` does not start a usable chunk.
+  bool parse_chunk(std::size_t& j, TypeChunk& out) {
+    std::size_t k = j;
+    std::string text;
+    bool qualified = false;
+    bool templated = false;
+    if (is_punct(t_, k, ':') && is_punct(t_, k + 1, ':')) {
+      text += "::";
+      qualified = true;
+      k += 2;
+    }
+    if (!is_any_ident(t_, k)) return false;
+    if (decl_stoppers().count(t_[k].text) != 0) return false;
+    std::size_t name_tok = k;
+    text += t_[k].text;
+    ++k;
+    while (true) {
+      if (is_punct(t_, k, '<')) {
+        std::size_t adv = skip_template_args(t_, k);
+        if (adv != k) {
+          for (std::size_t m = k; m < adv; ++m) text += t_[m].text;
+          templated = true;
+          k = adv;
+          continue;
+        }
+        break;
+      }
+      if (is_punct(t_, k, ':') && is_punct(t_, k + 1, ':') &&
+          is_any_ident(t_, k + 2) &&
+          decl_stoppers().count(t_[k + 2].text) == 0) {
+        text += "::";
+        text += t_[k + 2].text;
+        qualified = true;
+        name_tok = k + 2;
+        k += 3;
+        continue;
+      }
+      break;
+    }
+    out.text = text;
+    out.plain = !qualified && !templated;
+    out.name_token = name_tok;
+    j = k;
+    return true;
+  }
+
+  struct DeclHead {
+    std::vector<TypeChunk> chunks;
+    bool is_const = false;
+    bool is_static = false;
+    bool is_thread_local = false;
+    bool is_reference = false;
+    bool is_pointer = false;
+    std::size_t end = 0;  ///< First token past the head (the terminator).
+  };
+
+  /// Parses qualifiers + type chunks + ptr/ref decorations starting at
+  /// `i`; stops at the first token that fits neither.
+  bool parse_decl_head(std::size_t i, DeclHead& head) {
+    std::size_t j = i;
+    while (is_any_ident(t_, j) && decl_qualifiers().count(t_[j].text) != 0) {
+      if (t_[j].text == "const" || t_[j].text == "constexpr")
+        head.is_const = true;
+      if (t_[j].text == "static") head.is_static = true;
+      if (t_[j].text == "thread_local") head.is_thread_local = true;
+      ++j;
+    }
+    while (true) {
+      if (is_any_ident(t_, j) && decl_qualifiers().count(t_[j].text) != 0) {
+        if (t_[j].text == "const") head.is_const = true;
+        ++j;
+        continue;
+      }
+      TypeChunk chunk;
+      std::size_t k = j;
+      if (parse_chunk(k, chunk)) {
+        head.chunks.push_back(chunk);
+        j = k;
+        continue;
+      }
+      if (is_punct(t_, j, '*')) {
+        if (head.chunks.empty()) return false;
+        head.is_pointer = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(t_, j, '&')) {
+        if (head.chunks.empty()) return false;
+        head.is_reference = true;
+        ++j;
+        if (is_punct(t_, j, '&')) ++j;  // rvalue reference
+        continue;
+      }
+      if (is_punct(t_, j, '.') && is_punct(t_, j + 1, '.') &&
+          is_punct(t_, j + 2, '.')) {
+        j += 3;  // pack expansion
+        continue;
+      }
+      break;
+    }
+    head.end = j;
+    return !head.chunks.empty();
+  }
+
+  std::string join_type(const std::vector<TypeChunk>& chunks,
+                        std::size_t count, bool ptr, bool ref) {
+    std::string out;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!out.empty()) out += ' ';
+      out += chunks[i].text;
+    }
+    if (ptr) out += " *";
+    if (ref) out += " &";
+    return out;
+  }
+
+  void derive_type_flags(VarDecl& v) {
+    // A guard's template argument mentions the mutex type; the guard
+    // itself is not lockable state.
+    const bool guard = type_contains(v.type_text, "lock_guard") ||
+                       type_contains(v.type_text, "unique_lock") ||
+                       type_contains(v.type_text, "scoped_lock") ||
+                       type_contains(v.type_text, "shared_lock");
+    v.is_mutex = !guard && (type_contains(v.type_text, "mutex") ||
+                            type_contains(v.type_text, "condition_variable"));
+    v.is_atomic = type_contains(v.type_text, "atomic");
+    v.is_thread_like = !guard && type_contains(v.type_text, "thread");
+    v.is_function_type = type_contains(v.type_text, "function");
+  }
+
+  void record_var(const DeclHead& head, const TypeChunk& name_chunk,
+                  bool parameter) {
+    VarDecl v;
+    v.name = name_chunk.text;
+    v.type_text = join_type(head.chunks, head.chunks.size() - 1,
+                            head.is_pointer, head.is_reference);
+    v.scope = stack_.back();
+    v.line = name_chunk.name_token < t_.size()
+                 ? t_[name_chunk.name_token].line
+                 : 0;
+    v.name_token = name_chunk.name_token;
+    v.is_const = head.is_const;
+    v.is_static = head.is_static;
+    v.is_thread_local = head.is_thread_local;
+    v.is_reference = head.is_reference;
+    v.is_pointer = head.is_pointer;
+    v.is_parameter = parameter;
+    derive_type_flags(v);
+    table_.vars.push_back(v);
+  }
+
+  /// Tries to parse a variable declaration statement at `i`.  On success
+  /// returns the token just past the declared *name* (so the main loop
+  /// still walks initializer expressions); on failure returns `i`.
+  std::size_t try_var_decl(std::size_t i) {
+    DeclHead head;
+    if (!parse_decl_head(i, head)) return i;
+    if (head.chunks.size() < 2) return i;
+    const TypeChunk& name = head.chunks.back();
+    if (!name.plain) return i;
+    std::size_t term = head.end;
+    const ScopeInfo::Kind sk = table_.scopes[stack_.back()].kind;
+    const bool decl_scope = sk == ScopeInfo::Kind::kFile ||
+                            sk == ScopeInfo::Kind::kNamespace ||
+                            sk == ScopeInfo::Kind::kClass;
+    // `name (` at file/namespace/class scope is a function *declaration*
+    // (try_function already rejected a definition); inside a body it is
+    // ctor-style direct init (std::lock_guard lk(m)).
+    const bool ok_paren = is_punct(t_, term, '(') && !decl_scope;
+    const bool ok_term = is_punct(t_, term, '=') || is_punct(t_, term, ';') ||
+                         is_punct(t_, term, '{') || ok_paren ||
+                         is_punct(t_, term, '[') || is_punct(t_, term, ',');
+    if (!ok_term) return i;
+    record_var(head, name, /*parameter=*/false);
+    std::size_t next = name.name_token + 1;
+    // Additional declarators: `int a, b = 1, *c;` — record the names but
+    // stop at the first initializer so its tokens are rescanned.
+    std::size_t j = term;
+    while (is_punct(t_, j, ',')) {
+      ++j;
+      DeclHead more = head;  // Same base type and qualifiers.
+      more.is_pointer = head.is_pointer;
+      more.is_reference = head.is_reference;
+      while (is_punct(t_, j, '*')) {
+        more.is_pointer = true;
+        ++j;
+      }
+      while (is_punct(t_, j, '&')) {
+        more.is_reference = true;
+        ++j;
+      }
+      TypeChunk extra;
+      std::size_t k = j;
+      if (!parse_chunk(k, extra) || !extra.plain) break;
+      if (!(is_punct(t_, k, '=') || is_punct(t_, k, ';') ||
+            is_punct(t_, k, ',') || is_punct(t_, k, '{') ||
+            is_punct(t_, k, '(')))
+        break;
+      record_var(more, extra, /*parameter=*/false);
+      j = k;
+      if (!is_punct(t_, j, ',')) break;
+    }
+    return next;
+  }
+
+  // -- functions ----------------------------------------------------------
+
+  /// Records the parameter declarations between `open` ('(') and its
+  /// matching ')' into the current (function or lambda) scope.
+  void record_params(std::size_t open) {
+    std::size_t close = skip_balanced(t_, open, '(', ')');
+    if (close == open) return;
+    std::size_t j = open + 1;
+    while (j + 1 < close) {
+      std::size_t item_end = j;
+      int depth = 0;
+      while (item_end + 1 < close) {
+        if (is_punct(t_, item_end, '(') || is_punct(t_, item_end, '[') ||
+            is_punct(t_, item_end, '{'))
+          ++depth;
+        if (is_punct(t_, item_end, ')') || is_punct(t_, item_end, ']') ||
+            is_punct(t_, item_end, '}'))
+          --depth;
+        if (depth == 0 && is_punct(t_, item_end, ',')) break;
+        std::size_t tmpl = skip_template_args(t_, item_end);
+        if (tmpl != item_end) {
+          item_end = tmpl;
+          continue;
+        }
+        ++item_end;
+      }
+      parse_param(j, item_end);
+      j = item_end + 1;
+    }
+  }
+
+  void parse_param(std::size_t begin, std::size_t end) {
+    DeclHead head;
+    if (!parse_decl_head(begin, head)) return;
+    if (head.end > end) return;
+    if (head.chunks.size() < 2) return;  // Unnamed parameter.
+    const TypeChunk& name = head.chunks.back();
+    if (!name.plain) return;
+    record_var(head, name, /*parameter=*/true);
+  }
+
+  /// Tries to parse a function definition starting at token `i` (already
+  /// known to sit at statement start in a file/namespace/class scope).
+  /// On success the function scope is pushed and the index of the first
+  /// body token is returned; otherwise returns `i`.
+  std::size_t try_function(std::size_t i) {
+    DeclHead head;
+    if (!parse_decl_head(i, head)) return i;
+    std::size_t term = head.end;
+    if (!is_punct(t_, term, '(')) return i;
+    const TypeChunk& name_chunk = head.chunks.back();
+    const ScopeInfo& cur = table_.scopes[stack_.back()];
+    const bool macro_shaped =
+        name_chunk.plain && all_caps_name(name_chunk.text);
+    if (head.chunks.size() < 2) {
+      // Single chunk: constructor (class scope, name == class) or a
+      // macro-shaped pseudo-definition (TEST(...) { ... }).
+      const bool ctor = cur.kind == ScopeInfo::Kind::kClass &&
+                        name_chunk.text == cur.name;
+      if (!ctor && !macro_shaped) return i;
+    }
+    std::size_t close = skip_balanced(t_, term, '(', ')');
+    if (close == term) return i;
+    // Post-parameter suffix: qualifiers, noexcept(...), trailing return,
+    // ctor-init list.  Stop at '{' (definition) or ';'/'='/',' (not one).
+    std::size_t j = close;
+    while (j < t_.size()) {
+      if (is_punct(t_, j, '{')) break;
+      if (is_punct(t_, j, ';') || is_punct(t_, j, '=') ||
+          is_punct(t_, j, ',') || is_punct(t_, j, ')'))
+        return i;
+      if (is_punct(t_, j, '(')) {
+        j = skip_balanced(t_, j, '(', ')');
+        continue;
+      }
+      if (is_punct(t_, j, '<')) {
+        std::size_t adv = skip_template_args(t_, j);
+        j = adv == j ? j + 1 : adv;
+        continue;
+      }
+      ++j;
+    }
+    if (!is_punct(t_, j, '{')) return i;
+
+    FunctionInfo f;
+    std::string written = name_chunk.text;
+    std::size_t sep = written.rfind("::");
+    if (sep != std::string::npos) {
+      f.qualifier = written.substr(0, sep);
+      // Strip any template arguments from the qualifier.
+      std::size_t lt = f.qualifier.find('<');
+      if (lt != std::string::npos) f.qualifier.resize(lt);
+      std::size_t lead = f.qualifier.rfind("::");
+      if (lead != std::string::npos) f.qualifier = f.qualifier.substr(lead + 2);
+      f.name = written.substr(sep + 2);
+    } else {
+      f.name = written;
+    }
+    f.line = t_[name_chunk.name_token].line;
+    if (macro_shaped) {
+      // TEST(...) / ASSERT-style macro bodies: give each a unique name so
+      // distinct expansions never merge into one call-graph node.
+      f.name = f.name + "#" + std::to_string(f.line);
+      f.file_local = true;
+    }
+    f.name_space = table_.namespace_of(stack_.back());
+    if (cur.kind == ScopeInfo::Kind::kClass) f.class_name = cur.name;
+    f.file_local = f.file_local || head.is_static || in_anonymous_namespace();
+    f.body_begin = j + 1;
+    f.body_end = t_.size();
+
+    int scope = push_scope(ScopeInfo::Kind::kFunction, f.name, j + 1);
+    f.scope = scope;
+    table_.functions.push_back(f);
+    function_of_scope_.resize(table_.scopes.size(), -1);
+    function_of_scope_[scope] = static_cast<int>(table_.functions.size()) - 1;
+    record_params(term);
+    return j + 1;
+  }
+
+  bool in_anonymous_namespace() const {
+    for (int s = stack_.back(); s >= 0; s = table_.scopes[s].parent) {
+      if (table_.scopes[s].anonymous_namespace) return true;
+    }
+    return false;
+  }
+
+  // -- lambdas ------------------------------------------------------------
+
+  /// Tries to parse a lambda whose capture intro '[' is at `i`.  On
+  /// success the lambda scope is pushed and the first body token index is
+  /// returned; otherwise returns `i`.
+  std::size_t try_lambda(std::size_t i) {
+    // '[' preceded by a value expression is a subscript; '[[' is an
+    // attribute.
+    if (i > 0) {
+      const Token& p = t_[i - 1];
+      if (p.kind == Token::Kind::kIdentifier &&
+          decl_stoppers().count(p.text) == 0 && p.text != "return")
+        return i;
+      if (p.kind == Token::Kind::kNumber) return i;
+      if (p.kind == Token::Kind::kPunct && p.text.size() == 1 &&
+          (p.text[0] == ']' || p.text[0] == ')' || p.text[0] == '['))
+        return i;
+    }
+    if (is_punct(t_, i + 1, '[')) return i;  // [[attribute]]
+
+    LambdaInfo lam;
+    lam.intro_token = i;
+    lam.line = t_[i].line;
+
+    // Parse the capture list up to the matching ']'.
+    std::size_t j = i + 1;
+    int depth = 1;
+    std::vector<std::vector<std::size_t>> items(1);
+    while (j < t_.size() && depth > 0) {
+      if (is_punct(t_, j, '[')) ++depth;
+      if (is_punct(t_, j, ']')) {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (is_punct(t_, j, '(')) {
+        std::size_t adv = skip_balanced(t_, j, '(', ')');
+        for (std::size_t m = j; m < adv; ++m) items.back().push_back(m);
+        j = adv;
+        continue;
+      }
+      if (depth == 1 && is_punct(t_, j, ',')) {
+        items.emplace_back();
+      } else {
+        items.back().push_back(j);
+      }
+      ++j;
+    }
+    if (!is_punct(t_, j, ']')) return i;
+    std::size_t after = j + 1;
+
+    for (const auto& item : items) {
+      if (item.empty()) continue;
+      std::size_t a = item[0];
+      if (is_punct(t_, a, '&')) {
+        if (item.size() == 1) {
+          lam.default_ref = true;
+        } else if (is_any_ident(t_, item[1])) {
+          lam.ref_captures.push_back(t_[item[1]].text);
+        }
+        continue;
+      }
+      if (is_punct(t_, a, '=') && item.size() == 1) {
+        lam.default_copy = true;
+        continue;
+      }
+      if (is_ident(t_, a, "this")) {
+        lam.captures_this = true;
+        continue;
+      }
+      if (is_punct(t_, a, '*') && item.size() >= 2 &&
+          is_ident(t_, item[1], "this")) {
+        lam.copy_captures.push_back("this");
+        continue;
+      }
+      if (is_any_ident(t_, a)) {
+        lam.copy_captures.push_back(t_[a].text);
+        continue;
+      }
+    }
+
+    // Optional parameter list, then specifiers up to the body.
+    std::size_t params_open = t_.size();
+    if (is_punct(t_, after, '(')) {
+      params_open = after;
+      after = skip_balanced(t_, after, '(', ')');
+    }
+    std::size_t guard = 0;
+    while (after < t_.size() && guard++ < 128) {
+      if (is_punct(t_, after, '{')) break;
+      if (is_punct(t_, after, ';') || is_punct(t_, after, ')') ||
+          is_punct(t_, after, ',') || is_punct(t_, after, ']') ||
+          is_punct(t_, after, '}'))
+        return i;  // No body — not a lambda expression we model.
+      if (is_punct(t_, after, '(')) {
+        after = skip_balanced(t_, after, '(', ')');
+        continue;
+      }
+      if (is_punct(t_, after, '<')) {
+        std::size_t adv = skip_template_args(t_, after);
+        after = adv == after ? after + 1 : adv;
+        continue;
+      }
+      ++after;
+    }
+    if (!is_punct(t_, after, '{')) return i;
+
+    lam.body_begin = after + 1;
+    lam.body_end = t_.size();
+    lam.enclosing_function = enclosing_function_index();
+    int scope = push_scope(ScopeInfo::Kind::kLambda, "", after + 1);
+    lam.scope = scope;
+    table_.lambdas.push_back(lam);
+    if (params_open < t_.size()) record_params(params_open);
+    return after + 1;
+  }
+
+  int enclosing_function_index() const {
+    for (int s = stack_.back(); s >= 0; s = table_.scopes[s].parent) {
+      if (table_.scopes[s].kind == ScopeInfo::Kind::kFunction) {
+        if (s < static_cast<int>(function_of_scope_.size()))
+          return function_of_scope_[s];
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  // -- sink classification (post-pass) ------------------------------------
+
+  void classify_lambda_sinks() {
+    for (auto& lam : table_.lambdas) classify_sink(lam);
+  }
+
+  void classify_sink(LambdaInfo& lam) {
+    const std::size_t i = lam.intro_token;
+    // [..]{..}( — immediately invoked.
+    if (lam.body_end + 1 < t_.size() && is_punct(t_, lam.body_end + 1, '(')) {
+      lam.sink = LambdaInfo::Sink::kImmediate;
+      return;
+    }
+    if (i == 0) return;
+    std::size_t p = i - 1;
+    if (is_punct(t_, p, '(') || is_punct(t_, p, ',')) {
+      classify_call_sink(lam, p);
+      return;
+    }
+    if (is_punct(t_, p, '=')) {
+      classify_assign_sink(lam, p);
+      return;
+    }
+    if (is_punct(t_, p, '{')) {
+      // Braced init of a declared variable: std::function<..> f{[&]{..}};
+      classify_assign_sink(lam, p);
+      return;
+    }
+    if (is_ident(t_, p, "return")) {
+      lam.sink = LambdaInfo::Sink::kUnknown;  // Escapes to caller; see docs.
+      return;
+    }
+  }
+
+  /// `p` is the '(' or ',' immediately before the lambda: find the call's
+  /// opening paren, then the callee chain before it.
+  void classify_call_sink(LambdaInfo& lam, std::size_t p) {
+    std::size_t open = p;
+    if (is_punct(t_, p, ',')) {
+      int depth = 0;
+      std::size_t k = p;
+      bool found = false;
+      while (k > 0) {
+        --k;
+        if (is_punct(t_, k, ')') || is_punct(t_, k, ']') ||
+            is_punct(t_, k, '}'))
+          ++depth;
+        else if (is_punct(t_, k, '(')) {
+          if (depth == 0) {
+            open = k;
+            found = true;
+            break;
+          }
+          --depth;
+        } else if (is_punct(t_, k, '[') || is_punct(t_, k, '{')) {
+          if (depth == 0) return;  // Aggregate init, not a call.
+          --depth;
+        } else if (depth == 0 && is_punct(t_, k, ';')) {
+          return;
+        }
+      }
+      if (!found) return;
+    }
+    if (open == 0) return;
+    // Callee: identifier chain directly before the '(' (skipping one
+    // template-argument group).
+    std::size_t c = open - 1;
+    if (is_punct(t_, c, '>')) {
+      // foo<T>( — walk back over the template args.
+      int depth = 0;
+      while (c > 0) {
+        if (is_punct(t_, c, '>')) ++depth;
+        if (is_punct(t_, c, '<')) {
+          --depth;
+          if (depth == 0) {
+            --c;
+            break;
+          }
+        }
+        --c;
+      }
+    }
+    if (!is_any_ident(t_, c)) return;
+    const std::string callee = t_[c].text;
+    lam.sink_name = callee;
+    lam.sink = LambdaInfo::Sink::kArgument;
+
+    if (callee == "thread" || callee == "jthread") {
+      lam.sink = LambdaInfo::Sink::kThread;
+      return;
+    }
+    if (callee == "async" || deferred_callees().count(callee) != 0) {
+      lam.sink = LambdaInfo::Sink::kDeferredCall;
+      return;
+    }
+    // Object method?  `pool.emplace_back([..]{..})` — dispatch on the
+    // receiving object's declared type.
+    std::string object;
+    if (c >= 2 && (is_punct(t_, c - 1, '.') ||
+                   (is_punct(t_, c - 1, '>') && is_punct(t_, c - 2, '-')))) {
+      std::size_t o = is_punct(t_, c - 1, '.') ? c - 2 : c - 3;
+      if (is_any_ident(t_, o)) object = t_[o].text;
+    }
+    if (insertion_callees().count(callee) != 0 && !object.empty()) {
+      const VarDecl* decl = table_.lookup(object, lam.intro_token);
+      if (decl != nullptr) {
+        if (decl->is_thread_like) {
+          lam.sink = LambdaInfo::Sink::kThread;
+          lam.sink_name = object;
+          return;
+        }
+        if (decl->is_function_type) {
+          lam.sink = LambdaInfo::Sink::kStoredFunction;
+          lam.sink_name = object;
+          return;
+        }
+      }
+      return;
+    }
+    // Direct init of a declared variable: std::thread t([..]{..});
+    const VarDecl* decl = table_.lookup(callee, lam.intro_token);
+    if (decl != nullptr && decl->name_token < lam.intro_token) {
+      if (decl->is_thread_like) lam.sink = LambdaInfo::Sink::kThread;
+      else if (decl->is_function_type)
+        lam.sink = LambdaInfo::Sink::kStoredFunction;
+      else
+        lam.sink = LambdaInfo::Sink::kNamedLocal;
+      lam.sink_name = callee;
+    }
+  }
+
+  /// `p` is the '=' or '{' immediately before the lambda: classify by the
+  /// assignment target / declared variable on the left.
+  void classify_assign_sink(LambdaInfo& lam, std::size_t p) {
+    if (p == 0) return;
+    std::size_t k = p - 1;
+    if (!is_any_ident(t_, k)) return;
+    const std::string target = t_[k].text;
+    lam.sink_name = target;
+    const VarDecl* decl = table_.lookup(target, lam.intro_token);
+    if (decl == nullptr) {
+      // Member assignment through a chain (spec.build = [..]) — resolve
+      // by member name anywhere; ambiguity stays kUnknown.
+      const VarDecl* member = nullptr;
+      bool ambiguous = false;
+      for (const auto& v : table_.vars) {
+        if (v.name != target) continue;
+        if (table_.scopes[v.scope].kind != ScopeInfo::Kind::kClass) continue;
+        if (member != nullptr && member->is_function_type != v.is_function_type)
+          ambiguous = true;
+        member = &v;
+      }
+      if (member != nullptr && !ambiguous && member->is_function_type) {
+        lam.sink = LambdaInfo::Sink::kStoredFunction;
+      }
+      return;
+    }
+    if (decl->is_function_type) {
+      lam.sink = LambdaInfo::Sink::kStoredFunction;
+    } else {
+      lam.sink = LambdaInfo::Sink::kNamedLocal;
+    }
+  }
+
+  const ScannedSource& src_;
+  const Tokens& t_;
+  SymbolTable table_;
+  std::vector<int> stack_;
+  std::vector<int> function_of_scope_;
+};
+
+}  // namespace
+
+// -- SymbolTable queries --------------------------------------------------
+
+int SymbolTable::scope_at(std::size_t i) const {
+  int best = 0;
+  std::size_t best_begin = 0;
+  for (std::size_t s = 1; s < scopes.size(); ++s) {
+    const ScopeInfo& sc = scopes[s];
+    if (sc.body_begin <= i && i < sc.body_end && sc.body_begin >= best_begin) {
+      best = static_cast<int>(s);
+      best_begin = sc.body_begin;
+    }
+  }
+  return best;
+}
+
+bool SymbolTable::scope_within(int scope, int outer) const {
+  for (int s = scope; s >= 0;
+       s = s < static_cast<int>(scopes.size()) ? scopes[s].parent : -1) {
+    if (s == outer) return true;
+  }
+  return false;
+}
+
+const VarDecl* SymbolTable::lookup(const std::string& name,
+                                   std::size_t i) const {
+  const int at = scope_at(i);
+  // Walk the scope chain innermost-out; within order-sensitive scopes
+  // (function/lambda/block) a declaration is visible only after its name.
+  for (int s = at; s >= 0; s = scopes[s].parent) {
+    const ScopeInfo& sc = scopes[s];
+    const bool ordered = sc.kind == ScopeInfo::Kind::kFunction ||
+                         sc.kind == ScopeInfo::Kind::kLambda ||
+                         sc.kind == ScopeInfo::Kind::kBlock;
+    const VarDecl* found = nullptr;
+    for (const auto& v : vars) {
+      if (v.scope != s || v.name != name) continue;
+      if (ordered && v.name_token > i) continue;
+      if (found == nullptr || v.name_token > found->name_token) found = &v;
+    }
+    if (found != nullptr) return found;
+  }
+  // Out-of-line member functions see the members of the written class.
+  for (const auto& f : functions) {
+    if (f.scope < 0 || f.qualifier.empty()) continue;
+    if (!scope_within(at, f.scope)) continue;
+    for (std::size_t s = 0; s < scopes.size(); ++s) {
+      if (scopes[s].kind != ScopeInfo::Kind::kClass ||
+          scopes[s].name != f.qualifier)
+        continue;
+      for (const auto& v : vars) {
+        if (v.scope == static_cast<int>(s) && v.name == name) return &v;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::string SymbolTable::namespace_of(int scope) const {
+  std::vector<const std::string*> parts;
+  for (int s = scope; s >= 0; s = scopes[s].parent) {
+    const ScopeInfo& sc = scopes[s];
+    if (sc.kind == ScopeInfo::Kind::kNamespace && !sc.anonymous_namespace)
+      parts.push_back(&sc.name);
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out += "::";
+    out += **it;
+  }
+  return out;
+}
+
+std::string SymbolTable::class_of(int scope) const {
+  for (int s = scope; s >= 0; s = scopes[s].parent) {
+    if (scopes[s].kind == ScopeInfo::Kind::kClass) return scopes[s].name;
+  }
+  return "";
+}
+
+SymbolTable build_symbols(const ScannedSource& src) {
+  return Builder(src).run();
+}
+
+}  // namespace aqt::audit

@@ -1,0 +1,171 @@
+// Declaration & symbol scanning for the aqt-audit semantic layer.
+//
+// The token-level rule pack (AUD001..AUD007) matches names; the semantic
+// rules (AUD008..AUD012) need to know what the names *are*: which
+// identifier is a local, a by-reference capture, a class member, a
+// mutex-typed field; which braces open a namespace, a class, a function
+// body, a worker lambda.  This module builds that model with a single
+// structural pass over the lexer's token stream:
+//
+//   * a scope tree (file / namespace / class / function / lambda / block)
+//     with token ranges, so "which scope declares x as seen from token i"
+//     is a containment query;
+//   * variable declarations with flattened type text and derived flags
+//     (const, static, reference, mutex/atomic/thread/std::function-typed);
+//   * function definitions with unqualified name, written qualifier
+//     (Class:: or namespace::), enclosing namespace path, and file-local
+//     marking (anonymous namespace / static linkage / macro-shaped names),
+//     which the cross-TU call graph uses for name resolution;
+//   * lambdas with parsed capture lists and a *sink* classification — how
+//     the lambda escapes its expression (thread construction, pool
+//     submission, stored std::function, plain local, immediate call) —
+//     which is what decides whether AUD008/AUD010 apply to its body.
+//
+// Everything here is a heuristic over tokens, not an AST; the obligations
+// are the hardened-scanner ones (any input terminates, no crashes) plus
+// "resolvable names resolve correctly on this repo's idiom".  Unresolvable
+// constructs degrade to absent declarations, and the rules treat absence
+// as "not provably shared" — false negatives, never false positives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/lexer.hpp"
+
+namespace aqt::audit {
+
+/// One node of the scope tree.  Token ranges cover the braces' content:
+/// [body_begin, body_end) with body_begin just past '{' and body_end at
+/// the matching '}' (or end of stream for unterminated input).
+struct ScopeInfo {
+  enum class Kind : std::uint8_t {
+    kFile,
+    kNamespace,
+    kClass,
+    kFunction,
+    kLambda,
+    kBlock,
+  };
+
+  Kind kind = Kind::kBlock;
+  int parent = -1;          ///< Index into SymbolTable::scopes; -1 = none.
+  std::string name;         ///< Namespace/class name; "" for anon/blocks.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  bool anonymous_namespace = false;
+};
+
+/// One declared variable, member, or parameter.
+struct VarDecl {
+  std::string name;
+  std::string type_text;    ///< Type tokens joined with single spaces.
+  int scope = 0;            ///< Declaring scope (index into scopes).
+  int line = 0;
+  std::size_t name_token = 0;  ///< Token index of the declared name.
+  bool is_const = false;
+  bool is_static = false;
+  bool is_thread_local = false;
+  bool is_reference = false;
+  bool is_pointer = false;
+  bool is_parameter = false;
+
+  // Derived from type_text; what the concurrency rules dispatch on.
+  bool is_mutex = false;       ///< mutex / shared_mutex / condition_variable.
+  bool is_atomic = false;      ///< std::atomic<...>.
+  bool is_thread_like = false; ///< std::thread / jthread (possibly in a
+                               ///< container) — a worker handle.
+  bool is_function_type = false;  ///< std::function<...> storage.
+};
+
+/// One function definition (declarations without bodies are not recorded —
+/// only definitions are call-graph nodes).
+struct FunctionInfo {
+  std::string name;          ///< Unqualified name ("run", "audit_source").
+  std::string qualifier;     ///< Written qualifier: "Auditor" for
+                             ///< Auditor::run, "" for unqualified.
+  std::string name_space;    ///< Enclosing namespace path ("aqt::audit").
+  std::string class_name;    ///< Enclosing class scope name, or "" —
+                             ///< in-class definitions only; out-of-line
+                             ///< member bodies carry it in `qualifier`.
+  bool file_local = false;   ///< Anonymous namespace, static linkage, or a
+                             ///< macro-shaped (ALL_CAPS) pseudo-definition:
+                             ///< never visible to other TUs.
+  int line = 0;
+  int scope = -1;            ///< The body scope index.
+  std::size_t body_begin = 0;  ///< First token inside the body.
+  std::size_t body_end = 0;    ///< Token index of the closing '}'.
+};
+
+/// One lambda expression.
+struct LambdaInfo {
+  /// How the lambda leaves the expression that created it.
+  enum class Sink : std::uint8_t {
+    kUnknown,        ///< Unclassified (conservatively not deferred).
+    kImmediate,      ///< Invoked in place: [..]{..}().
+    kNamedLocal,     ///< Bound to a plain local: auto f = [..]{..}.
+    kArgument,       ///< Passed to an ordinary call (borrowed, not kept).
+    kThread,         ///< std::thread/jthread construction or insertion
+                     ///< into a thread container — a worker body.
+    kDeferredCall,   ///< Submitted to a pool-like API (parallel_for_each,
+                     ///< submit/enqueue/post/spawn/dispatch/async/defer).
+    kStoredFunction, ///< Assigned into a std::function-typed variable.
+  };
+
+  std::size_t intro_token = 0;  ///< Index of the '[' opening the capture.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  int line = 0;
+  int scope = -1;               ///< The lambda body scope index.
+  int enclosing_function = -1;  ///< Index into functions, or -1 (file scope).
+
+  bool default_ref = false;     ///< [&] or [&, ...].
+  bool default_copy = false;    ///< [=] or [=, ...].
+  bool captures_this = false;   ///< [this] or [&]/[=] inside a member.
+  std::vector<std::string> ref_captures;   ///< Explicit &name captures.
+  std::vector<std::string> copy_captures;  ///< Explicit by-value captures.
+
+  Sink sink = Sink::kUnknown;
+  std::string sink_name;  ///< Callee / variable the lambda flowed into.
+
+  /// A worker body: runs (or may run) on another thread.
+  [[nodiscard]] bool deferred() const {
+    return sink == Sink::kThread || sink == Sink::kDeferredCall;
+  }
+  /// Captures anything by reference (incl. the enclosing object).
+  [[nodiscard]] bool captures_by_ref() const {
+    return default_ref || captures_this || !ref_captures.empty();
+  }
+};
+
+/// The per-file symbol model.
+struct SymbolTable {
+  std::vector<ScopeInfo> scopes;    ///< scopes[0] is the file scope.
+  std::vector<VarDecl> vars;
+  std::vector<FunctionInfo> functions;
+  std::vector<LambdaInfo> lambdas;
+
+  /// Innermost scope whose body range contains token `i` (0 = file).
+  [[nodiscard]] int scope_at(std::size_t i) const;
+
+  /// True when `scope` is `outer` or nested anywhere inside it.
+  [[nodiscard]] bool scope_within(int scope, int outer) const;
+
+  /// Innermost visible declaration of `name` at token `i`, or nullptr.
+  /// Members of enclosing class scopes are visible (this-capture model).
+  [[nodiscard]] const VarDecl* lookup(const std::string& name,
+                                      std::size_t i) const;
+
+  /// The namespace path enclosing `scope` ("aqt::audit", "" at top level).
+  [[nodiscard]] std::string namespace_of(int scope) const;
+
+  /// Nearest enclosing class scope's name, or "".
+  [[nodiscard]] std::string class_of(int scope) const;
+};
+
+/// Builds the symbol model.  Total: any token stream terminates.
+SymbolTable build_symbols(const ScannedSource& src);
+
+}  // namespace aqt::audit

@@ -1,0 +1,82 @@
+// Small token-matching helpers shared by the aqt-audit passes (auditor,
+// symbols, flow, call graph).  All are bounds-checked: out-of-range
+// indices simply fail to match, so callers can probe past the end of the
+// stream without guards.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aqt/audit/lexer.hpp"
+
+namespace aqt::audit {
+
+using Tokens = std::vector<Token>;
+
+inline bool is_ident(const Tokens& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier &&
+         t[i].text == text;
+}
+
+inline bool is_any_ident(const Tokens& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier;
+}
+
+inline bool is_punct(const Tokens& t, std::size_t i, char c) {
+  return i < t.size() && t[i].kind == Token::Kind::kPunct &&
+         t[i].text.size() == 1 && t[i].text[0] == c;
+}
+
+inline bool any_ident(const Tokens& t, std::size_t i,
+                      const std::set<std::string>& names) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier &&
+         names.count(t[i].text) != 0;
+}
+
+/// Index just past a balanced <...> starting at `open` (which must be '<');
+/// returns `open` when not a '<'.  Bounded by `limit` extra tokens so an
+/// expression's stray '<' cannot swallow the rest of the stream — on
+/// running out, returns `open` (no match) rather than a bogus span.
+inline std::size_t skip_template_args(const Tokens& t, std::size_t open,
+                                      std::size_t limit = 256) {
+  if (!is_punct(t, open, '<')) return open;
+  int depth = 0;
+  std::size_t i = open;
+  const std::size_t hard_end = open + limit < t.size() ? open + limit
+                                                       : t.size();
+  while (i < hard_end) {
+    if (is_punct(t, i, '<')) ++depth;
+    if (is_punct(t, i, '>')) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    // A template argument list never crosses these statement tokens; a
+    // '<' that meets one was a comparison, not a template.
+    if (is_punct(t, i, ';') || is_punct(t, i, '{') || is_punct(t, i, '}'))
+      return open;
+    ++i;
+  }
+  return open;
+}
+
+/// Index just past a balanced (...) / [...] / {...} group opening at
+/// `open`; returns `open` when the opener does not match `open_c`.
+inline std::size_t skip_balanced(const Tokens& t, std::size_t open,
+                                 char open_c, char close_c) {
+  if (!is_punct(t, open, open_c)) return open;
+  int depth = 0;
+  std::size_t i = open;
+  while (i < t.size()) {
+    if (is_punct(t, i, open_c)) ++depth;
+    if (is_punct(t, i, close_c)) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace aqt::audit

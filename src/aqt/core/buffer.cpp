@@ -15,6 +15,7 @@ BufferEntry Buffer::pop_min() {
 bool Buffer::erase_packet(PacketId packet) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->packet == packet) {
+      // aqt-audit: allow(AUD012) -- the erase exits the loop via return
       entries_.erase(it);
       return true;
     }

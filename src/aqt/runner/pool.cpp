@@ -56,6 +56,7 @@ std::vector<std::string> parallel_for_each(
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
+    // aqt-audit: allow(AUD010) -- every referent outlives the join below
     pool.emplace_back([&] {
       for (;;) {
         const std::size_t begin =
@@ -115,6 +116,7 @@ RunPoolReport run_pool(const std::vector<RunSpec>& specs, unsigned jobs) {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
+      // aqt-audit: allow(AUD010) -- every referent outlives the join below
       pool.emplace_back([&, w] {
         for (;;) {
           const std::size_t begin =
@@ -122,7 +124,9 @@ RunPoolReport run_pool(const std::vector<RunSpec>& specs, unsigned jobs) {
           if (begin >= specs.size()) return;
           const std::size_t end = std::min(specs.size(), begin + chunk);
           for (std::size_t i = begin; i < end; ++i) {
+            // aqt-audit: allow(AUD008) -- slot i has exactly one writer
             report.results[i] = execute_run(specs[i]);
+            // aqt-audit: allow(AUD008) -- slot i has exactly one writer
             report.results[i].index = i;
             count_cell(worker_metrics[w], report.results[i]);
           }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -68,6 +69,63 @@ TEST(AuditLexerTest, PreprocessorContinuationsAreHonoured) {
   ASSERT_EQ(src.preprocessor.size(), 1u);
   EXPECT_NE(src.preprocessor[0].text.find("aqt/core/engine.hpp"),
             std::string::npos);
+}
+
+TEST(AuditLexerTest, PrefixedRawStringsAndCustomDelimitersAreExcluded) {
+  // Every encoding prefix, with a custom delimiter that embeds the naive
+  // `)"` terminator mid-string.
+  const ScannedSource src = scan_source(
+      "auto a = u8R\"x(rand() )\" still raw)x\";\n"
+      "auto b = uR\"(rand())\";\n"
+      "auto c = UR\"(rand())\";\n"
+      "auto d = LR\"(rand())\";\n"
+      "auto e = R\"delim(rand() )\" still raw)delim\";\n"
+      "int after = 5;\n");
+  for (const Token& t : src.tokens) {
+    EXPECT_NE(t.text, "rand") << t.line;
+    EXPECT_NE(t.text, "still") << t.line;
+  }
+  bool saw_after = false;
+  for (const Token& t : src.tokens)
+    if (t.text == "after") {
+      saw_after = true;
+      EXPECT_EQ(t.line, 6);
+    }
+  EXPECT_TRUE(saw_after);
+}
+
+TEST(AuditLexerTest, LineCommentBackslashContinuationIsHonoured) {
+  // Phase-2 line splicing extends a // comment across the backslash;
+  // the next physical line is still commentary, never code.
+  const ScannedSource src = scan_source(
+      "int x = 1;  // trailing comment \\\n"
+      "rand() would be a finding were this code\n"
+      "int y = 2;\n");
+  for (const Token& t : src.tokens) EXPECT_NE(t.text, "rand") << t.line;
+  ASSERT_EQ(src.comments.size(), 1u);
+  EXPECT_EQ(src.comments[0].line, 1);
+  EXPECT_NE(src.comments[0].text.find("were this code"), std::string::npos);
+  bool saw_y = false;
+  for (const Token& t : src.tokens)
+    if (t.text == "y") {
+      saw_y = true;
+      EXPECT_EQ(t.line, 3);
+    }
+  EXPECT_TRUE(saw_y);
+}
+
+TEST(AuditLexerTest, DirectiveInsideARawStringIsNotADirective) {
+  // A raw string spanning lines that *look* like suppression directives
+  // must not suppress anything: string contents are data, not comments.
+  // Were the raw string mis-lexed, the "directive" on its last interior
+  // line would be comment-only and absolve the rand() on the next line.
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "const char* doc = R\"(\n"
+      "sample report text\n"
+      "// aqt-audit: allow(AUD001) -- not a real directive\n"
+      ")\"; int f() { return rand(); }\n");
+  EXPECT_TRUE(has_rule(rep, "AUD001")) << to_human({rep});
 }
 
 TEST(AuditLexerTest, UnterminatedConstructsStillTerminate) {
@@ -189,6 +247,18 @@ TEST(AuditDirectiveTest, Aud007IsNeverSuppressible) {
   EXPECT_TRUE(has_rule(rep, "AUD007"));
 }
 
+TEST(AuditDirectiveTest, UnusedAllowIsReportedAsAud007) {
+  // A suppression that absolves nothing is itself a finding: stale
+  // allows hide the regression they were written for.
+  const AuditReport rep = audit_source(
+      "src/aqt/core/x.cpp",
+      "int f(int x) { return x; }  "
+      "// aqt-audit: allow(AUD001) -- nothing here\n");
+  EXPECT_TRUE(only_rule(rep, "AUD007")) << to_human({rep});
+  EXPECT_NE(rep.findings[0].message.find("matched no finding"),
+            std::string::npos);
+}
+
 TEST(AuditDirectiveTest, MarkerInProseIsIgnored) {
   const AuditReport rep = audit_source(
       "src/aqt/core/x.cpp",
@@ -207,12 +277,34 @@ TEST(AuditDirectiveTest, ContextOverridesPathClassification) {
 
 // --- Corpus ----------------------------------------------------------------
 
+std::string rule_lower(const RuleInfo& rule) {
+  std::string low = rule.id;
+  std::transform(low.begin(), low.end(), low.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return low;
+}
+
+/// Audits one corpus case through the project API.  When a cross-TU
+/// companion (audNNN_support.cpp) exists it joins the project — AUD011
+/// needs a second TU in another layer — and the case file's report is
+/// returned.
+AuditReport audit_corpus(const std::string& low, const std::string& kind) {
+  const std::string main_path = corpus(low + "_" + kind + ".cpp");
+  std::vector<AuditUnit> units;
+  units.push_back(audit_unit_file(main_path));
+  const std::string support = corpus(low + "_support.cpp");
+  if (std::ifstream(support).good())
+    units.push_back(audit_unit_file(support));
+  std::vector<AuditReport> reports = finalize_project(std::move(units));
+  for (AuditReport& rep : reports)
+    if (rep.file == main_path) return std::move(rep);
+  ADD_FAILURE() << "no report for " << main_path;
+  return {};
+}
+
 TEST(AuditCorpusTest, EveryBadFileIsDetectedByExactlyItsRule) {
   for (const RuleInfo& rule : rule_pack()) {
-    std::string low = rule.id;
-    std::transform(low.begin(), low.end(), low.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    const AuditReport rep = audit_file(corpus(low + "_bad.cpp"));
+    const AuditReport rep = audit_corpus(rule_lower(rule), "bad");
     EXPECT_TRUE(only_rule(rep, rule.id))
         << rule.id << " corpus file: " << to_human({rep});
   }
@@ -220,10 +312,7 @@ TEST(AuditCorpusTest, EveryBadFileIsDetectedByExactlyItsRule) {
 
 TEST(AuditCorpusTest, EveryGoodFileIsClean) {
   for (const RuleInfo& rule : rule_pack()) {
-    std::string low = rule.id;
-    std::transform(low.begin(), low.end(), low.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    const AuditReport rep = audit_file(corpus(low + "_good.cpp"));
+    const AuditReport rep = audit_corpus(rule_lower(rule), "good");
     EXPECT_TRUE(rep.ok()) << rule.id
                           << " near-miss file: " << to_human({rep});
   }
@@ -233,15 +322,61 @@ TEST(AuditCorpusTest, MetaEveryPackRuleHasCorpusCoverage) {
   // The pack is the single source of truth: a rule added without corpus
   // coverage fails here, not silently.
   std::set<std::string> covered;
-  for (const RuleInfo& rule : rule_pack()) {
-    std::string low = rule.id;
-    std::transform(low.begin(), low.end(), low.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    for (const AuditFinding& f : audit_file(corpus(low + "_bad.cpp")).findings)
+  for (const RuleInfo& rule : rule_pack())
+    for (const AuditFinding& f : audit_corpus(rule_lower(rule), "bad").findings)
       covered.insert(f.rule);
-  }
   for (const RuleInfo& rule : rule_pack())
     EXPECT_EQ(covered.count(rule.id), 1u) << rule.id << " has no corpus hit";
+}
+
+TEST(AuditCorpusTest, Aud011CatchesTheIndirectReachAud006Misses) {
+  // The bad file #includes nothing from runner, so the include-level
+  // check is structurally blind to it; only the call graph sees the hop.
+  const AuditReport rep = audit_corpus("aud011", "bad");
+  EXPECT_FALSE(has_rule(rep, "AUD006")) << to_human({rep});
+  EXPECT_TRUE(has_rule(rep, "AUD011")) << to_human({rep});
+  // Both the direct call into runner_detail and the call that reaches it
+  // only transitively are flagged.
+  EXPECT_EQ(rep.findings.size(), 2u) << to_human({rep});
+}
+
+TEST(AuditRaceProbe, StaticAnalysisFlagsTheSiteTsanCatches) {
+  // race_probe.cpp is the one corpus file that is also compiled (the
+  // aqt-race-probe target, built with AQT_AUDIT_CORPUS_RACE) so TSan can
+  // catch the race at runtime.  The static side of that agreement: AUD008
+  // must flag exactly the marked write, and nothing else in the file.
+  const std::string path = corpus("race_probe.cpp");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int race_line = 0;
+  for (int n = 1; std::getline(in, line); ++n)
+    if (line.find("RACE-SITE") != std::string::npos) race_line = n;
+  ASSERT_GT(race_line, 0) << "marker comment missing from " << path;
+
+  const AuditReport rep = audit_file(path);
+  EXPECT_TRUE(only_rule(rep, "AUD008")) << to_human({rep});
+  bool flagged = false;
+  for (const AuditFinding& f : rep.findings)
+    if (f.rule == "AUD008" && f.line == race_line &&
+        f.message.find("g_total") != std::string::npos)
+      flagged = true;
+  EXPECT_TRUE(flagged) << to_human({rep});
+}
+
+TEST(AuditCorpusTest, FinalizeProjectIsOrderInvariant) {
+  // The cross-TU phase must not depend on unit arrival order (the tool
+  // computes units in parallel under --jobs).
+  std::vector<AuditUnit> fwd;
+  fwd.push_back(audit_unit_file(corpus("aud011_bad.cpp")));
+  fwd.push_back(audit_unit_file(corpus("aud011_support.cpp")));
+  fwd.push_back(audit_unit_file(corpus("aud009_bad.cpp")));
+  std::vector<AuditUnit> rev;
+  rev.push_back(audit_unit_file(corpus("aud009_bad.cpp")));
+  rev.push_back(audit_unit_file(corpus("aud011_support.cpp")));
+  rev.push_back(audit_unit_file(corpus("aud011_bad.cpp")));
+  EXPECT_EQ(to_json(finalize_project(std::move(fwd))),
+            to_json(finalize_project(std::move(rev))));
 }
 
 TEST(AuditCorpusTest, UnreadableFileIsAHardError) {
@@ -253,11 +388,8 @@ TEST(AuditCorpusTest, UnreadableFileIsAHardError) {
 std::vector<AuditReport> corpus_reports() {
   std::vector<AuditReport> reports;
   for (const RuleInfo& rule : rule_pack()) {
-    std::string low = rule.id;
-    std::transform(low.begin(), low.end(), low.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    reports.push_back(audit_file(corpus(low + "_bad.cpp")));
-    reports.push_back(audit_file(corpus(low + "_good.cpp")));
+    reports.push_back(audit_corpus(rule_lower(rule), "bad"));
+    reports.push_back(audit_corpus(rule_lower(rule), "good"));
   }
   return reports;
 }
@@ -276,6 +408,19 @@ TEST(AuditJsonTest, RoundTripsThroughTheHardenedParser) {
       EXPECT_EQ(back[i].findings[j].message, reports[i].findings[j].message);
     }
   }
+}
+
+TEST(AuditJsonTest, StaleEntriesRoundTrip) {
+  const std::vector<BaselineEntry> stale = {
+      BaselineEntry{"AUD004", "src/aqt/core/x.cpp", 0xdeadbeef00000001ull}};
+  std::vector<BaselineEntry> back;
+  const std::vector<AuditReport> reports =
+      parse_audit_json(to_json({}, stale), "stale-trip", &back);
+  EXPECT_TRUE(reports.empty());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].rule, "AUD004");
+  EXPECT_EQ(back[0].file, "src/aqt/core/x.cpp");
+  EXPECT_EQ(back[0].line_hash, 0xdeadbeef00000001ull);
 }
 
 TEST(AuditJsonTest, MalformedInputThrowsNeverCrashes) {

@@ -1,0 +1,24 @@
+// Corpus: AUD008 positives — shared mutable state written inside a
+// worker lambda with an empty lockset.  The workers are real threads;
+// nothing synchronizes the member writes.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+class Collector {
+ public:
+  void run(std::size_t n) {
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < n; ++w) {
+      workers.emplace_back([this] {
+        total_ += 1;          // unguarded member write
+        hits_.push_back(1);   // unguarded container mutation
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+ private:
+  long total_ = 0;
+  std::vector<int> hits_;
+};

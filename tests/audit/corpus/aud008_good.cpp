@@ -1,0 +1,31 @@
+// Corpus: AUD008 near-misses — the same worker shape, but every shared
+// write is guarded, atomic, or private to the lambda.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+class Collector {
+ public:
+  void run(std::size_t n) {
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < n; ++w) {
+      workers.emplace_back([this] {
+        long local = 0;  // lambda-local: no other thread sees it
+        local += 1;
+        ticks_.fetch_add(1);  // atomic: exempt
+        std::lock_guard<std::mutex> lk(mu_);
+        total_ += local;          // guarded member write
+        hits_.push_back(local);   // guarded container mutation
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+ private:
+  std::mutex mu_;
+  long total_ = 0;
+  std::vector<long> hits_;
+  std::atomic<long> ticks_{0};
+};

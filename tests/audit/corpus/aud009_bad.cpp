@@ -1,0 +1,20 @@
+// Corpus: AUD009 positives — two mutexes acquired in both orders by two
+// functions in the same TU: the classic ABBA deadlock shape.
+#include <mutex>
+
+namespace acct {
+
+std::mutex ledger_mu;
+std::mutex audit_mu;
+
+void credit() {
+  std::lock_guard<std::mutex> a(ledger_mu);
+  std::lock_guard<std::mutex> b(audit_mu);  // ledger before audit
+}
+
+void reconcile() {
+  std::lock_guard<std::mutex> a(audit_mu);
+  std::lock_guard<std::mutex> b(ledger_mu);  // audit before ledger
+}
+
+}  // namespace acct

@@ -1,0 +1,30 @@
+// Corpus: AUD009 near-misses — every nesting follows one global order
+// (ledger before audit), and sequential acquisition in separate blocks
+// establishes no order at all.
+#include <mutex>
+
+namespace acct {
+
+std::mutex ledger_mu;
+std::mutex audit_mu;
+
+void credit() {
+  std::lock_guard<std::mutex> a(ledger_mu);
+  std::lock_guard<std::mutex> b(audit_mu);
+}
+
+void reconcile() {
+  std::lock_guard<std::mutex> a(ledger_mu);
+  std::lock_guard<std::mutex> b(audit_mu);
+}
+
+void tally() {
+  {
+    std::lock_guard<std::mutex> a(audit_mu);  // released before the next
+  }
+  {
+    std::lock_guard<std::mutex> b(ledger_mu);  // never nested: no order
+  }
+}
+
+}  // namespace acct

@@ -1,0 +1,22 @@
+// Corpus: AUD010 positives — by-reference captures escaping into
+// callables that outlive the full expression.  The bodies only *read*,
+// so this is purely the lifetime hazard (no AUD008 race).
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+long snapshot(const std::vector<long>& samples, long floor) {
+  std::function<long()> reader;
+  reader = [&] {  // [&] into a stored std::function
+    long sum = 0;
+    for (long s : samples)
+      if (s > floor) sum += s;
+    return sum;
+  };
+  std::thread probe([&floor] {  // &floor into a thread body
+    std::printf("%ld\n", floor);
+  });
+  probe.join();
+  return reader();
+}

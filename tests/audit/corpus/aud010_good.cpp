@@ -1,0 +1,26 @@
+// Corpus: AUD010 near-misses — copy captures into deferred callables,
+// and a by-reference capture that never escapes (immediate invocation).
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+long snapshot(const std::vector<long>& samples, long floor) {
+  std::function<long()> reader;
+  reader = [samples, floor] {  // by value: owns its data
+    long sum = 0;
+    for (long s : samples)
+      if (s > floor) sum += s;
+    return sum;
+  };
+  const long all = [&] {  // [&], but invoked in place: no escape
+    long sum = 0;
+    for (long s : samples) sum += s;
+    return sum;
+  }();
+  std::thread probe([floor] {  // by value into the thread
+    std::printf("%ld\n", floor);
+  });
+  probe.join();
+  return reader() + all;
+}

@@ -1,0 +1,24 @@
+// Corpus: AUD011 positives — a core-layer TU that reaches the runner
+// layer through calls only.  There is no #include of any runner header
+// (AUD006 stays silent); the dependency is smuggled through a local
+// declaration whose *definition* lives in a runner-layer TU
+// (aud011_support.cpp).
+// aqt-audit: context(core)
+
+namespace aqt {
+namespace runner_detail {
+void submit_shard(int shard);  // innocent-looking forward declaration
+}  // namespace runner_detail
+
+namespace core_detail {
+void flush_shard(int shard) {
+  runner_detail::submit_shard(shard);  // direct call into runner
+}
+}  // namespace core_detail
+
+void drain(int n) {
+  for (int s = 0; s < n; ++s)
+    core_detail::flush_shard(s);  // indirect: core -> core -> runner
+}
+
+}  // namespace aqt

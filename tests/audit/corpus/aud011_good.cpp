@@ -1,0 +1,22 @@
+// Corpus: AUD011 near-misses — the same call shapes, kept inside the
+// core layer: an in-TU helper chain, and a declared-but-undefined
+// external hook (unresolvable calls are conservatively trusted).
+// aqt-audit: context(core)
+
+namespace aqt {
+namespace core_detail {
+
+void note_shard(int shard);  // no definition anywhere: not resolvable
+
+void flush_shard(int shard) {
+  note_shard(shard);  // unresolvable: no layer claim to check
+}
+
+}  // namespace core_detail
+
+void drain(int n) {
+  for (int s = 0; s < n; ++s)
+    core_detail::flush_shard(s);  // core -> core: allowed
+}
+
+}  // namespace aqt

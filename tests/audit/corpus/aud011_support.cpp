@@ -1,0 +1,12 @@
+// Corpus: AUD011 support TU (not a corpus case itself) — the
+// runner-layer definition that aud011_bad.cpp reaches by call.  Audited
+// together with the bad/good files through the project API.
+// aqt-audit: context(runner)
+
+namespace aqt {
+namespace runner_detail {
+
+void submit_shard(int shard) { (void)shard; }
+
+}  // namespace runner_detail
+}  // namespace aqt

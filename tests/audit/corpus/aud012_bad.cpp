@@ -1,0 +1,33 @@
+// Corpus: AUD012 positives — containers mutated while an iteration over
+// the same container is live.
+#include <string>
+#include <vector>
+
+int retire(std::vector<int>& jobs) {
+  int retired = 0;
+  for (int j : jobs) {
+    if (j < 0) {
+      jobs.erase(jobs.begin());  // erase mid range-for
+      ++retired;
+    }
+  }
+  return retired;
+}
+
+void reseed(std::vector<int>& queue) {
+  for (int q : queue)
+    if (q % 2 == 0) queue.push_back(q / 2);  // growth mid-walk
+}
+
+struct Registry {
+  std::vector<std::string> names;
+  void dedupe() {
+    for (const std::string& n : names)
+      if (n.empty()) names.erase(names.begin());  // member container
+  }
+};
+
+void compact(std::vector<int>& vals) {
+  for (auto it = vals.begin(); it != vals.end(); ++it)
+    if (*it == 0) vals.erase(it);  // not the rebinding idiom
+}

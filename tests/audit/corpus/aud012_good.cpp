@@ -1,0 +1,26 @@
+// Corpus: AUD012 near-misses — the erase-rebind idiom, mutating a
+// *different* container, and mutation after the loop ends.
+#include <vector>
+
+void compact(std::vector<int>& vals) {
+  for (auto it = vals.begin(); it != vals.end();) {
+    if (*it == 0)
+      it = vals.erase(it);  // rebinding idiom: iterator stays valid
+    else
+      ++it;
+  }
+}
+
+void rebuild(std::vector<int>& src) {
+  std::vector<int> keep;
+  for (int v : src)
+    if (v > 0) keep.push_back(v);  // mutates keep, iterates src
+  src = keep;
+}
+
+void append_count(std::vector<int>& vals) {
+  int zeros = 0;
+  for (int v : vals)
+    if (v == 0) ++zeros;
+  vals.push_back(zeros);  // after the loop: iteration is over
+}

@@ -1,0 +1,47 @@
+// TSan/AUD008 agreement probe.
+//
+// This is the one corpus file that is also *compiled* (into the
+// `aqt-race-probe` target, which defines AQT_AUDIT_CORPUS_RACE) so that
+// ThreadSanitizer can observe at runtime exactly the site aqt-audit's
+// AUD008 flags statically.  The CI tsan leg runs the binary and expects
+// it to fail; the static side is asserted by
+// AuditRaceProbe.StaticAnalysisFlagsTheSiteTsanCatches in audit_test.cpp.
+//
+// The preprocessor conditional hides the race from ordinary builds, but
+// NOT from aqt-audit: the analyzer tokenizes both branches of an #ifdef,
+// so the finding below is produced whether or not the macro is defined.
+#include <thread>
+#include <vector>
+
+namespace aqt_race_probe {
+
+// Namespace-scope, non-atomic, never guarded: the contested cell.
+int g_total = 0;
+
+#ifdef AQT_AUDIT_CORPUS_RACE
+
+// Two writers hammer g_total with no synchronization.  Under TSan this
+// reports a data race on the `g_total += 1` line — the same line AUD008
+// points at.
+void hammer(int iterations) {
+  std::vector<std::thread> pool;
+  for (int w = 0; w < 2; ++w) {
+    pool.emplace_back([iterations] {
+      for (int i = 0; i < iterations; ++i) g_total += 1;  // RACE-SITE
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+#endif  // AQT_AUDIT_CORPUS_RACE
+
+}  // namespace aqt_race_probe
+
+#ifdef AQT_AUDIT_CORPUS_RACE
+int main() {
+  aqt_race_probe::hammer(200000);
+  return aqt_race_probe::g_total > 0 ? 0 : 1;
+}
+#else
+int main() { return 0; }
+#endif

@@ -225,8 +225,9 @@ TEST(RunPool, ExceptionInOneCellLeavesOthersIntact) {
 
 TEST(RunPool, ParallelForEachReportsPerIndexErrors) {
   std::atomic<int> ran{0};
-  const std::vector<std::string> errors =
-      parallel_for_each(5, 3, [&](std::size_t i) {
+  const std::vector<std::string> errors = parallel_for_each(
+      5, 3,
+      [&](std::size_t i) {  // aqt-audit: allow(AUD010) -- joins on return
         ran.fetch_add(1);
         AQT_REQUIRE(i != 2, "index two is cursed");
       });

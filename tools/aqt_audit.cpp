@@ -2,24 +2,38 @@
 // sources themselves.
 //
 // Tokenizes every given C++ file (directories are walked recursively) and
-// enforces the project's replayability rule pack (AUD001..AUD007, see
+// enforces the project's replayability rule pack (AUD001..AUD012, see
 // src/aqt/audit/auditor.hpp): banned nondeterminism APIs, unordered
 // iteration on output paths, mutable statics in engine/runner/obs code,
 // pointer-keyed ordered containers, unordered float merges, layering
-// violations, and malformed justification comments.
+// violations (include-level and call-graph), malformed or unused
+// justification comments, lockset-empty shared writes in worker lambdas,
+// lock-order inconsistencies, escaping by-reference captures, and
+// container mutation during iteration.
+//
+// The per-file phase (lexing, symbols, lock flow, local rules) runs in
+// parallel on the run-pool; the cross-TU phase (call-graph rules AUD009
+// and AUD011) is a serial merge over the sorted units, so the output is
+// byte-identical for any --jobs.
 //
 //   aqt-audit src tools tests                  # human-readable report
 //   aqt-audit --format=json src                # machine-readable report
 //   aqt-audit --baseline=tests/audit/baseline.txt src tools tests
 //   aqt-audit --update-baseline=true --baseline=... src tools tests
+//   aqt-audit --prune-baseline=true --baseline=... src tools tests
+//   aqt-audit --compile-commands=build/compile_commands.json
 //
 // Directories named 'corpus' are skipped (tests/audit/corpus holds
 // deliberately-bad snippets); name such files explicitly to audit them.
-// Exit codes: 0 = no unbaselined finding, 1 = findings, 2 = usage error.
+// Exit codes: 0 = no unbaselined finding, 1 = findings (or, under
+// --fail-on-stale, stale baseline entries), 2 = usage error.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,45 +46,94 @@
 
 namespace {
 
-bool audited_extension(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
-         ext == ".cxx";
-}
-
-bool skipped_dir(const std::filesystem::path& p) {
-  const std::string name = p.filename().string();
-  return name == "corpus" || name == ".git" || name == "out" ||
-         name.rfind("build", 0) == 0;
-}
-
-/// Expands files/directories into a sorted, deduplicated file list so the
-/// report order never depends on filesystem enumeration order.
-std::vector<std::string> collect_files(const std::vector<std::string>& args) {
-  namespace fs = std::filesystem;
+/// Pulls the "file" entries out of a CMake compile_commands.json (emitted
+/// under CMAKE_EXPORT_COMPILE_COMMANDS).  A focused scan, not a general
+/// JSON parser: every `"file" : "<path>"` pair is collected, escapes
+/// decoded, and the result filtered/sorted like a directory walk — the
+/// audited set is then exactly the set of TUs the build compiles.
+std::vector<std::string> files_from_compile_commands(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AQT_REQUIRE(in.good(), "cannot open compile commands: " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
   std::vector<std::string> files;
-  for (const std::string& arg : args) {
-    const fs::path p(arg);
-    AQT_REQUIRE(fs::exists(p), "no such file or directory: " << arg);
-    if (!fs::is_directory(p)) {
-      files.push_back(p.generic_string());
-      continue;
-    }
-    fs::recursive_directory_iterator it(p), end;
-    while (it != end) {
-      if (it->is_directory() && skipped_dir(it->path())) {
-        it.disable_recursion_pending();
-        ++it;
-        continue;
+  std::size_t at = 0;
+  while ((at = text.find("\"file\"", at)) != std::string::npos) {
+    at += 6;
+    while (at < text.size() &&
+           (text[at] == ' ' || text[at] == '\t' || text[at] == '\n' ||
+            text[at] == '\r' || text[at] == ':'))
+      ++at;
+    AQT_REQUIRE(at < text.size() && text[at] == '"',
+                "malformed compile commands " << path
+                                              << ": \"file\" without value");
+    ++at;
+    std::string value;
+    while (at < text.size() && text[at] != '"') {
+      if (text[at] == '\\' && at + 1 < text.size()) {
+        ++at;  // \" and \\ are the escapes CMake emits in paths.
+        value += text[at];
+      } else {
+        value += text[at];
       }
-      if (it->is_regular_file() && audited_extension(it->path()))
-        files.push_back(it->path().generic_string());
-      ++it;
+      ++at;
     }
+    AQT_REQUIRE(at < text.size(), "malformed compile commands " << path
+                                                                << ": "
+                                                                   "unterminat"
+                                                                   "ed string");
+    ++at;
+    const std::filesystem::path p(value);
+    if (aqt::audit::auditable_source_path(p.generic_string()))
+      files.push_back(p.generic_string());
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  AQT_REQUIRE(!files.empty(),
+              "no auditable sources in compile commands: " << path);
   return files;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Rewrites the baseline without its stale entries: sorted, one line per
+/// surviving entry, multiset-preserving (a duplicate entry survives once
+/// per unconsumed match).  Deterministic for any --jobs.
+void prune_baseline(const std::string& path,
+                    std::vector<aqt::audit::BaselineEntry> baseline,
+                    const std::vector<aqt::audit::BaselineEntry>& stale) {
+  // Subtract the stale multiset.
+  std::map<std::string, std::size_t> dead;
+  const auto key = [](const aqt::audit::BaselineEntry& e) {
+    return e.rule + '\t' + e.file + '\t' + hash_hex(e.line_hash);
+  };
+  for (const aqt::audit::BaselineEntry& e : stale) ++dead[key(e)];
+  std::vector<std::string> lines;
+  for (const aqt::audit::BaselineEntry& e : baseline) {
+    const auto it = dead.find(key(e));
+    if (it != dead.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    lines.push_back(key(e));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ofstream out(path);
+  AQT_REQUIRE(out.good(), "cannot write baseline file: " << path);
+  out << "# aqt-audit baseline: grandfathered findings (RULE\\tfile\\thash "
+         "of the trimmed offending line).\n"
+      << "# Regenerate with `aqt-audit --update-baseline ...`; this file "
+         "should only ever shrink.\n";
+  for (const std::string& line : lines) out << line << '\n';
+  std::fprintf(stderr,
+               "aqt-audit: pruned %zu stale baseline entr%s from %s\n",
+               stale.size(), stale.size() == 1 ? "y" : "ies", path.c_str());
 }
 
 }  // namespace
@@ -84,6 +147,13 @@ int main(int argc, char** argv) {
            "baseline file of grandfathered findings (empty = none)");
   cli.flag("update-baseline", "false",
            "rewrite --baseline with the current findings and exit 0");
+  cli.flag("prune-baseline", "false",
+           "rewrite --baseline without entries that matched nothing");
+  cli.flag("fail-on-stale", "false",
+           "exit 1 when the baseline holds entries that matched nothing");
+  cli.flag("compile-commands", "",
+           "audit the TUs listed in a compile_commands.json instead of "
+           "(or in addition to) positional paths");
   add_jobs_flag(cli);
   add_metrics_flags(cli);
   cli.positionals("path...", "source files or directories to audit");
@@ -92,18 +162,31 @@ int main(int argc, char** argv) {
     const std::string format = cli.get("format");
     AQT_REQUIRE(format == "human" || format == "json",
                 "unknown --format '" << format << "' (human or json)");
-    const std::vector<std::string> files =
-        collect_files(cli.positional_args());
+    std::vector<std::string> files =
+        aqt::audit::collect_audit_files(cli.positional_args());
+    if (!cli.get("compile-commands").empty()) {
+      std::vector<std::string> from_db =
+          files_from_compile_commands(cli.get("compile-commands"));
+      files.insert(files.end(), from_db.begin(), from_db.end());
+      std::sort(files.begin(), files.end());
+      files.erase(std::unique(files.begin(), files.end()), files.end());
+    }
     AQT_REQUIRE(!files.empty(), "no auditable sources given (see --help)");
 
-    // Files audit independently on the run-pool workers; reports land in
-    // sorted-path order, so the output never depends on --jobs.
-    std::vector<audit::AuditReport> reports(files.size());
+    // Per-file phase: units compute independently on the run-pool
+    // workers.  The cross-TU phase (finalize_project) sorts the units, so
+    // the report is byte-identical for any --jobs.
+    std::vector<audit::AuditUnit> units(files.size());
     const std::vector<std::string> errors = parallel_for_each(
         files.size(), get_jobs(cli),
-        [&](std::size_t i) { reports[i] = audit::audit_file(files[i]); });
+        [&](std::size_t i) {  // aqt-audit: allow(AUD010) -- joins on return
+          // aqt-audit: allow(AUD008) -- slot i has exactly one writer
+          units[i] = audit::audit_unit_file(files[i]);
+        });
     for (const std::string& err : errors)
       AQT_REQUIRE(err.empty(), "" << err);
+    std::vector<audit::AuditReport> reports =
+        audit::finalize_project(std::move(units));
 
     const std::string baseline_path = cli.get("baseline");
     if (cli.get_bool("update-baseline")) {
@@ -122,20 +205,28 @@ int main(int argc, char** argv) {
     }
 
     audit::BaselineApplied applied;
-    if (!baseline_path.empty())
-      applied = audit::apply_baseline(
-          reports, audit::load_baseline_file(baseline_path));
+    std::vector<audit::BaselineEntry> baseline;
+    if (!baseline_path.empty()) {
+      baseline = audit::load_baseline_file(baseline_path);
+      applied = audit::apply_baseline(reports, baseline);
+    }
     for (const audit::BaselineEntry& e : applied.stale)
       std::fprintf(stderr,
                    "aqt-audit: stale baseline entry (fixed? remove it): "
                    "%s %s\n",
                    e.rule.c_str(), e.file.c_str());
+    if (cli.get_bool("prune-baseline")) {
+      AQT_REQUIRE(!baseline_path.empty(),
+                  "--prune-baseline needs --baseline=FILE");
+      prune_baseline(baseline_path, std::move(baseline), applied.stale);
+    }
 
     bool all_ok = true;
     for (const audit::AuditReport& rep : reports)
       all_ok = all_ok && rep.ok();
-    const std::string out = format == "json" ? audit::to_json(reports)
-                                             : audit::to_human(reports);
+    const std::string out = format == "json"
+                                ? audit::to_json(reports, applied.stale)
+                                : audit::to_human(reports);
     std::fputs(out.c_str(), stdout);
     if (format == "json") std::fputc('\n', stdout);
 
@@ -160,10 +251,14 @@ int main(int argc, char** argv) {
       reg.counter("aqt_audit_baselined_total",
                   "Findings absolved by the baseline")
           .set(applied.suppressed);
+      reg.counter("aqt_audit_stale_baseline_total",
+                  "Baseline entries that matched nothing")
+          .set(applied.stale.size());
       reg.gauge("aqt_audit_ok", "1 when every file is clean, else 0")
           .set(all_ok ? 1.0 : 0.0);
       obs::export_cli_metrics(cli, reg, "aqt-audit");
     }
+    if (cli.get_bool("fail-on-stale") && !applied.stale.empty()) return 1;
     return all_ok ? 0 : 1;
   } catch (const PreconditionError& e) {
     std::fprintf(stderr, "aqt-audit: %s\n", e.what());

@@ -426,7 +426,8 @@ std::int64_t run_obs_fuzz(std::int64_t trials, Rng& master, unsigned jobs) {
 
   std::vector<std::string> messages(streams.size());
   const std::vector<std::string> errors = parallel_for_each(
-      streams.size(), jobs, [&](std::size_t trial) {
+      streams.size(), jobs,
+      [&](std::size_t trial) {  // aqt-audit: allow(AUD010) -- joins on return
         Rng rng = streams[trial];
         const Graph g = random_topology(rng);
         const std::vector<std::string> protocols = {"FIFO", "LIFO", "LIS",
@@ -453,6 +454,7 @@ std::int64_t run_obs_fuzz(std::int64_t trials, Rng& master, unsigned jobs) {
                         static_cast<long long>(trial), proto.c_str(),
                         static_cast<unsigned long long>(bare),
                         static_cast<unsigned long long>(observed));
+          // aqt-audit: allow(AUD008) -- slot trial has exactly one writer
           messages[trial] = buf;
         }
       });
@@ -624,7 +626,9 @@ int main(int argc, char** argv) {
     streams.push_back(master.split());
   std::vector<TrialOutcome> outcomes(streams.size());
   const std::vector<std::string> trial_errors = parallel_for_each(
-      streams.size(), jobs, [&](std::size_t i) {
+      streams.size(), jobs,
+      [&](std::size_t i) {  // aqt-audit: allow(AUD010) -- joins on return
+        // aqt-audit: allow(AUD008) -- slot i has exactly one writer
         outcomes[i] = run_differential_trial(
             streams[i], static_cast<std::int64_t>(i), steps);
       });

@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
     std::vector<LintReport> reports(files.size());
     const std::vector<std::string> errors = parallel_for_each(
         files.size(), get_jobs(cli),
-        [&](std::size_t i) { reports[i] = lint_file(files[i]); });
+        [&](std::size_t i) {  // aqt-audit: allow(AUD010) -- joins on return
+          // aqt-audit: allow(AUD008) -- slot i has exactly one writer
+          reports[i] = lint_file(files[i]);
+        });
     bool all_ok = true;
     for (std::size_t i = 0; i < files.size(); ++i) {
       AQT_REQUIRE(errors[i].empty(), "" << errors[i]);
