@@ -5,13 +5,17 @@
 // of live packets) is known to be in budget.
 //
 // Besides the google-benchmark microbenchmarks, `--perf-json=PATH` (our
-// flag, stripped before google-benchmark sees argv) runs one profiled
+// flag, stripped before google-benchmark sees argv) runs the profiled
 // reference workload — grid 8x8, stochastic (w=12, r=1/4, d=4), 20000
-// steps — and writes an aqt-metrics/1 snapshot (steps/sec, per-phase
-// breakdown, engine counters) to PATH: the BENCH_engine_perf.json artifact
-// CI tracks across commits.  `--perf-jobs=N` (also stripped) pins the
-// worker count of the parallel-speedup leg; CI passes its core count so
-// aqt_runner_parallel_speedup is measured on a real multi-core pool.  The
+// steps; one warm-up run, then fastest-of-three repetitions — and writes
+// an aqt-metrics/1 snapshot (steps/sec, per-phase breakdown, engine
+// counters) to PATH: the BENCH_engine_perf.json artifact CI tracks across
+// commits.  `--perf-jobs=N` (also stripped) pins the worker count of the
+// parallel-speedup leg; CI passes its core count so
+// aqt_runner_parallel_speedup is measured on a real multi-core pool.
+// `--perf-trajectory=PATH` (also stripped) appends one JSONL datapoint
+// (timestamp, commit, steps/sec, speedup, selfhost seconds) to PATH — the
+// BENCH_trajectory.jsonl history CI's perf-smoke step grows.  The
 // snapshot also carries aqt_audit_selfhost_seconds — the wall-clock of a
 // full repo self-audit on 4 workers, gated below 10 s in CI so the
 // analyzer's own cost stays bounded as rules accrete.
@@ -21,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -190,25 +195,51 @@ BENCHMARK(BM_CheckpointRoundtrip)->Unit(benchmark::kMicrosecond);
 
 /// The profiled reference workload behind --perf-json: a medium grid under
 /// the standard stochastic (w, r) adversary, long enough for steady-state
-/// throughput, with the step-phase profiler attached.
-void write_perf_json(const std::string& path, unsigned perf_jobs) {
+/// throughput, with the step-phase profiler attached.  One unprofiled
+/// warm-up run primes caches and branch predictors, then the snapshot
+/// keeps the fastest of three identical profiled repetitions — the work is
+/// deterministic, so the minimum is the least-noise estimate of real
+/// throughput (the reasoning behind --benchmark_repetitions' min).
+void write_perf_json(const std::string& path, unsigned perf_jobs,
+                     const std::string& trajectory_path) {
   const Graph g = make_grid(8, 8);
   FifoProtocol fifo;
-  obs::StepProfiler profiler;
-  EngineConfig eng_cfg;
-  eng_cfg.sinks.profile = &profiler;
-  Engine eng(g, fifo, eng_cfg);
   StochasticConfig cfg;
   cfg.w = 12;
   cfg.r = Rat(1, 4);
   cfg.max_route_len = 4;
   cfg.seed = 1;
-  StochasticAdversary adv(g, cfg);
-  eng.run(&adv, 20000);
+  {
+    Engine warm(g, fifo);
+    StochasticAdversary adv(g, cfg);
+    warm.run(&adv, 20000);
+  }
+  std::unique_ptr<Engine> eng;
+  std::unique_ptr<obs::StepProfiler> profiler;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto prof = std::make_unique<obs::StepProfiler>();
+    EngineConfig eng_cfg;
+    eng_cfg.sinks.profile = prof.get();
+    auto e = std::make_unique<Engine>(g, fifo, eng_cfg);
+    StochasticAdversary adv(g, cfg);
+    e->run(&adv, 20000);
+    // Every repetition runs the identical deterministic schedule, so the
+    // engine metrics agree bit-for-bit; only the profiler timings differ.
+    if (!profiler || prof->report().steps_per_second() >
+                         profiler->report().steps_per_second()) {
+      profiler = std::move(prof);
+      eng = std::move(e);
+    }
+  }
 
   obs::MetricRegistry registry;
-  obs::collect_engine_metrics(eng, registry);
-  obs::collect_profile_metrics(profiler, registry);
+  obs::collect_engine_metrics(*eng, registry);
+  obs::collect_profile_metrics(*profiler, registry);
+
+  // Carried into the optional trajectory datapoint below.
+  double speedup_out = 1.0;
+  unsigned jobs_out = 0;
+  double selfhost_out = 0.0;
 
   // Parallel-speedup datapoint: the same miniature E5-style sweep (rings
   // under the standard (w, r) stochastic adversary) timed serially and on
@@ -258,6 +289,8 @@ void write_perf_json(const std::string& path, unsigned perf_jobs) {
     std::printf("run-pool speedup: %.2fx on %u worker(s) "
                 "(%.3fs serial, %.3fs parallel, %zu cells)\n",
                 speedup, hw, serial_secs, parallel_secs, specs.size());
+    speedup_out = speedup;
+    jobs_out = hw;
   }
 
   // aqt-audit selfhost datapoint: wall-clock of the full repo self-audit
@@ -295,19 +328,47 @@ void write_perf_json(const std::string& path, unsigned perf_jobs) {
     std::printf("audit selfhost: %zu files, %zu finding(s), %.3fs on 4 "
                 "workers\n",
                 files.size(), findings, selfhost_secs);
+    selfhost_out = selfhost_secs;
   }
 
   obs::write_file(path, obs::to_json(registry, "bench_e12_engine_perf"));
   std::printf("perf snapshot (%.0f steps/sec) written to %s\n",
-              profiler.report().steps_per_second(), path.c_str());
+              profiler->report().steps_per_second(), path.c_str());
+
+  // --perf-trajectory: append one compact JSONL datapoint per snapshot so
+  // the repo accumulates a throughput history across commits (CI's
+  // perf-smoke step appends to BENCH_trajectory.jsonl).  The commit id
+  // comes from the environment when CI provides it.
+  if (!trajectory_path.empty()) {
+    std::FILE* f = std::fopen(trajectory_path.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot append trajectory to %s\n",
+                   trajectory_path.c_str());
+      return;
+    }
+    const char* sha = std::getenv("GITHUB_SHA");
+    const obs::StepProfiler::Report rep = profiler->report();
+    std::fprintf(
+        f,
+        "{\"ts\":%lld,\"commit\":\"%s\",\"steps_per_second\":%.0f,"
+        "\"parallel_speedup\":%.3f,\"parallel_jobs\":%u,"
+        "\"selfhost_seconds\":%.3f}\n",
+        static_cast<long long>(std::time(nullptr)),
+        sha != nullptr ? sha : "", rep.steps_per_second(), speedup_out,
+        jobs_out, selfhost_out);
+    std::fclose(f);
+    std::printf("trajectory datapoint appended to %s\n",
+                trajectory_path.c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our --perf-json/--perf-jobs flags before google-benchmark
-  // parses argv (it rejects flags it does not know).
+  // Strip our --perf-json/--perf-jobs/--perf-trajectory flags before
+  // google-benchmark parses argv (it rejects flags it does not know).
   std::string perf_json;
+  std::string perf_trajectory;
   unsigned perf_jobs = 0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -315,6 +376,8 @@ int main(int argc, char** argv) {
       perf_json = argv[i] + 12;
     else if (std::strncmp(argv[i], "--perf-jobs=", 12) == 0)
       perf_jobs = static_cast<unsigned>(std::strtoul(argv[i] + 12, nullptr, 10));
+    else if (std::strncmp(argv[i], "--perf-trajectory=", 18) == 0)
+      perf_trajectory = argv[i] + 18;
     else
       argv[kept++] = argv[i];
   }
@@ -325,6 +388,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (!perf_json.empty()) write_perf_json(perf_json, perf_jobs);
+  if (!perf_json.empty())
+    write_perf_json(perf_json, perf_jobs, perf_trajectory);
   return 0;
 }

@@ -72,6 +72,9 @@ class BucketAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
 
+  /// Output depends only on the RNG stream and bucket state.
+  [[nodiscard]] bool is_oblivious() const override { return true; }
+
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
   [[nodiscard]] std::int64_t longest_route() const { return longest_; }
 

@@ -127,7 +127,7 @@ void LpsPhase::add_stream(Route route, Time start, std::int64_t total) {
 
 void LpsPhase::extend_buffer(const Engine& engine, EdgeId edge,
                              const Route& extension, AdversaryStep& out) {
-  for (const BufferEntry& be : engine.buffer(edge)) {
+  for (const BufferEntry& be : engine.buffer(edge).ordered_entries()) {
     const Packet& p = engine.packet(be.packet);
     Route suffix(p.route.begin() + static_cast<std::ptrdiff_t>(p.hop) + 1,
                  p.route.end());

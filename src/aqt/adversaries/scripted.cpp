@@ -81,6 +81,11 @@ bool MergeAdversary::finished(Time now) const {
                      [&](const auto& m) { return m->finished(now); });
 }
 
+bool MergeAdversary::is_oblivious() const {
+  return std::all_of(members_.begin(), members_.end(),
+                     [](const auto& m) { return m->is_oblivious(); });
+}
+
 void SequenceAdversary::append(std::unique_ptr<Adversary> adversary) {
   AQT_REQUIRE(adversary != nullptr, "null stage");
   stages_.push_back(std::move(adversary));
@@ -100,6 +105,11 @@ bool SequenceAdversary::finished(Time now) const {
   for (std::size_t i = current_; i < stages_.size(); ++i)
     if (!stages_[i]->finished(now)) return false;
   return true;
+}
+
+bool SequenceAdversary::is_oblivious() const {
+  return std::all_of(stages_.begin(), stages_.end(),
+                     [](const auto& s) { return s->is_oblivious(); });
 }
 
 }  // namespace aqt

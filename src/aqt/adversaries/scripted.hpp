@@ -29,6 +29,8 @@ class ScriptedAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
   [[nodiscard]] bool finished(Time now) const override;
+  /// Scripts never read the engine: fully precompilable.
+  [[nodiscard]] bool is_oblivious() const override { return true; }
 
  private:
   std::map<Time, AdversaryStep> script_;
@@ -44,6 +46,8 @@ class StreamAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
   [[nodiscard]] bool finished(Time now) const override;
+  /// Pacers advance on `now` alone: fully precompilable.
+  [[nodiscard]] bool is_oblivious() const override { return true; }
 
  private:
   struct Entry {
@@ -62,6 +66,10 @@ class DelayAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
   [[nodiscard]] bool finished(Time now) const override;
+  /// A pure clock shift: oblivious iff the inner adversary is.
+  [[nodiscard]] bool is_oblivious() const override {
+    return inner_->is_oblivious();
+  }
 
  private:
   std::unique_ptr<Adversary> inner_;
@@ -76,6 +84,8 @@ class MergeAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
   [[nodiscard]] bool finished(Time now) const override;
+  /// Oblivious iff every member is.
+  [[nodiscard]] bool is_oblivious() const override;
 
  private:
   std::vector<std::unique_ptr<Adversary>> members_;
@@ -89,6 +99,8 @@ class SequenceAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
   [[nodiscard]] bool finished(Time now) const override;
+  /// Oblivious iff every stage is (stage hand-off depends only on time).
+  [[nodiscard]] bool is_oblivious() const override;
 
   /// Index of the currently-active stage (== size() when all done).
   [[nodiscard]] std::size_t stage() const { return current_; }

@@ -43,6 +43,9 @@ class StochasticAdversary final : public Adversary {
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
 
+  /// Output depends only on the RNG stream and internal window state.
+  [[nodiscard]] bool is_oblivious() const override { return true; }
+
   /// Longest route actually injected so far (<= max_route_len).
   [[nodiscard]] std::int64_t longest_route() const { return longest_; }
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
@@ -71,6 +74,9 @@ class ConvoyAdversary final : public Adversary {
   ConvoyAdversary(Route path, std::int64_t w, Rat r);
 
   void step(Time now, const Engine& engine, AdversaryStep& out) override;
+
+  /// Deterministic function of `now` alone.
+  [[nodiscard]] bool is_oblivious() const override { return true; }
 
  private:
   Route path_;

@@ -55,6 +55,16 @@ class Adversary {
   /// True once the adversary has finished its script (used by drivers to
   /// stop runs early).  Unbounded adversaries never finish.
   [[nodiscard]] virtual bool finished(Time /*now*/) const { return false; }
+
+  /// True when step() never reads the engine argument — the adversary's
+  /// output is a pure function of `now` and its own internal state.  Such
+  /// adversaries can be *precompiled*: Engine::run polls them for a whole
+  /// block of future steps up front, lowering their work into a flat
+  /// CompiledSchedule, and then executes the block without a single virtual
+  /// call or AdversaryStep allocation on the hot path.  Adaptive
+  /// adversaries (anything that inspects queues or resolves packet ids)
+  /// must keep the default and stay on the per-step polled path.
+  [[nodiscard]] virtual bool is_oblivious() const { return false; }
 };
 
 /// The trivial adversary: injects nothing, ever.
@@ -62,6 +72,7 @@ class NullAdversary final : public Adversary {
  public:
   void step(Time, const Engine&, AdversaryStep&) override {}
   [[nodiscard]] bool finished(Time) const override { return true; }
+  [[nodiscard]] bool is_oblivious() const override { return true; }
 };
 
 }  // namespace aqt

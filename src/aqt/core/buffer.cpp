@@ -1,31 +1,41 @@
 #include "aqt/core/buffer.hpp"
 
+#include <algorithm>
+
 #include "aqt/util/check.hpp"
 
 namespace aqt {
 
-BufferEntry Buffer::pop_min() {
-  AQT_CHECK(!entries_.empty(), "pop_min on empty buffer");
-  auto it = entries_.begin();
-  BufferEntry e = *it;
-  entries_.erase(it);
-  return e;
-}
-
 bool Buffer::erase_packet(PacketId packet) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->packet == packet) {
-      // aqt-audit: allow(AUD012) -- the erase exits the loop via return
-      entries_.erase(it);
-      return true;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].packet != packet) continue;
+    entries_[i] = entries_.back();
+    entries_.pop_back();
+    if (i < entries_.size()) {
+      // The moved-in entry may violate the heap property in either
+      // direction relative to its new neighborhood.
+      sift_down(i);
+      sift_up(i);
     }
+    return true;
   }
   return false;
 }
 
 const BufferEntry& Buffer::front() const {
   AQT_CHECK(!entries_.empty(), "front on empty buffer");
-  return *entries_.begin();
+  return entries_.front();
+}
+
+std::vector<BufferEntry> Buffer::ordered_entries() const {
+  std::vector<BufferEntry> out(entries_);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const BufferEntry& Buffer::max_entry() const {
+  AQT_CHECK(!entries_.empty(), "max_entry on empty buffer");
+  return *std::max_element(entries_.begin(), entries_.end());
 }
 
 }  // namespace aqt

@@ -1,15 +1,28 @@
 // Per-edge packet buffer ordered by protocol priority.
 //
-// The buffer is an ordered set of (k1, k2, arrival_seq, packet) entries;
-// the minimum entry is the packet the protocol forwards next.  All protocols
-// in this library assign keys at arrival only, so set semantics suffice and
-// every operation is O(log n) with deterministic total order.
+// The buffer is a binary min-heap of (k1, k2, arrival_seq, packet) entries
+// over the strict total order below; the minimum entry is the packet the
+// protocol forwards next.  All protocols in this library assign keys at
+// arrival only, so pop-the-minimum semantics suffice — and because the
+// order is total (packet id breaks every tie), the pop sequence is
+// *identical* to the former ordered-set representation for any interleaving
+// of pushes and pops.  What changes is the cost model: entries live in one
+// flat vector whose capacity is recycled across steps (no per-entry node
+// allocation), push/pop are O(log n) with contiguous memory traffic, and
+// peeking the minimum is O(1).
+//
+// Iteration (begin/end) walks the heap array, i.e. in *heap order*, not key
+// order.  The only iterating consumers — the invariant auditor, the state
+// dumper, and tests — are order-insensitive or sort what they collect;
+// heap order is still deterministic (a pure function of the operation
+// sequence), so dumps and audits stay replayable.
 #pragma once
 
-#include <set>
+#include <vector>
 
 #include "aqt/core/protocol.hpp"
 #include "aqt/core/types.hpp"
+#include "aqt/util/check.hpp"
 
 namespace aqt {
 
@@ -31,12 +44,22 @@ struct BufferEntry {
 /// The queue at the tail of one edge.
 class Buffer {
  public:
-  using const_iterator = std::set<BufferEntry>::const_iterator;
+  using const_iterator = std::vector<BufferEntry>::const_iterator;
 
-  void push(const BufferEntry& e) { entries_.insert(e); }
+  void push(const BufferEntry& e) {
+    entries_.push_back(e);
+    sift_up(entries_.size() - 1);
+  }
 
   /// Removes and returns the highest-priority (minimum-key) entry.
-  BufferEntry pop_min();
+  BufferEntry pop_min() {
+    AQT_CHECK(!entries_.empty(), "pop_min on empty buffer");
+    const BufferEntry e = entries_.front();
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) sift_down(0);
+    return e;
+  }
 
   /// Removes the entry for `packet`; O(n) scan, used only by rare
   /// operations (never on the hot path).
@@ -45,13 +68,51 @@ class Buffer {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Heap-order iteration (deterministic, but not key-sorted).
   [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
   [[nodiscard]] const_iterator end() const { return entries_.end(); }
 
+  /// Key-sorted copy of the entries — the order pop_min would serve them.
+  /// O(n log n); for order-sensitive cold paths (dumps, snapshots, the LPS
+  /// adversary's whole-buffer reroutes), never the step loop.
+  [[nodiscard]] std::vector<BufferEntry> ordered_entries() const;
+
+  /// The minimum-key entry (what pop_min would return).
   [[nodiscard]] const BufferEntry& front() const;
 
+  /// The maximum-key entry — the last the protocol would serve.  O(n) scan;
+  /// test/diagnostic use only.
+  [[nodiscard]] const BufferEntry& max_entry() const;
+
  private:
-  std::set<BufferEntry> entries_;
+  // Inline with push/pop_min above: both run for every packet-hop of every
+  // step, and the common case (one- or two-entry heap) collapses to a
+  // couple of compares when the compiler can see the whole loop.
+  void sift_up(std::size_t i) {
+    BufferEntry e = entries_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(e < entries_[parent])) break;
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = e;
+  }
+  void sift_down(std::size_t i) {
+    const std::size_t n = entries_.size();
+    BufferEntry e = entries_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && entries_[child + 1] < entries_[child]) ++child;
+      if (!(entries_[child] < e)) break;
+      entries_[i] = entries_[child];
+      i = child;
+    }
+    entries_[i] = e;
+  }
+
+  std::vector<BufferEntry> entries_;  ///< Binary min-heap.
 };
 
 }  // namespace aqt

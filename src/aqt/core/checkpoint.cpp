@@ -42,13 +42,14 @@ void save_checkpoint(const Engine& engine, std::ostream& os) {
      << '\n';
   os << "created " << engine.arena_.total_created() << '\n';
   os << "packets " << engine.arena_.live_count() << '\n';
-  engine.arena_.for_each_live([&](PacketId, const Packet& p) {
-    os << "p " << p.ordinal << ' ' << p.tag << ' ' << p.inject_time << ' '
-       << p.arrival_time << ' ' << p.arrival_seq << ' ' << p.hop << ' '
-       << p.route.size();
-    for (EdgeId e : p.route) os << ' ' << e;
-    os << '\n';
-  });
+  engine.arena_.for_each_live(
+      [&](PacketId, const Packet& p, const PacketMeta& m) {
+        os << "p " << m.ordinal << ' ' << m.tag << ' ' << p.inject_time << ' '
+           << p.arrival_time << ' ' << p.arrival_seq << ' ' << p.hop << ' '
+           << p.route.size();
+        for (EdgeId e : p.route) os << ' ' << e;
+        os << '\n';
+      });
   engine.metrics_.save(os);
   os << "end\n";
 }
@@ -95,20 +96,23 @@ void load_checkpoint(Engine& engine, std::istream& is) {
   std::uint64_t live = 0;
   is >> word >> live;
   AQT_REQUIRE(is && word == "packets", "malformed packets header");
+  Route route;
   for (std::uint64_t i = 0; i < live; ++i) {
     Packet p;
+    std::uint64_t ordinal = 0;
+    std::uint64_t tag = 0;
     std::size_t route_len = 0;
-    is >> word >> p.ordinal >> p.tag >> p.inject_time >> p.arrival_time >>
+    is >> word >> ordinal >> tag >> p.inject_time >> p.arrival_time >>
         p.arrival_seq >> p.hop >> route_len;
     AQT_REQUIRE(is && word == "p", "malformed packet record " << i);
-    p.route.resize(route_len);
-    for (EdgeId& e : p.route) {
+    route.resize(route_len);
+    for (EdgeId& e : route) {
       is >> e;
       AQT_REQUIRE(is && e < g.edge_count(), "bad edge id in packet route");
     }
-    AQT_REQUIRE(p.hop < p.route.size(), "packet beyond end of route");
-    p.alive = true;
-    const PacketId id = engine.arena_.restore(std::move(p));
+    AQT_REQUIRE(p.hop < route.size(), "packet beyond end of route");
+    p.route = engine.routes_.intern(route);
+    const PacketId id = engine.arena_.restore(p, ordinal, tag);
     // Rebuild the buffer entry: the key is a pure function of the packet's
     // stored arrival data, so deterministic protocols reproduce it exactly.
     const Packet& stored = engine.arena_[id];
@@ -117,7 +121,7 @@ void load_checkpoint(Engine& engine, std::istream& is) {
                                                stored.arrival_seq);
     engine.buffers_[edge].push(
         BufferEntry{k.k1, k.k2, stored.arrival_seq, id});
-    engine.active_.insert(edge);
+    engine.set_active_bit(edge);
   }
   engine.arena_.set_total_created(created);
   engine.metrics_.load(is);

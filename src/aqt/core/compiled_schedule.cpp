@@ -1,0 +1,37 @@
+#include "aqt/core/compiled_schedule.hpp"
+
+#include "aqt/util/check.hpp"
+
+namespace aqt {
+
+void CompiledSchedule::reset(Time first) {
+  first_ = first;
+  steps_.clear();
+  injections_.clear();
+  reroutes_.clear();
+}
+
+void CompiledSchedule::begin_step(bool finished_before) {
+  StepSpan s;
+  s.inj_begin = s.inj_end = static_cast<std::uint32_t>(injections_.size());
+  s.rr_begin = s.rr_end = static_cast<std::uint32_t>(reroutes_.size());
+  s.finished_before = finished_before;
+  steps_.push_back(s);
+}
+
+CompiledSchedule::StepView CompiledSchedule::step(Time t) const {
+  AQT_CHECK(covers(t), "step " << t << " outside compiled block ["
+                               << first_ << ", "
+                               << first_ + static_cast<Time>(steps_.size())
+                               << ")");
+  const StepSpan& s = steps_[static_cast<std::size_t>(t - first_)];
+  StepView view;
+  view.injections = {injections_.data() + s.inj_begin,
+                     injections_.data() + s.inj_end};
+  view.reroutes = {reroutes_.data() + s.rr_begin,
+                   reroutes_.data() + s.rr_end};
+  view.finished_before = s.finished_before;
+  return view;
+}
+
+}  // namespace aqt

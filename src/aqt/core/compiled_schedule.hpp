@@ -1,0 +1,102 @@
+// Precompiled adversary schedules: flat per-step injection spans.
+//
+// Polling an adversary costs a virtual call per step plus, for every
+// injection, a heap-allocated route pushed into AdversaryStep — by far the
+// dominant share of step wall time in the committed perf baseline.  For
+// *oblivious* adversaries (Adversary::is_oblivious — output independent of
+// engine state) none of that work needs to happen inside the step: the
+// engine polls the adversary for a whole block of future steps up front,
+// interning every injected route into its RouteTable and flattening the
+// work into the arrays below.  Executing a step then means walking two
+// contiguous spans — no virtual dispatch, no allocation, no route copy.
+//
+// The schedule is blockwise (Engine::run recompiles every kBlockSteps), so
+// memory stays O(block injections) regardless of run length, and the arrays
+// are recycled between blocks.  `finished_before` snapshots the adversary's
+// finished() answer as it was *at that point of the poll sequence*, because
+// polling a stateful adversary (stream pacers, sequence stages) through the
+// whole block advances its internal clock past the steps still waiting to
+// execute — the stop-when-finished decision must use the compile-time
+// answer to match the polled path step for step.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aqt/core/adversary.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+
+/// One precompiled injection: an interned route plus its tag.
+struct CompiledInjection {
+  RouteRef route;
+  std::uint64_t tag = 0;
+};
+
+/// A block of lowered adversary steps.  Built by Engine::run's block
+/// compiler; consumed by the engine's inject substep.
+class CompiledSchedule {
+ public:
+  /// Steps compiled per block.  Large enough to amortize the per-block
+  /// bookkeeping to noise, small enough that a block's injections stay
+  /// cache-resident and memory is bounded on unbounded runs.
+  static constexpr Time kBlockSteps = 4096;
+
+  /// Read-only view of one compiled step.
+  struct StepView {
+    std::span<const CompiledInjection> injections;
+    std::span<const Reroute> reroutes;
+    bool finished_before = false;  ///< finished() as polled before this step.
+  };
+
+  /// Discards the previous block; subsequent begin_step calls describe
+  /// steps `first`, `first + 1`, ...  Capacity is retained.
+  void reset(Time first);
+
+  /// Opens the next step of the block.  `finished_before` is the
+  /// adversary's finished() answer polled immediately before its step().
+  void begin_step(bool finished_before);
+
+  /// Appends work to the currently open step.
+  void add_injection(RouteRef route, std::uint64_t tag) {
+    injections_.push_back(CompiledInjection{route, tag});
+    steps_.back().inj_end = static_cast<std::uint32_t>(injections_.size());
+  }
+  void add_reroute(Reroute reroute) {
+    reroutes_.push_back(std::move(reroute));
+    steps_.back().rr_end = static_cast<std::uint32_t>(reroutes_.size());
+  }
+
+  /// True when step `t` is inside the compiled block.
+  [[nodiscard]] bool covers(Time t) const {
+    return t >= first_ && t < first_ + static_cast<Time>(steps_.size());
+  }
+
+  [[nodiscard]] StepView step(Time t) const;
+
+  [[nodiscard]] Time first_step() const { return first_; }
+  [[nodiscard]] Time step_count() const {
+    return static_cast<Time>(steps_.size());
+  }
+  [[nodiscard]] std::size_t injection_count() const {
+    return injections_.size();
+  }
+
+ private:
+  struct StepSpan {
+    std::uint32_t inj_begin = 0;
+    std::uint32_t inj_end = 0;
+    std::uint32_t rr_begin = 0;
+    std::uint32_t rr_end = 0;
+    bool finished_before = false;
+  };
+
+  Time first_ = 0;
+  std::vector<StepSpan> steps_;
+  std::vector<CompiledInjection> injections_;
+  std::vector<Reroute> reroutes_;
+};
+
+}  // namespace aqt

@@ -15,13 +15,14 @@ void dump_state(const Engine& engine, std::ostream& os,
     if (buf.empty() && options.skip_empty) continue;
     os << "[" << g.edge(e).name << "] " << buf.size() << ":";
     std::size_t shown = 0;
-    for (const BufferEntry& be : buf) {
+    for (const BufferEntry& be : buf.ordered_entries()) {
       if (shown == options.max_per_buffer) {
         os << " ...";
         break;
       }
       const Packet& p = engine.packet(be.packet);
-      os << (shown ? " | " : " ") << '#' << p.ordinal << "(tag " << p.tag
+      const PacketMeta& m = engine.packet_meta(be.packet);
+      os << (shown ? " | " : " ") << '#' << m.ordinal << "(tag " << m.tag
          << ')';
       if (options.show_routes) {
         os << ' ';

@@ -22,22 +22,30 @@
 //     order, before any same-step injection (so FIFO's time-priority
 //     property of Definition 4.2 holds structurally);
 //   * injections are sequenced in the order the adversary issued them.
+//
+// Hot-path layout: the set of nonempty buffers is a dense bitmap scanned in
+// word-sized strides (ascending edge id, exactly the former ordered-set
+// order), buffers are flat binary heaps, packets are SoA records holding
+// interned RouteRefs, and Engine::run lowers oblivious adversaries into
+// blockwise CompiledSchedules so the steady-state step makes no virtual
+// adversary call and no allocation.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "aqt/core/adversary.hpp"
 #include "aqt/core/buffer.hpp"
+#include "aqt/core/compiled_schedule.hpp"
 #include "aqt/core/graph.hpp"
 #include "aqt/core/metrics.hpp"
 #include "aqt/core/packet.hpp"
 #include "aqt/core/protocol.hpp"
 #include "aqt/core/rate_check.hpp"
+#include "aqt/core/route_table.hpp"
 #include "aqt/core/types.hpp"
 
 namespace aqt {
@@ -79,7 +87,8 @@ struct EngineSinks {
 struct EngineConfig {
   /// Validate that every injected route is a simple directed path and that
   /// every reroute splices into one.  Cheap; keep on except in the very
-  /// largest benches.
+  /// largest benches.  On the compiled-schedule path validation happens at
+  /// block-compile time (same exception, earlier surface).
   bool validate_routes = true;
 
   /// Record (injection time, final effective route) pairs for post-hoc
@@ -98,6 +107,13 @@ struct EngineConfig {
   /// extra pass over the live state per step — keep on in tests and
   /// debugging runs, off in the largest benches.
   bool audit_invariants = false;
+
+  /// Let Engine::run lower oblivious adversaries (is_oblivious()) into
+  /// blockwise CompiledSchedules instead of polling them per step.  The
+  /// result is byte-identical (trace hash included) to the polled path —
+  /// the golden-matrix test pins this — so the knob exists only for A/B
+  /// comparison and for forcing the polled path in differential tests.
+  bool compile_schedules = true;
 
   /// All borrowed observer sinks, as one aggregate (see EngineSinks).
   EngineSinks sinks;
@@ -122,13 +138,18 @@ class Engine {
   /// Places a packet in the buffer of the first edge of `route` as part of
   /// the initial configuration (before step 1); its injection time is 0.
   /// Must not be called once stepping has begun.
-  PacketId add_initial_packet(Route route, std::uint64_t tag = 0);
+  PacketId add_initial_packet(const Route& route, std::uint64_t tag = 0);
 
   /// Executes one time step; `adversary` may be null (no injections).
+  /// Always polls the adversary (the compiled fast path lives in run()).
   void step(Adversary* adversary);
 
-  /// Runs `count` steps.
-  void run(Adversary* adversary, Time count);
+  /// Runs up to `count` steps and returns the number taken.  When
+  /// `stop_when_finished` is set, stops before the first step for which
+  /// adversary->finished() reported true.  Oblivious adversaries are
+  /// compiled blockwise (see EngineConfig::compile_schedules); all others
+  /// are polled per step.
+  Time run(Adversary* adversary, Time count, bool stop_when_finished = false);
 
   /// Runs with no injections until every buffer is empty (or `cap` steps
   /// elapse); returns the number of steps taken.  With finite routes and
@@ -153,14 +174,18 @@ class Engine {
   [[nodiscard]] std::uint64_t max_queue_now() const;
 
   /// Edges with nonempty buffers, in increasing edge-id order (the order
-  /// buffers send in).
-  [[nodiscard]] const std::set<EdgeId>& active_edges() const {
-    return active_;
-  }
+  /// buffers send in).  Materialized from the active bitmap on every call —
+  /// cold-path use only (audits, dumps, tests).
+  [[nodiscard]] std::vector<EdgeId> active_edges() const;
 
   [[nodiscard]] const Packet& packet(PacketId id) const { return arena_[id]; }
+  /// Cold per-packet fields (tag, ordinal); see PacketMeta.
+  [[nodiscard]] const PacketMeta& packet_meta(PacketId id) const {
+    return arena_.meta(id);
+  }
   [[nodiscard]] bool is_live(PacketId id) const { return arena_.is_live(id); }
   [[nodiscard]] const PacketArena& arena() const { return arena_; }
+  [[nodiscard]] const RouteTable& route_table() const { return routes_; }
 
   [[nodiscard]] std::uint64_t total_injected() const {
     return arena_.total_created();
@@ -190,14 +215,35 @@ class Engine {
   void absorb(PacketId id, Time t);
   void apply_reroute(const Reroute& rr);
   void apply_injection(const Injection& inj, Time t);
+  /// Injection of an already-interned, already-validated route.
+  void apply_injection_ref(RouteRef route, std::uint64_t tag, Time t);
+
+  /// Shared step skeleton; `inject_body(t)` runs substep 2b when
+  /// `has_inject` is set.
+  template <typename InjectBody>
+  void step_body(bool has_inject, InjectBody&& inject_body);
+  void step_compiled(const CompiledSchedule::StepView& view);
+
+  /// Polls `adv` for steps [first, first + count) into schedule_.
+  void compile_block(Adversary& adv, Time first, Time count);
+
+  // Active-edge bitmap (one bit per edge; word-scanned in ascending order).
+  void set_active_bit(EdgeId e);
+  void clear_active_bit(EdgeId e);
+  [[nodiscard]] bool test_active_bit(EdgeId e) const;
+  template <typename Fn>
+  void for_each_active(Fn&& fn) const;  ///< Ascending edge-id order.
 
   const Graph& graph_;
   const Protocol& protocol_;
+  KeyRule key_rule_;  ///< Cached protocol_.key_rule(); see Engine::enqueue.
   EngineConfig config_;
 
   PacketArena arena_;
+  RouteTable routes_;
   std::vector<Buffer> buffers_;
-  std::set<EdgeId> active_;  ///< Edges with nonempty buffers.
+  std::vector<std::uint64_t> active_words_;  ///< Bitmap: nonempty buffers.
+  std::size_t active_count_ = 0;
   Metrics metrics_;
 
   Time now_ = 0;
@@ -212,6 +258,8 @@ class Engine {
   // Scratch reused across steps.
   std::vector<PacketId> sent_;
   AdversaryStep adv_step_;
+  Route splice_scratch_;        ///< Reroute splice buffer (no per-reroute alloc).
+  CompiledSchedule schedule_;   ///< Current compiled block (run() only).
 };
 
 }  // namespace aqt

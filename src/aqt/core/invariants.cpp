@@ -17,8 +17,7 @@ InvariantAuditor::InvariantAuditor(const Engine& engine) : engine_(engine) {
 }
 
 void InvariantAuditor::begin_step() {
-  const auto& active = engine_.active_edges();
-  pre_active_.assign(active.begin(), active.end());
+  pre_active_ = engine_.active_edges();  // Sorted (ascending edge id).
   pre_injected_ = engine_.total_injected();
   pre_absorbed_ = engine_.total_absorbed();
   pre_live_ = engine_.packets_in_flight();
@@ -75,8 +74,8 @@ void InvariantAuditor::scan_buffers() {
   // active-set consistency, per-entry sanity, time-priority order, and
   // route simplicity without a separate arena sweep.
   const Graph& g = engine_.graph();
-  const auto& active = engine_.active_edges();
-  auto listed_it = active.begin();  // std::set iterates in edge-id order.
+  const std::vector<EdgeId> active = engine_.active_edges();
+  auto listed_it = active.begin();  // Materialized in edge-id order.
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const bool listed = listed_it != active.end() && *listed_it == e;
     if (listed) ++listed_it;
@@ -199,11 +198,15 @@ void EngineTamperer::make_route_nonsimple(Engine& engine, PacketId id) {
   Packet& p = engine.arena_[id];
   // Re-crossing the packet's own current edge revisits its head node —
   // exactly the cycle Definition §2's simplicity requirement forbids.
-  p.route.push_back(p.route[p.hop]);
+  // Routes are interned, so the corruption is smuggled in as a freshly
+  // interned non-simple route (bypassing all validation, as before).
+  Route corrupted(p.route.begin(), p.route.end());
+  corrupted.push_back(p.route[p.hop]);
+  p.route = engine.routes_.intern(corrupted);
 }
 
 void EngineTamperer::hide_active(Engine& engine, EdgeId e) {
-  engine.active_.erase(e);
+  engine.clear_active_bit(e);
 }
 
 void EngineTamperer::scramble_buffer_seq(Engine& engine, EdgeId e) {
@@ -211,7 +214,7 @@ void EngineTamperer::scramble_buffer_seq(Engine& engine, EdgeId e) {
   AQT_REQUIRE(!buf.empty(), "scramble_buffer_seq on empty buffer");
   // Forge the *last-served* entry: it survives the next step (which
   // forwards the minimum), so the audit must spot the stale corruption.
-  BufferEntry entry = *std::prev(buf.end());
+  BufferEntry entry = buf.max_entry();
   buf.erase_packet(entry.packet);
   entry.seq += 1u << 20;  // No longer matches the packet's arrival_seq.
   buf.push(entry);

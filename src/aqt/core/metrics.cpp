@@ -13,34 +13,6 @@ Metrics::Metrics(std::size_t edge_count)
       max_res_(edge_count, 0),
       sends_per_edge_(edge_count, 0) {}
 
-void Metrics::observe_queue(EdgeId e, std::size_t count) {
-  const auto c = static_cast<std::uint64_t>(count);
-  if (c > max_queue_[e]) max_queue_[e] = c;
-  if (c > max_queue_g_) max_queue_g_ = c;
-  queue_hist_.add(static_cast<std::int64_t>(count));
-}
-
-void Metrics::observe_send(EdgeId e, Time residence) {
-  ++sends_;
-  ++sends_per_edge_[e];
-  if (residence > max_res_[e]) max_res_[e] = residence;
-  if (residence > max_res_g_) max_res_g_ = residence;
-  residence_hist_.add(residence);
-}
-
-void Metrics::observe_absorb(Time latency) {
-  ++absorbed_;
-  latency_sum_ += static_cast<std::uint64_t>(latency);
-  max_latency_ = std::max(max_latency_, latency);
-  latency_hist_.add(latency);
-}
-
-void Metrics::observe_step(std::uint64_t in_flight) {
-  ++steps_;
-  occupancy_sum_ += in_flight;
-  occupancy_peak_ = std::max(occupancy_peak_, in_flight);
-}
-
 void Metrics::push_series(Time t, std::uint64_t in_flight,
                           std::uint64_t max_queue) {
   series_.push_back(SeriesPoint{t, in_flight, max_queue});

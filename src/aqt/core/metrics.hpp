@@ -34,18 +34,42 @@ class Metrics {
  public:
   explicit Metrics(std::size_t edge_count);
 
+  // The four observe_* calls below run ~20x per engine step combined; they
+  // are defined inline so the step loop pays only the arithmetic, not call
+  // overhead.
+
   /// Record that `count` packets sit in the buffer of `e` (end of step).
-  void observe_queue(EdgeId e, std::size_t count);
+  void observe_queue(EdgeId e, std::size_t count) {
+    const auto c = static_cast<std::uint64_t>(count);
+    if (c > max_queue_[e]) max_queue_[e] = c;
+    if (c > max_queue_g_) max_queue_g_ = c;
+    queue_hist_.add(static_cast<std::int64_t>(count));
+  }
 
   /// Record a send: the packet waited `residence` steps in e's buffer.
-  void observe_send(EdgeId e, Time residence);
+  void observe_send(EdgeId e, Time residence) {
+    ++sends_;
+    ++sends_per_edge_[e];
+    if (residence > max_res_[e]) max_res_[e] = residence;
+    if (residence > max_res_g_) max_res_g_ = residence;
+    residence_hist_.add(residence);
+  }
 
   /// Record an absorption with end-to-end latency.
-  void observe_absorb(Time latency);
+  void observe_absorb(Time latency) {
+    ++absorbed_;
+    latency_sum_ += static_cast<std::uint64_t>(latency);
+    if (latency > max_latency_) max_latency_ = latency;
+    latency_hist_.add(latency);
+  }
 
   /// Record the end of one engine step with `in_flight` live packets — the
   /// per-step occupancy feed for window-occupancy statistics.
-  void observe_step(std::uint64_t in_flight);
+  void observe_step(std::uint64_t in_flight) {
+    ++steps_;
+    occupancy_sum_ += in_flight;
+    if (in_flight > occupancy_peak_) occupancy_peak_ = in_flight;
+  }
 
   /// Append a time series point (caller controls sampling cadence).
   void push_series(Time t, std::uint64_t in_flight, std::uint64_t max_queue);

@@ -41,16 +41,24 @@ inline constexpr std::size_t kStepPhaseCount = 5;
 const char* to_string(StepPhase phase);
 
 /// Receives phase boundaries from the engine.  Call order per step:
-/// begin_step, then begin_phase/end_phase pairs in phase order (a phase with
-/// nothing to do may be skipped), then end_step.
+/// begin_step, then — when begin_step returned true — begin_phase/end_phase
+/// pairs in phase order (a phase with nothing to do may be skipped), then
+/// end_step.  When begin_step returns false the engine skips the brackets
+/// for that step and instead passes the mask of phases that ran (bit i =
+/// StepPhase(i), each ran exactly once) to end_step, so a sink that only
+/// samples phase timings keeps exact call accounting without paying the
+/// per-boundary cost on every step.  Sinks that time every boundary return
+/// true unconditionally and receive mask 0.
 class StepPhaseSink {
  public:
   virtual ~StepPhaseSink() = default;
 
-  virtual void begin_step(Time t) = 0;
+  /// Returns whether this step's phases should be bracketed.
+  [[nodiscard]] virtual bool begin_step(Time t) = 0;
   virtual void begin_phase(StepPhase phase) = 0;
   virtual void end_phase(StepPhase phase) = 0;
-  virtual void end_step() = 0;
+  /// `skipped_phase_mask` is nonzero only on bracket-skipped steps.
+  virtual void end_step(std::uint8_t skipped_phase_mask) = 0;
 };
 
 /// Receives the packet lifecycle: injection (initial configuration or
@@ -64,7 +72,7 @@ class PacketEventSink {
   /// A packet entered the network: `initial` distinguishes the time-0
   /// initial configuration from adversary injections (t >= 1).
   virtual void on_inject(Time t, std::uint64_t ordinal, std::uint64_t tag,
-                         const Route& route, bool initial) = 0;
+                         RouteSpan route, bool initial) = 0;
 
   /// The buffer of `e` forwarded the packet; `hop` is the 0-based index of
   /// `e` in its route, `residence` the steps spent waiting in e's buffer.

@@ -2,27 +2,33 @@
 
 namespace aqt {
 
-PacketId PacketArena::create(Route route, Time inject_time,
-                             std::uint64_t tag) {
-  PacketId id;
+PacketId PacketArena::allocate_slot() {
   if (!free_.empty()) {
-    id = free_.back();
+    const PacketId id = free_.back();
     free_.pop_back();
-  } else {
-    id = static_cast<PacketId>(slots_.size());
-    slots_.emplace_back();
+    ++recycled_;
+    return id;
   }
-  Packet& p = slots_[id];
-  const std::uint32_t gen = p.generation + 1;
-  p = Packet{};
-  p.route = std::move(route);
+  const PacketId id = static_cast<PacketId>(hot_.size());
+  hot_.emplace_back();
+  meta_.emplace_back();
+  return id;
+}
+
+PacketId PacketArena::create(RouteRef route, Time inject_time,
+                             std::uint64_t tag) {
+  const PacketId id = allocate_slot();
+  Packet& p = hot_[id];
+  p.route = route;
+  p.hop = 0;
   p.inject_time = inject_time;
   p.arrival_time = inject_time;
-  p.tag = tag;
-  p.ordinal = created_;
-  p.generation = gen;
-  p.alive = true;
-  by_ordinal_.emplace(p.ordinal, id);
+  p.arrival_seq = 0;
+  PacketMeta& m = meta_[id];
+  m.tag = tag;
+  m.ordinal = created_;
+  ++m.generation;
+  m.alive = true;
   ++live_;
   ++created_;
   return id;
@@ -30,35 +36,30 @@ PacketId PacketArena::create(Route route, Time inject_time,
 
 void PacketArena::destroy(PacketId id) {
   AQT_CHECK(is_live(id), "destroying dead packet " << id);
-  Packet& p = slots_[id];
-  p.alive = false;
-  p.route.clear();
-  p.route.shrink_to_fit();
-  by_ordinal_.erase(p.ordinal);
+  meta_[id].alive = false;
+  hot_[id].route = RouteRef{};  // Interned storage stays in the RouteTable.
   free_.push_back(id);
   --live_;
 }
 
 PacketId PacketArena::find_by_ordinal(std::uint64_t ordinal) const {
-  auto it = by_ordinal_.find(ordinal);
-  return it == by_ordinal_.end() ? kNoPacket : it->second;
+  for (std::size_t i = 0; i < meta_.size(); ++i)
+    if (meta_[i].alive && meta_[i].ordinal == ordinal)
+      return static_cast<PacketId>(i);
+  return kNoPacket;
 }
 
-PacketId PacketArena::restore(Packet p) {
-  AQT_REQUIRE(p.alive, "restore of dead packet");
-  AQT_REQUIRE(!by_ordinal_.count(p.ordinal),
-              "duplicate ordinal in restore: " << p.ordinal);
-  PacketId id;
-  if (!free_.empty()) {
-    id = free_.back();
-    free_.pop_back();
-  } else {
-    id = static_cast<PacketId>(slots_.size());
-    slots_.emplace_back();
-  }
-  p.generation = slots_[id].generation + 1;
-  by_ordinal_.emplace(p.ordinal, id);
-  slots_[id] = std::move(p);
+PacketId PacketArena::restore(const Packet& hot, std::uint64_t ordinal,
+                              std::uint64_t tag) {
+  AQT_REQUIRE(find_by_ordinal(ordinal) == kNoPacket,
+              "duplicate ordinal in restore: " << ordinal);
+  const PacketId id = allocate_slot();
+  hot_[id] = hot;
+  PacketMeta& m = meta_[id];
+  m.tag = tag;
+  m.ordinal = ordinal;
+  ++m.generation;
+  m.alive = true;
   ++live_;
   return id;
 }

@@ -8,13 +8,21 @@
 // final effective route at the original injection time — exactly what this
 // representation preserves.
 //
+// Storage is structure-of-arrays: the `Packet` struct holds only the fields
+// the hot loop touches every step (the interned route ref, hop, times, and
+// the arrival sequence that protocol keys are computed from), 40 bytes per
+// packet; identity and bookkeeping fields (tag, ordinal, generation, alive)
+// live in a parallel `PacketMeta` array that only injection, absorption,
+// tracing, and debugging read.  Routes themselves are interned in the
+// engine's RouteTable (route_table.hpp), so creating a packet copies a
+// 12-byte ref, never a route.
+//
 // Long instability runs inject millions of packets but only O(max queue)
-// are alive at once, so the arena recycles slots of absorbed packets and
-// reclaims their route storage.
+// are alive at once, so the arena recycles slots of absorbed packets;
+// `recycled_total()` backs the `aqt_arena_recycled_total` gauge.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "aqt/core/types.hpp"
@@ -22,20 +30,13 @@
 
 namespace aqt {
 
-/// One packet.  Plain data; owned by the PacketArena.
+/// One packet's hot fields.  Plain data; owned by the PacketArena.
 struct Packet {
-  Route route;            ///< Full effective route (prefix + remainder).
+  RouteRef route;         ///< Full effective route (prefix + remainder).
   std::uint32_t hop = 0;  ///< Index of the current edge in `route`.
   Time inject_time = 0;   ///< Step at which the adversary issued the packet.
   Time arrival_time = 0;  ///< Step of arrival at the current buffer.
   std::uint64_t arrival_seq = 0;  ///< Global arrival sequence (tie-break).
-  std::uint64_t tag = 0;  ///< Free-form label assigned by the adversary.
-  /// Creation ordinal (0-based, in injection order).  Unlike PacketId,
-  /// which reuses slots, the ordinal identifies the "n-th packet ever
-  /// injected" — a protocol-independent identity used by trace replay.
-  std::uint64_t ordinal = 0;
-  std::uint32_t generation = 0;  ///< Slot reuse counter (dangling-id guard).
-  bool alive = false;
 
   /// Edge the packet waits for / crosses next.
   [[nodiscard]] EdgeId current_edge() const {
@@ -50,35 +51,60 @@ struct Packet {
   [[nodiscard]] std::size_t traversed() const { return hop; }
 };
 
+/// One packet's cold fields, kept out of the hot array.
+struct PacketMeta {
+  std::uint64_t tag = 0;  ///< Free-form label assigned by the adversary.
+  /// Creation ordinal (0-based, in injection order).  Unlike PacketId,
+  /// which reuses slots, the ordinal identifies the "n-th packet ever
+  /// injected" — a protocol-independent identity used by trace replay.
+  std::uint64_t ordinal = 0;
+  std::uint32_t generation = 0;  ///< Slot reuse counter (dangling-id guard).
+  bool alive = false;
+};
+
 /// Slot-recycling arena.  Ids are stable for the lifetime of the packet.
 class PacketArena {
  public:
   /// Creates a live packet; the id may reuse an absorbed packet's slot.
-  PacketId create(Route route, Time inject_time, std::uint64_t tag);
+  /// `route` must be interned (stable storage outliving the arena).
+  PacketId create(RouteRef route, Time inject_time, std::uint64_t tag);
 
   /// Destroys (recycles) a live packet.
   void destroy(PacketId id);
 
+  // Hot access is bounds-checked only: verifying `alive` here would load
+  // the cold meta_ line on every touch, which is exactly the traffic the
+  // hot/cold split removes.  Callers that may hold stale ids go through
+  // is_live()/meta(), which do check.
   [[nodiscard]] Packet& operator[](PacketId id) {
-    AQT_CHECK(id < slots_.size() && slots_[id].alive, "dead packet id " << id);
-    return slots_[id];
+    AQT_CHECK(id < hot_.size(), "packet id out of range " << id);
+    return hot_[id];
   }
   [[nodiscard]] const Packet& operator[](PacketId id) const {
-    AQT_CHECK(id < slots_.size() && slots_[id].alive, "dead packet id " << id);
-    return slots_[id];
+    AQT_CHECK(id < hot_.size(), "packet id out of range " << id);
+    return hot_[id];
+  }
+
+  [[nodiscard]] const PacketMeta& meta(PacketId id) const {
+    AQT_CHECK(id < meta_.size() && meta_[id].alive, "dead packet id " << id);
+    return meta_[id];
   }
 
   [[nodiscard]] bool is_live(PacketId id) const {
-    return id < slots_.size() && slots_[id].alive;
+    return id < meta_.size() && meta_[id].alive;
   }
 
   /// Id of the live packet with creation ordinal `ordinal`, or kNoPacket if
-  /// it was never created or has been absorbed.
+  /// it was never created or has been absorbed.  Linear scan over the slot
+  /// table — only trace replay and tests resolve ordinals, never the hot
+  /// loop, so the former ordinal->id hash map (maintained on every create
+  /// and destroy) was pure per-packet overhead.
   [[nodiscard]] PacketId find_by_ordinal(std::uint64_t ordinal) const;
 
   /// Checkpoint plumbing: re-creates a packet verbatim (ordinal included)
-  /// without consuming a fresh ordinal.  `p.alive` must be true.
-  PacketId restore(Packet p);
+  /// without consuming a fresh ordinal.
+  PacketId restore(const Packet& hot, std::uint64_t ordinal,
+                   std::uint64_t tag);
 
   /// Checkpoint plumbing: restores the creation counter.
   void set_total_created(std::uint64_t n) { created_ = n; }
@@ -86,19 +112,26 @@ class PacketArena {
   [[nodiscard]] std::uint64_t live_count() const { return live_; }
   [[nodiscard]] std::uint64_t total_created() const { return created_; }
 
-  /// Calls fn(PacketId, const Packet&) for every live packet, in id order.
+  /// Times a create() reused an absorbed packet's slot.
+  [[nodiscard]] std::uint64_t recycled_total() const { return recycled_; }
+
+  /// Calls fn(PacketId, const Packet&, const PacketMeta&) for every live
+  /// packet, in id order.
   template <typename Fn>
   void for_each_live(Fn&& fn) const {
-    for (std::size_t i = 0; i < slots_.size(); ++i)
-      if (slots_[i].alive) fn(static_cast<PacketId>(i), slots_[i]);
+    for (std::size_t i = 0; i < hot_.size(); ++i)
+      if (meta_[i].alive) fn(static_cast<PacketId>(i), hot_[i], meta_[i]);
   }
 
  private:
-  std::vector<Packet> slots_;
+  PacketId allocate_slot();
+
+  std::vector<Packet> hot_;
+  std::vector<PacketMeta> meta_;  ///< Parallel to hot_.
   std::vector<PacketId> free_;
-  std::unordered_map<std::uint64_t, PacketId> by_ordinal_;  ///< Live only.
   std::uint64_t live_ = 0;
   std::uint64_t created_ = 0;
+  std::uint64_t recycled_ = 0;
 };
 
 }  // namespace aqt

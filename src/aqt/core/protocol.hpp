@@ -36,6 +36,23 @@ struct PriorityKey {
   std::int64_t k2 = 0;
 };
 
+/// Closed-form key rules the engine can compute inline, skipping the
+/// virtual `key()` dispatch on its hottest path (one call per enqueue).
+/// A protocol returning anything but kCustom asserts that its key() is
+/// *exactly* the listed formula; Engine::enqueue holds the other half of
+/// the contract (a switch mirroring the formulas below).
+enum class KeyRule : std::uint8_t {
+  kCustom,  ///< Call the virtual key().
+  kFifo,    ///< {seq, 0}
+  kLifo,    ///< {-seq, 0}
+  kLis,     ///< {inject_time, seq}
+  kNis,     ///< {-inject_time, -seq}
+  kFtg,     ///< {-remaining, seq}
+  kNtg,     ///< {remaining, seq}
+  kFfs,     ///< {-traversed, seq}
+  kNts,     ///< {traversed, seq}
+};
+
 /// A greedy queuing policy.
 class Protocol {
  public:
@@ -47,6 +64,10 @@ class Protocol {
   /// edge at step `arrival` with global arrival sequence `seq`.
   [[nodiscard]] virtual PriorityKey key(const Packet& p, Time arrival,
                                         std::uint64_t seq) const = 0;
+
+  /// Inline-dispatch hint; kCustom (the default) always works and means
+  /// every key goes through the virtual call.
+  [[nodiscard]] virtual KeyRule key_rule() const { return KeyRule::kCustom; }
 
   /// Definition 3.1 (decisions ignore the route beyond the next edge).
   [[nodiscard]] virtual bool is_historic() const = 0;
@@ -63,6 +84,9 @@ class FifoProtocol final : public Protocol {
                                 std::uint64_t seq) const override {
     return {static_cast<std::int64_t>(seq), 0};
   }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kFifo;
+  }
   [[nodiscard]] bool is_historic() const override { return true; }
   [[nodiscard]] bool is_time_priority() const override { return true; }
 };
@@ -74,6 +98,9 @@ class LifoProtocol final : public Protocol {
   [[nodiscard]] PriorityKey key(const Packet&, Time,
                                 std::uint64_t seq) const override {
     return {-static_cast<std::int64_t>(seq), 0};
+  }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kLifo;
   }
   [[nodiscard]] bool is_historic() const override { return true; }
   [[nodiscard]] bool is_time_priority() const override { return false; }
@@ -87,6 +114,9 @@ class LisProtocol final : public Protocol {
                                 std::uint64_t seq) const override {
     return {p.inject_time, static_cast<std::int64_t>(seq)};
   }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kLis;
+  }
   [[nodiscard]] bool is_historic() const override { return true; }
   [[nodiscard]] bool is_time_priority() const override { return true; }
 };
@@ -98,6 +128,9 @@ class NisProtocol final : public Protocol {
   [[nodiscard]] PriorityKey key(const Packet& p, Time,
                                 std::uint64_t seq) const override {
     return {-p.inject_time, -static_cast<std::int64_t>(seq)};
+  }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kNis;
   }
   [[nodiscard]] bool is_historic() const override { return true; }
   [[nodiscard]] bool is_time_priority() const override { return false; }
@@ -112,6 +145,9 @@ class FtgProtocol final : public Protocol {
     return {-static_cast<std::int64_t>(p.remaining()),
             static_cast<std::int64_t>(seq)};
   }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kFtg;
+  }
   [[nodiscard]] bool is_historic() const override { return false; }
   [[nodiscard]] bool is_time_priority() const override { return false; }
 };
@@ -124,6 +160,9 @@ class NtgProtocol final : public Protocol {
                                 std::uint64_t seq) const override {
     return {static_cast<std::int64_t>(p.remaining()),
             static_cast<std::int64_t>(seq)};
+  }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kNtg;
   }
   [[nodiscard]] bool is_historic() const override { return false; }
   [[nodiscard]] bool is_time_priority() const override { return false; }
@@ -138,6 +177,9 @@ class FfsProtocol final : public Protocol {
     return {-static_cast<std::int64_t>(p.traversed()),
             static_cast<std::int64_t>(seq)};
   }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kFfs;
+  }
   [[nodiscard]] bool is_historic() const override { return true; }
   [[nodiscard]] bool is_time_priority() const override { return false; }
 };
@@ -150,6 +192,9 @@ class NtsProtocol final : public Protocol {
                                 std::uint64_t seq) const override {
     return {static_cast<std::int64_t>(p.traversed()),
             static_cast<std::int64_t>(seq)};
+  }
+  [[nodiscard]] KeyRule key_rule() const override {
+    return KeyRule::kNts;
   }
   [[nodiscard]] bool is_historic() const override { return true; }
   [[nodiscard]] bool is_time_priority() const override { return false; }

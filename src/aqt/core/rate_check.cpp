@@ -8,7 +8,7 @@
 
 namespace aqt {
 
-void RateAudit::add(const Route& route, Time t) {
+void RateAudit::add(RouteSpan route, Time t) {
   for (EdgeId e : route) add_edge(e, t);
 }
 
@@ -136,7 +136,7 @@ bool OnlineRateChecker::add_edge(EdgeId e, Time t) {
   return true;
 }
 
-bool OnlineRateChecker::add(const Route& route, Time t) {
+bool OnlineRateChecker::add(RouteSpan route, Time t) {
   for (EdgeId e : route)
     if (!add_edge(e, t)) return false;
   return true;

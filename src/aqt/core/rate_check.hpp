@@ -39,7 +39,7 @@ class RateAudit {
   explicit RateAudit(std::size_t edge_count) : per_edge_(edge_count) {}
 
   /// Record a packet injected at `t` whose final route is `route`.
-  void add(const Route& route, Time t);
+  void add(RouteSpan route, Time t);
 
   /// Record only for edge `e`.
   void add_edge(EdgeId e, Time t);
@@ -99,7 +99,7 @@ class OnlineRateChecker {
   /// Records one injection requiring `e` at time `t`; returns ok().
   bool add_edge(EdgeId e, Time t);
   /// Records an injection with this route at time `t`; returns ok().
-  bool add(const Route& route, Time t);
+  bool add(RouteSpan route, Time t);
 
   [[nodiscard]] bool ok() const { return result_.ok; }
   /// First violation (valid when !ok()).

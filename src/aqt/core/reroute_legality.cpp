@@ -49,7 +49,8 @@ RerouteLegalityReport RerouteLegalityChecker::check_and_apply(
 
   // t* = earliest injection time among all packets in the network.
   Time t_star = std::numeric_limits<Time>::max();
-  engine.arena().for_each_live([&](PacketId, const Packet& p) {
+  engine.arena().for_each_live([&](PacketId, const Packet& p,
+                                   const PacketMeta&) {
     t_star = std::min(t_star, p.inject_time);
   });
   AQT_CHECK(t_star != std::numeric_limits<Time>::max(),

@@ -1,0 +1,64 @@
+#include "aqt/core/route_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aqt {
+namespace {
+
+std::uint64_t hash_route(RouteSpan route) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const EdgeId e : route) {
+    h ^= e;
+    h *= 1099511628211ULL;
+  }
+  // Fold in the length so prefixes hash apart even under weak mixing.
+  h ^= route.size();
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace
+
+RouteRef RouteTable::intern(RouteSpan route) {
+  if (route.empty()) return RouteRef{};
+  const std::uint64_t h = hash_route(route);
+  std::vector<RouteRef>& bucket = dedup_[h];
+  for (const RouteRef& ref : bucket) {
+    if (ref.len == route.size() &&
+        std::equal(ref.begin(), ref.end(), route.begin()))
+      return ref;
+  }
+  const RouteRef ref{append(route), static_cast<std::uint32_t>(route.size())};
+  bucket.push_back(ref);
+  ++count_;
+  return ref;
+}
+
+const EdgeId* RouteTable::append(RouteSpan route) {
+  if (route.size() > kChunkEdges) {
+    // Oversized route: dedicated chunk (still stable storage; the regular
+    // chunk cursor is untouched so pool packing stays dense).
+    chunks_.push_back(std::make_unique<EdgeId[]>(route.size()));
+    pool_bytes_ += route.size() * sizeof(EdgeId);
+    EdgeId* out = chunks_.back().get();
+    std::memcpy(out, route.data(), route.size() * sizeof(EdgeId));
+    // Keep the *current* fill chunk last so chunk_used_ keeps addressing it.
+    if (chunks_.size() >= 2)
+      std::swap(chunks_[chunks_.size() - 2], chunks_.back());
+    else
+      chunk_used_ = kChunkEdges;  // No fill chunk yet; force a fresh one.
+    return out;
+  }
+  if (chunk_used_ + route.size() > kChunkEdges) {
+    chunks_.push_back(std::make_unique<EdgeId[]>(kChunkEdges));
+    pool_bytes_ += kChunkEdges * sizeof(EdgeId);
+    chunk_used_ = 0;
+  }
+  EdgeId* out = chunks_.back().get() + chunk_used_;
+  std::memcpy(out, route.data(), route.size() * sizeof(EdgeId));
+  chunk_used_ += route.size();
+  return out;
+}
+
+}  // namespace aqt

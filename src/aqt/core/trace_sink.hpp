@@ -30,7 +30,7 @@ class RunTraceSink {
 
   /// A packet of the initial configuration (time 0), before step 1.
   virtual void record_initial(std::uint64_t ordinal, std::uint64_t tag,
-                              const Route& route) = 0;
+                              RouteSpan route) = 0;
 
   virtual void begin_step(Time t) = 0;
 
@@ -42,11 +42,11 @@ class RunTraceSink {
 
   /// The adversary replaced the packet's remaining route with `new_suffix`.
   virtual void record_reroute(std::uint64_t ordinal,
-                              const Route& new_suffix) = 0;
+                              RouteSpan new_suffix) = 0;
 
   /// The adversary injected a packet with this route.
   virtual void record_inject(std::uint64_t ordinal, std::uint64_t tag,
-                             const Route& route) = 0;
+                             RouteSpan route) = 0;
 
   /// End-of-step depth of the (nonempty) buffer of `e`.
   virtual void record_queue_depth(EdgeId e, std::size_t depth) = 0;

@@ -8,8 +8,10 @@
 //  * A Route is the full simple directed path of a packet, as edge ids.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace aqt {
@@ -25,5 +27,38 @@ inline constexpr PacketId kNoPacket = std::numeric_limits<PacketId>::max();
 
 /// A packet route: a sequence of edge ids forming a simple directed path.
 using Route = std::vector<EdgeId>;
+
+/// A borrowed, read-only view of a route's edges.  Route converts to it
+/// implicitly, so interfaces taking RouteSpan accept both owning Routes and
+/// interned RouteRefs.
+using RouteSpan = std::span<const EdgeId>;
+
+/// A non-owning reference to a route interned in a RouteTable.  The table's
+/// chunked pool never reallocates, so the pointer is stable for the table's
+/// lifetime.  Exposes the read-only surface of a Route (size, indexing,
+/// iteration) so most consumers are agnostic to the interning.
+struct RouteRef {
+  const EdgeId* data = nullptr;
+  std::uint32_t len = 0;
+
+  [[nodiscard]] std::size_t size() const { return len; }
+  [[nodiscard]] bool empty() const { return len == 0; }
+  [[nodiscard]] const EdgeId* begin() const { return data; }
+  [[nodiscard]] const EdgeId* end() const { return data + len; }
+  [[nodiscard]] EdgeId front() const { return data[0]; }
+  [[nodiscard]] EdgeId back() const { return data[len - 1]; }
+  EdgeId operator[](std::size_t i) const { return data[i]; }
+  [[nodiscard]] RouteSpan span() const { return {data, len}; }
+  // NOLINTNEXTLINE(google-explicit-constructor): span-like view conversion.
+  operator RouteSpan() const { return {data, len}; }
+
+  friend bool operator==(const RouteRef& a, const Route& b) {
+    return a.len == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Route& a, const RouteRef& b) { return b == a; }
+  friend bool operator==(const RouteRef& a, const RouteRef& b) {
+    return a.len == b.len && std::equal(a.begin(), a.end(), b.begin());
+  }
+};
 
 }  // namespace aqt

@@ -240,7 +240,7 @@ JsonlEventWriter::JsonlEventWriter(std::ostream& os, const Graph& graph)
     : os_(os), graph_(graph) {}
 
 void JsonlEventWriter::on_inject(Time t, std::uint64_t ordinal,
-                                 std::uint64_t tag, const Route& route,
+                                 std::uint64_t tag, RouteSpan route,
                                  bool initial) {
   os_ << "{\"ev\":\"inject\",\"t\":" << t << ",\"packet\":" << ordinal
       << ",\"tag\":" << tag << ",\"initial\":" << (initial ? "true" : "false")

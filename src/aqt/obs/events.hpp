@@ -61,7 +61,7 @@ class JsonlEventWriter final : public PacketEventSink {
   JsonlEventWriter(std::ostream& os, const Graph& graph);
 
   void on_inject(Time t, std::uint64_t ordinal, std::uint64_t tag,
-                 const Route& route, bool initial) override;
+                 RouteSpan route, bool initial) override;
   void on_send(Time t, EdgeId e, std::uint64_t ordinal, std::size_t hop,
                Time residence) override;
   void on_absorb(Time t, std::uint64_t ordinal, Time latency) override;

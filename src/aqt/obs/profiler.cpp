@@ -1,40 +1,124 @@
 #include "aqt/obs/profiler.hpp"
 
+#include <bit>
 #include <cstdio>
 
 namespace aqt::obs {
 
-void StepProfiler::begin_step(Time) {
-  step_start_ = Clock::now();
-  in_step_ = true;
+TickClock::TickClock() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // Calibrate this instance's TSC frequency against steady_clock over a
+  // short spin.  ~200us once per profiler is negligible next to any run
+  // worth profiling, and keeping the ratio per-instance avoids mutable
+  // process-global state.
+  using SteadyNanos = std::chrono::nanoseconds;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t tick_start = ticks();
+  for (;;) {
+    const auto wall_now = std::chrono::steady_clock::now();
+    const auto elapsed =
+        std::chrono::duration_cast<SteadyNanos>(wall_now - wall_start)
+            .count();
+    if (elapsed >= 200'000) {
+      const std::uint64_t tick_now = ticks();
+      if (tick_now > tick_start)
+        ns_per_tick_ = static_cast<double>(elapsed) /
+                       static_cast<double>(tick_now - tick_start);
+      break;
+    }
+  }
+#endif
 }
 
-void StepProfiler::begin_phase(StepPhase) { phase_start_ = Clock::now(); }
+bool StepProfiler::begin_step(Time) {
+  in_step_ = true;
+  const std::uint64_t slot = steps_ % kPhaseSampleStride;
+  sampling_ = slot == 0;
+  timing_ = slot == kStepTimeOffset;
+  if (sampling_) {
+    last_tick_ = clock_.ticks();
+    step_start_ = last_tick_;
+  } else if (timing_) {
+    step_start_ = clock_.ticks();
+  }
+  return sampling_;
+}
+
+void StepProfiler::begin_phase(StepPhase) {
+  if (in_step_) {
+    // On sampled steps, reuse the previous boundary's tick: phases are
+    // bracketed back-to-back by the engine, so the gap is loop control
+    // only.  On unsampled steps the boundary is free.
+    phase_start_ = last_tick_;
+    return;
+  }
+  phase_start_ = clock_.ticks();
+}
 
 void StepProfiler::end_phase(StepPhase phase) {
-  const auto elapsed = Clock::now() - phase_start_;
-  PhaseStats& ps = phases_[static_cast<std::size_t>(phase)];
+  PhaseTicks& ps = phases_[static_cast<std::size_t>(phase)];
   ++ps.calls;
-  ps.nanos += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  if (in_step_ && !sampling_) return;
+  const std::uint64_t now = clock_.ticks();
+  last_tick_ = now;
+  ps.ticks += now - phase_start_;
 }
 
-void StepProfiler::end_step() {
+void StepProfiler::end_step(std::uint8_t skipped_phase_mask) {
   if (!in_step_) return;
   in_step_ = false;
-  const auto elapsed = Clock::now() - step_start_;
-  const auto nanos = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  for (std::uint8_t mask = skipped_phase_mask; mask != 0; mask &= mask - 1)
+    ++phases_[static_cast<unsigned>(std::countr_zero(mask))].calls;
   ++steps_;
-  total_step_nanos_ += nanos;
-  step_nanos_.add(static_cast<std::int64_t>(nanos));
+  if (sampling_) {
+    ++bracketed_steps_;
+    // The final end_phase already read the clock; the difference brackets
+    // the whole step (including the profiler's own intra-step reads) at no
+    // extra cost — report() divides it out of the phase estimates.
+    bracketed_step_ticks_ += last_tick_ - step_start_;
+    return;
+  }
+  if (!timing_) return;
+  const std::uint64_t elapsed = clock_.ticks() - step_start_;
+  ++timed_steps_;
+  timed_step_ticks_ += elapsed;
+  step_nanos_.add(static_cast<std::int64_t>(clock_.to_nanos(elapsed)));
 }
 
 StepProfiler::Report StepProfiler::report() const {
   Report rep;
   rep.steps = steps_;
-  rep.total_step_nanos = total_step_nanos_;
-  rep.phases = phases_;
+  // Extrapolate each sample population to the whole run: steps of a run are
+  // statistically homogeneous (the header's cost-model argument), so total
+  // step time is the timed (bracket-free) steps scaled by their inverse
+  // sampling fraction, and phase time the bracketed steps scaled by theirs.
+  if (timed_steps_ != 0) {
+    rep.total_step_nanos = static_cast<std::uint64_t>(
+        static_cast<double>(clock_.to_nanos(timed_step_ticks_)) *
+        (static_cast<double>(steps_) / static_cast<double>(timed_steps_)));
+  } else if (bracketed_steps_ != 0) {
+    // Run too short to reach a timing slot: fall back to the bracketed
+    // steps (slightly inflated by their own clock reads, but far better
+    // than reporting zero).
+    rep.total_step_nanos = static_cast<std::uint64_t>(
+        static_cast<double>(clock_.to_nanos(bracketed_step_ticks_)) *
+        (static_cast<double>(steps_) /
+         static_cast<double>(bracketed_steps_)));
+  }
+  // Phase ticks are measured inside bracketed steps, whose wall time is
+  // inflated by the brackets' own clock reads; dividing by the bracketed
+  // steps' wall total cancels that inflation, so phase seconds distribute
+  // the *clean* total-step estimate by the observed per-phase shares.
+  const double phase_scale =
+      bracketed_step_ticks_ == 0
+          ? 1.0
+          : static_cast<double>(rep.total_step_nanos) /
+                static_cast<double>(clock_.to_nanos(bracketed_step_ticks_));
+  for (std::size_t i = 0; i < kStepPhaseCount; ++i) {
+    rep.phases[i].calls = phases_[i].calls;
+    rep.phases[i].nanos = static_cast<std::uint64_t>(
+        static_cast<double>(clock_.to_nanos(phases_[i].ticks)) * phase_scale);
+  }
   return rep;
 }
 
@@ -59,7 +143,7 @@ std::string StepProfiler::summary() const {
                   static_cast<unsigned long long>(ps.calls));
     out += buf;
   }
-  out += "  per-step wall: " + step_nanos_.summary() + " (ns)\n";
+  out += "  per-step wall (sampled): " + step_nanos_.summary() + " (ns)\n";
   return out;
 }
 

@@ -59,6 +59,15 @@ void collect_engine_metrics(const Engine& engine, MetricRegistry& registry) {
       .set(static_cast<double>(m.peak_occupancy()));
 
   registry
+      .gauge("aqt_route_pool_bytes",
+             "Bytes of interned route storage (deduplicated edge pool)")
+      .set(static_cast<double>(engine.route_table().pool_bytes()));
+  registry
+      .counter("aqt_arena_recycled_total",
+               "Packet arena slots reused from the free list")
+      .set(engine.arena().recycled_total());
+
+  registry
       .histogram("aqt_latency_steps", "End-to-end latency distribution")
       .merge(m.latency_histogram());
   registry
@@ -101,7 +110,7 @@ void collect_profile_metrics(const StepProfiler& profiler,
       .set(rep.steps);
   registry
       .gauge("aqt_profile_wall_seconds",
-             "Total wall-clock time spent inside steps")
+             "Total in-step wall time (stride-sampled estimate)")
       .set(rep.wall_seconds());
   registry
       .gauge("aqt_profile_steps_per_second",
@@ -122,7 +131,7 @@ void collect_profile_metrics(const StepProfiler& profiler,
 
   registry
       .histogram("aqt_profile_step_nanos",
-                 "Whole-step wall-time distribution (nanoseconds)")
+                 "Whole-step wall-time distribution over sampled steps (nanoseconds)")
       .merge(profiler.step_nanos_histogram());
 }
 

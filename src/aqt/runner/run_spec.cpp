@@ -74,12 +74,7 @@ void run_cell(const RunSpec& spec, RunResult& result) {
   std::unique_ptr<Adversary> adversary;
   if (spec.adversary) adversary = spec.adversary(graph, spec.seed);
 
-  for (Time i = 0; i < spec.steps; ++i) {
-    if (spec.stop_when_finished && adversary != nullptr &&
-        adversary->finished(eng.now() + 1))
-      break;
-    eng.step(adversary.get());
-  }
+  eng.run(adversary.get(), spec.steps, spec.stop_when_finished);
   if (spec.drain_after) eng.drain(spec.drain_cap);
   if (writer) writer->finish(eng.total_injected(), eng.total_absorbed());
 

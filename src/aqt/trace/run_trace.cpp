@@ -10,7 +10,7 @@
 namespace aqt {
 namespace {
 
-std::string format_edges(const Route& edges) {
+std::string format_edges(RouteSpan edges) {
   std::ostringstream os;
   for (const EdgeId e : edges) os << ' ' << e;
   return os.str();
@@ -98,7 +98,7 @@ void RunTraceWriter::line(const std::string& text) {
 }
 
 void RunTraceWriter::record_initial(std::uint64_t ordinal, std::uint64_t tag,
-                                    const Route& route) {
+                                    RouteSpan route) {
   AQT_CHECK(!begun_, "initial packets must precede step 1 in the trace");
   line("P " + std::to_string(ordinal) + " " + std::to_string(tag) +
        format_edges(route));
@@ -119,12 +119,12 @@ void RunTraceWriter::record_absorb(std::uint64_t ordinal) {
 }
 
 void RunTraceWriter::record_reroute(std::uint64_t ordinal,
-                                    const Route& new_suffix) {
+                                    RouteSpan new_suffix) {
   line("R " + std::to_string(ordinal) + format_edges(new_suffix));
 }
 
 void RunTraceWriter::record_inject(std::uint64_t ordinal, std::uint64_t tag,
-                                   const Route& route) {
+                                   RouteSpan route) {
   line("J " + std::to_string(ordinal) + " " + std::to_string(tag) +
        format_edges(route));
 }

@@ -97,13 +97,13 @@ class RunTraceWriter final : public RunTraceSink {
                  const RunTraceMeta& meta);
 
   void record_initial(std::uint64_t ordinal, std::uint64_t tag,
-                      const Route& route) override;
+                      RouteSpan route) override;
   void begin_step(Time t) override;
   void record_send(EdgeId e, std::uint64_t ordinal) override;
   void record_absorb(std::uint64_t ordinal) override;
-  void record_reroute(std::uint64_t ordinal, const Route& new_suffix) override;
+  void record_reroute(std::uint64_t ordinal, RouteSpan new_suffix) override;
   void record_inject(std::uint64_t ordinal, std::uint64_t tag,
-                     const Route& route) override;
+                     RouteSpan route) override;
   void record_queue_depth(EdgeId e, std::size_t depth) override;
 
   /// Writes the footer (totals + content hash).  Call exactly once.

@@ -112,7 +112,7 @@ void RecordingAdversary::step(Time now, const Engine& engine,
   // (reroutes are applied before injections within a step).
   for (std::size_t i = rr_before; i < out.reroutes.size(); ++i) {
     const Reroute& rr = out.reroutes[i];
-    trace_.record_reroute(now, engine.packet(rr.packet).ordinal,
+    trace_.record_reroute(now, engine.packet_meta(rr.packet).ordinal,
                           rr.new_suffix);
   }
   for (std::size_t i = inj_before; i < out.injections.size(); ++i)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -11,34 +12,15 @@
 
 namespace aqt {
 
-std::size_t Histogram::bucket_of(std::int64_t value) {
-  if (value <= 1) return 0;
-  std::size_t b = 0;
-  auto v = static_cast<std::uint64_t>(value);
-  while (v > 1) {
-    v >>= 1;
-    ++b;
-  }
-  return std::min(b, kBuckets - 1);
+void Histogram::fail_negative(std::int64_t value) {
+  AQT_REQUIRE(false, "histogram values must be non-negative, got " << value);
+  std::abort();  // unreachable: AQT_REQUIRE(false) throws
 }
 
 std::int64_t Histogram::bucket_upper(std::size_t bucket) {
   if (bucket == 0) return 1;
   if (bucket >= 62) return std::numeric_limits<std::int64_t>::max();
   return (std::int64_t{1} << (bucket + 1)) - 1;
-}
-
-void Histogram::add(std::int64_t value) {
-  AQT_REQUIRE(value >= 0, "histogram values must be non-negative");
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++buckets_[bucket_of(value)];
-  ++count_;
-  sum_ += static_cast<double>(value);
 }
 
 std::int64_t Histogram::quantile(double q) const {

@@ -9,7 +9,9 @@
 // mean()/min()/max()/quantile() all return 0 — never NaN or Inf.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -20,7 +22,21 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 48;
 
-  void add(std::int64_t value);
+  /// O(1) insert; inline because the engine calls this ~20x per step
+  /// (queue depth, residence, latency) and the call cost dominated the
+  /// bucketing cost when it lived out of line.
+  void add(std::int64_t value) {
+    if (value < 0) [[unlikely]] fail_negative(value);
+    if (count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += static_cast<double>(value);
+  }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
@@ -57,8 +73,15 @@ class Histogram {
   void load_body(std::istream& is);
 
  private:
-  static std::size_t bucket_of(std::int64_t value);
+  /// floor(log2(value)) for value >= 2; {0, 1} map to bucket 0.
+  static std::size_t bucket_of(std::int64_t value) {
+    if (value <= 1) return 0;
+    const auto b = static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(value)) - 1);
+    return std::min(b, kBuckets - 1);
+  }
   static std::int64_t bucket_upper(std::size_t bucket);
+  [[noreturn]] static void fail_negative(std::int64_t value);
 
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;

@@ -172,7 +172,7 @@ TEST_F(ScriptedTest, MergePreservesMemberOrder) {
   merge.add(std::move(b));
   eng.step(&merge);
   // Member a's packet was sequenced first: FIFO front has tag 1.
-  EXPECT_EQ(eng.packet(eng.buffer(g_.edge_by_name("l0")).front().packet).tag,
+  EXPECT_EQ(eng.packet_meta(eng.buffer(g_.edge_by_name("l0")).front().packet).tag,
             1u);
 }
 

@@ -340,6 +340,17 @@ TEST(AuditCorpusTest, Aud011CatchesTheIndirectReachAud006Misses) {
   EXPECT_EQ(rep.findings.size(), 2u) << to_human({rep});
 }
 
+TEST(AuditCorpusTest, Aud004FlagsPointerKeysOverRecycledArenaSlots) {
+  // The SoA engine hands out recycled PacketArena slots, which makes
+  // pointer-keyed ordered bookkeeping doubly wrong: address order varies
+  // run to run, and after a recycle the same address names a different
+  // logical packet.  The corpus case models exactly that shape; AUD004
+  // must flag the map (and nothing else must fire).
+  const AuditReport rep = audit_file(corpus("aud004_arena_bad.cpp"));
+  EXPECT_TRUE(only_rule(rep, "AUD004")) << to_human({rep});
+  ASSERT_EQ(rep.findings.size(), 1u) << to_human({rep});
+}
+
 TEST(AuditRaceProbe, StaticAnalysisFlagsTheSiteTsanCatches) {
   // race_probe.cpp is the one corpus file that is also compiled (the
   // aqt-race-probe target, built with AQT_AUDIT_CORPUS_RACE) so TSan can

@@ -1,0 +1,45 @@
+// Corpus: AUD004 positive — pointer-keyed ordering over *recycled* arena
+// slots.  This is the sharpest instance of the rule: an arena hands out
+// stable slot addresses and reuses them after free, so a `std::map` keyed
+// by slot pointers is doubly nondeterministic — iteration order follows
+// allocation addresses (varies run to run), and after a recycle the same
+// key silently refers to a different logical packet.  Any per-packet
+// bookkeeping must key on a creation ordinal, never the slot address.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct Packet {
+  std::uint64_t ordinal;
+  int hop;
+};
+
+class Arena {
+ public:
+  Packet* allocate() {
+    if (!free_.empty()) {
+      Packet* slot = free_.back();  // recycled: address == a dead packet's
+      free_.pop_back();
+      return slot;
+    }
+    slots_.push_back(new Packet{});
+    return slots_.back();
+  }
+  void release(Packet* slot) { free_.push_back(slot); }
+
+ private:
+  std::vector<Packet*> slots_;
+  std::vector<Packet*> free_;
+};
+
+// Address-ordered bookkeeping over recycled slots: flagged.
+std::map<const Packet*, int> retries_by_packet;
+
+int sum_retries(Arena& arena) {
+  Packet* p = arena.allocate();
+  retries_by_packet[p] = 1;
+  arena.release(p);  // the map now holds a key the arena will hand out again
+  int total = 0;
+  for (const auto& [packet, retries] : retries_by_packet) total += retries;
+  return total;
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace aqt {
 namespace {
 
@@ -59,14 +61,19 @@ TEST(Buffer, ErasePacketRemovesMatching) {
   EXPECT_FALSE(b.erase_packet(999));
 }
 
-TEST(Buffer, IterationIsKeyOrdered) {
+TEST(Buffer, OrderedEntriesAreKeyOrdered) {
   Buffer b;
   b.push(entry(3, 0, 1, 1));
   b.push(entry(1, 0, 2, 2));
   b.push(entry(2, 0, 3, 3));
   std::vector<PacketId> order;
-  for (const auto& e : b) order.push_back(e.packet);
+  for (const auto& e : b.ordered_entries()) order.push_back(e.packet);
   EXPECT_EQ(order, (std::vector<PacketId>{2, 3, 1}));
+  // Raw iteration visits the same entries (heap order, not key order).
+  std::vector<PacketId> raw;
+  for (const auto& e : b) raw.push_back(e.packet);
+  std::sort(raw.begin(), raw.end());
+  EXPECT_EQ(raw, (std::vector<PacketId>{1, 2, 3}));
 }
 
 TEST(Buffer, NegativeKeysSortBeforePositive) {

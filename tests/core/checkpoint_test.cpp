@@ -40,7 +40,7 @@ Fingerprint fingerprint(const Engine& eng) {
     f.front_ordinals.push_back(
         eng.buffer(e).empty()
             ? std::uint64_t{0}
-            : eng.packet(eng.buffer(e).front().packet).ordinal + 1);
+            : eng.packet_meta(eng.buffer(e).front().packet).ordinal + 1);
   }
   return f;
 }

@@ -1,0 +1,131 @@
+#include "aqt/core/compiled_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/core/route_table.hpp"
+#include "aqt/core/types.hpp"
+
+namespace aqt {
+namespace {
+
+TEST(CompiledSchedule, EmptyAfterReset) {
+  CompiledSchedule sched;
+  sched.reset(Time{10});
+  EXPECT_EQ(sched.first_step(), Time{10});
+  EXPECT_EQ(sched.step_count(), Time{0});
+  EXPECT_EQ(sched.injection_count(), 0u);
+  EXPECT_FALSE(sched.covers(Time{9}));
+  EXPECT_FALSE(sched.covers(Time{10}));
+}
+
+TEST(CompiledSchedule, CoversExactlyTheCompiledRange) {
+  CompiledSchedule sched;
+  sched.reset(Time{5});
+  sched.begin_step(false);
+  sched.begin_step(false);
+  sched.begin_step(false);
+  EXPECT_EQ(sched.step_count(), Time{3});
+  EXPECT_FALSE(sched.covers(Time{4}));
+  EXPECT_TRUE(sched.covers(Time{5}));
+  EXPECT_TRUE(sched.covers(Time{7}));
+  EXPECT_FALSE(sched.covers(Time{8}));
+}
+
+TEST(CompiledSchedule, StepSpansPartitionInjections) {
+  RouteTable routes;
+  const RouteRef ra = routes.intern(Route{EdgeId{0}, EdgeId{1}});
+  const RouteRef rb = routes.intern(Route{EdgeId{2}});
+
+  CompiledSchedule sched;
+  sched.reset(Time{1});
+  sched.begin_step(false);  // step 1: two injections
+  sched.add_injection(ra, 11);
+  sched.add_injection(rb, 12);
+  sched.begin_step(false);  // step 2: empty
+  sched.begin_step(false);  // step 3: one injection
+  sched.add_injection(ra, 31);
+
+  EXPECT_EQ(sched.injection_count(), 3u);
+
+  const auto s1 = sched.step(Time{1});
+  ASSERT_EQ(s1.injections.size(), 2u);
+  EXPECT_EQ(s1.injections[0].route.data, ra.data);
+  EXPECT_EQ(s1.injections[0].tag, 11u);
+  EXPECT_EQ(s1.injections[1].tag, 12u);
+  EXPECT_TRUE(s1.reroutes.empty());
+
+  const auto s2 = sched.step(Time{2});
+  EXPECT_TRUE(s2.injections.empty());
+  EXPECT_TRUE(s2.reroutes.empty());
+
+  const auto s3 = sched.step(Time{3});
+  ASSERT_EQ(s3.injections.size(), 1u);
+  EXPECT_EQ(s3.injections[0].tag, 31u);
+  EXPECT_EQ(s3.injections[0].route.data, ra.data);
+}
+
+TEST(CompiledSchedule, StepSpansPartitionReroutes) {
+  CompiledSchedule sched;
+  sched.reset(Time{1});
+  sched.begin_step(false);
+  sched.add_reroute(Reroute{PacketId{7}, Route{EdgeId{4}, EdgeId{5}}});
+  sched.begin_step(false);
+  sched.add_reroute(Reroute{PacketId{8}, Route{EdgeId{6}}});
+  sched.add_reroute(Reroute{PacketId{9}, Route{EdgeId{7}}});
+
+  const auto s1 = sched.step(Time{1});
+  ASSERT_EQ(s1.reroutes.size(), 1u);
+  EXPECT_EQ(s1.reroutes[0].packet, PacketId{7});
+  ASSERT_EQ(s1.reroutes[0].new_suffix.size(), 2u);
+
+  const auto s2 = sched.step(Time{2});
+  ASSERT_EQ(s2.reroutes.size(), 2u);
+  EXPECT_EQ(s2.reroutes[0].packet, PacketId{8});
+  EXPECT_EQ(s2.reroutes[1].packet, PacketId{9});
+}
+
+TEST(CompiledSchedule, FinishedBeforeIsPerStep) {
+  // The finished() snapshot must be the one polled before each step, not a
+  // block-wide flag: a stream adversary that runs dry mid-block reports
+  // finished only from that point on.
+  CompiledSchedule sched;
+  sched.reset(Time{0});
+  sched.begin_step(false);
+  sched.begin_step(false);
+  sched.begin_step(true);
+  sched.begin_step(true);
+
+  EXPECT_FALSE(sched.step(Time{0}).finished_before);
+  EXPECT_FALSE(sched.step(Time{1}).finished_before);
+  EXPECT_TRUE(sched.step(Time{2}).finished_before);
+  EXPECT_TRUE(sched.step(Time{3}).finished_before);
+}
+
+TEST(CompiledSchedule, ResetDiscardsPreviousBlock) {
+  RouteTable routes;
+  const RouteRef ra = routes.intern(Route{EdgeId{0}});
+
+  CompiledSchedule sched;
+  sched.reset(Time{0});
+  sched.begin_step(false);
+  sched.add_injection(ra, 1);
+  sched.add_reroute(Reroute{PacketId{1}, Route{EdgeId{1}}});
+  ASSERT_TRUE(sched.covers(Time{0}));
+
+  // Recompile for the next block: the old steps and work are gone.
+  sched.reset(CompiledSchedule::kBlockSteps);
+  EXPECT_EQ(sched.first_step(), CompiledSchedule::kBlockSteps);
+  EXPECT_EQ(sched.step_count(), Time{0});
+  EXPECT_EQ(sched.injection_count(), 0u);
+  EXPECT_FALSE(sched.covers(Time{0}));
+
+  sched.begin_step(false);
+  sched.add_injection(ra, 99);
+  const auto view = sched.step(CompiledSchedule::kBlockSteps);
+  ASSERT_EQ(view.injections.size(), 1u);
+  EXPECT_EQ(view.injections[0].tag, 99u);
+  EXPECT_TRUE(view.reroutes.empty());
+}
+
+}  // namespace
+}  // namespace aqt

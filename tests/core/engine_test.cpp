@@ -79,7 +79,7 @@ TEST_F(EngineTest, InjectionsSequencedInAdversaryOrder) {
   eng.step(&adv);
   const Buffer& buf = eng.buffer(line_.edge_by_name("l0"));
   ASSERT_EQ(buf.size(), 2u);
-  EXPECT_EQ(eng.packet(buf.front().packet).tag, 1u);
+  EXPECT_EQ(eng.packet_meta(buf.front().packet).tag, 1u);
 }
 
 TEST_F(EngineTest, GreedyNeverIdlesNonemptyBuffer) {

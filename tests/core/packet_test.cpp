@@ -2,12 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include "aqt/core/route_table.hpp"
+
 namespace aqt {
 namespace {
 
+/// Test fixture state: routes live in an interning table, packets hold
+/// references into it (the SoA layout's invariant).
+class PacketArenaTest : public ::testing::Test {
+ protected:
+  RouteRef ref(const Route& route) { return table_.intern(route); }
+
+  RouteTable table_;
+  PacketArena arena_;
+};
+
 TEST(Packet, RemainingAndTraversed) {
+  RouteTable table;
   Packet p;
-  p.route = {0, 1, 2};
+  p.route = table.intern(Route{0, 1, 2});
   p.hop = 0;
   EXPECT_EQ(p.remaining(), 3u);
   EXPECT_EQ(p.traversed(), 0u);
@@ -18,109 +31,106 @@ TEST(Packet, RemainingAndTraversed) {
   EXPECT_EQ(p.current_edge(), 2u);
 }
 
-TEST(PacketArena, CreateAssignsFields) {
-  PacketArena arena;
-  const PacketId id = arena.create({3, 4}, /*inject_time=*/7, /*tag=*/9);
-  const Packet& p = arena[id];
-  EXPECT_TRUE(p.alive);
+TEST_F(PacketArenaTest, CreateAssignsFields) {
+  const PacketId id = arena_.create(ref({3, 4}), /*inject_time=*/7, /*tag=*/9);
+  const Packet& p = arena_[id];
+  const PacketMeta& m = arena_.meta(id);
+  EXPECT_TRUE(m.alive);
   EXPECT_EQ(p.route, (Route{3, 4}));
   EXPECT_EQ(p.inject_time, 7);
   EXPECT_EQ(p.arrival_time, 7);
-  EXPECT_EQ(p.tag, 9u);
+  EXPECT_EQ(m.tag, 9u);
   EXPECT_EQ(p.hop, 0u);
 }
 
-TEST(PacketArena, LiveAndTotalCounts) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 0);
-  const PacketId b = arena.create({0}, 1, 0);
-  EXPECT_EQ(arena.live_count(), 2u);
-  EXPECT_EQ(arena.total_created(), 2u);
-  arena.destroy(a);
-  EXPECT_EQ(arena.live_count(), 1u);
-  EXPECT_EQ(arena.total_created(), 2u);
-  EXPECT_FALSE(arena.is_live(a));
-  EXPECT_TRUE(arena.is_live(b));
+TEST_F(PacketArenaTest, LiveAndTotalCounts) {
+  const PacketId a = arena_.create(ref({0}), 1, 0);
+  const PacketId b = arena_.create(ref({0}), 1, 0);
+  EXPECT_EQ(arena_.live_count(), 2u);
+  EXPECT_EQ(arena_.total_created(), 2u);
+  arena_.destroy(a);
+  EXPECT_EQ(arena_.live_count(), 1u);
+  EXPECT_EQ(arena_.total_created(), 2u);
+  EXPECT_FALSE(arena_.is_live(a));
+  EXPECT_TRUE(arena_.is_live(b));
 }
 
-TEST(PacketArena, RecyclesSlots) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 0);
-  arena.destroy(a);
-  const PacketId b = arena.create({1}, 2, 0);
+TEST_F(PacketArenaTest, RecyclesSlots) {
+  const PacketId a = arena_.create(ref({0}), 1, 0);
+  EXPECT_EQ(arena_.recycled_total(), 0u);
+  arena_.destroy(a);
+  const PacketId b = arena_.create(ref({1}), 2, 0);
   EXPECT_EQ(a, b);  // Slot reused.
-  EXPECT_EQ(arena[b].route, (Route{1}));
-  EXPECT_EQ(arena.total_created(), 2u);
+  EXPECT_EQ(arena_[b].route, (Route{1}));
+  EXPECT_EQ(arena_.total_created(), 2u);
+  EXPECT_EQ(arena_.recycled_total(), 1u);
 }
 
-TEST(PacketArena, GenerationIncrementsOnReuse) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 0);
-  const auto gen1 = arena[a].generation;
-  arena.destroy(a);
-  const PacketId b = arena.create({0}, 1, 0);
+TEST_F(PacketArenaTest, GenerationIncrementsOnReuse) {
+  const PacketId a = arena_.create(ref({0}), 1, 0);
+  const auto gen1 = arena_.meta(a).generation;
+  arena_.destroy(a);
+  const PacketId b = arena_.create(ref({0}), 1, 0);
   EXPECT_EQ(a, b);
-  EXPECT_EQ(arena[b].generation, gen1 + 1);
+  EXPECT_EQ(arena_.meta(b).generation, gen1 + 1);
 }
 
-TEST(PacketArena, ForEachLiveVisitsOnlyLive) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 10);
-  const PacketId b = arena.create({0}, 1, 20);
-  const PacketId c = arena.create({0}, 1, 30);
-  arena.destroy(b);
+TEST_F(PacketArenaTest, ForEachLiveVisitsOnlyLive) {
+  const PacketId a = arena_.create(ref({0}), 1, 10);
+  const PacketId b = arena_.create(ref({0}), 1, 20);
+  const PacketId c = arena_.create(ref({0}), 1, 30);
+  arena_.destroy(b);
   std::vector<std::uint64_t> tags;
-  arena.for_each_live(
-      [&](PacketId, const Packet& p) { tags.push_back(p.tag); });
+  arena_.for_each_live([&](PacketId, const Packet&, const PacketMeta& m) {
+    tags.push_back(m.tag);
+  });
   EXPECT_EQ(tags, (std::vector<std::uint64_t>{10, 30}));
   (void)a;
   (void)c;
 }
 
-TEST(PacketArena, OrdinalsAreCreationOrder) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 0);
-  const PacketId b = arena.create({0}, 1, 0);
-  EXPECT_EQ(arena[a].ordinal, 0u);
-  EXPECT_EQ(arena[b].ordinal, 1u);
-  arena.destroy(a);
-  const PacketId c = arena.create({0}, 2, 0);  // Reuses a's slot...
+TEST_F(PacketArenaTest, OrdinalsAreCreationOrder) {
+  const PacketId a = arena_.create(ref({0}), 1, 0);
+  const PacketId b = arena_.create(ref({0}), 1, 0);
+  EXPECT_EQ(arena_.meta(a).ordinal, 0u);
+  EXPECT_EQ(arena_.meta(b).ordinal, 1u);
+  arena_.destroy(a);
+  const PacketId c = arena_.create(ref({0}), 2, 0);  // Reuses a's slot...
   EXPECT_EQ(c, a);
-  EXPECT_EQ(arena[c].ordinal, 2u);  // ...but gets a fresh ordinal.
+  EXPECT_EQ(arena_.meta(c).ordinal, 2u);  // ...but gets a fresh ordinal.
 }
 
-TEST(PacketArena, FindByOrdinal) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 0);
-  const PacketId b = arena.create({0}, 1, 0);
-  EXPECT_EQ(arena.find_by_ordinal(0), a);
-  EXPECT_EQ(arena.find_by_ordinal(1), b);
-  EXPECT_EQ(arena.find_by_ordinal(99), kNoPacket);
-  arena.destroy(a);
-  EXPECT_EQ(arena.find_by_ordinal(0), kNoPacket);  // Absorbed: gone.
-  EXPECT_EQ(arena.find_by_ordinal(1), b);
+TEST_F(PacketArenaTest, FindByOrdinal) {
+  const PacketId a = arena_.create(ref({0}), 1, 0);
+  const PacketId b = arena_.create(ref({0}), 1, 0);
+  EXPECT_EQ(arena_.find_by_ordinal(0), a);
+  EXPECT_EQ(arena_.find_by_ordinal(1), b);
+  EXPECT_EQ(arena_.find_by_ordinal(99), kNoPacket);
+  arena_.destroy(a);
+  EXPECT_EQ(arena_.find_by_ordinal(0), kNoPacket);  // Absorbed: gone.
+  EXPECT_EQ(arena_.find_by_ordinal(1), b);
 }
 
-TEST(PacketArena, OrdinalLookupSurvivesSlotReuse) {
-  PacketArena arena;
-  const PacketId a = arena.create({0}, 1, 0);
-  arena.destroy(a);
-  const PacketId b = arena.create({0}, 2, 0);  // Same slot, ordinal 1.
-  EXPECT_EQ(arena.find_by_ordinal(1), b);
-  EXPECT_EQ(arena.find_by_ordinal(0), kNoPacket);
+TEST_F(PacketArenaTest, OrdinalLookupSurvivesSlotReuse) {
+  const PacketId a = arena_.create(ref({0}), 1, 0);
+  arena_.destroy(a);
+  const PacketId b = arena_.create(ref({0}), 2, 0);  // Same slot, ordinal 1.
+  EXPECT_EQ(arena_.find_by_ordinal(1), b);
+  EXPECT_EQ(arena_.find_by_ordinal(0), kNoPacket);
 }
 
-TEST(PacketArena, ManyCreateDestroyCyclesStayBounded) {
-  PacketArena arena;
+TEST_F(PacketArenaTest, ManyCreateDestroyCyclesStayBounded) {
+  const RouteRef r = ref({0, 1, 2});
   for (int round = 0; round < 100; ++round) {
     std::vector<PacketId> ids;
-    for (int i = 0; i < 10; ++i) ids.push_back(arena.create({0, 1, 2}, 1, 0));
-    for (const PacketId id : ids) arena.destroy(id);
+    for (int i = 0; i < 10; ++i) ids.push_back(arena_.create(r, 1, 0));
+    for (const PacketId id : ids) arena_.destroy(id);
   }
-  EXPECT_EQ(arena.live_count(), 0u);
-  EXPECT_EQ(arena.total_created(), 1000u);
+  EXPECT_EQ(arena_.live_count(), 0u);
+  EXPECT_EQ(arena_.total_created(), 1000u);
+  EXPECT_EQ(arena_.recycled_total(), 990u);
   // Slot reuse means at most 10 slots were ever allocated: new ids stay low.
-  const PacketId id = arena.create({0}, 1, 0);
+  const PacketId id = arena_.create(ref({0}), 1, 0);
   EXPECT_LT(id, 10u);
 }
 

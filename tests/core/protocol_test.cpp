@@ -10,8 +10,11 @@ namespace aqt {
 namespace {
 
 Packet make_packet(Time inject, std::uint32_t hop, std::size_t route_len) {
+  // Protocol keys never read past route metadata, so a static all-zero
+  // backing array is enough to give the RouteRef a valid target.
+  static const Route backing(16, 0);
   Packet p;
-  p.route.assign(route_len, 0);
+  p.route = RouteRef{backing.data(), static_cast<std::uint32_t>(route_len)};
   p.hop = hop;
   p.inject_time = inject;
   return p;

@@ -244,8 +244,8 @@ TEST(OnlineRateChecker, StaysFailedAfterViolation) {
 
 TEST(OnlineRateChecker, AddRouteChargesAllEdges) {
   OnlineRateChecker online(3, Rat(1, 2));
-  EXPECT_TRUE(online.add({0, 1, 2}, 5));
-  EXPECT_FALSE(online.add({2}, 6));  // Edge 2 now has 2 in [5, 6].
+  EXPECT_TRUE(online.add(Route{0, 1, 2}, 5));
+  EXPECT_FALSE(online.add(Route{2}, 6));  // Edge 2 now has 2 in [5, 6].
 }
 
 TEST(OnlineRateChecker, RejectsTimeRegressionPerEdge) {
@@ -271,7 +271,7 @@ TEST(OnlineRateChecker, FloorPacedStreamPasses) {
 
 TEST(RateAudit, AddRouteChargesEveryEdge) {
   RateAudit a(3);
-  a.add({0, 1, 2}, 7);
+  a.add(Route{0, 1, 2}, 7);
   for (EdgeId e = 0; e < 3; ++e)
     EXPECT_EQ(a.times(e), (std::vector<Time>{7}));
   EXPECT_EQ(a.entries(), 3u);

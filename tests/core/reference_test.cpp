@@ -72,8 +72,8 @@ ReferenceSnapshot engine_snapshot(const Engine& eng) {
   snap.absorbed = eng.total_absorbed();
   snap.queue_tags.resize(eng.graph().edge_count());
   for (EdgeId e = 0; e < eng.graph().edge_count(); ++e)
-    for (const BufferEntry& be : eng.buffer(e))
-      snap.queue_tags[e].push_back(eng.packet(be.packet).tag);
+    for (const BufferEntry& be : eng.buffer(e).ordered_entries())
+      snap.queue_tags[e].push_back(eng.packet_meta(be.packet).tag);
   return snap;
 }
 
@@ -170,7 +170,7 @@ TEST(DifferentialReroute, HistoricProtocolsAgreeUnderReroutes) {
     once.id = id;
     once.suffix = suffix;
     eng.step(&once);
-    ref.step({}, {{eng.packet(id).ordinal, suffix}});
+    ref.step({}, {{eng.packet_meta(id).ordinal, suffix}});
     for (Time t = 2; t <= 8; ++t) {
       eng.step(nullptr);
       ref.step({}, {});
@@ -218,7 +218,7 @@ TEST(DifferentialReroute, RandomRerouteFuzzAgrees) {
         const Buffer& buf = eng.buffer(e);
         if (buf.size() < 2) continue;
         bool first = true;
-        for (const BufferEntry& be : buf) {
+        for (const BufferEntry& be : buf.ordered_entries()) {
           if (!first) live.push_back(be.packet);
           first = false;
         }
@@ -246,8 +246,8 @@ TEST(DifferentialReroute, RandomRerouteFuzzAgrees) {
           used[at] = true;
         }
         driver.pending.push_back(Reroute{id, suffix});
-        ref_rr.push_back(
-            ReferenceSimulator::RefReroute{p.ordinal, suffix});
+        ref_rr.push_back(ReferenceSimulator::RefReroute{
+            eng.packet_meta(id).ordinal, suffix});
       }
       eng.step(&driver);
       const auto idx = static_cast<std::size_t>(t - 1);

@@ -89,7 +89,8 @@ TEST_F(LegalityTest, AncientUseIsForgottenOncePacketsAreYoung) {
   eng_.step(nullptr);
   ASSERT_EQ(eng_.packets_in_flight(), 1u);
   PacketId id = kNoPacket;
-  for (const BufferEntry& be : eng_.buffer(g_.edge_by_name("h0_1")))
+  for (const BufferEntry& be :
+       eng_.buffer(g_.edge_by_name("h0_1")).ordered_entries())
     id = be.packet;
   ASSERT_NE(id, kNoPacket);
 

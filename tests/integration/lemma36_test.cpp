@@ -258,7 +258,8 @@ TEST(Lemma33Remark2, PacketsSurviveRepeatedRerouting) {
   // final gadget with route length > 2(n + 1) + 2 was rerouted at least
   // twice.
   std::size_t multi_rerouted = 0;
-  eng.arena().for_each_live([&](PacketId, const Packet& p) {
+  eng.arena().for_each_live([&](PacketId, const Packet& p,
+                                const PacketMeta&) {
     if (p.inject_time == 0 &&
         p.route.size() > 2 * static_cast<std::size_t>(cfg.n + 1) + 2)
       ++multi_rerouted;
@@ -285,13 +286,14 @@ TEST(Section5Remark, ConstructionUsesShortestRoutes) {
     eng.step(&adv);
     if (eng.now() == next_check) {
       next_check += 400;
-      eng.arena().for_each_live([&](PacketId, const Packet& p) {
+      eng.arena().for_each_live([&](PacketId, const Packet& p,
+                                    const PacketMeta& m) {
         const NodeId from = net.graph.tail(p.route.front());
         const NodeId to = net.graph.head(p.route.back());
         const auto shortest = shortest_route(net.graph, from, to);
         ASSERT_TRUE(shortest.has_value());
         EXPECT_EQ(p.route.size(), shortest->size())
-            << "packet ordinal " << p.ordinal;
+            << "packet ordinal " << m.ordinal;
       });
       if (::testing::Test::HasFailure()) return;
     }

@@ -44,7 +44,12 @@ TEST(Profiler, CountsEngineStepsAndPhases) {
 
   const StepProfiler::Report rep = profiler.report();
   EXPECT_EQ(rep.steps, 50u);
-  EXPECT_EQ(profiler.step_nanos_histogram().count(), 50u);
+  // Whole-step wall time is sampled on the bracket-free offset slot: one
+  // histogram entry per stride, at steps == kStepTimeOffset (mod stride).
+  constexpr std::uint64_t kStride = StepProfiler::kPhaseSampleStride;
+  constexpr std::uint64_t kOffset = StepProfiler::kStepTimeOffset;
+  EXPECT_EQ(profiler.step_nanos_histogram().count(),
+            (50 + kStride - 1 - kOffset) / kStride);
   EXPECT_GT(rep.total_step_nanos, 0u);
   EXPECT_GT(rep.steps_per_second(), 0.0);
   // One transmit/absorb/record bracket per step; inject only while the

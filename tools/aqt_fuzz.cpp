@@ -95,8 +95,8 @@ ReferenceSnapshot engine_snapshot(const Engine& eng) {
   snap.absorbed = eng.total_absorbed();
   snap.queue_tags.resize(eng.graph().edge_count());
   for (EdgeId e = 0; e < eng.graph().edge_count(); ++e)
-    for (const BufferEntry& be : eng.buffer(e))
-      snap.queue_tags[e].push_back(eng.packet(be.packet).tag);
+    for (const BufferEntry& be : eng.buffer(e).ordered_entries())
+      snap.queue_tags[e].push_back(eng.packet_meta(be.packet).tag);
   return snap;
 }
 
@@ -539,7 +539,7 @@ TrialOutcome run_differential_trial(Rng rng, std::int64_t trial,
       std::vector<PacketId> candidates;
       for (EdgeId e = 0; e < g.edge_count(); ++e) {
         bool first = true;
-        for (const BufferEntry& be : eng.buffer(e)) {
+        for (const BufferEntry& be : eng.buffer(e).ordered_entries()) {
           if (!first) candidates.push_back(be.packet);
           first = false;
         }
@@ -565,7 +565,8 @@ TrialOutcome run_differential_trial(Rng rng, std::int64_t trial,
           used[at] = true;
         }
         driver.reroutes.push_back(Reroute{id, suffix});
-        ref_rr.push_back(ReferenceSimulator::RefReroute{p.ordinal, suffix});
+        ref_rr.push_back(ReferenceSimulator::RefReroute{
+            eng.packet_meta(id).ordinal, suffix});
       }
     }
 
