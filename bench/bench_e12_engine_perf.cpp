@@ -15,7 +15,13 @@
 // aqt_runner_parallel_speedup is measured on a real multi-core pool.
 // `--perf-trajectory=PATH` (also stripped) appends one JSONL datapoint
 // (timestamp, commit, steps/sec, speedup, selfhost seconds) to PATH — the
-// BENCH_trajectory.jsonl history CI's perf-smoke step grows.  The
+// BENCH_trajectory.jsonl history CI's perf-smoke step grows; the commit id
+// resolves `--commit=SHA`, then $AQT_GIT_COMMIT, then $GITHUB_SHA, falling
+// back to "unknown".  `--trace-out=PATH` (also stripped) writes a
+// Perfetto-loadable trace_event JSON of the perf session: engine
+// step-phase spans plus one span per parallel-leg pool cell on each
+// worker's thread track.  The parallel leg also records per-worker
+// telemetry (aqt_pool_worker_* families) into the snapshot.  The
 // snapshot also carries aqt_audit_selfhost_seconds — the wall-clock of a
 // full repo self-audit on 4 workers, gated below 10 s in CI so the
 // analyzer's own cost stays bounded as rules accrete.
@@ -44,6 +50,7 @@
 #include "aqt/obs/profiler.hpp"
 #include "aqt/obs/registry.hpp"
 #include "aqt/obs/snapshot.hpp"
+#include "aqt/obs/tracing.hpp"
 #include "aqt/topology/gadget.hpp"
 #include "aqt/topology/generators.hpp"
 
@@ -201,7 +208,9 @@ BENCHMARK(BM_CheckpointRoundtrip)->Unit(benchmark::kMicrosecond);
 /// deterministic, so the minimum is the least-noise estimate of real
 /// throughput (the reasoning behind --benchmark_repetitions' min).
 void write_perf_json(const std::string& path, unsigned perf_jobs,
-                     const std::string& trajectory_path) {
+                     const std::string& trajectory_path,
+                     const std::string& commit_flag,
+                     const std::string& trace_path) {
   const Graph g = make_grid(8, 8);
   FifoProtocol fifo;
   StochasticConfig cfg;
@@ -209,8 +218,22 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
   cfg.r = Rat(1, 4);
   cfg.max_route_len = 4;
   cfg.seed = 1;
+  // --trace-out: one Perfetto-loadable log for the whole perf session —
+  // engine step-phase spans from the warm-up run (tid 0) plus one span per
+  // pool cell from the parallel leg (tid = worker id + 1).
+  std::unique_ptr<obs::TraceEventLog> trace_log;
+  if (!trace_path.empty()) {
+    trace_log = std::make_unique<obs::TraceEventLog>();
+    trace_log->name_thread(0, "engine");
+  }
   {
-    Engine warm(g, fifo);
+    EngineConfig warm_cfg;
+    std::unique_ptr<obs::PhaseTraceRecorder> phase_trace;
+    if (trace_log != nullptr) {
+      phase_trace = std::make_unique<obs::PhaseTraceRecorder>(*trace_log);
+      warm_cfg.sinks.profile = phase_trace.get();
+    }
+    Engine warm(g, fifo, warm_cfg);
     StochasticAdversary adv(g, cfg);
     warm.run(&adv, 20000);
   }
@@ -263,18 +286,27 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
     // runner's core count so the recorded datapoint is a real multi-core
     // measurement); 0 falls back to the detected hardware concurrency.
     const unsigned hw = perf_jobs == 0 ? resolve_jobs(0) : perf_jobs;
-    const auto timed = [&](unsigned jobs) {
+    // The parallel leg keeps its per-worker telemetry: when a speedup
+    // datapoint looks flat, the aqt_pool_worker_* breakdown (cells per
+    // worker, busy vs idle, chunk latency) says whether the pool starved,
+    // imbalanced, or serialized.
+    PoolTelemetry parallel_telemetry;
+    const auto timed = [&](unsigned jobs, bool keep_telemetry) {
+      PoolOptions options;
+      if (keep_telemetry && trace_log != nullptr)
+        options.trace = trace_log.get();
       const auto begin = std::chrono::steady_clock::now();
-      const std::vector<RunResult> results = run_all(specs, jobs);
+      const RunPoolReport pool_report = run_pool(specs, jobs, options);
       const auto end = std::chrono::steady_clock::now();
-      for (const RunResult& r : results)
+      for (const RunResult& r : pool_report.results)
         if (!r.ok())
           std::fprintf(stderr, "speedup sweep cell %s failed: %s\n",
                        r.name.c_str(), r.error.c_str());
+      if (keep_telemetry) parallel_telemetry = pool_report.telemetry;
       return std::chrono::duration<double>(end - begin).count();
     };
-    const double serial_secs = timed(1);
-    const double parallel_secs = timed(hw);
+    const double serial_secs = timed(1, false);
+    const double parallel_secs = timed(hw, true);
     const double speedup =
         parallel_secs > 0.0 ? serial_secs / parallel_secs : 1.0;
     registry
@@ -286,9 +318,19 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
         .gauge("aqt_runner_parallel_jobs",
                "Worker threads used for the parallel leg")
         .set(static_cast<double>(hw));
+    collect_pool_worker_metrics(parallel_telemetry, registry);
     std::printf("run-pool speedup: %.2fx on %u worker(s) "
                 "(%.3fs serial, %.3fs parallel, %zu cells)\n",
                 speedup, hw, serial_secs, parallel_secs, specs.size());
+    for (std::size_t w = 0; w < parallel_telemetry.workers.size(); ++w) {
+      const PoolWorkerStats& s = parallel_telemetry.workers[w];
+      std::printf("  worker %zu: %llu cell(s) in %llu chunk(s), "
+                  "busy %.3fs idle %.3fs\n",
+                  w, static_cast<unsigned long long>(s.cells),
+                  static_cast<unsigned long long>(s.steals),
+                  static_cast<double>(s.busy_nanos) * 1e-9,
+                  static_cast<double>(s.idle_nanos) * 1e-9);
+    }
     speedup_out = speedup;
     jobs_out = hw;
   }
@@ -335,10 +377,17 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
   std::printf("perf snapshot (%.0f steps/sec) written to %s\n",
               profiler->report().steps_per_second(), path.c_str());
 
+  if (trace_log != nullptr) {
+    trace_log->write(trace_path, "bench_e12_engine_perf");
+    std::printf("perfetto trace (%zu events) written to %s\n",
+                trace_log->size(), trace_path.c_str());
+  }
+
   // --perf-trajectory: append one compact JSONL datapoint per snapshot so
   // the repo accumulates a throughput history across commits (CI's
   // perf-smoke step appends to BENCH_trajectory.jsonl).  The commit id
-  // comes from the environment when CI provides it.
+  // resolves --commit, then AQT_GIT_COMMIT, then CI's GITHUB_SHA, and is
+  // never left empty — a blank id makes the history row unattributable.
   if (!trajectory_path.empty()) {
     std::FILE* f = std::fopen(trajectory_path.c_str(), "a");
     if (f == nullptr) {
@@ -346,16 +395,21 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
                    trajectory_path.c_str());
       return;
     }
-    const char* sha = std::getenv("GITHUB_SHA");
+    std::string commit = commit_flag;
+    for (const char* var : {"AQT_GIT_COMMIT", "GITHUB_SHA"}) {
+      if (!commit.empty()) break;
+      const char* value = std::getenv(var);
+      if (value != nullptr && *value != '\0') commit = value;
+    }
+    if (commit.empty()) commit = "unknown";
     const obs::StepProfiler::Report rep = profiler->report();
     std::fprintf(
         f,
         "{\"ts\":%lld,\"commit\":\"%s\",\"steps_per_second\":%.0f,"
         "\"parallel_speedup\":%.3f,\"parallel_jobs\":%u,"
         "\"selfhost_seconds\":%.3f}\n",
-        static_cast<long long>(std::time(nullptr)),
-        sha != nullptr ? sha : "", rep.steps_per_second(), speedup_out,
-        jobs_out, selfhost_out);
+        static_cast<long long>(std::time(nullptr)), commit.c_str(),
+        rep.steps_per_second(), speedup_out, jobs_out, selfhost_out);
     std::fclose(f);
     std::printf("trajectory datapoint appended to %s\n",
                 trajectory_path.c_str());
@@ -365,10 +419,13 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip our --perf-json/--perf-jobs/--perf-trajectory flags before
-  // google-benchmark parses argv (it rejects flags it does not know).
+  // Strip our --perf-json/--perf-jobs/--perf-trajectory/--commit/
+  // --trace-out flags before google-benchmark parses argv (it rejects
+  // flags it does not know).
   std::string perf_json;
   std::string perf_trajectory;
+  std::string commit;
+  std::string trace_out;
   unsigned perf_jobs = 0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
@@ -378,6 +435,10 @@ int main(int argc, char** argv) {
       perf_jobs = static_cast<unsigned>(std::strtoul(argv[i] + 12, nullptr, 10));
     else if (std::strncmp(argv[i], "--perf-trajectory=", 18) == 0)
       perf_trajectory = argv[i] + 18;
+    else if (std::strncmp(argv[i], "--commit=", 9) == 0)
+      commit = argv[i] + 9;
+    else if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      trace_out = argv[i] + 12;
     else
       argv[kept++] = argv[i];
   }
@@ -389,6 +450,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   if (!perf_json.empty())
-    write_perf_json(perf_json, perf_jobs, perf_trajectory);
+    write_perf_json(perf_json, perf_jobs, perf_trajectory, commit, trace_out);
   return 0;
 }

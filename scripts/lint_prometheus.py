@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition (version 0.0.4) files.
+
+A dependency-free stand-in for `promtool check metrics` covering what the
+aqt exporters (obs/export.cpp to_prometheus) actually emit:
+
+  * every sample line parses as  name{label="value"}? value
+  * metric and label names match the Prometheus grammar
+  * every sample is preceded by # HELP and # TYPE lines for its family
+  * the TYPE is counter/gauge/histogram and histogram families expose the
+    conventional _sum/_count/_bucket series with an le="+Inf" bucket
+  * values parse as floats (NaN allowed), counters are non-negative
+  * no duplicate sample (same name + label set)
+
+Usage: lint_prometheus.py FILE.prom [FILE.prom ...]
+Exit codes: 0 = clean, 1 = lint errors, 2 = usage/IO error.
+"""
+
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family (histogram suffixes)."""
+    for suffix in SUFFIXES:
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def lint(path):
+    errors = []
+    helps = {}
+    types = {}
+    seen = set()
+    buckets_inf = set()
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    for i, line in enumerate(lines, 1):
+        def err(message):
+            errors.append(f"{path}:{i}: {message}")
+
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_RE.match(parts[2]):
+                err(f"malformed HELP line: {line!r}")
+            else:
+                helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or not METRIC_RE.match(parts[2]):
+                err(f"malformed TYPE line: {line!r}")
+                continue
+            if parts[3] not in ("counter", "gauge", "histogram"):
+                err(f"unknown type {parts[3]!r} for {parts[2]}")
+            if parts[2] not in helps:
+                err(f"# TYPE {parts[2]} without preceding # HELP")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # Free-form comment.
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(f"unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        family = family_of(name, types)
+        if family not in types:
+            err(f"sample {name} without preceding # TYPE")
+        labels = []
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                pm = LABEL_PAIR_RE.match(pair)
+                if not pm:
+                    err(f"malformed label pair {pair!r}")
+                    continue
+                if not LABEL_RE.match(pm.group("key")):
+                    err(f"bad label name {pm.group('key')!r}")
+                labels.append((pm.group("key"), pm.group("value")))
+                if name.endswith("_bucket") and pm.group("key") == "le" \
+                        and pm.group("value") == "+Inf":
+                    buckets_inf.add(family)
+        key = (name, tuple(sorted(labels)))
+        if key in seen:
+            err(f"duplicate sample {name}{dict(labels)}")
+        seen.add(key)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(f"unparseable value {m.group('value')!r}")
+            continue
+        if types.get(family) == "counter" and not math.isnan(value) \
+                and value < 0:
+            err(f"negative counter {name} = {value}")
+
+    for fam, typ in types.items():
+        if typ != "histogram":
+            continue
+        for suffix in ("_sum", "_count"):
+            if not any(n == fam + suffix for n, _ in seen):
+                errors.append(f"{path}: histogram {fam} missing {fam}{suffix}")
+        if fam not in buckets_inf:
+            errors.append(f'{path}: histogram {fam} missing le="+Inf" bucket')
+
+    return errors, len(seen)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            errors, samples = lint(path)
+        except OSError as e:
+            print(f"FAIL {path}: {e}")
+            return 2
+        if errors:
+            failed = True
+            print(f"FAIL {path}: {len(errors)} problem(s)")
+            for err in errors[:20]:
+                print(f"  {err}")
+        else:
+            print(f"ok {path}: {samples} samples")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

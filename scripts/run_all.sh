@@ -41,6 +41,20 @@ for s in examples/scenarios/*.aqts; do
     "out/traces/$name.trace"
 done 2>&1 | tee out/verify_output.txt
 
+# Flight-recorder pass: timeseries + Perfetto trace + online watchdog on a
+# stable reference run, both artifact validators, and the HTML report.
+./build/tools/aqt-sim --topology ring:12 --protocol NTG \
+  --adversary stochastic --w 12 --r 1/5 --d 4 --steps 20000 \
+  --watchdog true \
+  --timeseries out/metrics/flight.csv \
+  --trace-out out/metrics/flight.trace.json \
+  --metrics-out out/metrics/flight.metrics.json | tee out/flight_output.txt
+python3 scripts/validate_trace_event.py out/metrics/flight.trace.json
+python3 scripts/lint_prometheus.py out/metrics/*.prom
+./build/tools/aqt-report --timeseries out/metrics/flight.csv \
+  --metrics out/metrics/flight.metrics.json --notes out/flight_output.txt \
+  --title "flight recorder reference run" --out out/metrics/flight.html
+
 ctest --test-dir build --output-on-failure 2>&1 | tee out/test_output.txt
 
 for b in build/bench/bench_*; do

@@ -334,6 +334,16 @@ void Engine::step_body(bool has_inject, InjectBody&& inject_body) {
       });
     if (config_.series_stride > 0 && t % config_.series_stride == 0)
       metrics_.push_series(t, arena_.live_count(), max_queue_now());
+    if (config_.sinks.samples != nullptr) [[unlikely]] {
+      StepSample sample;
+      sample.t = t;
+      sample.in_flight = arena_.live_count();
+      sample.injected_total = arena_.total_created();
+      sample.absorbed_total = absorbed_;
+      sample.active_edges = active_count_;
+      sample.max_queue = max_queue_now();
+      config_.sinks.samples->on_step(sample, *this);
+    }
   }
 
   if (invariants_) {

@@ -54,6 +54,7 @@ class InvariantAuditor;
 class PacketEventSink;
 class RunTraceSink;
 class StepPhaseSink;
+class StepSampleSink;
 
 /// The engine's borrowed observer sinks, passed as one unit.  Every member
 /// is optional (null = off) and write-only: observers never change a run
@@ -82,6 +83,13 @@ struct EngineSinks {
   /// every injection, per-hop send, and absorption — the stream the obs
   /// layer's JsonlEventWriter turns into machine-readable JSONL.
   PacketEventSink* events = nullptr;
+
+  /// End-of-step sample sink (obs_sink.hpp).  When set, the engine hands
+  /// over one StepSample per step — the hook the obs layer's
+  /// TimeseriesRecorder and StabilityWatchdog plug into.  Null costs one
+  /// branch per step.  Fan out to several sample consumers with
+  /// obs::StepSampleFanout.
+  StepSampleSink* samples = nullptr;
 };
 
 struct EngineConfig {

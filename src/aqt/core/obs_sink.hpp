@@ -61,6 +61,36 @@ class StepPhaseSink {
   virtual void end_step(std::uint8_t skipped_phase_mask) = 0;
 };
 
+/// End-of-step summary of whole-network state, computed by the engine at
+/// the close of the record phase.  All fields are pure functions of the
+/// simulation state (no wall clock), so a sink driven only by StepSample
+/// values is deterministic by construction.
+struct StepSample {
+  Time t = 0;
+  std::uint64_t in_flight = 0;       ///< Live packets (buffered).
+  std::uint64_t injected_total = 0;  ///< Cumulative creations (initial+adv).
+  std::uint64_t absorbed_total = 0;  ///< Cumulative absorptions.
+  std::uint64_t active_edges = 0;    ///< Edges with nonempty buffers.
+  std::uint64_t max_queue = 0;       ///< Largest buffer *this* step.
+};
+
+class Engine;
+
+/// Receives one StepSample per executed step — the hook behind the obs
+/// layer's time-series recorder and online stability watchdog.  The engine
+/// reference is read-only state access for sinks that sample per-edge
+/// detail (watched queue depths); like every EngineSinks member, the sink
+/// must not influence the run (the aqt-fuzz observer-effect phase and the
+/// tests/obs byte-identity suite enforce this).  Null costs one branch per
+/// step; a non-null sink costs one extra pass over the active-edge bitmap
+/// (to compute max_queue) plus whatever the sink itself does.
+class StepSampleSink {
+ public:
+  virtual ~StepSampleSink() = default;
+
+  virtual void on_step(const StepSample& sample, const Engine& engine) = 0;
+};
+
 /// Receives the packet lifecycle: injection (initial configuration or
 /// adversary), every per-hop transmission, and absorption.  Packets are
 /// identified by creation ordinal (protocol-independent, slot-reuse-proof),

@@ -1,0 +1,368 @@
+#include "aqt/obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+
+const std::vector<double>* ParsedTimeseries::find(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return &series[i];
+  }
+  return nullptr;
+}
+
+ParsedTimeseries parse_timeseries_csv(const std::string& text) {
+  ParsedTimeseries out;
+  std::istringstream is(text);
+  std::string line;
+  AQT_REQUIRE(std::getline(is, line) && !line.empty(),
+              "timeseries CSV: missing header line");
+  {
+    std::istringstream header(line);
+    std::string field;
+    while (std::getline(header, field, ',')) out.columns.push_back(field);
+  }
+  AQT_REQUIRE(!out.columns.empty(), "timeseries CSV: empty header");
+  out.series.resize(out.columns.size());
+
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    std::size_t col = 0;
+    while (std::getline(row, field, ',')) {
+      AQT_REQUIRE(col < out.columns.size(),
+                  "timeseries CSV line " << lineno << ": too many fields");
+      std::size_t used = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(field, &used);
+      } catch (...) {
+        used = 0;
+      }
+      AQT_REQUIRE(used == field.size() && !field.empty(),
+                  "timeseries CSV line " << lineno << ": non-numeric field '"
+                                         << field << "'");
+      out.series[col].push_back(value);
+      ++col;
+    }
+    AQT_REQUIRE(col == out.columns.size(),
+                "timeseries CSV line " << lineno << ": expected "
+                                       << out.columns.size() << " fields, got "
+                                       << col);
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal reader for the JSON subset export.hpp emits: objects, arrays,
+/// strings with \-escapes, and plain numbers.  Position-tracked so errors
+/// point somewhere useful.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    AQT_REQUIRE(pos_ < text_.size(), "metrics JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    AQT_REQUIRE(peek() == c, "metrics JSON at byte "
+                                 << pos_ << ": expected '" << c << "', got '"
+                                 << text_[pos_] << "'");
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      AQT_REQUIRE(pos_ < text_.size(), "metrics JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      AQT_REQUIRE(pos_ < text_.size(), "metrics JSON: dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          AQT_REQUIRE(pos_ + 4 <= text_.size(),
+                      "metrics JSON: truncated \\u escape");
+          // Our emitter only \u-escapes control bytes; fold to space.
+          pos_ += 4;
+          out += ' ';
+          break;
+        }
+        default:
+          out += esc;  // \" and \\ (and anything else, verbatim).
+      }
+    }
+  }
+
+  [[nodiscard]] double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    AQT_REQUIRE(pos_ > start, "metrics JSON at byte " << pos_
+                                                      << ": expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<ParsedMetricFamily> parse_metrics_json(const std::string& text) {
+  JsonCursor cur(text);
+  std::vector<ParsedMetricFamily> families;
+  std::string schema;
+  std::string tool;
+
+  cur.expect('{');
+  bool first_key = true;
+  while (true) {
+    if (cur.consume('}')) break;
+    if (!first_key) cur.expect(',');
+    first_key = false;
+    const std::string key = cur.string();
+    cur.expect(':');
+    if (key == "schema") {
+      schema = cur.string();
+    } else if (key == "tool") {
+      tool = cur.string();
+    } else if (key == "metrics") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          ParsedMetricFamily fam;
+          cur.expect('{');
+          bool first_fkey = true;
+          while (!cur.consume('}')) {
+            if (!first_fkey) cur.expect(',');
+            first_fkey = false;
+            const std::string fkey = cur.string();
+            cur.expect(':');
+            if (fkey == "name") {
+              fam.name = cur.string();
+            } else if (fkey == "type") {
+              fam.type = cur.string();
+            } else if (fkey == "help") {
+              fam.help = cur.string();
+            } else if (fkey == "label_key") {
+              fam.label_key = cur.string();
+            } else if (fkey == "values") {
+              cur.expect('[');
+              if (!cur.consume(']')) {
+                do {
+                  ParsedMetricCell cell;
+                  cur.expect('{');
+                  bool first_ckey = true;
+                  while (!cur.consume('}')) {
+                    if (!first_ckey) cur.expect(',');
+                    first_ckey = false;
+                    const std::string ckey = cur.string();
+                    cur.expect(':');
+                    if (ckey == "label")
+                      cell.label = cur.string();
+                    else
+                      cell.fields.emplace_back(ckey, cur.number());
+                  }
+                  fam.cells.push_back(std::move(cell));
+                } while (cur.consume(','));
+                cur.expect(']');
+              }
+            } else {
+              AQT_REQUIRE(false,
+                          "metrics JSON: unknown family key '" << fkey << "'");
+            }
+          }
+          families.push_back(std::move(fam));
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+    } else {
+      AQT_REQUIRE(false, "metrics JSON: unknown top-level key '" << key << "'");
+    }
+  }
+  AQT_REQUIRE(schema == "aqt-metrics/1",
+              "metrics JSON: schema '" << schema
+                                       << "' is not aqt-metrics/1");
+  return families;
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string svg_sparkline(const std::vector<double>& values, int width,
+                          int height) {
+  AQT_REQUIRE(width >= 16 && height >= 8, "sparkline box too small");
+  std::ostringstream os;
+  os << "<svg class=\"spark\" width=\"" << width << "\" height=\"" << height
+     << "\" viewBox=\"0 0 " << width << ' ' << height
+     << "\" xmlns=\"http://www.w3.org/2000/svg\">";
+  if (!values.empty()) {
+    double lo = values.front();
+    double hi = values.front();
+    for (const double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    const double pad = 2.0;
+    const double w = width - 2 * pad;
+    const double h = height - 2 * pad;
+    os << "<polyline fill=\"none\" stroke=\"#1565c0\" stroke-width=\"1.5\" "
+          "points=\"";
+    const std::size_t n = values.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x =
+          pad + (n > 1 ? w * static_cast<double>(i) /
+                             static_cast<double>(n - 1)
+                       : w / 2);
+      const double frac = span > 0.0 ? (values[i] - lo) / span : 0.5;
+      const double y = pad + h * (1.0 - frac);
+      if (i != 0) os << ' ';
+      os << fmt(x) << ',' << fmt(y);
+    }
+    os << "\"/>";
+  }
+  os << "</svg>";
+  return os.str();
+}
+
+std::string render_html_report(const ParsedTimeseries& timeseries,
+                               const std::vector<ParsedMetricFamily>& metrics,
+                               const ReportOptions& options) {
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n<title>" << html_escape(options.title)
+     << "</title>\n<style>\n"
+     << "body{font:14px/1.5 system-ui,sans-serif;margin:2em;color:#222}\n"
+     << "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em}\n"
+     << "table{border-collapse:collapse}\n"
+     << "td,th{border:1px solid #ccc;padding:.3em .6em;text-align:right}\n"
+     << "th{background:#f2f2f2}td.name,th.name{text-align:left;"
+     << "font-family:monospace}\n"
+     << ".spark{vertical-align:middle;background:#fafafa;"
+     << "border:1px solid #eee}\n"
+     << "pre{background:#f7f7f7;padding:1em;overflow-x:auto}\n"
+     << "</style>\n</head>\n<body>\n<h1>" << html_escape(options.title)
+     << "</h1>\n";
+
+  if (timeseries.rows() > 0) {
+    os << "<h2>Time series (" << timeseries.rows() << " rows)</h2>\n"
+       << "<table>\n<tr><th class=\"name\">column</th><th>min</th>"
+       << "<th>max</th><th>last</th><th>trend</th></tr>\n";
+    for (std::size_t c = 0; c < timeseries.columns.size(); ++c) {
+      const std::vector<double>& v = timeseries.series[c];
+      if (v.empty()) continue;
+      const auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+      os << "<tr><td class=\"name\">" << html_escape(timeseries.columns[c])
+         << "</td><td>" << fmt(*lo_it) << "</td><td>" << fmt(*hi_it)
+         << "</td><td>" << fmt(v.back()) << "</td><td>" << svg_sparkline(v)
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
+  if (!metrics.empty()) {
+    os << "<h2>Metrics snapshot</h2>\n"
+       << "<table>\n<tr><th class=\"name\">metric</th><th>label</th>"
+       << "<th>field</th><th>value</th></tr>\n";
+    for (const ParsedMetricFamily& fam : metrics) {
+      for (const ParsedMetricCell& cell : fam.cells) {
+        for (const auto& [field, value] : cell.fields) {
+          os << "<tr><td class=\"name\" title=\"" << html_escape(fam.help)
+             << "\">" << html_escape(fam.name) << "</td><td>";
+          if (!fam.label_key.empty())
+            os << html_escape(fam.label_key) << "="
+               << html_escape(cell.label);
+          os << "</td><td>" << html_escape(field) << "</td><td>" << fmt(value)
+             << "</td></tr>\n";
+        }
+      }
+    }
+    os << "</table>\n";
+  }
+
+  if (!options.notes.empty())
+    os << "<h2>Notes</h2>\n<pre>" << html_escape(options.notes)
+       << "</pre>\n";
+
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+}  // namespace aqt::obs

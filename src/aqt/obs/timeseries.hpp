@@ -1,0 +1,133 @@
+// TimeseriesRecorder: deterministic, bounded-memory per-step time series.
+//
+// The engine's point-in-time metrics (registry/snapshot) answer "how did
+// the run end"; this recorder answers "what happened along the way" — the
+// queue-depth-versus-time evidence the bounded-buffer experiments
+// (PAPERS.md: Miller & Patt-Shamir arXiv:1707.03856, Miller/Patt-Shamir/
+// Rosenbaum arXiv:1902.08069) and the online stability watchdog need.
+//
+// It plugs into EngineSinks::samples (the StepSampleSink interface of
+// core/obs_sink.hpp) and records, per sampled step: time, in-flight
+// packets, cumulative injections/absorptions, active edge count, the
+// step's largest buffer, the queue depth of every *watched* edge, and the
+// wall nanoseconds elapsed since the previous sampled row.
+//
+// Memory is bounded by construction: rows are recorded every `stride`
+// steps into a flat buffer of at most `capacity` rows; when the buffer
+// fills, every other row is dropped and the stride doubles (classic
+// adaptive downsampling).  Which rows survive is a pure function of the
+// step sequence — never of timing — so two identical runs always keep
+// identical row sets, and the deterministic columns are byte-identical
+// across runs and --jobs settings (tests/obs pins this).  The single
+// wall-clock column is the one intentional exception: clock reads are
+// confined to sampled rows (the stride points), and `record_wall=false`
+// removes them entirely for golden comparisons.
+//
+// Like every EngineSinks member the recorder is a pure observer — it never
+// reads anything but the StepSample and the watched buffers' sizes, so
+// attaching it cannot change a run (trace-hash byte identity, enforced by
+// the aqt-fuzz observer-effect phase and tests/obs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/core/obs_sink.hpp"
+#include "aqt/obs/profiler.hpp"
+
+namespace aqt {
+class Graph;
+}
+
+namespace aqt::obs {
+
+struct TimeseriesConfig {
+  /// Record every stride-th step (t % stride == 0).  Must be >= 1.
+  Time stride = 1;
+
+  /// Maximum retained rows; on overflow every other row is dropped and the
+  /// stride doubles.  Must be >= 4.
+  std::size_t capacity = 4096;
+
+  /// Edges whose individual queue depth is recorded per row.
+  std::vector<EdgeId> watched;
+
+  /// Record wall nanoseconds since the previous sampled row.  Off, the
+  /// recorder never reads a clock and its output is fully deterministic.
+  bool record_wall = true;
+};
+
+class TimeseriesRecorder final : public StepSampleSink {
+ public:
+  /// `graph`, when given, provides edge names for the watched-edge export
+  /// columns; it must outlive the recorder.  Without it columns are named
+  /// "edge_<id>".  Throws PreconditionError on an invalid config.
+  explicit TimeseriesRecorder(TimeseriesConfig config,
+                              const Graph* graph = nullptr);
+
+  void on_step(const StepSample& sample, const Engine& engine) override;
+
+  struct Row {
+    Time t = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t injected = 0;   ///< Cumulative.
+    std::uint64_t absorbed = 0;   ///< Cumulative.
+    std::uint64_t active_edges = 0;
+    std::uint64_t max_queue = 0;
+    std::uint64_t wall_nanos = 0; ///< Since previous sampled row; 0 first.
+  };
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+  /// Watched queue depths of row `i`, in config order.
+  [[nodiscard]] std::vector<std::uint64_t> watched_depths(
+      std::size_t i) const;
+  /// The stride currently in effect (doubles on each compaction).
+  [[nodiscard]] Time effective_stride() const { return stride_; }
+  /// Steps seen (recorded or not) — exact, unlike rows().size().
+  [[nodiscard]] std::uint64_t steps_seen() const { return steps_seen_; }
+  /// Compactions performed (stride doublings).
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
+  /// Column headers in export order: the fixed row columns, then one
+  /// "edge_<name>" per watched edge.
+  [[nodiscard]] std::vector<std::string> headers() const;
+
+  /// Long-format CSV: one line per row, headers() first.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// JSONL: one self-contained object per row
+  ///   {"t":..,"in_flight":..,...,"edges":{"<name>":depth,...}}
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  TimeseriesConfig config_;
+  const Graph* graph_;
+  TickClock clock_;
+  Time stride_;
+  std::vector<Row> rows_;
+  std::vector<std::uint64_t> depths_;  ///< rows x watched, flat.
+  std::uint64_t steps_seen_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t last_wall_ticks_ = 0;
+  bool have_last_wall_ = false;
+};
+
+/// Fans one StepSample stream out to several sinks (e.g. a recorder and a
+/// watchdog on the same run), in add() order.  Borrows the sinks.
+class StepSampleFanout final : public StepSampleSink {
+ public:
+  StepSampleFanout& add(StepSampleSink* sink);
+
+  void on_step(const StepSample& sample, const Engine& engine) override;
+
+  /// Null when empty, the single sink when size 1, self otherwise — so
+  /// callers can always assign the result to EngineSinks::samples without
+  /// paying a fan-out hop for the common one-sink case.
+  [[nodiscard]] StepSampleSink* as_sink();
+
+ private:
+  std::vector<StepSampleSink*> sinks_;
+};
+
+}  // namespace aqt::obs

@@ -1,0 +1,126 @@
+// Chrome trace_event / Perfetto-compatible trace export.
+//
+// TraceEventLog collects spans and instants and renders the JSON object
+// format of the Trace Event specification — `{"traceEvents":[...]}` with
+// "X" (complete), "i" (instant), and "M" (metadata) records — which both
+// chrome://tracing and ui.perfetto.dev open directly.  Timestamps are
+// microseconds relative to the log's construction (each log carries its
+// own TickClock epoch; no process-global state), durations are
+// microseconds, and 3 fractional digits preserve nanosecond resolution.
+//
+// Two producers feed it:
+//   * PhaseTraceRecorder — a StepPhaseSink that turns the engine's
+//     substep brackets (transmit/absorb/inject/record/audit) into nested
+//     spans, sampling every `stride` steps and capping total recorded
+//     steps so a million-step run yields a viewable file;
+//   * the run-pool (runner/pool.hpp PoolOptions::trace) — one span per
+//     executed cell on the worker's own thread track, which is what makes
+//     a flat parallel speedup visually diagnosable.
+//
+// The log is thread-compatible, not thread-safe: concurrent producers
+// each write a private log, then merge_from() combines them after the
+// join (the pool merges in worker-id order, so event order in the file is
+// deterministic up to the wall-clock values themselves).
+//
+// Like every observability surface here the producers are write-only:
+// attaching a PhaseTraceRecorder never changes a run (trace-hash byte
+// identity; tests/obs and the aqt-fuzz observer-effect phase).
+//
+// The emitted JSON is pinned by schemas/trace_event.schema.json; CI
+// validates every artifact against it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/core/obs_sink.hpp"
+#include "aqt/obs/profiler.hpp"
+
+namespace aqt::obs {
+
+/// One collected event; ph is 'X' (complete), 'i' (instant) or 'M'
+/// (metadata, args.name carries the track name).
+struct TraceEvent {
+  std::string name;
+  const char* category = "aqt";
+  char ph = 'X';
+  std::uint64_t ts_nanos = 0;   ///< Relative to the log's epoch.
+  std::uint64_t dur_nanos = 0;  ///< 'X' only.
+  std::uint32_t tid = 0;
+};
+
+class TraceEventLog {
+ public:
+  TraceEventLog();
+
+  /// Nanoseconds since the log's epoch (a raw tick read, calibrated).
+  [[nodiscard]] std::uint64_t now_nanos() const;
+
+  void complete(std::string name, const char* category,
+                std::uint64_t ts_nanos, std::uint64_t dur_nanos,
+                std::uint32_t tid = 0);
+  void instant(std::string name, const char* category,
+               std::uint64_t ts_nanos, std::uint32_t tid = 0);
+  /// Names a thread track ("worker 0", "engine", ...).
+  void name_thread(std::uint32_t tid, const std::string& name);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Appends another log's events, shifting them from `other`'s epoch
+  /// into this log's timebase (the epochs are tick readings of the same
+  /// clock, so the shift is exact).
+  void merge_from(const TraceEventLog& other);
+
+  /// The full trace JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string to_json(const std::string& process_name) const;
+
+  /// Writes to_json to `path` (export.hpp write_file semantics).
+  void write(const std::string& path, const std::string& process_name) const;
+
+ private:
+  TickClock clock_;
+  std::uint64_t epoch_ticks_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+/// Turns engine substep brackets into trace spans: per sampled step one
+/// enclosing "step N" span with one child span per phase.  Sampling and
+/// the step cap keep files bounded: at most `max_steps` recorded steps,
+/// every `stride`-th step each.
+class PhaseTraceRecorder final : public StepPhaseSink {
+ public:
+  struct Config {
+    std::uint64_t stride = 16;     ///< Record every stride-th step.
+    std::uint64_t max_steps = 4096;  ///< Recorded-step cap.
+    std::uint32_t tid = 0;         ///< Thread track to emit on.
+  };
+
+  /// Borrows `log`; it must outlive the recorder.
+  explicit PhaseTraceRecorder(TraceEventLog& log)
+      : PhaseTraceRecorder(log, Config()) {}
+  PhaseTraceRecorder(TraceEventLog& log, Config config);
+
+  [[nodiscard]] bool begin_step(Time t) override;
+  void begin_phase(StepPhase phase) override;
+  void end_phase(StepPhase phase) override;
+  void end_step(std::uint8_t skipped_phase_mask) override;
+
+  [[nodiscard]] std::uint64_t recorded_steps() const { return recorded_; }
+
+ private:
+  TraceEventLog& log_;
+  Config config_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t recorded_ = 0;
+  Time current_step_ = 0;
+  std::uint64_t step_start_ = 0;
+  std::uint64_t phase_start_ = 0;
+  bool recording_ = false;
+};
+
+}  // namespace aqt::obs

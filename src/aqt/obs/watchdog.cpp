@@ -1,0 +1,197 @@
+#include "aqt/obs/watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "aqt/obs/registry.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+
+const char* to_string(WatchdogVerdict v) {
+  switch (v) {
+    case WatchdogVerdict::kUndecided:
+      return "undecided";
+    case WatchdogVerdict::kStable:
+      return "stable";
+    case WatchdogVerdict::kGrowthSuspected:
+      return "growth-suspected";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The shared two-signal fit over a uniform-spacing window.  `times` may
+/// be empty, in which case sample index is the time axis.
+WatchdogCheck fit_window(const std::vector<Time>& times,
+                         const std::vector<std::uint64_t>& backlog,
+                         const WatchdogConfig& config) {
+  WatchdogCheck check;
+  const std::size_t n = backlog.size();
+  if (n < std::max<std::size_t>(config.min_samples, 4)) return check;
+
+  // Least-squares slope of backlog vs time.  Accumulation is over a
+  // bounded window (<= config.window samples), not a merge path, so
+  // double precision is exact enough and order is fixed.
+  double sum_t = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_t += times.empty() ? static_cast<double>(i)
+                           : static_cast<double>(times[i]);
+    sum_y += static_cast<double>(backlog[i]);
+  }
+  const double mean_t = sum_t / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dt = (times.empty() ? static_cast<double>(i)
+                                     : static_cast<double>(times[i])) -
+                      mean_t;
+    sxx += dt * dt;
+    sxy += dt * (static_cast<double>(backlog[i]) - mean_y);
+  }
+  check.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  check.mean = mean_y;
+
+  // Late/early thirds ratio — the classify_growth decision rule.
+  const std::size_t third = n / 3;
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < third; ++i) {
+    early += static_cast<double>(backlog[i]);
+    late += static_cast<double>(backlog[n - third + i]);
+  }
+  const double early_mean = third > 0 ? early / static_cast<double>(third)
+                                      : 0.0;
+  const double late_mean = third > 0 ? late / static_cast<double>(third)
+                                     : 0.0;
+  check.ratio = late_mean / std::max(early_mean, 1.0);
+
+  // Growth needs every signal: the ratio says the trend is up, the slope
+  // says it is fast enough to double the backlog within doubling_horizon
+  // window-spans (filters noise wiggle on flat queues), and the absolute
+  // floor says the backlog is large enough for the trend to mean anything.
+  const double span = times.empty()
+                          ? static_cast<double>(n)
+                          : static_cast<double>(times.back() - times.front() +
+                                                1);
+  const double needed =
+      check.mean / std::max(span * config.doubling_horizon, 1.0);
+  if (check.ratio >= config.ratio_slack && check.slope > 0.0 &&
+      check.slope >= needed && late_mean >= config.min_backlog)
+    check.verdict = WatchdogVerdict::kGrowthSuspected;
+  else
+    check.verdict = WatchdogVerdict::kStable;
+  return check;
+}
+
+}  // namespace
+
+WatchdogCheck analyze_series(const std::vector<std::uint64_t>& samples,
+                             const WatchdogConfig& config) {
+  return fit_window({}, samples, config);
+}
+
+StabilityWatchdog::StabilityWatchdog(WatchdogConfig config)
+    : config_(config) {
+  AQT_REQUIRE(config_.check_every >= 2, "watchdog check_every must be >= 2");
+  AQT_REQUIRE(config_.window >= 8, "watchdog window must be >= 8");
+  AQT_REQUIRE(config_.min_samples >= 4,
+              "watchdog min_samples must be >= 4");
+  times_.reserve(config_.window);
+  backlog_.reserve(config_.window);
+}
+
+void StabilityWatchdog::compact() {
+  // Keep samples landing on the doubled stride; retained samples are
+  // consecutive multiples of the current stride, so exactly every other
+  // one survives and the history keeps covering the whole run.
+  const Time doubled = sample_stride_ * 2;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] % doubled != 0) continue;
+    times_[kept] = times_[i];
+    backlog_[kept] = backlog_[i];
+    ++kept;
+  }
+  times_.resize(kept);
+  backlog_.resize(kept);
+  sample_stride_ = doubled;
+}
+
+void StabilityWatchdog::on_step(const StepSample& sample, const Engine&) {
+  if (sample.t % sample_stride_ == 0) {
+    if (times_.size() == config_.window) compact();
+    if (sample.t % sample_stride_ == 0) {
+      times_.push_back(sample.t);
+      backlog_.push_back(sample.in_flight);
+    }
+  }
+  if (sample.t % config_.check_every == 0) run_check(sample.t);
+}
+
+void StabilityWatchdog::run_check(Time at) {
+  ++checks_;
+  last_ = fit_window(times_, backlog_, config_);
+  last_.at = at;
+  history_.push_back(last_);
+  if (last_.verdict == WatchdogVerdict::kGrowthSuspected) {
+    if (verdict_ != WatchdogVerdict::kGrowthSuspected) first_flag_ = at;
+    verdict_ = WatchdogVerdict::kGrowthSuspected;  // Latches.
+  } else if (verdict_ == WatchdogVerdict::kUndecided &&
+             last_.verdict == WatchdogVerdict::kStable) {
+    verdict_ = WatchdogVerdict::kStable;
+  }
+}
+
+std::string StabilityWatchdog::summary() const {
+  std::ostringstream os;
+  os << "watchdog: " << to_string(verdict_) << " after " << checks_
+     << " check(s)";
+  if (verdict_ == WatchdogVerdict::kGrowthSuspected)
+    os << ", first flagged at step " << first_flag_;
+  if (checks_ > 0) {
+    os << " (last: slope " << last_.slope << " pkts/step, ratio "
+       << last_.ratio << ", mean backlog " << last_.mean << ")";
+  }
+  os << '\n';
+  WatchdogVerdict shown = WatchdogVerdict::kUndecided;
+  for (const WatchdogCheck& c : history_) {
+    if (c.verdict == shown) continue;
+    shown = c.verdict;
+    os << "  @step " << c.at << ": " << to_string(c.verdict) << " (slope "
+       << c.slope << ", ratio " << c.ratio << ")\n";
+  }
+  return os.str();
+}
+
+void StabilityWatchdog::collect_metrics(MetricRegistry& registry) const {
+  registry
+      .counter("aqt_watchdog_checks_total",
+               "Online stability checks performed")
+      .set(checks_);
+  registry
+      .gauge("aqt_watchdog_flag",
+             "1 when linear backlog growth is suspected, else 0")
+      .set(verdict_ == WatchdogVerdict::kGrowthSuspected ? 1.0 : 0.0);
+  registry
+      .gauge("aqt_watchdog_first_flag_step",
+             "Step of the first growth flag (0 = never flagged)")
+      .set(static_cast<double>(first_flag_));
+  registry
+      .gauge("aqt_watchdog_slope_packets_per_step",
+             "Latest fitted backlog slope")
+      .set(last_.slope);
+  registry
+      .gauge("aqt_watchdog_window_ratio",
+             "Latest late/early window backlog ratio")
+      .set(last_.ratio);
+  registry
+      .gauge("aqt_watchdog_window_mean_packets",
+             "Latest window mean backlog")
+      .set(last_.mean);
+}
+
+}  // namespace aqt::obs

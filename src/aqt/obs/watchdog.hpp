@@ -1,0 +1,140 @@
+// StabilityWatchdog: online growth detection while a run executes.
+//
+// The offline Theorem 3.17 machinery (verify/certificate.hpp) can witness
+// instability only after a trace is written; this watchdog answers the
+// same question *live*.  It plugs into EngineSinks::samples, keeps a
+// bounded *whole-run* history of (t, in_flight) samples (adaptive
+// downsampling: when the buffer fills, every other sample is dropped and
+// the stride doubles — the Theorem 3.17 constructions grow the backlog in
+// iteration-length phases, so a short sliding window would see only the
+// locally-flat plateau and miss the run-scale trend), and every
+// `check_every` steps fits the retained history two ways:
+//
+//   * a least-squares slope of total backlog versus time (packets/step) —
+//     a (w, r) adversary with r below the stability threshold keeps the
+//     expected slope at 0, while the Theorem 3.17 constructions force it
+//     positive;
+//   * the late/early window ratio of core/stability.hpp's classifier, so
+//     online verdicts agree with the offline growth witness by sharing
+//     its decision rule.
+//
+// A check raises kGrowthSuspected only when BOTH signals fire (ratio >=
+// ratio_slack and the fitted slope is positive enough to double the
+// backlog within `doubling_horizon` windows) — a queue that is merely
+// large but flat stays kStable.  The overall verdict latches: once
+// growth is suspected it stays suspected (first_flag_step records when),
+// matching the theory — an unstable system does not become stable again.
+//
+// The watchdog is deterministic (pure function of the sample stream; no
+// clock reads) and write-only, so attaching it preserves trace-hash byte
+// identity (tests/obs, aqt-fuzz --obs-trials).  analyze_series() exposes
+// the identical decision rule for offline series — aqt-verify uses it to
+// cross-check online verdicts against Theorem 3.17 certificates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqt/core/obs_sink.hpp"
+
+namespace aqt::obs {
+
+class MetricRegistry;
+
+enum class WatchdogVerdict : std::uint8_t {
+  kUndecided = 0,       ///< Too little data to call.
+  kStable = 1,          ///< Backlog flat or shrinking over the window.
+  kGrowthSuspected = 2  ///< Linear (or faster) backlog growth detected.
+};
+
+const char* to_string(WatchdogVerdict v);
+
+struct WatchdogConfig {
+  /// Fit cadence in steps.  Must be >= 2.
+  Time check_every = 512;
+
+  /// Retained-history capacity in samples.  The samples always span the
+  /// whole run: on overflow every other one is dropped and the sampling
+  /// stride doubles.  Must be >= 8.
+  std::size_t window = 64;
+
+  /// Late/early mean ratio at or above which the window counts as
+  /// growing (the classify_growth slack).
+  double ratio_slack = 2.0;
+
+  /// The fitted slope must be large enough to double the window's mean
+  /// backlog within this many window-spans; filters slopes that are
+  /// positive only through noise on a flat queue.
+  double doubling_horizon = 8.0;
+
+  /// The late-third mean backlog must reach this many packets before
+  /// growth can be called: a handful of in-flight packets doubling to two
+  /// handfuls is stochastic noise, not a Theorem 3.17 witness.
+  double min_backlog = 16.0;
+
+  /// Checks before the first verdict can be non-undecided.
+  std::size_t min_samples = 16;
+};
+
+/// One fit outcome (per check and final).
+struct WatchdogCheck {
+  Time at = 0;                 ///< Step the check ran at.
+  WatchdogVerdict verdict = WatchdogVerdict::kUndecided;
+  double slope = 0.0;          ///< Packets per step, least squares.
+  double ratio = 0.0;          ///< Late/early window mean ratio.
+  double mean = 0.0;           ///< Window mean backlog.
+};
+
+/// Offline twin of the online rule: fits `samples` (one backlog value per
+/// uniform time unit, e.g. VerifyReport::occupancy) with the same
+/// two-signal test.  `config.window`/`min_samples` bound the fit; the
+/// whole series is the window.
+WatchdogCheck analyze_series(const std::vector<std::uint64_t>& samples,
+                             const WatchdogConfig& config = {});
+
+class StabilityWatchdog final : public StepSampleSink {
+ public:
+  explicit StabilityWatchdog(WatchdogConfig config = {});
+
+  void on_step(const StepSample& sample, const Engine& engine) override;
+
+  /// The latched overall verdict (kGrowthSuspected sticks).
+  [[nodiscard]] WatchdogVerdict verdict() const { return verdict_; }
+  /// Step of the first growth flag; 0 while never flagged.
+  [[nodiscard]] Time first_flag_step() const { return first_flag_; }
+  /// Most recent check (default-constructed before the first one).
+  [[nodiscard]] const WatchdogCheck& last_check() const { return last_; }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+  /// Every check outcome, oldest first (bounded: grows one entry per
+  /// check_every steps).
+  [[nodiscard]] const std::vector<WatchdogCheck>& history() const {
+    return history_;
+  }
+
+  /// One line per state change, e.g.
+  /// "watchdog @step 4096: growth-suspected (slope 1.23 pkts/step, ...)".
+  [[nodiscard]] std::string summary() const;
+
+  /// Registers the aqt_watchdog_* families:
+  ///   aqt_watchdog_checks_total, aqt_watchdog_flag (0/1 gauge),
+  ///   aqt_watchdog_first_flag_step, aqt_watchdog_slope_packets_per_step,
+  ///   aqt_watchdog_window_ratio, aqt_watchdog_window_mean_packets.
+  void collect_metrics(MetricRegistry& registry) const;
+
+ private:
+  void run_check(Time at);
+  void compact();
+
+  WatchdogConfig config_;
+  Time sample_stride_ = 1;  ///< Doubles on each history compaction.
+  std::vector<Time> times_;
+  std::vector<std::uint64_t> backlog_;
+  WatchdogVerdict verdict_ = WatchdogVerdict::kUndecided;
+  WatchdogCheck last_;
+  std::vector<WatchdogCheck> history_;
+  Time first_flag_ = 0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace aqt::obs

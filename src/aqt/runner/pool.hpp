@@ -26,6 +26,11 @@
 
 #include "aqt/obs/registry.hpp"
 #include "aqt/runner/run_spec.hpp"
+#include "aqt/util/histogram.hpp"
+
+namespace aqt::obs {
+class TraceEventLog;
+}
 
 namespace aqt {
 
@@ -41,6 +46,37 @@ std::vector<std::string> parallel_for_each(
     std::size_t count, unsigned jobs,
     const std::function<void(std::size_t)>& body);
 
+/// One worker's execution profile for a pool batch — the telemetry that
+/// turns a flat parallel speedup from a mystery into a diagnosis.  In the
+/// chunked shared-index queue a "steal" is a successful chunk grab and a
+/// "steal failure" is a grab that found the queue empty (each worker fails
+/// exactly once, at exit, unless it never got a chunk at all).
+struct PoolWorkerStats {
+  std::uint64_t cells = 0;           ///< Cells this worker executed.
+  std::uint64_t steals = 0;          ///< Chunks grabbed.
+  std::uint64_t steal_failures = 0;  ///< Empty grabs (terminal).
+  std::uint64_t busy_nanos = 0;      ///< Wall time inside cell bodies.
+  std::uint64_t idle_nanos = 0;      ///< Worker wall minus busy.
+  Histogram chunk_nanos;             ///< Per-chunk wall-time distribution.
+};
+
+/// Whole-batch telemetry: one entry per worker (index = worker id) plus
+/// the batch's dispatch wall time.  Values are wall-clock and therefore
+/// NOT jobs-invariant — they live beside RunPoolReport::metrics, never
+/// inside it, so the deterministic snapshot stays byte-identical.
+struct PoolTelemetry {
+  std::vector<PoolWorkerStats> workers;
+  std::uint64_t wall_nanos = 0;
+};
+
+/// Optional per-batch observability hooks.
+struct PoolOptions {
+  /// When set, every worker logs one span per executed cell onto its own
+  /// thread track and the spans are merged (in worker-id order) into this
+  /// log after the barrier.  Borrowed; must outlive the run_pool call.
+  obs::TraceEventLog* trace = nullptr;
+};
+
 /// A pool batch's outcome: per-spec results in submission order plus the
 /// pool's own merged metric snapshot (aqt_runner_* families).
 struct RunPoolReport {
@@ -49,12 +85,29 @@ struct RunPoolReport {
   /// jobs-invariant values (no worker ids, no wall-clock timings), so its
   /// JSON export is byte-identical across --jobs settings.
   obs::MetricRegistry metrics;
+  /// Wall-clock per-worker profile (see PoolTelemetry).  Kept out of
+  /// `metrics`; export explicitly via collect_pool_worker_metrics.
+  PoolTelemetry telemetry;
   unsigned jobs_used = 1;
 };
+
+/// Registers the telemetry as aqt_pool_worker_* families (label key
+/// "worker", cells in worker-id order, so registration order — and thus
+/// export order — is deterministic):
+///   aqt_pool_worker_cells_total, aqt_pool_worker_steals_total,
+///   aqt_pool_worker_steal_failures_total, aqt_pool_worker_busy_seconds,
+///   aqt_pool_worker_idle_seconds, aqt_pool_worker_chunk_nanos (histogram)
+/// plus the unlabeled aqt_pool_wall_seconds and aqt_pool_workers gauges.
+void collect_pool_worker_metrics(const PoolTelemetry& telemetry,
+                                 obs::MetricRegistry& registry);
 
 /// Executes every spec through execute_run on `jobs` workers.  Results
 /// land in submission order; a failing cell yields an error RunResult.
 RunPoolReport run_pool(const std::vector<RunSpec>& specs, unsigned jobs);
+
+/// As above with per-batch observability hooks (worker cell spans).
+RunPoolReport run_pool(const std::vector<RunSpec>& specs, unsigned jobs,
+                       const PoolOptions& options);
 
 /// Convenience when the pool metrics are not needed.
 std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,

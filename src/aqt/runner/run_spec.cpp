@@ -33,8 +33,9 @@ void run_cell(const RunSpec& spec, RunResult& result) {
               "RunSpec '" << result.name << "' needs steps >= 1");
   EngineConfig ec = spec.engine;
   AQT_REQUIRE(ec.sinks.trace == nullptr && ec.sinks.profile == nullptr &&
-                  ec.sinks.events == nullptr && ec.record_trace == nullptr &&
-                  ec.profile == nullptr && ec.record_events == nullptr,
+                  ec.sinks.events == nullptr && ec.sinks.samples == nullptr &&
+                  ec.record_trace == nullptr && ec.profile == nullptr &&
+                  ec.record_events == nullptr,
               "RunSpec carries value configuration only; observer sinks are "
               "created per cell by the runner");
 

@@ -1,0 +1,138 @@
+// aqt-report library contract: the CSV/JSON parsers round-trip exactly
+// what this repo's exporters emit, sparklines are pure functions, and the
+// rendered HTML is self-contained.
+#include "aqt/obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/obs/snapshot.hpp"
+#include "aqt/obs/timeseries.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+namespace {
+
+/// A real recorder export (wall column off for determinism).
+std::string sample_csv() {
+  const Graph g = make_ring(6);
+  TimeseriesConfig cfg;
+  cfg.stride = 2;
+  cfg.capacity = 256;
+  cfg.record_wall = false;
+  TimeseriesRecorder rec(cfg);
+  auto protocol = make_protocol("NTG", 3);
+  EngineConfig ec;
+  ec.sinks.samples = &rec;
+  Engine eng(g, *protocol, ec);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 10;
+  adv_cfg.r = Rat(1, 3);
+  adv_cfg.max_route_len = 4;
+  adv_cfg.seed = 3;
+  StochasticAdversary adv(g, adv_cfg);
+  eng.run(&adv, 100);
+  return rec.to_csv();
+}
+
+TEST(ReportParsers, RoundTripsRecorderCsv) {
+  const ParsedTimeseries ts = parse_timeseries_csv(sample_csv());
+  ASSERT_FALSE(ts.columns.empty());
+  EXPECT_EQ(ts.columns.front(), "t");
+  EXPECT_EQ(ts.rows(), 50u);  // 100 steps at stride 2.
+  const auto* t = ts.find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->front(), 2.0);
+  const auto* in_flight = ts.find("in_flight");
+  ASSERT_NE(in_flight, nullptr);
+  EXPECT_EQ(in_flight->size(), ts.rows());
+  EXPECT_EQ(ts.find("no_such_column"), nullptr);
+}
+
+TEST(ReportParsers, RejectsMalformedCsv) {
+  EXPECT_THROW(parse_timeseries_csv(""), PreconditionError);
+  EXPECT_THROW(parse_timeseries_csv("a,b\n1,2\n3\n"), PreconditionError);
+  EXPECT_THROW(parse_timeseries_csv("a,b\n1,notanumber\n"),
+               PreconditionError);
+}
+
+TEST(ReportParsers, RoundTripsMetricsJson) {
+  MetricRegistry reg;
+  reg.counter("aqt_test_total", "a counter").inc(42);
+  reg.gauge("aqt_test_gauge", "a gauge").set(2.5);
+  auto& hist = reg.histogram("aqt_test_nanos", "a histogram");
+  hist.add(100);
+  hist.add(200);
+  const auto families = parse_metrics_json(to_json(reg, "unit-test"));
+  ASSERT_EQ(families.size(), 3u);
+  EXPECT_EQ(families[0].name, "aqt_test_total");
+  EXPECT_EQ(families[0].type, "counter");
+  ASSERT_EQ(families[0].cells.size(), 1u);
+  ASSERT_FALSE(families[0].cells[0].fields.empty());
+  EXPECT_EQ(families[0].cells[0].fields[0].second, 42.0);
+  EXPECT_EQ(families[1].type, "gauge");
+  EXPECT_EQ(families[1].cells[0].fields[0].second, 2.5);
+  EXPECT_EQ(families[2].type, "histogram");
+  // Histogram cells expose count/sum/... field pairs.
+  bool saw_count = false;
+  for (const auto& [key, value] : families[2].cells[0].fields)
+    if (key == "count") {
+      saw_count = true;
+      EXPECT_EQ(value, 2.0);
+    }
+  EXPECT_TRUE(saw_count);
+}
+
+TEST(ReportParsers, RejectsWrongSchemaTag) {
+  EXPECT_THROW(parse_metrics_json("{\"schema\":\"other/9\",\"families\":[]}"),
+               PreconditionError);
+  EXPECT_THROW(parse_metrics_json("not json"), PreconditionError);
+}
+
+TEST(Sparkline, IsPureAndBounded) {
+  const std::vector<double> values = {1, 5, 3, 9, 2};
+  const std::string a = svg_sparkline(values);
+  EXPECT_EQ(a, svg_sparkline(values));
+  EXPECT_NE(a.find("<svg"), std::string::npos);
+  EXPECT_NE(a.find("polyline"), std::string::npos);
+  // A flat series still renders (centered line, no division by zero).
+  const std::string flat = svg_sparkline({4, 4, 4, 4});
+  EXPECT_NE(flat.find("<svg"), std::string::npos);
+}
+
+TEST(RenderHtml, ContainsSectionsAndEscapes) {
+  const ParsedTimeseries ts = parse_timeseries_csv(sample_csv());
+  MetricRegistry reg;
+  reg.counter("aqt_demo_total", "help <tag> & more").inc(1);
+  const auto families = parse_metrics_json(to_json(reg, "t"));
+  ReportOptions options;
+  options.title = "unit <b>test</b>";
+  options.notes = "watchdog: stable & sound";
+  const std::string html = render_html_report(ts, families, options);
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("aqt_demo_total"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("stable &amp; sound"), std::string::npos);
+  // User text is escaped, never spliced as markup.
+  EXPECT_EQ(html.find("<b>test</b>"), std::string::npos);
+  // No external references: self-contained by construction.  (The SVG
+  // xmlns URL is a namespace identifier, not a fetch.)
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("href="), std::string::npos);
+}
+
+TEST(RenderHtml, EmptyInputsOmitSections) {
+  const std::string html = render_html_report({}, {}, {});
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_EQ(html.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqt::obs

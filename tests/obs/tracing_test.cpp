@@ -1,0 +1,110 @@
+// TraceEventLog / PhaseTraceRecorder contract: event collection, the
+// Trace Event JSON shape chrome://tracing and Perfetto accept, epoch
+// shifting in merge_from, and the phase recorder's stride/cap sampling.
+#include "aqt/obs/tracing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt::obs {
+namespace {
+
+TEST(TraceEventLogTest, CollectsCompleteInstantAndMetadata) {
+  TraceEventLog log;
+  log.name_thread(0, "engine");
+  log.complete("span", "aqt", 1000, 2000, 0);
+  log.instant("mark", "aqt", 5000, 0);
+  // name_thread rows surface only in the JSON, as ph:"M" records.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].ph, 'X');
+  EXPECT_EQ(log.events()[1].ph, 'i');
+
+  const std::string json = log.to_json("test");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // Nanosecond inputs render as decimal microseconds.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  // Instants carry thread scope so viewers draw them on the track.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceEventLogTest, MergePreservesEventCountAndThreadIds) {
+  TraceEventLog a;
+  TraceEventLog b;
+  a.complete("cell x", "aqt.pool", a.now_nanos(), 10, 1);
+  b.complete("cell y", "aqt.pool", b.now_nanos(), 10, 2);
+  b.instant("done", "aqt.pool", b.now_nanos(), 2);
+  a.merge_from(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.events()[1].tid, 2u);
+  EXPECT_EQ(a.events()[1].name, "cell y");
+  // Merged durations are untouched; timestamps are re-based, not dropped.
+  EXPECT_EQ(a.events()[1].dur_nanos, 10u);
+}
+
+/// Runs `steps` engine steps with a PhaseTraceRecorder attached.
+std::uint64_t record_phases(TraceEventLog& log,
+                            PhaseTraceRecorder::Config cfg, Time steps) {
+  const Graph g = make_ring(5);
+  auto protocol = make_protocol("NTG", 5);
+  PhaseTraceRecorder recorder(log, cfg);
+  EngineConfig ec;
+  ec.sinks.profile = &recorder;
+  Engine eng(g, *protocol, ec);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 8;
+  adv_cfg.r = Rat(1, 4);
+  adv_cfg.max_route_len = 3;
+  adv_cfg.seed = 5;
+  StochasticAdversary adv(g, adv_cfg);
+  eng.run(&adv, steps);
+  return recorder.recorded_steps();
+}
+
+TEST(PhaseTraceRecorderTest, SamplesEveryStrideThStepUpToCap) {
+  TraceEventLog log;
+  PhaseTraceRecorder::Config cfg;
+  cfg.stride = 4;
+  cfg.max_steps = 1000;
+  const std::uint64_t recorded = record_phases(log, cfg, 100);
+  EXPECT_EQ(recorded, 25u);
+  ASSERT_GT(log.size(), 0u);
+  // Every event is a complete span: one "step N" parent per sampled step
+  // plus its phase children, all on the configured track.
+  std::uint64_t step_spans = 0;
+  for (const TraceEvent& e : log.events()) {
+    EXPECT_EQ(e.ph, 'X');
+    EXPECT_EQ(e.tid, 0u);
+    if (e.name.rfind("step ", 0) == 0) ++step_spans;
+  }
+  EXPECT_EQ(step_spans, recorded);
+  EXPECT_GT(log.size(), step_spans);  // Phase children exist.
+}
+
+TEST(PhaseTraceRecorderTest, StepCapBoundsTheFile) {
+  TraceEventLog log;
+  PhaseTraceRecorder::Config cfg;
+  cfg.stride = 1;
+  cfg.max_steps = 8;
+  const std::uint64_t recorded = record_phases(log, cfg, 200);
+  EXPECT_EQ(recorded, 8u);
+}
+
+TEST(PhaseTraceRecorderTest, DefaultConfigConstructorWorks) {
+  TraceEventLog log;
+  PhaseTraceRecorder recorder(log);  // Delegates to Config{} defaults.
+  EXPECT_EQ(recorder.recorded_steps(), 0u);
+}
+
+}  // namespace
+}  // namespace aqt::obs

@@ -1,0 +1,178 @@
+// StabilityWatchdog acceptance: flags the Theorem 3.17 FIFO instability
+// construction (the E1 experiment) online, stays silent on a stable
+// greedy run (E5-style), and analyze_series() — the offline twin used by
+// aqt-verify's certificate cross-check — shares the decision rule.
+#include "aqt/obs/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "aqt/adversaries/lps.hpp"
+#include "aqt/adversaries/stochastic.hpp"
+#include "aqt/core/engine.hpp"
+#include "aqt/core/protocol.hpp"
+#include "aqt/obs/export.hpp"
+#include "aqt/obs/registry.hpp"
+#include "aqt/topology/gadget.hpp"
+#include "aqt/topology/generators.hpp"
+#include "aqt/util/check.hpp"
+
+namespace aqt::obs {
+namespace {
+
+std::vector<std::uint64_t> linear_series(std::size_t n, double slope,
+                                         double base) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint64_t>(base + slope * static_cast<double>(i));
+  return v;
+}
+
+TEST(AnalyzeSeries, FlagsLinearGrowth) {
+  const WatchdogCheck check = analyze_series(linear_series(256, 2.0, 10.0));
+  EXPECT_EQ(check.verdict, WatchdogVerdict::kGrowthSuspected);
+  EXPECT_GT(check.slope, 1.0);
+  EXPECT_GT(check.ratio, 2.0);
+}
+
+TEST(AnalyzeSeries, StableOnFlatSeries) {
+  const WatchdogCheck flat = analyze_series(linear_series(256, 0.0, 50.0));
+  EXPECT_EQ(flat.verdict, WatchdogVerdict::kStable);
+  // Large but flat must not fire either — size alone is not growth.
+  const WatchdogCheck big = analyze_series(linear_series(256, 0.0, 1e6));
+  EXPECT_EQ(big.verdict, WatchdogVerdict::kStable);
+}
+
+TEST(AnalyzeSeries, TinyBacklogGrowthIsNoise) {
+  // 1 -> 4 packets trips the ratio but not the min_backlog floor.
+  const WatchdogCheck check =
+      analyze_series(linear_series(256, 0.012, 1.0));
+  EXPECT_EQ(check.verdict, WatchdogVerdict::kStable);
+}
+
+TEST(AnalyzeSeries, UndecidedOnTooFewSamples) {
+  const WatchdogCheck check = analyze_series({1, 2, 3});
+  EXPECT_EQ(check.verdict, WatchdogVerdict::kUndecided);
+}
+
+/// Drives the watchdog with a synthetic backlog trajectory; the engine
+/// reference is unused by the watchdog but required by the interface.
+void feed(StabilityWatchdog& dog, const std::vector<std::uint64_t>& series) {
+  const Graph g = make_ring(3);
+  FifoProtocol fifo;
+  Engine eng(g, fifo);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    StepSample s;
+    s.t = static_cast<Time>(i + 1);
+    s.in_flight = series[i];
+    dog.on_step(s, eng);
+  }
+}
+
+TEST(Watchdog, VerdictLatchesOnGrowth) {
+  WatchdogConfig cfg;
+  cfg.check_every = 64;
+  cfg.window = 64;
+  cfg.min_samples = 8;
+  StabilityWatchdog dog(cfg);
+  // Growth phase, then a long flat tail: the latched verdict survives.
+  std::vector<std::uint64_t> series = linear_series(2048, 1.0, 10.0);
+  series.resize(4096, series.back());
+  feed(dog, series);
+  EXPECT_EQ(dog.verdict(), WatchdogVerdict::kGrowthSuspected);
+  EXPECT_GT(dog.first_flag_step(), 0u);
+  EXPECT_LE(dog.first_flag_step(), 2048u);
+  EXPECT_GT(dog.checks_run(), 0u);
+  EXPECT_FALSE(dog.history().empty());
+  EXPECT_NE(dog.summary().find("growth-suspected"), std::string::npos);
+}
+
+TEST(Watchdog, HistoryCompactionSpansWholeRun) {
+  WatchdogConfig cfg;
+  cfg.check_every = 512;
+  cfg.window = 16;  // Force many stride doublings.
+  cfg.min_samples = 8;
+  StabilityWatchdog dog(cfg);
+  feed(dog, linear_series(8192, 0.5, 100.0));
+  // Despite the tiny buffer the whole-run trend is visible.
+  EXPECT_EQ(dog.verdict(), WatchdogVerdict::kGrowthSuspected);
+}
+
+TEST(Watchdog, CollectMetricsRegistersFamilies) {
+  StabilityWatchdog dog;
+  feed(dog, linear_series(1024, 1.0, 10.0));
+  MetricRegistry reg;
+  dog.collect_metrics(reg);
+  const std::string json = to_json(reg, "t");
+  EXPECT_NE(json.find("aqt_watchdog_checks_total"), std::string::npos);
+  EXPECT_NE(json.find("aqt_watchdog_flag"), std::string::npos);
+  EXPECT_NE(json.find("aqt_watchdog_first_flag_step"), std::string::npos);
+}
+
+TEST(Watchdog, RejectsInvalidConfig) {
+  WatchdogConfig cfg;
+  cfg.check_every = 1;
+  EXPECT_THROW(StabilityWatchdog{cfg}, PreconditionError);
+  cfg = {};
+  cfg.window = 4;
+  EXPECT_THROW(StabilityWatchdog{cfg}, PreconditionError);
+}
+
+// --- Live engine runs: the E1/E5 acceptance pair -------------------------
+
+TEST(Watchdog, SilentOnStableGreedyRun) {
+  // E5-style stable regime: greedy protocol, r = 1/4 well under the
+  // Theorem 4.1 threshold.  The watchdog must settle on kStable and never
+  // flag (first_flag_step stays 0).
+  const Graph g = make_bidirectional_ring(8);
+  auto protocol = make_protocol("NTG", 2);
+  WatchdogConfig cfg;
+  cfg.check_every = 256;
+  StabilityWatchdog dog(cfg);
+  EngineConfig ec;
+  ec.sinks.samples = &dog;
+  Engine eng(g, *protocol, ec);
+  StochasticConfig adv_cfg;
+  adv_cfg.w = 12;
+  adv_cfg.r = Rat(1, 4);
+  adv_cfg.max_route_len = 4;
+  adv_cfg.seed = 2;
+  StochasticAdversary adv(g, adv_cfg);
+  eng.run(&adv, 20000);
+  EXPECT_EQ(dog.verdict(), WatchdogVerdict::kStable);
+  EXPECT_EQ(dog.first_flag_step(), 0u);
+}
+
+TEST(Watchdog, FlagsTheorem317FifoInstability) {
+  // The E1 experiment: LPS iterative adversary at r = 7/10 on the closed
+  // gadget chain multiplies the flat ingress queue every iteration
+  // (tests/integration/theorem317_test.cpp).  The watchdog must flag it
+  // online, before the run ends.
+  const Rat r(7, 10);
+  LpsConfig cfg = make_lps_config(r);
+  cfg.enforce_s0 = false;
+  const ChainedGadgets net = build_closed_chain(cfg.n, /*M=*/8);
+  FifoProtocol fifo;
+  WatchdogConfig dog_cfg;
+  dog_cfg.check_every = 1024;
+  StabilityWatchdog dog(dog_cfg);
+  EngineConfig ec;
+  ec.sinks.samples = &dog;
+  Engine eng(net.graph, fifo, ec);
+  setup_flat_queue(eng, net, 0, /*s_star=*/1200);
+  LpsAdversary adv(net, cfg, /*iterations=*/3);
+  while (!adv.finished(eng.now() + 1)) eng.step(&adv);
+
+  EXPECT_EQ(dog.verdict(), WatchdogVerdict::kGrowthSuspected);
+  EXPECT_GT(dog.first_flag_step(), 0u);
+  EXPECT_LT(dog.first_flag_step(), eng.now());
+
+  // The backlog really did grow run-scale: the final in-flight count
+  // dwarfs the initial flat queue, so the flag is substance, not noise.
+  EXPECT_GT(eng.total_injected() - eng.total_absorbed(), 1200u * 2);
+}
+
+}  // namespace
+}  // namespace aqt::obs

@@ -25,10 +25,11 @@
 // the result or reject it with a diagnostic PreconditionError — never
 // crash, abort, or throw anything else.
 //
-// Observer-effect phase (--obs-trials): runs the same scripted trial twice
-// — once bare, once with the full observability stack attached (step-phase
-// profiler + JSONL event stream) — and requires byte-identical run traces
-// (same content hash).  Observation must never perturb a run.
+// Observer-effect phase (--obs-trials): runs the same scripted trial three
+// times — bare; with the full observability stack (step-phase profiler +
+// JSONL event stream + flight-recorder timeseries + stability watchdog);
+// and with the Perfetto phase-trace recorder — and requires byte-identical
+// run traces (same content hash).  Observation must never perturb a run.
 //
 // Exit code 0 means no divergence, no lint misjudgement, no parser
 // misbehaviour, and no observer effect.
@@ -54,6 +55,9 @@
 #include "aqt/obs/export.hpp"
 #include "aqt/obs/profiler.hpp"
 #include "aqt/obs/registry.hpp"
+#include "aqt/obs/timeseries.hpp"
+#include "aqt/obs/tracing.hpp"
+#include "aqt/obs/watchdog.hpp"
 #include "aqt/runner/pool.hpp"
 #include "aqt/topology/generators.hpp"
 #include "aqt/topology/spec.hpp"
@@ -378,12 +382,19 @@ std::int64_t run_trace_fuzz(std::int64_t trials, Rng& master) {
   return failures;
 }
 
-/// Runs one scripted trial and returns the run-trace content hash.  With
-/// `observed`, the full observability stack — step-phase profiler and JSONL
-/// event stream — is attached; the hash must not change.
+/// How one scripted observer-effect run is instrumented.
+enum class ObsStack {
+  kBare,       ///< No observers.
+  kFullObs,    ///< Profiler + events + timeseries + watchdog.
+  kPhaseTrace  ///< Perfetto phase-trace recorder + timeseries fanout.
+};
+
+/// Runs one scripted trial and returns the run-trace content hash.  Every
+/// ObsStack variant must produce the same hash: observation never perturbs
+/// a run.
 std::uint64_t scripted_run_hash(const Graph& g, const std::string& proto,
                                 const std::vector<std::vector<Injection>>& script,
-                                bool observed) {
+                                ObsStack stack) {
   auto protocol = make_protocol(proto);
   RunTraceMeta meta;
   meta.protocol = proto;
@@ -393,11 +404,31 @@ std::uint64_t scripted_run_hash(const Graph& g, const std::string& proto,
   obs::StepProfiler profiler;
   std::ostringstream events_os;
   obs::JsonlEventWriter events(events_os, g);
+  obs::TimeseriesConfig ts_cfg;
+  ts_cfg.capacity = 16;  // Tiny: forces compactions on longer scripts.
+  if (g.edge_count() > 0) ts_cfg.watched.push_back(0);
+  obs::TimeseriesRecorder timeseries(ts_cfg, &g);
+  obs::WatchdogConfig wd_cfg;
+  wd_cfg.check_every = 8;
+  wd_cfg.window = 8;
+  wd_cfg.min_samples = 4;
+  obs::StabilityWatchdog watchdog(wd_cfg);
+  obs::StepSampleFanout fanout;
+  obs::TraceEventLog trace_log;
+  obs::PhaseTraceRecorder::Config pt_cfg;
+  pt_cfg.stride = 2;
+  obs::PhaseTraceRecorder phase_trace(trace_log, pt_cfg);
   EngineConfig cfg;
   cfg.sinks.trace = &writer;
-  if (observed) {
+  if (stack == ObsStack::kFullObs) {
     cfg.sinks.profile = &profiler;
     cfg.sinks.events = &events;
+    fanout.add(&timeseries).add(&watchdog);
+    cfg.sinks.samples = fanout.as_sink();
+  } else if (stack == ObsStack::kPhaseTrace) {
+    cfg.sinks.profile = &phase_trace;
+    fanout.add(&timeseries);
+    cfg.sinks.samples = fanout.as_sink();
   }
   Engine eng(g, *protocol, cfg);
   QueueDriver driver;
@@ -407,9 +438,13 @@ std::uint64_t scripted_run_hash(const Graph& g, const std::string& proto,
   }
   eng.drain(256);
   writer.finish(eng.total_injected(), eng.total_absorbed());
-  if (observed)
+  if (stack == ObsStack::kFullObs) {
     AQT_CHECK(events.lines_written() > 0 || eng.total_injected() == 0,
               "observed run emitted no events");
+    AQT_CHECK(!timeseries.rows().empty(), "observed run recorded no rows");
+  }
+  if (stack == ObsStack::kPhaseTrace)
+    AQT_CHECK(trace_log.size() > 0, "traced run logged no spans");
   return writer.content_hash();
 }
 
@@ -443,17 +478,22 @@ std::int64_t run_obs_fuzz(std::int64_t trials, Rng& master, unsigned jobs) {
             step_inj.push_back(Injection{random_route(g, rng, 4), tag++});
           script.push_back(std::move(step_inj));
         }
-        const std::uint64_t bare = scripted_run_hash(g, proto, script, false);
+        const std::uint64_t bare =
+            scripted_run_hash(g, proto, script, ObsStack::kBare);
         const std::uint64_t observed =
-            scripted_run_hash(g, proto, script, true);
-        if (bare != observed) {
-          char buf[160];
+            scripted_run_hash(g, proto, script, ObsStack::kFullObs);
+        const std::uint64_t traced =
+            scripted_run_hash(g, proto, script, ObsStack::kPhaseTrace);
+        if (bare != observed || bare != traced) {
+          char buf[200];
           std::snprintf(buf, sizeof buf,
                         "OBSERVER EFFECT: trial %lld protocol %s trace hash "
-                        "%016llx (bare) vs %016llx (observed)",
+                        "%016llx (bare) vs %016llx (observed) vs %016llx "
+                        "(phase-traced)",
                         static_cast<long long>(trial), proto.c_str(),
                         static_cast<unsigned long long>(bare),
-                        static_cast<unsigned long long>(observed));
+                        static_cast<unsigned long long>(observed),
+                        static_cast<unsigned long long>(traced));
           // aqt-audit: allow(AUD008) -- slot trial has exactly one writer
           messages[trial] = buf;
         }

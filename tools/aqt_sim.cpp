@@ -23,6 +23,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,9 @@
 #include "aqt/obs/profiler.hpp"
 #include "aqt/obs/registry.hpp"
 #include "aqt/obs/snapshot.hpp"
+#include "aqt/obs/timeseries.hpp"
+#include "aqt/obs/tracing.hpp"
+#include "aqt/obs/watchdog.hpp"
 #include "aqt/runner/pool.hpp"
 #include "aqt/runner/run_spec.hpp"
 #include "aqt/topology/gadget.hpp"
@@ -172,6 +176,20 @@ static int run_main(int argc, char** argv) {
            "write the packet-lifecycle JSONL event stream to this path");
   cli.flag("profile", "false",
            "time engine substeps and print a per-phase breakdown");
+  cli.flag("timeseries", "",
+           "record the per-step flight-recorder series to this path "
+           "(CSV, or JSONL when the path ends in .jsonl)");
+  cli.flag("timeseries-stride", "1",
+           "record every N-th step (adaptive: doubles when the bounded "
+           "buffer fills)");
+  cli.flag("watch-edges", "",
+           "comma-separated edge names whose queue depth is added as "
+           "--timeseries columns");
+  cli.flag("trace-out", "",
+           "write a Chrome trace_event / Perfetto JSON of sampled engine "
+           "step phases to this path (mutually exclusive with --profile)");
+  cli.flag("watchdog", "false",
+           "run the online stability watchdog and print its verdict");
   cli.flag("progress", "0",
            "print a heartbeat line to stderr every N steps (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
@@ -309,6 +327,39 @@ static int run_main(int argc, char** argv) {
     }
     ec.sinks.events = events ? &*events : nullptr;
 
+    // Flight recorder + watchdog share the step-sample stream via fanout;
+    // the phase trace takes the profile slot (one StepPhaseSink per run).
+    std::optional<obs::TimeseriesRecorder> timeseries;
+    std::optional<obs::StabilityWatchdog> watchdog;
+    obs::StepSampleFanout sample_fanout;
+    if (primary && !cli.get("timeseries").empty()) {
+      obs::TimeseriesConfig tc;
+      tc.stride = std::max<Time>(1, cli.get_int("timeseries-stride"));
+      std::istringstream names(cli.get("watch-edges"));
+      std::string name;
+      while (std::getline(names, name, ','))
+        if (!name.empty()) tc.watched.push_back(topo.graph.edge_by_name(name));
+      timeseries.emplace(tc, &topo.graph);
+      sample_fanout.add(&*timeseries);
+    }
+    if (primary && cli.get_bool("watchdog")) {
+      watchdog.emplace();
+      sample_fanout.add(&*watchdog);
+    }
+    ec.sinks.samples = sample_fanout.as_sink();
+
+    std::optional<obs::TraceEventLog> trace_log;
+    std::optional<obs::PhaseTraceRecorder> phase_trace;
+    if (primary && !cli.get("trace-out").empty()) {
+      AQT_REQUIRE(!cli.get_bool("profile"),
+                  "--trace-out and --profile both want the phase sink; "
+                  "pick one");
+      trace_log.emplace();
+      trace_log->name_thread(0, "engine");
+      phase_trace.emplace(*trace_log);
+      ec.sinks.profile = &*phase_trace;
+    }
+
     Engine eng(topo.graph, *protocol, ec);
 
     if (resuming) {
@@ -394,11 +445,32 @@ static int run_main(int argc, char** argv) {
       std::cout << "events (" << events->lines_written()
                 << " lines) written to " << cli.get("events") << "\n";
 
+    if (timeseries) {
+      const std::string path = cli.get("timeseries");
+      const bool jsonl = path.size() >= 6 &&
+                         path.compare(path.size() - 6, 6, ".jsonl") == 0;
+      obs::write_file(path,
+                      jsonl ? timeseries->to_jsonl() : timeseries->to_csv());
+      std::cout << "timeseries (" << timeseries->rows().size()
+                << " rows, effective stride "
+                << static_cast<long long>(timeseries->effective_stride())
+                << ") written to " << path << "\n";
+    }
+    if (trace_log) {
+      trace_log->write(cli.get("trace-out"), "aqt-sim");
+      std::cout << "trace (" << trace_log->size() << " events, "
+                << phase_trace->recorded_steps()
+                << " sampled steps) written to " << cli.get("trace-out")
+                << "\n";
+    }
+    if (watchdog) std::cout << "\n" << watchdog->summary();
+
     if (!cli.get("metrics-out").empty() || !cli.get("metrics-prom").empty() ||
         !cli.get("metrics-csv").empty()) {
       obs::MetricRegistry registry;
       obs::collect_engine_metrics(eng, registry);
       if (profiler) obs::collect_profile_metrics(*profiler, registry);
+      if (watchdog) watchdog->collect_metrics(registry);
       obs::export_cli_metrics(cli, registry, "aqt-sim");
     }
 

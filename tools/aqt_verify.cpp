@@ -26,6 +26,7 @@
 
 #include "aqt/obs/export.hpp"
 #include "aqt/obs/registry.hpp"
+#include "aqt/obs/watchdog.hpp"
 #include "aqt/runner/pool.hpp"
 #include "aqt/util/check.hpp"
 #include "aqt/util/cli.hpp"
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
   cli.flag("require-certificate", "false",
            "fail unless every trace yields an applicable, verified "
            "stability certificate");
+  cli.flag("watchdog", "false",
+           "run the online watchdog's decision rule over each trace's "
+           "occupancy series and cross-check it against the certificate");
   add_jobs_flag(cli);
   add_metrics_flags(cli);
   cli.positionals("run.trace...", "run traces to verify");
@@ -84,6 +88,40 @@ int main(int argc, char** argv) {
         if (certs[i].kind != CertificateKind::kNone || require_cert)
           std::fputs(certs[i].text().c_str(), stdout);
 
+    // --watchdog: replay the online decision rule (obs/watchdog.hpp
+    // analyze_series) over each trace's occupancy series and compare with
+    // the theorem-backed certificate.  A *verified* certificate that the
+    // watchdog contradicts is a hard disagreement and fails the run; an
+    // inapplicable certificate leaves nothing to contradict.
+    std::uint64_t watchdog_flags = 0;
+    std::uint64_t watchdog_disagreements = 0;
+    if (cli.get_bool("watchdog")) {
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        const obs::WatchdogCheck check =
+            obs::analyze_series(reports[i].occupancy);
+        const bool flagged =
+            check.verdict == obs::WatchdogVerdict::kGrowthSuspected;
+        if (flagged) ++watchdog_flags;
+        const bool cert_growth =
+            certs[i].kind == CertificateKind::kInstabilityWitness;
+        const bool cert_decided = certs[i].applicable && certs[i].verified;
+        const bool disagree =
+            cert_decided && (check.verdict != obs::WatchdogVerdict::kUndecided)
+                ? flagged != cert_growth
+                : false;
+        if (disagree) {
+          ++watchdog_disagreements;
+          all_ok = false;
+        }
+        std::printf(
+            "watchdog %s: %s (slope %.4g pkts/step, ratio %.4g) vs "
+            "certificate %s%s\n",
+            reports[i].file.c_str(), to_string(check.verdict), check.slope,
+            check.ratio, certificate_kind_name(certs[i].kind),
+            disagree ? " -- DISAGREEMENT" : "");
+      }
+    }
+
     if (!cli.get("metrics-out").empty() ||
         !cli.get("metrics-prom").empty() ||
         !cli.get("metrics-csv").empty()) {
@@ -114,6 +152,14 @@ int main(int argc, char** argv) {
           .set(certs_verified);
       reg.gauge("aqt_verify_ok", "1 when every trace is clean, else 0")
           .set(all_ok ? 1.0 : 0.0);
+      if (cli.get_bool("watchdog")) {
+        reg.counter("aqt_verify_watchdog_flags_total",
+                    "Traces the offline watchdog rule flagged as growing")
+            .set(watchdog_flags);
+        reg.counter("aqt_verify_watchdog_disagreements_total",
+                    "Watchdog verdicts contradicting a verified certificate")
+            .set(watchdog_disagreements);
+      }
       obs::export_cli_metrics(cli, reg, "aqt-verify");
     }
 
