@@ -398,6 +398,7 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
     std::string commit = commit_flag;
     for (const char* var : {"AQT_GIT_COMMIT", "GITHUB_SHA"}) {
       if (!commit.empty()) break;
+      // aqt-audit: allow(AUD001) -- trajectory metadata: commit id only
       const char* value = std::getenv(var);
       if (value != nullptr && *value != '\0') commit = value;
     }
@@ -408,6 +409,7 @@ void write_perf_json(const std::string& path, unsigned perf_jobs,
         "{\"ts\":%lld,\"commit\":\"%s\",\"steps_per_second\":%.0f,"
         "\"parallel_speedup\":%.3f,\"parallel_jobs\":%u,"
         "\"selfhost_seconds\":%.3f}\n",
+        // aqt-audit: allow(AUD001) -- datapoint timestamp, not sim state
         static_cast<long long>(std::time(nullptr)), commit.c_str(),
         rep.steps_per_second(), speedup_out, jobs_out, selfhost_out);
     std::fclose(f);

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Reference client for aqt-serve's JSONL-over-TCP job protocol.
+
+Stdlib-only (socket/json) so CI and the serve tests can drive a live
+server without installing anything.  Doubles as the protocol's executable
+documentation: every op in docs/TOOLS.md is a subcommand here.
+
+Usage:
+  aqt_serve_client.py ping     --port P
+  aqt_serve_client.py status   --port P
+  aqt_serve_client.py catalog  --port P
+  aqt_serve_client.py metrics  --port P
+  aqt_serve_client.py submit   --port P [--client NAME] [--results-dir D]
+                               [--timeout S] REQUEST.json [...]
+  aqt_serve_client.py soak     --port P --count N [--client NAME]
+                               [--timeout S] TEMPLATE.json
+
+`submit` sends every request file, waits for all terminal events, writes
+each job's `result_canonical` bytes to <results-dir>/<stem>.json (the
+exact bytes `aqt-sim --batch --results-dir` writes for the same request
+— the byte-identity contract), and prints one JSON outcome line per job.
+Exit 0 only if every job reached state "done" with ok=true.
+
+`soak` submits N copies of a template (seed/id varied per copy), then
+verifies exactly one terminal event per job id — no lost, no duplicate.
+
+Exit codes: 0 = success, 1 = job/protocol failure, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import socket
+import sys
+import time
+
+
+class ServeError(Exception):
+    """A server-side rejection; carries the stable SRVnnn code."""
+
+    def __init__(self, code, message):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class Client:
+    """One connection; replies are matched in order, events are queued."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self.buffer = b""
+        self.events = []
+
+    def close(self):
+        self.sock.close()
+
+    def _read_line(self, deadline):
+        while b"\n" not in self.buffer:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("timed out waiting for the server")
+            self.sock.settimeout(remaining)
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return json.loads(line)
+
+    def rpc(self, obj, timeout=30.0):
+        """Sends one op; returns its reply, stashing any events that
+        arrive first (completion events interleave with replies)."""
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self._read_line(deadline)
+            if "event" in doc:
+                self.events.append(doc)
+                continue
+            if not doc.get("ok", False):
+                raise ServeError(doc.get("code", "?"), doc.get("error", "?"))
+            return doc
+
+    def next_event(self, timeout=30.0):
+        if self.events:
+            return self.events.pop(0)
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self._read_line(deadline)
+            if "event" in doc:
+                return doc
+            # A reply with no rpc() waiting would be a protocol bug.
+            raise ServeError(doc.get("code", "?"),
+                             f"unexpected non-event line: {doc}")
+
+    def hello(self, client=None):
+        obj = {"op": "hello"}
+        if client:
+            obj["client"] = client
+        return self.rpc(obj)
+
+    def submit(self, request):
+        return self.rpc({"op": "submit", "request": request})["job"]
+
+
+def connect(args):
+    client = Client(args.host, args.port, timeout=args.timeout)
+    client.hello(getattr(args, "client", None))
+    return client
+
+
+def cmd_simple(args, op, render):
+    client = connect(args)
+    try:
+        print(render(client.rpc({"op": op})))
+    finally:
+        client.close()
+    return 0
+
+
+def wait_all(client, jobs, timeout):
+    """Collects one terminal event per job id; returns {job: event}."""
+    outcomes = {}
+    deadline = time.monotonic() + timeout
+    while len(outcomes) < len(jobs):
+        event = client.next_event(timeout=deadline - time.monotonic())
+        job = event.get("job")
+        if job in outcomes:
+            raise ServeError("?", f"duplicate terminal event for job {job}")
+        if job in jobs:
+            outcomes[job] = event
+    return outcomes
+
+
+def cmd_submit(args):
+    client = connect(args)
+    try:
+        jobs = {}  # job id -> source path
+        for path in args.requests:
+            with open(path, encoding="utf-8") as f:
+                request = json.load(f)
+            jobs[client.submit(request)] = path
+        outcomes = wait_all(client, jobs, args.timeout)
+        ok = True
+        for job in sorted(outcomes):
+            event = outcomes[job]
+            if args.results_dir and "result_canonical" in event:
+                stem = os.path.splitext(os.path.basename(jobs[job]))[0]
+                os.makedirs(args.results_dir, exist_ok=True)
+                out = os.path.join(args.results_dir, stem + ".json")
+                with open(out, "w", encoding="utf-8") as f:
+                    f.write(event["result_canonical"] + "\n")
+            print(json.dumps({
+                "job": job,
+                "source": jobs[job],
+                "state": event.get("state"),
+                "start_seq": event.get("start_seq"),
+                "ok": event.get("result", {}).get("ok"),
+                "trace_hash": event.get("result", {}).get("trace_hash"),
+            }))
+            ok = ok and event.get("state") == "done" \
+                and event.get("result", {}).get("ok") is True
+        return 0 if ok else 1
+    finally:
+        client.close()
+
+
+def cmd_soak(args):
+    with open(args.template, encoding="utf-8") as f:
+        template = json.load(f)
+    client = connect(args)
+    try:
+        jobs = {}
+        for i in range(args.count):
+            request = dict(template)
+            request["seed"] = int(template.get("seed", 1)) + i
+            request["id"] = f"soak-{i}"
+            while True:
+                try:
+                    jobs[client.submit(request)] = i
+                    break
+                except ServeError as e:
+                    if e.code != "SRV010":  # Backpressure: retry, don't die.
+                        raise
+                    time.sleep(0.05)
+        outcomes = wait_all(client, jobs, args.timeout)
+        lost = set(jobs) - set(outcomes)
+        bad = [j for j, e in outcomes.items()
+               if e.get("state") != "done"
+               or e.get("result", {}).get("ok") is not True]
+        print(f"soak: {args.count} submitted, {len(outcomes)} terminal, "
+              f"{len(lost)} lost, {len(bad)} not-ok")
+        return 0 if not lost and not bad and len(outcomes) == args.count \
+            else 1
+    finally:
+        client.close()
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=[
+        "ping", "status", "catalog", "metrics", "submit", "soak"])
+    parser.add_argument("requests", nargs="*")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--client", default=None,
+                        help="scheduling identity (fair-share bucket)")
+    parser.add_argument("--results-dir", default=None)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--count", type=int, default=10)
+    parser.add_argument("--template", default=None)
+    args = parser.parse_args(argv[1:])
+
+    try:
+        if args.command == "ping":
+            return cmd_simple(args, "ping", lambda r: "pong")
+        if args.command == "status":
+            return cmd_simple(args, "status", json.dumps)
+        if args.command == "catalog":
+            return cmd_simple(
+                args, "catalog", lambda r: json.dumps(r["catalog"]))
+        if args.command == "metrics":
+            return cmd_simple(args, "metrics", lambda r: r["prometheus"])
+        if args.command == "submit":
+            if not args.requests:
+                print("submit needs at least one REQUEST.json",
+                      file=sys.stderr)
+                return 2
+            return cmd_submit(args)
+        if args.command == "soak":
+            args.template = args.template or (
+                args.requests[0] if args.requests else None)
+            if not args.template:
+                print("soak needs a TEMPLATE.json", file=sys.stderr)
+                return 2
+            return cmd_soak(args)
+    except (ServeError, TimeoutError, ConnectionError, OSError) as e:
+        print(f"aqt_serve_client: {e}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

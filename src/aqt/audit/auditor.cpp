@@ -41,6 +41,9 @@ const std::vector<RuleInfo> kRules = {
     {"AUD011", "call-graph layering violation (indirect reach of a "
                "forbidden layer)"},
     {"AUD012", "container mutated while an iteration over it is live"},
+    {"AUD013", "retired EngineConfig alias field (record_trace / "
+               "record_events / non-sinks .profile assignment); use "
+               "EngineSinks"},
 };
 
 bool known_rule(const std::string& id) {
@@ -70,6 +73,9 @@ const std::map<std::string, std::set<std::string>>& layer_allowed() {
        {"experiments", "adversaries", "runner", "analysis", "topology",
         "trace", "obs", "core", "util"}},
       {"audit", {"audit", "util"}},
+      {"serve",
+       {"serve", "runner", "adversaries", "analysis", "topology", "trace",
+        "obs", "core", "util"}},
   };
   return kAllowed;
 }
@@ -236,6 +242,7 @@ class Auditor {
     rule_aud004();
     if (ctx_.merge_path) rule_aud005();
     rule_aud006();
+    rule_aud013();
     return std::move(findings_);
   }
 
@@ -503,6 +510,33 @@ class Auditor {
             "#include \"" + path + "\": layer '" + ctx_.layer +
                 "' must not depend on '" + target +
                 "' (dependency order in src/aqt/*/CMakeLists.txt)");
+    }
+  }
+
+  /// The pre-PR-10 EngineConfig per-sink alias fields are retired: all
+  /// observer wiring goes through EngineSinks (engine.hpp).  Two shapes
+  /// linger in stale code: the removed field names themselves, and a
+  /// `.profile =` assignment on anything that is not the sinks aggregate.
+  void rule_aud013() {
+    const Tokens& t = src_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is_ident(t, i, "record_trace") || is_ident(t, i, "record_events")) {
+        add("AUD013", t[i].line,
+            "'" + t[i].text +
+                "' is a retired EngineConfig alias field; wire the "
+                "observer through EngineSinks (config.sinks.*)");
+        continue;
+      }
+      if (!is_ident(t, i, "profile") || i < 2) continue;
+      const bool member = is_punct(t, i - 1, '.');
+      const bool assigned = is_punct(t, i + 1, '=') && !is_punct(t, i + 2, '=');
+      if (member && assigned &&
+          t[i - 2].kind == Token::Kind::kIdentifier &&
+          t[i - 2].text != "sinks")
+        add("AUD013", t[i].line,
+            "'" + t[i - 2].text +
+                ".profile = ...' assigns the retired EngineConfig alias; "
+                "the profiler sink lives at config.sinks.profile");
     }
   }
 
@@ -864,8 +898,8 @@ FileContext classify_path(const std::string& path) {
       const std::string layer = p.substr(begin, slash - begin);
       if (layer_allowed().count(layer) != 0) {
         ctx.layer = layer;
-        ctx.state_sensitive =
-            layer == "core" || layer == "runner" || layer == "obs";
+        ctx.state_sensitive = layer == "core" || layer == "runner" ||
+                              layer == "obs" || layer == "serve";
       }
     }
   }

@@ -43,13 +43,6 @@ Engine::Engine(const Graph& graph, const Protocol& protocol,
       buffers_(graph.edge_count()),
       active_words_((graph.edge_count() + 63) / 64, 0),
       metrics_(graph.edge_count()) {
-  // Fold the deprecated per-sink fields into the EngineSinks aggregate so
-  // the step loop only ever consults config_.sinks.
-  if (config_.sinks.trace == nullptr) config_.sinks.trace = config_.record_trace;
-  if (config_.sinks.profile == nullptr)
-    config_.sinks.profile = config_.profile;
-  if (config_.sinks.events == nullptr)
-    config_.sinks.events = config_.record_events;
   if (config_.audit_rates) audit_.emplace(graph.edge_count());
   if (config_.audit_invariants)
     invariants_ = std::make_unique<InvariantAuditor>(*this);

@@ -124,15 +124,9 @@ struct EngineConfig {
   bool compile_schedules = true;
 
   /// All borrowed observer sinks, as one aggregate (see EngineSinks).
+  /// (The pre-PR-5 per-sink alias fields — record_trace / profile /
+  /// record_events — are gone; aqt-audit rule AUD013 keeps them out.)
   EngineSinks sinks;
-
-  /// DEPRECATED thin aliases of `sinks.trace` / `sinks.profile` /
-  /// `sinks.events`, kept for this release so existing callers keep
-  /// compiling; the engine folds any nonnull value into `sinks` at
-  /// construction (sinks.* wins when both are set).  New code sets `sinks`.
-  RunTraceSink* record_trace = nullptr;
-  StepPhaseSink* profile = nullptr;
-  PacketEventSink* record_events = nullptr;
 };
 
 /// The simulator.  Owns packets, buffers and metrics; borrows graph and

@@ -3,7 +3,7 @@
 // The engine emits a record for every observable event of a run — initial
 // packets, per-edge transmissions, absorptions, reroutes, injections, and
 // end-of-step queue depths — through this interface when
-// EngineConfig::record_trace is set.  The concrete writer (the versioned,
+// EngineConfig::sinks.trace is set.  The concrete writer (the versioned,
 // self-describing, content-hashed format of trace/run_trace.hpp) lives in
 // the trace layer; core only sees the pure interface so the dependency
 // stays acyclic (trace links core, never the reverse).

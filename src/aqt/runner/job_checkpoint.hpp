@@ -1,0 +1,62 @@
+// Job-level checkpoints: a core engine checkpoint (core/checkpoint.hpp)
+// plus the run-level context the executor needs to *continue the same
+// logical run* — which spec the state belongs to, how many steps were
+// done, and the mid-stream trace-hash state (trace/run_trace.hpp
+// TraceResumeState) so the resumed segment's content hash ends up
+// byte-identical to an uninterrupted run.
+//
+// Format (versioned line-oriented text, same discipline as the engine
+// checkpoint it embeds):
+//
+//   aqt-job-checkpoint 1
+//   name <display name, '-' when empty>
+//   protocol <NAME>
+//   topology <name, '-' when empty>
+//   seed <n>
+//   steps-done <k>
+//   trace <0|1> <hash-state 16 hex> <last-step>
+//   engine
+//   <core checkpoint text, verbatim to EOF>
+//
+// The identity lines are checked on resume: resuming a checkpoint against
+// a spec with a different protocol/topology/seed is a hard error, not a
+// silent divergence.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "aqt/core/types.hpp"
+#include "aqt/trace/run_trace.hpp"
+
+namespace aqt {
+
+inline constexpr int kJobCheckpointVersion = 1;
+
+/// Everything save/load moves; `engine_state` is the embedded core
+/// checkpoint text, passed through to save_checkpoint/load_checkpoint.
+struct JobCheckpoint {
+  std::string name;
+  std::string protocol;
+  std::string topology;
+  std::uint64_t seed = 0;
+  Time steps_done = 0;
+
+  bool has_trace = false;  ///< Run had the trace_hash artifact on.
+  TraceResumeState trace;
+
+  std::string engine_state;
+};
+
+void save_job_checkpoint(const JobCheckpoint& cp, std::ostream& os);
+void save_job_checkpoint_file(const JobCheckpoint& cp,
+                              const std::string& path);
+
+/// Throws PreconditionError (naming `where`) on malformed or truncated
+/// input; never aborts — checkpoint files arrive over operational
+/// boundaries (serve restarts, operator copies) and are untrusted.
+JobCheckpoint load_job_checkpoint(std::istream& is, const std::string& where);
+JobCheckpoint load_job_checkpoint_file(const std::string& path);
+
+}  // namespace aqt

@@ -17,6 +17,7 @@
 // byte-identical-to-serial guarantee possible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -60,6 +61,48 @@ struct RunArtifacts {
 };
 
 struct RunResult;
+
+/// Cooperative long-job controls (value-only, all off by default so batch
+/// specs are unchanged).  The executor slices the engine loop so it can
+/// observe these between slices; slicing itself is byte-invisible —
+/// Engine::run compiles/polls the identical adversary step sequence
+/// whether called once or many times, so trace hashes are unaffected.
+struct RunControls {
+  /// Largest number of engine steps between cancellation checks; 0 means
+  /// the whole run is one slice (cancel then only observed at the end).
+  Time slice_steps = 0;
+
+  /// Borrowed stop flag (e.g. a deadline or client cancellation from the
+  /// serve layer).  When it reads true at a slice boundary the cell stops:
+  /// with checkpoint_to set, the run state is saved there and the result
+  /// reports checkpointed; otherwise the result carries error "cancelled".
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  /// Deterministic mid-flight checkpoint: stop at exactly this step
+  /// boundary and save to checkpoint_to (0 = no scheduled checkpoint).
+  Time checkpoint_at = 0;
+
+  /// Borrowed arming flag: when it reads true at the moment a cancel is
+  /// observed, the cell checkpoints to checkpoint_to instead of returning
+  /// error "cancelled".  Null (or false) keeps plain cancellation.  The
+  /// serve layer arms this during graceful drain so long jobs survive a
+  /// SIGTERM, while an explicit client cancel still just cancels.
+  std::shared_ptr<std::atomic<bool>> checkpoint_on_cancel;
+
+  /// Job-checkpoint file path written when checkpoint_at fires or a cancel
+  /// arrives with this set.  Requires a checkpointable cell: no rate
+  /// audit, a deterministic (non-RANDOM) protocol, and — for the resumed
+  /// side — an oblivious adversary (fast-forward replays its poll
+  /// sequence; adaptive adversaries would need state the engine cannot
+  /// reconstruct).
+  std::string checkpoint_to;
+
+  /// Resume a previously checkpointed run: restore engine + trace-hash
+  /// state from this job-checkpoint file, fast-forward the adversary, and
+  /// continue to `steps`.  The finished artifacts (trace hash included)
+  /// are byte-identical to the uninterrupted run.
+  std::string resume_from;
+};
 
 /// Builds a fresh adversary for one cell.  `seed` is the cell seed, so
 /// stochastic adversaries are reproducible per cell regardless of which
@@ -110,6 +153,7 @@ struct RunSpec {
       collect;
 
   RunArtifacts artifacts;
+  RunControls controls;
 };
 
 /// One cell's outcome.  `error` empty means the run completed; on failure
@@ -146,6 +190,13 @@ struct RunResult {
 
   /// Cell-specific numbers from RunSpec::collect.
   std::map<std::string, double> extra;
+
+  /// True when the run stopped at a checkpoint (RunControls::checkpoint_at
+  /// or a cancel with checkpoint_to set) instead of completing; the saved
+  /// state is at RunSpec::controls.checkpoint_to and `checkpoint_step`
+  /// records where.  Not an error: resubmit with resume_from to continue.
+  bool checkpointed = false;
+  Time checkpoint_step = 0;
 
   std::string error;  ///< Empty = success.
 

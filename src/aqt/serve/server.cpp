@@ -1,0 +1,356 @@
+#include "aqt/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "aqt/obs/export.hpp"
+#include "aqt/serve/result.hpp"
+
+namespace aqt {
+namespace serve {
+namespace {
+
+/// Creates a listening TCP socket; returns {fd, bound_port}.
+std::pair<int, std::uint16_t> make_listener(const std::string& address,
+                                            std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad bind address '" + address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("bind " + address + ":" + std::to_string(port) +
+                             ": " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  return {fd, ntohs(bound.sin_port)};
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // Peer gone; the reader thread notices and exits.
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+JsonValue error_reply(const std::string& op, const std::string& code,
+                      const std::string& message) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("ok", JsonValue::make_bool(false));
+  doc.set("op", JsonValue::make_string(op));
+  doc.set("code", JsonValue::make_string(code));
+  doc.set("error", JsonValue::make_string(message));
+  return doc;
+}
+
+JsonValue ok_reply(const std::string& op) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("ok", JsonValue::make_bool(true));
+  doc.set("op", JsonValue::make_string(op));
+  return doc;
+}
+
+}  // namespace
+
+/// One client socket.  The write lock serializes the reader thread's
+/// replies with completion events arriving from service worker threads;
+/// `closed` makes late events after a disconnect harmless no-ops.
+struct Server::Connection {
+  int fd = -1;
+  std::string client;  ///< Scheduling identity (hello override or conn-N).
+  std::mutex write_mu;
+  bool closed = false;
+  std::thread reader;
+
+  void send_line(const std::string& json) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed) return;
+    std::string line = json;
+    line.push_back('\n');
+    send_all(fd, line.data(), line.size());
+  }
+
+  void close_socket() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed) return;
+    closed = true;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+};
+
+Server::Server(Service& service, const Registry& registry,
+               ServerConfig config)
+    : service_(service), registry_(registry), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) return;
+  auto [fd, port] = make_listener(config_.bind_address, config_.port);
+  listen_fd_ = fd;
+  port_ = port;
+  if (config_.metrics_port != 0) {
+    auto [mfd, mport] =
+        make_listener(config_.bind_address, config_.metrics_port);
+    metrics_fd_ = mfd;
+    metrics_port_ = mport;
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // 1. Stop intake: no new connections, no new submits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_fd_ >= 0) {
+    ::shutdown(metrics_fd_, SHUT_RDWR);
+    ::close(metrics_fd_);
+  }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  // 2. Drain: every queued/active job reaches a terminal callback, which
+  //    pushes its event to the (still open) submitting connection.
+  service_.drain();
+  // 3. Now the sockets can go.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) conn->close_socket();
+  for (const auto& conn : conns)
+    if (conn->reader.joinable()) conn->reader.join();
+}
+
+std::string Server::metrics_text() const {
+  obs::MetricRegistry registry;
+  service_.collect_metrics(registry);
+  return obs::to_prometheus(registry);
+}
+
+void Server::accept_loop() {
+  std::uint64_t conn_seq = 0;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // Listener closed by stop().
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->client = "conn-" + std::to_string(++conn_seq);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { handle_connection(conn); });
+  }
+}
+
+void Server::metrics_loop() {
+  for (;;) {
+    const int fd = ::accept(metrics_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    // Minimal HTTP: read whatever headers arrived, answer one GET, close.
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string body = metrics_text();
+      const std::string head =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n";
+      send_all(fd, head.data(), head.size());
+      send_all(fd, body.data(), body.size());
+    }
+    ::close(fd);
+  }
+}
+
+void Server::handle_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxJsonBytes * 2) break;  // Protocol abuse.
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      JsonValue reply;
+      try {
+        const JsonValue doc = parse_json(line, "request line");
+        reply = handle_op(conn, doc);
+      } catch (const RequestError& e) {
+        reply = error_reply("?", e.code(), e.what());
+      } catch (const std::exception& e) {
+        reply = error_reply("?", errc::kBadJson, e.what());
+      }
+      conn->send_line(write_json(reply));
+    }
+    buffer.erase(0, start);
+  }
+  conn->close_socket();
+}
+
+JsonValue Server::handle_op(const std::shared_ptr<Connection>& conn,
+                            const JsonValue& doc) {
+  if (doc.kind() != JsonValue::Kind::kObject)
+    throw RequestError(errc::kBadOp, "protocol envelope must be an object");
+  const JsonValue* op_field = doc.find("op");
+  if (op_field == nullptr ||
+      op_field->kind() != JsonValue::Kind::kString)
+    throw RequestError(errc::kBadOp, "envelope needs a string \"op\"");
+  const std::string op = op_field->as_string();
+
+  if (op == "ping") return ok_reply("ping");
+
+  if (op == "hello") {
+    if (const JsonValue* name = doc.find("client")) {
+      if (name->kind() != JsonValue::Kind::kString ||
+          name->as_string().empty())
+        throw RequestError(errc::kBadOp, "hello.client must be a non-empty "
+                                         "string");
+      conn->client = name->as_string();
+    }
+    JsonValue reply = ok_reply("hello");
+    reply.set("aqt_serve", JsonValue::make_int(1));
+    reply.set("run_request_version",
+              JsonValue::make_int(kRunRequestVersion));
+    reply.set("client", JsonValue::make_string(conn->client));
+    return reply;
+  }
+
+  if (op == "catalog") {
+    JsonValue reply = ok_reply("catalog");
+    reply.set("catalog", registry_.catalog());
+    return reply;
+  }
+
+  if (op == "status") {
+    JsonValue reply = ok_reply("status");
+    reply.set("draining", JsonValue::make_bool(service_.draining()));
+    reply.set("queue_depth", JsonValue::make_int(static_cast<std::int64_t>(
+                                 service_.queue_depth())));
+    reply.set("active_jobs", JsonValue::make_int(static_cast<std::int64_t>(
+                                 service_.active_jobs())));
+    return reply;
+  }
+
+  if (op == "metrics") {
+    JsonValue reply = ok_reply("metrics");
+    reply.set("prometheus", JsonValue::make_string(metrics_text()));
+    return reply;
+  }
+
+  if (op == "pause") {
+    service_.pause();
+    return ok_reply("pause");
+  }
+  if (op == "resume") {
+    service_.resume();
+    return ok_reply("resume");
+  }
+
+  if (op == "cancel") {
+    const JsonValue* job = doc.find("job");
+    if (job == nullptr || job->kind() != JsonValue::Kind::kInt ||
+        job->as_int() < 1)
+      throw RequestError(errc::kBadOp, "cancel needs a positive \"job\"");
+    if (!service_.cancel(static_cast<std::uint64_t>(job->as_int())))
+      throw RequestError(errc::kUnknownJob,
+                         "job " + std::to_string(job->as_int()) +
+                             " is unknown or already terminal");
+    JsonValue reply = ok_reply("cancel");
+    reply.set("job", JsonValue::make_int(job->as_int()));
+    return reply;
+  }
+
+  if (op == "submit") {
+    const JsonValue* request = doc.find("request");
+    if (request == nullptr)
+      throw RequestError(errc::kBadOp, "submit needs a \"request\" object");
+    const RunRequest run_request =
+        parse_run_request(*request, "submit.request");
+    const std::string client = conn->client;
+    try {
+      const std::uint64_t job = service_.submit(
+          client, run_request, [conn](const JobOutcome& outcome) {
+            JsonValue event = JsonValue::make_object();
+            event.set("event", JsonValue::make_string("result"));
+            event.set("job", JsonValue::make_int(
+                                 static_cast<std::int64_t>(outcome.job)));
+            event.set("state",
+                      JsonValue::make_string(to_string(outcome.state)));
+            event.set("start_seq",
+                      JsonValue::make_int(
+                          static_cast<std::int64_t>(outcome.start_seq)));
+            event.set("wall_seconds",
+                      JsonValue::make_double(outcome.wall_seconds));
+            if (!outcome.checkpoint_path.empty())
+              event.set("checkpoint_path",
+                        JsonValue::make_string(outcome.checkpoint_path));
+            event.set("result", run_result_to_json(outcome.result));
+            // The exact bytes aqt-sim --results-dir writes for this
+            // request: clients persist these verbatim for byte-identity.
+            event.set("result_canonical",
+                      JsonValue::make_string(
+                          canonical_result_json(outcome.result)));
+            conn->send_line(write_json(event));
+          });
+      JsonValue reply = ok_reply("submit");
+      reply.set("job",
+                JsonValue::make_int(static_cast<std::int64_t>(job)));
+      reply.set("client", JsonValue::make_string(client));
+      return reply;
+    } catch (const RequestError&) {
+      throw;  // SRV010/SRV013/compile codes go to the client verbatim.
+    }
+  }
+
+  throw RequestError(errc::kBadOp, "unknown op '" + op + "'");
+}
+
+}  // namespace serve
+}  // namespace aqt

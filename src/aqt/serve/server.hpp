@@ -1,0 +1,100 @@
+// The wire layer of aqt-serve: JSONL-over-TCP job transport plus a minimal
+// HTTP endpoint for Prometheus scrapes.
+//
+// Protocol (one JSON object per line, both directions; see docs/TOOLS.md):
+//
+//   client -> server   {"op": "submit", "request": {"aqt_run_request": 1, ...}}
+//   server -> client   {"ok": true, "op": "submit", "job": 7}
+//   server -> client   {"event": "result", "job": 7, "state": "done",
+//                       "result": {...}, "result_canonical": "..."}
+//
+// Ops: hello, submit, cancel, status, catalog, metrics, pause, resume,
+// ping.  Errors are {"ok": false, "op": ..., "code": "SRVnnn", "error":
+// ...} with the stable codes from request.hpp.  Events (result /
+// checkpointed job terminations) are pushed asynchronously to the
+// connection that submitted the job; `result_canonical` carries the exact
+// bytes `aqt-sim --results-dir` would write for the same request, so a
+// client can persist a served artifact byte-identical to an offline run
+// without re-serializing.
+//
+// Threading: one reader thread per connection; completion callbacks arrive
+// on service worker threads and serialize onto the socket through a
+// per-connection write lock.  stop() is idempotent: close intake, drain
+// the service (every pending job reaches a terminal event first), then
+// close connections and join.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aqt/serve/service.hpp"
+
+namespace aqt {
+namespace serve {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// Job port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 4070;
+  /// Prometheus text endpoint (GET /metrics); 0 disables it.
+  std::uint16_t metrics_port = 0;
+};
+
+class Server {
+ public:
+  Server(Service& service, const Registry& registry, ServerConfig config);
+  ~Server();  ///< Implies stop().
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens + starts accepting.  Throws std::runtime_error on
+  /// bind failure (port in use, bad address).
+  void start();
+
+  /// Bound job port (after start(); resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Bound metrics port; 0 when the metrics endpoint is disabled.
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
+
+  /// Graceful shutdown: stop accepting, drain the service (terminal events
+  /// still reach clients), then close connections and join all threads.
+  void stop();
+
+  /// Current Prometheus exposition (also what GET /metrics serves).
+  [[nodiscard]] std::string metrics_text() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void metrics_loop();
+  void handle_connection(const std::shared_ptr<Connection>& conn);
+  /// Executes one parsed op; returns the reply document.
+  JsonValue handle_op(const std::shared_ptr<Connection>& conn,
+                      const JsonValue& doc);
+
+  Service& service_;
+  const Registry& registry_;
+  const ServerConfig config_;
+
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace serve
+}  // namespace aqt

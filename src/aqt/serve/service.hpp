@@ -1,0 +1,183 @@
+// The resident job service: bounded intake, fair scheduling, deadlines,
+// cancellation, checkpoint-on-drain — everything between "a RunRequest
+// arrived" and "a RunResult exists", independent of any transport.
+//
+// Design constraints, in priority order:
+//
+//   1. Never stall the pool: intake is a bounded queue; when it is full a
+//      submit is *rejected immediately* with SRV010 (shed load at the
+//      edge, where the client can react) instead of blocking.
+//   2. Fairness: ready jobs are dispatched round-robin across client ids,
+//      so one client queueing 500 jobs cannot starve a client queueing 1.
+//      Per client, jobs run in submission order.
+//   3. Determinism of *results*: execution order is scheduling policy, but
+//      each cell is an isolated execute_run — the artifacts for a given
+//      request are byte-identical no matter which worker ran it when
+//      (the run-pool's cell-containment property, inherited wholesale).
+//   4. Bounded shutdown: drain() stops intake (SRV013), asks active jobs
+//      to stop at their next slice boundary — checkpointing them when a
+//      checkpoint_dir is configured, so long jobs survive restarts — and
+//      fails the still-queued remainder with SRV013.
+//
+// Deadlines: a job with deadline_ms > 0 is cancelled (SRV011) at its next
+// slice boundary once the wall clock passes submit + deadline.  Precision
+// is therefore one slice, which is the knob ServiceConfig::slice_steps.
+//
+// Completion is push-based: the transport registers a callback per job and
+// receives the terminal JobOutcome exactly once, on a worker thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aqt/obs/registry.hpp"
+#include "aqt/runner/run_spec.hpp"
+#include "aqt/serve/registry.hpp"
+#include "aqt/serve/request.hpp"
+
+namespace aqt {
+namespace serve {
+
+struct ServiceConfig {
+  unsigned workers = 1;        ///< Concurrent job executors.
+  std::size_t queue_cap = 64;  ///< Bounded intake (queued, not active).
+  /// Cancellation/deadline poll granularity in engine steps.
+  Time slice_steps = 2048;
+  /// Deadline applied when a request carries none (0 = unlimited).
+  std::uint64_t default_deadline_ms = 0;
+  /// When set, drained jobs checkpoint here (files <job>.ckpt) instead of
+  /// being cancelled outright; checkpoint-ineligible jobs still cancel.
+  std::string checkpoint_dir;
+  /// Start paused (no dispatch until resume()) — lets tests and operators
+  /// stage a backlog and then observe pure scheduling behavior.
+  bool start_paused = false;
+};
+
+/// Terminal state of one job.
+enum class JobState : std::uint8_t {
+  kQueued,
+  kActive,
+  kDone,          ///< result.ok() or a cell error (SRV014 for clients).
+  kCancelled,     ///< SRV012 (client) — result holds partial scalars.
+  kDeadline,      ///< SRV011.
+  kCheckpointed,  ///< Stopped with state saved; resumable.
+  kShed,          ///< SRV013: still queued when drain arrived.
+};
+
+const char* to_string(JobState s);
+
+/// Everything a transport needs to report one finished job.
+struct JobOutcome {
+  std::uint64_t job = 0;
+  std::string client;
+  JobState state = JobState::kDone;
+  RunResult result;
+  std::string checkpoint_path;  ///< kCheckpointed only.
+  std::uint64_t start_seq = 0;  ///< Dispatch order (1-based; fairness probe).
+  double wall_seconds = 0.0;    ///< Submit-to-terminal latency.
+};
+
+class Service {
+ public:
+  using CompletionFn = std::function<void(const JobOutcome&)>;
+
+  Service(const Registry& registry, ServiceConfig config);
+  ~Service();  ///< Implies drain() + join.
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Validates + compiles + enqueues.  Returns the server-assigned job id.
+  /// Throws RequestError: compilation codes verbatim, SRV010 when the
+  /// queue is full, SRV013 when draining.  `on_done` fires exactly once.
+  std::uint64_t submit(const std::string& client, const RunRequest& request,
+                       CompletionFn on_done);
+
+  /// Requests cancellation; returns false for unknown/finished jobs.
+  bool cancel(std::uint64_t job);
+
+  /// Scheduling gate (ops knob + test hook).
+  void pause();
+  void resume();
+
+  /// Stops intake, checkpoints/cancels active jobs, sheds queued ones,
+  /// joins the workers.  Idempotent.  Completion callbacks for every
+  /// not-yet-terminal job fire before this returns.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::size_t active_jobs() const;
+
+  /// aqt_serve_* gauges/counters into `registry` (see docs/TOOLS.md).
+  void collect_metrics(obs::MetricRegistry& registry) const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::string client;
+    RunRequest request;
+    RunSpec spec;
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
+    CompletionFn on_done;
+    JobState state = JobState::kQueued;
+    bool deadline_hit = false;
+    bool client_cancelled = false;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;  ///< max() = none.
+    std::uint64_t start_seq = 0;
+  };
+
+  void worker_loop();
+  void monitor_loop();
+  /// Picks the next job round-robin across clients; nullptr when empty.
+  std::shared_ptr<Job> next_job_locked();
+  void finish_job(const std::shared_ptr<Job>& job, JobState state,
+                  RunResult result, const std::string& checkpoint_path);
+
+  const Registry& registry_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool paused_ = false;
+  bool draining_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatch_seq_ = 0;
+
+  /// Intake: per-client FIFO + rotation order for round-robin.
+  std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_;
+  std::vector<std::string> rotation_;
+  std::size_t rotation_cursor_ = 0;
+  std::size_t queued_count_ = 0;
+
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;  ///< All non-terminal.
+  std::size_t active_count_ = 0;
+
+  // Counters for collect_metrics (mutated under mu_).
+  std::uint64_t submitted_total_ = 0;
+  std::uint64_t rejected_total_ = 0;
+  std::uint64_t completed_total_ = 0;
+  std::uint64_t failed_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+  std::uint64_t deadline_total_ = 0;
+  std::uint64_t checkpointed_total_ = 0;
+  std::uint64_t shed_total_ = 0;
+  std::vector<double> latencies_;  ///< Terminal-job wall seconds.
+
+  std::vector<std::thread> workers_;
+  std::thread monitor_;
+};
+
+}  // namespace serve
+}  // namespace aqt

@@ -90,6 +90,14 @@ RunTraceWriter::RunTraceWriter(std::ostream& os, const Graph& graph,
   line("begin");
 }
 
+RunTraceWriter::RunTraceWriter(std::ostream& os,
+                               const TraceResumeState& state)
+    : os_(os), hash_(state.hash_state), last_step_(state.last_step) {
+  // A continuation segment picks up after a fully recorded step, so the
+  // P-records-precede-step-1 window is already closed.
+  begun_ = true;
+}
+
 void RunTraceWriter::line(const std::string& text) {
   AQT_CHECK(!finished_, "run-trace record after finish()");
   hash_.update(text);

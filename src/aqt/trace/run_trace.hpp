@@ -65,6 +65,12 @@ inline constexpr int kRunTraceVersion = 1;
 /// Streaming FNV-1a 64 over bytes; the run-trace content hash.
 class Fnv1a {
  public:
+  Fnv1a() = default;
+  /// Resumes hashing mid-stream from a previously saved value() — the
+  /// mechanism that lets a checkpointed run's trace hash continue exactly
+  /// where the interrupted segment stopped (runner/job_checkpoint.hpp).
+  explicit Fnv1a(std::uint64_t resume_state) : hash_(resume_state) {}
+
   void update(std::string_view bytes) {
     for (const char c : bytes) {
       hash_ ^= static_cast<unsigned char>(c);
@@ -88,6 +94,15 @@ struct RunTraceMeta {
   std::optional<Rat> rate_r;  ///< Declared rate-r constraint.
 };
 
+/// Mid-stream continuation state for RunTraceWriter: everything a resumed
+/// run segment needs to keep emitting the byte stream (and the streaming
+/// hash) exactly as if the run had never been interrupted.  Captured at a
+/// step boundary, after the interrupted segment's last Q record.
+struct TraceResumeState {
+  std::uint64_t hash_state = 0;  ///< Fnv1a::value() at the cut point.
+  Time last_step = 0;            ///< Last fully recorded step.
+};
+
 /// Streams the evidence format to an ostream, hashing every line.  Plug
 /// into EngineConfig::sinks.trace; call finish() once after the run.
 class RunTraceWriter final : public RunTraceSink {
@@ -95,6 +110,20 @@ class RunTraceWriter final : public RunTraceSink {
   /// Writes the header (including the graph tables) immediately.
   RunTraceWriter(std::ostream& os, const Graph& graph,
                  const RunTraceMeta& meta);
+
+  /// Continuation writer for a resumed run segment: emits no header and no
+  /// initial-packet records (the interrupted segment already did), seeds
+  /// the streaming hash from `state`, and accepts step records from
+  /// state.last_step + 1 on.  finish() then closes the *logical* run, so
+  /// content_hash() equals the uninterrupted run's hash byte for byte.
+  RunTraceWriter(std::ostream& os, const TraceResumeState& state);
+
+  /// The continuation state at the current step boundary (see
+  /// TraceResumeState).  Meaningless mid-step; callers cut only between
+  /// engine steps.
+  [[nodiscard]] TraceResumeState resume_state() const {
+    return TraceResumeState{hash_.value(), last_step_};
+  }
 
   void record_initial(std::uint64_t ordinal, std::uint64_t tag,
                       RouteSpan route) override;

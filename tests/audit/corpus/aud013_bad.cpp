@@ -1,0 +1,15 @@
+// Corpus: AUD013 positives — the retired EngineConfig per-sink alias
+// fields, in both shapes that linger in stale code: the removed field
+// names themselves, and a `.profile =` assignment on something that is
+// not the sinks aggregate.
+
+struct LegacyEngineConfig {
+  bool record_trace = false;   // retired alias field name
+  bool record_events = false;  // retired alias field name
+  bool profile = false;
+};
+
+void configure(LegacyEngineConfig& cfg, bool want_trace) {
+  cfg.record_trace = want_trace;  // retired alias assignment
+  cfg.profile = true;             // .profile on a non-sinks object
+}

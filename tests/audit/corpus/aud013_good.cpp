@@ -1,0 +1,26 @@
+// Corpus: AUD013 near-misses — the correct EngineSinks wiring and other
+// legitimate uses of a `profile` identifier: assignment through the
+// sinks aggregate, reads, comparisons, and unrelated member names.
+
+struct Profiler {};
+
+struct EngineSinks {
+  Profiler* profile = nullptr;
+};
+
+struct EngineConfig {
+  EngineSinks sinks;
+};
+
+bool wire(EngineConfig& config, Profiler& profiler) {
+  config.sinks.profile = &profiler;            // the blessed spelling
+  const Profiler* profile = config.sinks.profile;  // read, not assignment
+  if (config.sinks.profile == nullptr) return false;  // comparison
+  return profile != nullptr;
+}
+
+struct TraceRecorder {
+  bool recording = false;  // not one of the retired names
+};
+
+void arm(TraceRecorder& recorder) { recorder.recording = true; }

@@ -241,9 +241,9 @@ TEST(RunPool, ParallelForEachReportsPerIndexErrors) {
   }
 }
 
-TEST(EngineSinks, DeprecatedAliasesFoldIntoSinks) {
-  // Old-style call sites that set EngineConfig::record_trace / profile /
-  // record_events keep working: the engine folds them into `sinks`.
+TEST(EngineSinks, SinksAggregateDrivesObservers) {
+  // Observers attach only through EngineConfig::sinks — the deprecated
+  // per-sink alias fields were retired (aqt-audit AUD013 keeps them out).
   const Graph g = make_ring(4);
   auto protocol = make_protocol("FIFO", 1);
   RunTraceMeta meta;
@@ -253,29 +253,14 @@ TEST(EngineSinks, DeprecatedAliasesFoldIntoSinks) {
   RunTraceWriter writer(os, g, meta);
   obs::StepProfiler profiler;
   EngineConfig cfg;
-  cfg.record_trace = &writer;  // Deprecated spellings.
-  cfg.profile = &profiler;
+  cfg.sinks.trace = &writer;
+  cfg.sinks.profile = &profiler;
   Engine eng(g, *protocol, cfg);
   eng.add_initial_packet({0, 1});
   eng.drain(16);
   writer.finish(eng.total_injected(), eng.total_absorbed());
   EXPECT_NE(writer.content_hash(), 0u);
   EXPECT_GT(profiler.report().steps, 0u);
-}
-
-TEST(EngineSinks, ExplicitSinksWinOverAliases) {
-  const Graph g = make_ring(4);
-  auto protocol = make_protocol("FIFO", 1);
-  obs::StepProfiler via_sinks;
-  obs::StepProfiler via_alias;
-  EngineConfig cfg;
-  cfg.sinks.profile = &via_sinks;
-  cfg.profile = &via_alias;
-  Engine eng(g, *protocol, cfg);
-  eng.add_initial_packet({0, 1});
-  eng.drain(16);
-  EXPECT_GT(via_sinks.report().steps, 0u);
-  EXPECT_EQ(via_alias.report().steps, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// The RunRequest -> RunSpec compiler: name resolution (SRV006..SRV009),
+// named-recipe registration, the catalog, and — the load-bearing property —
+// purity: compiling the same request twice runs to identical artifacts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aqt/runner/run_spec.hpp"
+#include "aqt/serve/registry.hpp"
+#include "aqt/serve/request.hpp"
+#include "aqt/serve/result.hpp"
+#include "aqt/topology/generators.hpp"
+
+namespace aqt {
+namespace serve {
+namespace {
+
+RunRequest base_request() {
+  RunRequest req;
+  req.topology = "grid:3x3";
+  req.protocol = "FIFO";
+  req.adversary.kind = "stochastic";
+  req.adversary.w = 8;
+  req.adversary.r = Rat(1, 4);
+  req.adversary.d = 4;
+  req.seed = 3;
+  req.steps = 500;
+  return req;
+}
+
+void expect_compile_code(const Registry& registry, const RunRequest& req,
+                         const std::string& code) {
+  try {
+    (void)registry.compile(req);
+    FAIL() << "expected " << code;
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+  }
+}
+
+TEST(ServeRegistry, CompilesARunnableSpec) {
+  const Registry registry;
+  const RunSpec spec = registry.compile(base_request());
+  const RunResult result = execute_run(spec);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.steps_run, 500);
+  EXPECT_NE(result.trace_hash, 0u);
+}
+
+TEST(ServeRegistry, CompilationIsPure) {
+  const Registry registry;
+  const RunResult a = execute_run(registry.compile(base_request()));
+  const RunResult b = execute_run(registry.compile(base_request()));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(canonical_result_json(a), canonical_result_json(b));
+}
+
+TEST(ServeRegistry, ResolutionErrorsCarryStableCodes) {
+  const Registry registry;
+
+  RunRequest bad_topology = base_request();
+  bad_topology.topology = "mobius:9";
+  expect_compile_code(registry, bad_topology, errc::kUnknownTopology);
+
+  RunRequest bad_protocol = base_request();
+  bad_protocol.protocol = "LIFO-ISH";
+  expect_compile_code(registry, bad_protocol, errc::kUnknownProtocol);
+
+  // Cross-field consistency: an lps adversary needs an lps:NxM topology
+  // whose N matches the n(r) the construction demands.
+  RunRequest lps_on_grid = base_request();
+  lps_on_grid.adversary.kind = "lps";
+  lps_on_grid.adversary.r = Rat(7, 10);
+  expect_compile_code(registry, lps_on_grid, errc::kBadParam);
+
+  RunRequest lps_wrong_n = base_request();
+  lps_wrong_n.topology = "lps:4x8";  // r=7/10 needs n=9.
+  lps_wrong_n.adversary.kind = "lps";
+  lps_wrong_n.adversary.r = Rat(7, 10);
+  expect_compile_code(registry, lps_wrong_n, errc::kBadParam);
+}
+
+TEST(ServeRegistry, NamedRecipesResolveAndShowInCatalog) {
+  Registry registry;
+  NamedTopology entry;
+  entry.name = "test-backbone";
+  entry.description = "a ring of 6 for the registry test";
+  entry.build = [](std::uint64_t) { return make_ring(6); };
+  registry.register_topology(std::move(entry));
+
+  EXPECT_TRUE(registry.has_topology("test-backbone"));
+  RunRequest req = base_request();
+  req.topology = "test-backbone";
+  const RunResult result = execute_run(registry.compile(req));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_NE(result.trace_hash, 0u);
+
+  const JsonValue cat = registry.catalog();
+  ASSERT_TRUE(cat.is_object());
+  EXPECT_EQ(cat.find("aqt_catalog")->as_int(), 1);
+  bool found = false;
+  for (const JsonValue& t : cat.find("topologies")->items())
+    if (t.find("name")->as_string() == "test-backbone") found = true;
+  EXPECT_TRUE(found);
+  // The catalog names every protocol and adversary kind compile() accepts.
+  bool has_fifo = false;
+  for (const JsonValue& p : cat.find("protocols")->items())
+    if (p.as_string() == "FIFO") has_fifo = true;
+  EXPECT_TRUE(has_fifo);
+  bool has_bucket = false;
+  for (const JsonValue& a : cat.find("adversaries")->items())
+    if (a.as_string() == "bucket") has_bucket = true;
+  EXPECT_TRUE(has_bucket);
+}
+
+TEST(ServeRegistry, AuditAndArtifactSelectionsReachTheSpec) {
+  const Registry registry;
+  RunRequest req = base_request();
+  req.audit_w = 8;
+  req.audit_r = Rat(1, 4);
+  req.art_metrics = true;
+  req.art_growth = true;
+  const RunSpec spec = registry.compile(req);
+  EXPECT_TRUE(spec.audit_r.has_value());
+  EXPECT_TRUE(spec.artifacts.metrics);
+  EXPECT_TRUE(spec.artifacts.growth);
+  EXPECT_TRUE(spec.artifacts.trace_hash);
+  const RunResult result = execute_run(spec);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.feasible);  // 1/4-rate traffic passes its own audit.
+  // The metrics artifact embeds the obs export in the canonical document.
+  const std::string bytes = canonical_result_json(result);
+  EXPECT_NE(bytes.find("\"metrics\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace aqt

@@ -1,0 +1,110 @@
+// aqt-serve: the resident simulation service.
+//
+// Boots the named registry, the bounded job service, and the JSONL-over-TCP
+// transport; then waits for SIGTERM/SIGINT and drains gracefully — active
+// jobs checkpoint (when --checkpoint-dir is set) or stop at their next
+// slice boundary, queued jobs are shed with SRV013, every client gets a
+// terminal event before the sockets close.
+//
+// Examples:
+//   aqt-serve --port 4070 --workers 4 --metrics-port 9470
+//   aqt-serve --port 0 --queue-cap 8 --default-deadline-ms 60000
+//
+// Protocol, error codes, and ops knobs: docs/TOOLS.md.  A stdlib-only
+// reference client lives at scripts/aqt_serve_client.py.
+#include <csignal>
+#include <cstdio>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "aqt/serve/registry.hpp"
+#include "aqt/serve/server.hpp"
+#include "aqt/serve/service.hpp"
+#include "aqt/util/check.hpp"
+#include "aqt/util/cli.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+}  // namespace
+
+static int run_main(int argc, char** argv) {
+  using namespace aqt;
+  Cli cli("aqt-serve", "resident simulation service (RunRequest jobs over "
+                       "JSONL/TCP)");
+  cli.flag("bind", "127.0.0.1", "bind address");
+  cli.flag("port", "4070", "job port (0 = ephemeral; printed at boot)");
+  cli.flag("metrics-port", "0",
+           "Prometheus /metrics HTTP port (0 = disabled)");
+  cli.flag("workers", "1", "concurrent job executors");
+  cli.flag("queue-cap", "64",
+           "bounded intake: queued jobs beyond this are rejected (SRV010)");
+  cli.flag("slice-steps", "2048",
+           "cancellation/deadline poll granularity in engine steps");
+  cli.flag("default-deadline-ms", "0",
+           "deadline for requests that carry none (0 = unlimited)");
+  cli.flag("checkpoint-dir", "",
+           "checkpoint eligible jobs here on drain instead of cancelling");
+  if (!cli.parse(argc, argv)) return 0;
+
+  serve::Registry registry;
+  serve::ServiceConfig service_config;
+  service_config.workers =
+      static_cast<unsigned>(std::max<std::int64_t>(1, cli.get_int("workers")));
+  service_config.queue_cap = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("queue-cap")));
+  service_config.slice_steps =
+      std::max<std::int64_t>(1, cli.get_int("slice-steps"));
+  service_config.default_deadline_ms =
+      static_cast<std::uint64_t>(
+          std::max<std::int64_t>(0, cli.get_int("default-deadline-ms")));
+  service_config.checkpoint_dir = cli.get("checkpoint-dir");
+  serve::Service service(registry, service_config);
+
+  serve::ServerConfig server_config;
+  server_config.bind_address = cli.get("bind");
+  server_config.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  server_config.metrics_port =
+      static_cast<std::uint16_t>(cli.get_int("metrics-port"));
+  serve::Server server(service, registry, server_config);
+  server.start();
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("aqt-serve: listening on %s:%u (%u worker(s), queue cap %zu)\n",
+              server_config.bind_address.c_str(),
+              static_cast<unsigned>(server.port()),
+              service_config.workers, service_config.queue_cap);
+  if (server.metrics_port() != 0)
+    std::printf("aqt-serve: metrics on http://%s:%u/metrics\n",
+                server_config.bind_address.c_str(),
+                static_cast<unsigned>(server.metrics_port()));
+  std::fflush(stdout);
+
+  while (g_signal.load(std::memory_order_relaxed) == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("aqt-serve: signal %d — draining (%zu queued, %zu active)\n",
+              g_signal.load(std::memory_order_relaxed),
+              service.queue_depth(), service.active_jobs());
+  std::fflush(stdout);
+  server.stop();  // Stops intake, drains the service, closes connections.
+  std::printf("aqt-serve: drained, bye\n");
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aqt-serve: %s\n", e.what());
+    return 2;
+  }
+}

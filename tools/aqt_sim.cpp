@@ -46,6 +46,8 @@
 #include "aqt/obs/watchdog.hpp"
 #include "aqt/runner/pool.hpp"
 #include "aqt/runner/run_spec.hpp"
+#include "aqt/serve/registry.hpp"
+#include "aqt/serve/result.hpp"
 #include "aqt/topology/gadget.hpp"
 #include "aqt/topology/spec.hpp"
 #include "aqt/topology/generators.hpp"
@@ -71,26 +73,41 @@ class NullBuf final : public std::streambuf {
   }
 };
 
-/// --batch <dir>: run every .aqts scenario in the directory through the
-/// deterministic run-pool, honoring --jobs.  The summary table is in sorted
-/// filename order (submission order), so output is byte-identical for any
-/// --jobs value.
+/// --batch <dir>: run every .aqts scenario and every .json RunRequest in
+/// the directory through the deterministic run-pool, honoring --jobs.  The
+/// summary table is in sorted filename order (submission order), so output
+/// is byte-identical for any --jobs value.  RunRequest files go through
+/// the same serve::Registry compiler as aqt-serve jobs, so --results-dir
+/// artifacts here are byte-identical to the served ones.
 int run_batch(const Cli& cli) {
   namespace fs = std::filesystem;
   const std::string dir = cli.get("batch");
   AQT_REQUIRE(fs::is_directory(dir), "--batch needs a directory: " << dir);
   std::vector<fs::path> files;
   for (const auto& entry : fs::directory_iterator(dir))
-    if (entry.is_regular_file() && entry.path().extension() == ".aqts")
+    if (entry.is_regular_file() && (entry.path().extension() == ".aqts" ||
+                                    entry.path().extension() == ".json"))
       files.push_back(entry.path());
   std::sort(files.begin(), files.end());
-  AQT_REQUIRE(!files.empty(), "no .aqts scenarios in " << dir);
+  AQT_REQUIRE(!files.empty(), "no .aqts scenarios or .json requests in "
+                                  << dir);
 
   const bool audit = cli.get_bool("audit");
   const Time cap = cli.get_int("steps");
+  const serve::Registry registry;
   std::vector<RunSpec> specs;
   specs.reserve(files.size());
   for (const fs::path& path : files) {
+    if (path.extension() == ".json") {
+      std::ifstream in(path);
+      AQT_REQUIRE(static_cast<bool>(in), "cannot open " << path.string());
+      std::ostringstream text;
+      text << in.rdbuf();
+      const serve::RunRequest req =
+          serve::parse_run_request(text.str(), path.string());
+      specs.push_back(registry.compile(req));
+      continue;
+    }
     ScenarioRun srun = load_scenario_run(path.string());
     const Time horizon = std::max<Time>(cap, srun.last_event + 1);
     RunSpec spec =
@@ -113,6 +130,22 @@ int run_batch(const Cli& cli) {
   }
 
   const RunPoolReport report = run_pool(specs, get_jobs(cli));
+  if (!cli.get("results-dir").empty()) {
+    // One canonical RunResult document per cell, named by the source file.
+    // These bytes are the offline half of the serve byte-identity
+    // contract: a client saving a served job's result_canonical line gets
+    // the same content.
+    const fs::path out_dir = cli.get("results-dir");
+    fs::create_directories(out_dir);
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      const fs::path out = out_dir / (files[i].stem().string() + ".json");
+      std::ofstream os(out, std::ios::trunc);
+      AQT_REQUIRE(static_cast<bool>(os), "cannot open " << out.string());
+      os << serve::canonical_result_json(report.results[i]) << "\n";
+    }
+    std::cout << report.results.size() << " result document(s) written to "
+              << out_dir.string() << "\n";
+  }
   Table t({"scenario", "protocol", "steps", "injected", "absorbed",
            "max queue", "max residence", "feasible", "trace hash",
            "status"});
@@ -148,9 +181,13 @@ static int run_main(int argc, char** argv) {
            "run this .aqts scenario (topology/protocol/script/declared "
            "constraints come from the file)");
   cli.flag("batch", "",
-           "run every .aqts scenario in this directory through the "
-           "deterministic run-pool (honors --jobs; summary in filename "
-           "order)");
+           "run every .aqts scenario and .json RunRequest in this "
+           "directory through the deterministic run-pool (honors --jobs; "
+           "summary in filename order)");
+  cli.flag("results-dir", "",
+           "with --batch: write one canonical RunResult JSON per cell "
+           "into this directory (byte-identical to aqt-serve's "
+           "result_canonical)");
   cli.flag("burst", "2", "token-bucket burst b (bucket adversary)");
   cli.flag("steps", "10000", "steps to run (lps: upper cap)");
   cli.flag("w", "12", "window size (stochastic/convoy)");
